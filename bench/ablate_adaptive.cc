@@ -1,0 +1,89 @@
+// Ablation A3: the "abuse of delta sync" quantified — the value of
+// *adaptive* sync over each fixed strategy.
+//
+// Three client policies over the four canonical traces:
+//   adaptive   — DeltaCFS as designed (NFS-RPC by default, relation-
+//                triggered local delta for transactional updates);
+//   rpc-only   — delta encoding disabled: every update ships as
+//                intercepted writes (pure NFS-like file RPC);
+//   always-delta — a Dropbox-style client that runs rsync on every file
+//                modification (the one-size-fits-all trap).
+#include <cstdio>
+#include <memory>
+
+#include "harness.h"
+
+namespace {
+
+using namespace dcfs;
+using namespace dcfs::bench;
+
+RunResult run_deltacfs_variant(const TraceSet& trace, bool enable_delta) {
+  VirtualClock clock;
+  ClientConfig config;
+  config.enable_delta = enable_delta;
+  DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan(),
+                        config);
+  system.fs().mkdir("/sync");
+  std::unique_ptr<Workload> workload = trace.factory();
+  const RunStats stats = run_workload(*workload, system, clock);
+
+  RunResult result;
+  result.solution = enable_delta ? "adaptive" : "rpc-only";
+  result.trace = trace.name;
+  result.client_ticks = system.client_cpu_ticks();
+  result.up_bytes = system.traffic().up_bytes();
+  result.update_bytes = stats.update_bytes;
+  return result;
+}
+
+RunResult run_always_delta(const TraceSet& trace) {
+  // Dropbox without dedup: rsync against the cached previous version on
+  // every modification event — delta sync applied to everything.
+  VirtualClock clock;
+  DropboxConfig config;
+  config.use_dedup = false;
+  config.compress = false;
+  DropboxSim system(clock, CostProfile::pc(), NetProfile::pc_wan(), config);
+  system.fs().mkdir("/sync");
+  std::unique_ptr<Workload> workload = trace.factory();
+  run_workload(*workload, system, clock);
+
+  RunResult result;
+  result.solution = "always-delta";
+  result.trace = trace.name;
+  result.client_ticks = system.client_cpu_ticks();
+  result.up_bytes = system.traffic().up_bytes();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool paper_scale = paper_scale_requested(argc, argv);
+  std::printf("=== Ablation A3: adaptive vs fixed sync strategies ===\n");
+  print_scale_banner(paper_scale);
+
+  const auto traces = canonical_traces(paper_scale);
+  std::printf("\n%-14s %-14s %14s %16s\n", "Trace", "Policy", "Upload(MB)",
+              "Client CPU(ticks)");
+  for (const TraceSet& trace : traces) {
+    std::vector<RunResult> rows;
+    rows.push_back(run_deltacfs_variant(trace, true));
+    rows.push_back(run_deltacfs_variant(trace, false));
+    rows.push_back(run_always_delta(trace));
+    for (const RunResult& row : rows) {
+      std::printf("%-14s %-14s %14s %16llu\n", row.trace.c_str(),
+                  row.solution.c_str(), fmt_mb(row.up_bytes).c_str(),
+                  static_cast<unsigned long long>(row.client_ticks));
+    }
+  }
+
+  std::printf(
+      "\nReading: on in-place traces (append/random/WeChat) rpc-only\n"
+      "matches adaptive — delta sync adds nothing there, and always-delta\n"
+      "pays a large CPU tax for it (the abuse of delta sync).  On the\n"
+      "transactional Word trace rpc-only re-ships the whole file per save;\n"
+      "only adaptive gets both the small upload and the small CPU bill.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation A2: the paper's librsync modification — replacing the MD5
+// strong checksum with direct bitwise comparison when both file versions
+// are local (§III-A, §IV: "The librsync library is modified to replace
+// strong checksum (i.e., MD5) with bitwise comparison").
+//
+// google-benchmark microbenchmark: real wall time of the two delta modes,
+// plus the deterministic model units as counters.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "metrics/cost.h"
+#include "rsyncx/delta.h"
+
+namespace {
+
+using namespace dcfs;
+
+/// Builds a base file and an edited version (insertion at the middle —
+/// the transactional-update shape the trigger produces).
+std::pair<Bytes, Bytes> make_pair(std::uint64_t size) {
+  Rng rng(42);
+  Bytes base = rng.bytes(size);
+  Bytes target = base;
+  const Bytes inserted = rng.bytes(997);
+  target.insert(target.begin() + static_cast<std::ptrdiff_t>(size / 2),
+                inserted.begin(), inserted.end());
+  return {std::move(base), std::move(target)};
+}
+
+void BM_RemoteRsyncMd5(benchmark::State& state) {
+  const auto [base, target] = make_pair(state.range(0));
+  std::uint64_t units = 0;
+  for (auto _ : state) {
+    CostMeter meter(CostProfile::pc());
+    const rsyncx::Signature signature = rsyncx::compute_signature(
+        base, rsyncx::kDefaultBlockSize, /*with_strong=*/true, &meter);
+    const rsyncx::Delta delta =
+        rsyncx::compute_delta(signature, target, &meter);
+    benchmark::DoNotOptimize(delta.commands.data());
+    units = meter.units();
+  }
+  state.counters["model_units"] = static_cast<double>(units);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(base.size()));
+}
+
+void BM_LocalBitwise(benchmark::State& state) {
+  const auto [base, target] = make_pair(state.range(0));
+  std::uint64_t units = 0;
+  for (auto _ : state) {
+    CostMeter meter(CostProfile::pc());
+    const rsyncx::Delta delta = rsyncx::compute_delta_local(
+        base, target, rsyncx::kDefaultBlockSize, &meter);
+    benchmark::DoNotOptimize(delta.commands.data());
+    units = meter.units();
+  }
+  state.counters["model_units"] = static_cast<double>(units);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(base.size()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_RemoteRsyncMd5)->Arg(1 << 20)->Arg(4 << 20)->Arg(16 << 20);
+BENCHMARK(BM_LocalBitwise)->Arg(1 << 20)->Arg(4 << 20)->Arg(16 << 20);
+
+BENCHMARK_MAIN();

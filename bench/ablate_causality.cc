@@ -1,0 +1,124 @@
+// Ablation A5: backindex spans vs ViewBox-style snapshots (§III-E).
+//
+// The paper rejects periodic snapshots with two arguments: "when the
+// snapshot is taken, no more changes are allowed on it even though some
+// nodes can be deleted" (a delta can no longer replace a write node that a
+// snapshot already shipped), and "it is not easy to set the snapshot
+// interval — too short degrades performance while too long may induce the
+// loss of latest update".
+//
+// This bench performs transactional saves that take ~1 s of wall time (the
+// temp file is written in chunks while the clock runs), so short snapshot
+// intervals cut saves in half: the write node ships before the rename
+// fires and the whole rewrite crosses the wire instead of a delta.
+#include <cstdio>
+#include <string>
+
+#include "baselines/deltacfs_system.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace dcfs;
+
+struct Outcome {
+  std::uint64_t upload_bytes = 0;
+  std::uint64_t deltas = 0;
+  std::uint64_t records = 0;
+};
+
+Outcome run(CausalityMode mode, Duration snapshot_interval) {
+  VirtualClock clock;
+  ClientConfig config;
+  config.causality = mode;
+  config.snapshot_interval = snapshot_interval;
+  DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan(),
+                        config);
+  system.fs().mkdir("/sync");
+
+  Rng rng(11);
+  constexpr std::uint64_t kDocBytes = 2 << 20;
+  Bytes content = rng.bytes(kDocBytes);
+  system.fs().write_file("/sync/doc", content);
+  for (int i = 0; i < 80; ++i) {
+    clock.advance(milliseconds(200));
+    system.tick(clock.now());
+  }
+  system.finish(clock.now());
+  system.reset_meters();
+
+  constexpr int kSaves = 10;
+  for (int save = 0; save < kSaves; ++save) {
+    content[rng.next_below(content.size())] ^= 0x11;  // small edit
+
+    // A slow transactional save: the temp file is written over ~1 s.
+    system.fs().rename("/sync/doc", "/sync/doc.bak");
+    Result<FileHandle> handle = system.fs().create("/sync/doc.tmp");
+    if (handle) {
+      constexpr std::uint64_t kChunk = 256 * 1024;
+      for (std::uint64_t off = 0; off < content.size(); off += kChunk) {
+        const std::uint64_t n =
+            std::min<std::uint64_t>(kChunk, content.size() - off);
+        system.fs().write(*handle, off, ByteSpan{content.data() + off, n});
+        clock.advance(milliseconds(125));
+        system.tick(clock.now());
+      }
+      system.fs().close(*handle);
+    }
+    system.fs().rename("/sync/doc.tmp", "/sync/doc");
+    system.fs().unlink("/sync/doc.bak");
+
+    for (int i = 0; i < 25; ++i) {  // ~5 s between saves
+      clock.advance(milliseconds(200));
+      system.tick(clock.now());
+    }
+  }
+  for (int i = 0; i < 80; ++i) {
+    clock.advance(milliseconds(200));
+    system.tick(clock.now());
+  }
+  system.finish(clock.now());
+
+  Outcome outcome;
+  outcome.upload_bytes = system.traffic().up_bytes();
+  outcome.deltas = system.client().deltas_triggered();
+  outcome.records = system.client().records_uploaded();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation A5: backindex vs snapshot causality ===\n");
+  std::printf("(10 transactional saves of a 2 MB doc; each save takes ~1 s)\n\n");
+  std::printf("%-22s %12s %10s %10s %18s\n", "Mode", "Upload(MB)", "Deltas",
+              "Records", "Staleness bound");
+
+  const Outcome backindex = run(CausalityMode::backindex, seconds(3));
+  std::printf("%-22s %12.2f %10llu %10llu %18s\n", "backindex (paper)",
+              static_cast<double>(backindex.upload_bytes) / (1 << 20),
+              static_cast<unsigned long long>(backindex.deltas),
+              static_cast<unsigned long long>(backindex.records),
+              "upload delay (3s)");
+
+  for (const Duration interval : {milliseconds(500), seconds(1), seconds(3),
+                                  seconds(10)}) {
+    const Outcome snap = run(CausalityMode::snapshot, interval);
+    const std::string label =
+        "snapshot @" + std::to_string(interval / 1000) + "ms";
+    std::printf("%-22s %12.2f %10llu %10llu %15llds\n", label.c_str(),
+                static_cast<double>(snap.upload_bytes) / (1 << 20),
+                static_cast<unsigned long long>(snap.deltas),
+                static_cast<unsigned long long>(snap.records),
+                static_cast<long long>(interval / 1'000'000));
+  }
+
+  std::printf(
+      "\nReading: with backindex every save becomes a small delta.  Short\n"
+      "snapshot intervals ship the temp file's write node before the rename\n"
+      "fires, so the delta cannot replace it and the full rewrite crosses\n"
+      "the wire (the paper's 'no more changes allowed' cost).  Long\n"
+      "intervals recover the deltas but delay every update by up to the\n"
+      "interval (the 'loss of latest update' risk).  Backindex gets both.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Ablation A1: relation-table timeout sensitivity.
+//
+// The paper sets the expiry "empirically in a range of 1 to 3 seconds"
+// because "a file update by operating system usually can be done within
+// 1 second".  This bench runs transactional updates whose rename-away ->
+// rename-back gap varies, across a sweep of timeouts, and reports whether
+// the delta trigger fired and what the update cost on the wire.
+#include <cstdio>
+#include <memory>
+
+#include "baselines/deltacfs_system.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace dcfs;
+
+struct Outcome {
+  bool delta_fired = false;
+  std::uint64_t upload_bytes = 0;
+};
+
+/// One transactional save of a `file_bytes` document where the gap between
+/// the backup rename and the temp->original rename is `update_duration`.
+Outcome run_update(Duration relation_timeout, Duration update_duration,
+                   std::uint64_t file_bytes) {
+  VirtualClock clock;
+  ClientConfig config;
+  config.relation_timeout = relation_timeout;
+  DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan(),
+                        config);
+  system.fs().mkdir("/sync");
+
+  Rng rng(1);
+  Bytes content = rng.bytes(file_bytes);
+  system.fs().write_file("/sync/doc", content);
+  for (int i = 0; i < 60; ++i) {
+    clock.advance(milliseconds(200));
+    system.tick(clock.now());
+  }
+  system.finish(clock.now());
+  system.reset_meters();
+
+  // The transactional update, stretched over `update_duration`.
+  content[file_bytes / 2] ^= 0x3C;
+  system.fs().rename("/sync/doc", "/sync/doc.bak");
+  clock.advance(update_duration / 2);
+  system.tick(clock.now());
+  system.fs().write_file("/sync/doc.tmp", content);
+  clock.advance(update_duration / 2);
+  system.tick(clock.now());
+  system.fs().rename("/sync/doc.tmp", "/sync/doc");
+  system.fs().unlink("/sync/doc.bak");
+
+  for (int i = 0; i < 80; ++i) {
+    clock.advance(milliseconds(200));
+    system.tick(clock.now());
+  }
+  system.finish(clock.now());
+
+  Outcome outcome;
+  outcome.delta_fired = system.client().deltas_triggered() > 0;
+  outcome.upload_bytes = system.traffic().up_bytes();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation A1: relation-table timeout vs update duration "
+              "===\n\n");
+  constexpr std::uint64_t kFileBytes = 2 << 20;
+
+  const Duration timeouts[] = {milliseconds(100), milliseconds(500),
+                               seconds(1), seconds(2), seconds(3),
+                               seconds(5)};
+  const Duration durations[] = {milliseconds(0), milliseconds(400),
+                                milliseconds(800), seconds(2), seconds(4)};
+
+  std::printf("%-14s", "timeout \\ gap");
+  for (const Duration d : durations) {
+    std::printf(" %11.1fs", static_cast<double>(d) / 1e6);
+  }
+  std::printf("   (cell: delta? upload-KB)\n");
+
+  for (const Duration timeout : timeouts) {
+    std::printf("%12.1fs ", static_cast<double>(timeout) / 1e6);
+    for (const Duration duration : durations) {
+      const Outcome outcome = run_update(timeout, duration, kFileBytes);
+      std::printf(" %5s %5llu", outcome.delta_fired ? "Y" : "N",
+                  static_cast<unsigned long long>(outcome.upload_bytes /
+                                                  1024));
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nReading: the delta fires only while the relation entry is alive\n"
+      "(timeout >= update gap); a miss re-ships the whole file (upload\n"
+      "jumps from KB-scale delta to ~file size).  The paper's 1-3 s window\n"
+      "covers every realistic save duration without keeping stale entries.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Ablation A7: server-side storage design (the paper's future work).
+//
+// The cloud keeps recent versions of every file (delta bases, conflict
+// copies — §III-C).  Stored naively, a Word-style editing session costs
+// saves × filesize; stored content-addressed (CDC chunks with refcounts),
+// it costs little more than one copy plus the edits.  This quantifies the
+// feasibility of the paper's "wimpy servers with large numbers of disks".
+#include <cstdio>
+
+#include "common/rng.h"
+#include "server/block_store.h"
+
+int main() {
+  using namespace dcfs;
+
+  std::printf("=== Ablation A7: naive vs content-addressed version storage "
+              "===\n\n");
+  std::printf("%-28s %14s %14s %12s\n", "Scenario", "Logical(MB)",
+              "Unique(MB)", "Dedup ratio");
+
+  const auto mb = [](std::uint64_t bytes) {
+    return static_cast<double>(bytes) / (1 << 20);
+  };
+
+  {
+    // A document's retained history: 30 saves of a 4 MB file, each an
+    // insertion + small edits (the Word workload's shape).
+    BlockStore store;
+    Rng rng(1);
+    Bytes content = rng.bytes(4 << 20);
+    for (int save = 0; save < 30; ++save) {
+      const Bytes inserted = rng.bytes(8'000);
+      const std::size_t at = rng.next_below(content.size());
+      content.insert(content.begin() + static_cast<std::ptrdiff_t>(at),
+                     inserted.begin(), inserted.end());
+      store.put(content);
+    }
+    std::printf("%-28s %14.2f %14.2f %12.1fx\n", "Word history (30 saves)",
+                mb(store.logical_bytes()), mb(store.unique_bytes()),
+                store.dedup_ratio());
+  }
+  {
+    // SQLite history: 50 retained versions of a 16 MB database with small
+    // page updates.
+    BlockStore store;
+    Rng rng(2);
+    Bytes db = rng.bytes(16 << 20);
+    for (int update = 0; update < 50; ++update) {
+      for (int page = 0; page < 3; ++page) {
+        const Bytes patch = rng.bytes(200);
+        const std::size_t at = rng.next_below(db.size() - patch.size());
+        std::copy(patch.begin(), patch.end(),
+                  db.begin() + static_cast<std::ptrdiff_t>(at));
+      }
+      store.put(db);
+    }
+    std::printf("%-28s %14.2f %14.2f %12.1fx\n", "SQLite history (50 vers)",
+                mb(store.logical_bytes()), mb(store.unique_bytes()),
+                store.dedup_ratio());
+  }
+  {
+    // Conflict copies: N devices, each holding a slightly divergent copy.
+    BlockStore store;
+    Rng rng(3);
+    const Bytes base = rng.bytes(8 << 20);
+    store.put(base);
+    for (int device = 0; device < 8; ++device) {
+      Bytes copy = base;
+      const Bytes patch = rng.bytes(4'096);
+      const std::size_t at = rng.next_below(copy.size() - patch.size());
+      std::copy(patch.begin(), patch.end(),
+                copy.begin() + static_cast<std::ptrdiff_t>(at));
+      store.put(copy);
+    }
+    std::printf("%-28s %14.2f %14.2f %12.1fx\n", "8 conflict copies (8 MB)",
+                mb(store.logical_bytes()), mb(store.unique_bytes()),
+                store.dedup_ratio());
+  }
+  {
+    // Worst case: unrelated content — dedup buys nothing, overhead ~0.
+    BlockStore store;
+    Rng rng(4);
+    for (int i = 0; i < 10; ++i) store.put(rng.bytes(2 << 20));
+    std::printf("%-28s %14.2f %14.2f %12.1fx\n", "Unrelated files (worst)",
+                mb(store.logical_bytes()), mb(store.unique_bytes()),
+                store.dedup_ratio());
+  }
+
+  std::printf(
+      "\nReading: retained version history dedups 10-50x under CDC chunking\n"
+      "— the storage side of 'wimpy servers with many disks' is cheap, as\n"
+      "the paper's future work conjectures.  Unrelated content pays no\n"
+      "penalty beyond chunk metadata.\n");
+  return 0;
+}

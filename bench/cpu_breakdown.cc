@@ -1,0 +1,76 @@
+// CPU breakdown: where each sync solution actually spends its client CPU
+// on the Word trace — the quantified version of the paper's §IV-B
+// narrative (Dropbox: checksum recomputation + compression + dedup
+// hashing; Seafile: CDC scan + chunk hashing; DeltaCFS: rolling scan +
+// bitwise comparison only, and only when the relation table fires).
+#include <cstdio>
+#include <memory>
+
+#include "baselines/deltacfs_system.h"
+#include "baselines/dropbox_sim.h"
+#include "baselines/seafile_sim.h"
+#include "harness.h"
+#include "trace/workloads.h"
+
+namespace {
+
+using namespace dcfs;
+
+void print_breakdown(const char* name, const CostMeter& meter) {
+  std::printf("\n%s (total %llu units, %llu ticks)\n", name,
+              static_cast<unsigned long long>(meter.units()),
+              static_cast<unsigned long long>(meter.ticks()));
+  for (std::size_t i = 0; i < kCostKindCount; ++i) {
+    const auto kind = static_cast<CostKind>(i);
+    const std::uint64_t units = meter.units_for(kind);
+    if (units == 0) continue;
+    std::printf("  %-14s %12llu units  (%4.1f%%)\n",
+                std::string(to_string(kind)).c_str(),
+                static_cast<unsigned long long>(units),
+                100.0 * static_cast<double>(units) /
+                    static_cast<double>(meter.units() + 1));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dcfs::bench;
+  const bool paper_scale = paper_scale_requested(argc, argv);
+  std::printf("=== Client CPU breakdown on the Word trace ===\n");
+  std::printf("scale: %s\n", paper_scale ? "PAPER" : "SCALED-DOWN");
+
+  const WordParams params =
+      paper_scale ? WordParams::paper() : WordParams::scaled();
+
+  {
+    VirtualClock clock;
+    DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan());
+    system.fs().mkdir("/sync");
+    WordWorkload workload(params);
+    run_workload(workload, system, clock);
+    print_breakdown("DeltaCFS", system.client().meter());
+  }
+  {
+    VirtualClock clock;
+    DropboxSim system(clock, CostProfile::pc(), NetProfile::pc_wan());
+    system.fs().mkdir("/sync");
+    WordWorkload workload(params);
+    run_workload(workload, system, clock);
+    print_breakdown("Dropbox", system.client_meter());
+  }
+  {
+    VirtualClock clock;
+    SeafileSim system(clock, CostProfile::pc(), CostProfile::pc());
+    system.fs().mkdir("/sync");
+    WordWorkload workload(params);
+    run_workload(workload, system, clock);
+    print_breakdown("Seafile", system.client_meter());
+  }
+
+  std::printf(
+      "\nReading: DeltaCFS's units are dominated by rolling_hash +\n"
+      "byte_compare (the local bitwise rsync) plus the copy of intercepted\n"
+      "writes — no strong hashing, no compression, no whole-tree scans.\n");
+  return 0;
+}

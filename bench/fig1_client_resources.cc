@@ -1,0 +1,59 @@
+// Figure 1: client resource consumption for Dropbox vs Seafile (the
+// motivating measurement), extended with DeltaCFS.
+//
+//  (a)(c) a Word document saved repeatedly (paper: 12 MB file, 23 saves);
+//  (b)(d) a SQLite chat-history file receiving small updates (paper:
+//         130 MB file, 85 writes, 688 KB changed in total).
+//
+// Paper shape: Dropbox burns far more CPU than Seafile (rsync vs CDC) but
+// uses far less network; Seafile is cheap on CPU and terrible on traffic.
+// DeltaCFS (added column) beats both on both axes.
+#include <cstdio>
+
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace dcfs;
+  using namespace dcfs::bench;
+
+  const bool paper_scale = paper_scale_requested(argc, argv);
+  std::printf("=== Figure 1: client resource consumption ===\n");
+  print_scale_banner(paper_scale);
+
+  // (a)(c): Word document, 23 saves.
+  WordParams word = paper_scale ? WordParams::paper() : WordParams::scaled();
+  word.saves = paper_scale ? 23 : 10;
+  const TraceSet word_trace{
+      "Word 23-saves",
+      [word] { return std::make_unique<WordWorkload>(word); }};
+
+  // (b)(d): SQLite file, small in-place updates.
+  WeChatParams sqlite =
+      paper_scale ? WeChatParams::paper() : WeChatParams::scaled();
+  sqlite.updates = paper_scale ? 85 : 24;
+  const TraceSet sqlite_trace{
+      "SQLite updates",
+      [sqlite] { return std::make_unique<WeChatWorkload>(sqlite); }};
+
+  for (const TraceSet& trace : {word_trace, sqlite_trace}) {
+    std::printf("\n-- %s --\n", trace.name.c_str());
+    std::printf("%-12s %16s %14s %14s\n", "Solution", "Client CPU(ticks)",
+                "Upload(MB)", "Download(MB)");
+    for (const Solution solution :
+         {Solution::dropbox, Solution::seafile, Solution::deltacfs}) {
+      const RunResult result = run_one(solution, trace);
+      std::printf("%-12s %16s %14s %14s\n", result.solution.c_str(),
+                  fmt_ticks(result, false).c_str(),
+                  fmt_mb(result.up_bytes).c_str(),
+                  fmt_mb(result.down_bytes).c_str());
+    }
+  }
+
+  std::printf(
+      "\nExpected shape (paper Fig. 1): Dropbox's CPU is several times\n"
+      "Seafile's (rsync re-checksums the whole file every save) while its\n"
+      "traffic is several times lower (4 KB vs 1 MB granularity); on the\n"
+      "SQLite workload both burn CPU/traffic far beyond the few hundred KB\n"
+      "actually changed.  DeltaCFS sits near the floor on both axes.\n");
+  return 0;
+}

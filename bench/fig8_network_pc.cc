@@ -1,0 +1,49 @@
+// Figure 8: network transmission of the experiments on PC — upload and
+// download bytes for Dropbox / Seafile / NFSv4 / DeltaCFS across the four
+// canonical traces.
+//
+// Paper shape to reproduce:
+//  (a) append, (b) random: Dropbox ~ NFS ~ DeltaCFS << Seafile;
+//  (c) Word: DeltaCFS << Dropbox < Seafile << NFS, and NFS *downloads*
+//      roughly as much as it uploads (rename-stale client cache);
+//  (d) WeChat: Seafile large; Dropbox small (no shift, dedup works); NFS
+//      small upload with some download (fetch-before-write); DeltaCFS ~
+//      NFS upload with near-zero download.
+#include <cstdio>
+
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace dcfs;
+  using namespace dcfs::bench;
+
+  const bool paper_scale = paper_scale_requested(argc, argv);
+  std::printf("=== Figure 8: network traffic on PC (MB) ===\n");
+  print_scale_banner(paper_scale);
+
+  const auto traces = canonical_traces(paper_scale);
+  const std::vector<Solution> solutions = {Solution::dropbox,
+                                           Solution::seafile, Solution::nfs,
+                                           Solution::deltacfs};
+
+  char label = 'a';
+  for (const TraceSet& trace : traces) {
+    std::printf("\n(%c) %s\n", label++, trace.name.c_str());
+    std::printf("%-12s %14s %14s %14s\n", "Solution", "Upload(MB)",
+                "Download(MB)", "TUE");
+    for (const Solution solution : solutions) {
+      const RunResult result = run_one(solution, trace);
+      std::printf("%-12s %14s %14s %14.2f\n", result.solution.c_str(),
+                  fmt_mb(result.up_bytes).c_str(),
+                  fmt_mb(result.down_bytes).c_str(), result.tue);
+    }
+  }
+
+  std::printf(
+      "\nExpected shape (paper): Seafile's 1 MB chunks dominate traffic on\n"
+      "every trace; NFS uploads every write and, on the Word trace, also\n"
+      "downloads each renamed file back (stale cache); Dropbox is close to\n"
+      "optimal except on the Word trace (shift vs 4 MB dedup); DeltaCFS\n"
+      "matches the best case everywhere and downloads almost nothing.\n");
+  return 0;
+}

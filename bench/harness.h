@@ -1,0 +1,180 @@
+// Shared bench harness: builds each sync solution fresh, replays a
+// workload through it in virtual time, and collects the metrics the
+// paper's tables and figures report.
+//
+// Default parameters are the scaled-down variants (same shapes, faster
+// runs); pass --paper to any bench binary for the paper's exact trace
+// sizes.  All numbers are deterministic (seeded workloads + tick cost
+// model); real process-CPU per run is printed as a sanity column.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/deltacfs_system.h"
+#include "baselines/dropbox_sim.h"
+#include "baselines/nfs_sim.h"
+#include "baselines/seafile_sim.h"
+#include "common/clock.h"
+#include "trace/workload.h"
+#include "trace/workloads.h"
+
+namespace dcfs::bench {
+
+enum class Solution {
+  dropbox,
+  seafile,
+  nfs,
+  deltacfs,
+  dropsync,          ///< mobile Dropbox (no rsync, serialized uploads)
+  deltacfs_mobile,
+};
+
+inline const char* to_string(Solution solution) {
+  switch (solution) {
+    case Solution::dropbox: return "Dropbox";
+    case Solution::seafile: return "Seafile";
+    case Solution::nfs: return "NFSv4";
+    case Solution::deltacfs: return "DeltaCFS";
+    case Solution::dropsync: return "Dropsync";
+    case Solution::deltacfs_mobile: return "DeltaCFS(m)";
+  }
+  return "?";
+}
+
+inline bool is_mobile(Solution solution) {
+  return solution == Solution::dropsync ||
+         solution == Solution::deltacfs_mobile;
+}
+
+using WorkloadFactory = std::function<std::unique_ptr<Workload>()>;
+
+struct TraceSet {
+  std::string name;
+  WorkloadFactory factory;
+};
+
+/// The four canonical traces of §IV-A.
+inline std::vector<TraceSet> canonical_traces(bool paper_scale) {
+  const auto append = paper_scale ? AppendParams::paper()
+                                  : AppendParams::scaled();
+  const auto random = paper_scale ? RandomWriteParams::paper()
+                                  : RandomWriteParams::scaled();
+  const auto word = paper_scale ? WordParams::paper() : WordParams::scaled();
+  const auto wechat = paper_scale ? WeChatParams::paper()
+                                  : WeChatParams::scaled();
+  return {
+      {"Append write",
+       [append] { return std::make_unique<AppendWorkload>(append); }},
+      {"Random write",
+       [random] { return std::make_unique<RandomWriteWorkload>(random); }},
+      {"Word trace",
+       [word] { return std::make_unique<WordWorkload>(word); }},
+      {"WeChat trace",
+       [wechat] { return std::make_unique<WeChatWorkload>(wechat); }},
+  };
+}
+
+struct RunResult {
+  std::string solution;
+  std::string trace;
+  std::uint64_t client_ticks = 0;
+  std::uint64_t server_ticks = 0;
+  bool server_measured = true;   ///< Dropbox's server is opaque
+  bool client_measured = true;   ///< NFS client runs in kernel callbacks
+  std::uint64_t up_bytes = 0;
+  std::uint64_t down_bytes = 0;
+  std::uint64_t update_bytes = 0;
+  double tue = 0.0;
+  std::int64_t real_cpu_us = 0;
+  std::uint64_t deltas_triggered = 0;
+};
+
+inline std::unique_ptr<SyncSystem> make_system(Solution solution,
+                                               const Clock& clock) {
+  switch (solution) {
+    case Solution::dropbox:
+      return std::make_unique<DropboxSim>(clock, CostProfile::pc(),
+                                          NetProfile::pc_wan());
+    case Solution::seafile:
+      return std::make_unique<SeafileSim>(clock, CostProfile::pc(),
+                                          CostProfile::pc());
+    case Solution::nfs:
+      return std::make_unique<NfsSim>(clock, CostProfile::pc());
+    case Solution::deltacfs:
+      return std::make_unique<DeltaCfsSystem>(clock, CostProfile::pc(),
+                                              NetProfile::pc_wan());
+    case Solution::dropsync: {
+      DropboxConfig config;
+      config.use_rsync = false;
+      config.use_dedup = false;
+      config.serialize_uploads = true;
+      return std::make_unique<DropboxSim>(clock, CostProfile::mobile(),
+                                          NetProfile::mobile_wan(), config);
+    }
+    case Solution::deltacfs_mobile:
+      return std::make_unique<DeltaCfsSystem>(clock, CostProfile::mobile(),
+                                              NetProfile::mobile_wan());
+  }
+  return nullptr;
+}
+
+/// Replays `factory()` against a fresh instance of `solution`.
+inline RunResult run_one(Solution solution, const TraceSet& trace) {
+  VirtualClock clock;
+  std::unique_ptr<SyncSystem> system = make_system(solution, clock);
+  system->fs().mkdir("/sync");
+
+  std::unique_ptr<Workload> workload = trace.factory();
+  const std::int64_t cpu_before = process_cpu_micros();
+  const RunStats stats = run_workload(*workload, *system, clock);
+  const std::int64_t cpu_after = process_cpu_micros();
+
+  RunResult result;
+  result.solution = to_string(solution);
+  result.trace = trace.name;
+  result.client_ticks = system->client_cpu_ticks();
+  result.server_ticks = system->server_cpu_ticks();
+  result.server_measured = solution != Solution::dropbox &&
+                           solution != Solution::dropsync;
+  result.client_measured = solution != Solution::nfs;
+  result.up_bytes = system->traffic().up_bytes();
+  result.down_bytes = system->traffic().down_bytes();
+  result.update_bytes = stats.update_bytes;
+  result.tue = system->traffic().tue(stats.update_bytes);
+  result.real_cpu_us = cpu_after - cpu_before;
+  if (auto* dcfs = dynamic_cast<DeltaCfsSystem*>(system.get())) {
+    result.deltas_triggered = dcfs->client().deltas_triggered();
+  }
+  return result;
+}
+
+inline bool paper_scale_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--paper") return true;
+  }
+  return false;
+}
+
+inline std::string fmt_mb(std::uint64_t bytes) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f",
+                static_cast<double>(bytes) / (1024.0 * 1024.0));
+  return buffer;
+}
+
+inline std::string fmt_ticks(const RunResult& r, bool server) {
+  if (server && !r.server_measured) return "-";
+  if (!server && !r.client_measured) return "-";
+  return std::to_string(server ? r.server_ticks : r.client_ticks);
+}
+
+inline void print_scale_banner(bool paper_scale) {
+  std::printf("scale: %s (pass --paper for the paper's exact trace sizes)\n",
+              paper_scale ? "PAPER" : "SCALED-DOWN");
+}
+
+}  // namespace dcfs::bench

@@ -1,0 +1,87 @@
+// Scaling sweep (extension figure): how the DeltaCFS advantage scales with
+// file size on the transactional-save workload.
+//
+// The paper's claim is strongest on big files (delta sync's scan cost and
+// whole-file rewrite grow with size; the actual change does not).  This
+// sweep holds the edit size fixed (~8 KB per save, 6 saves) and grows the
+// document, reporting upload bytes and client CPU for DeltaCFS, the
+// Dropbox-like baseline, and pure NFS-RPC.
+#include <cstdio>
+#include <memory>
+
+#include "baselines/deltacfs_system.h"
+#include "baselines/dropbox_sim.h"
+#include "common/rng.h"
+#include "trace/workloads.h"
+
+namespace {
+
+using namespace dcfs;
+
+struct Row {
+  std::uint64_t upload = 0;
+  std::uint64_t ticks = 0;
+};
+
+WordParams sweep_params(std::uint64_t doc_bytes) {
+  WordParams params;
+  params.saves = 6;
+  params.initial_bytes = doc_bytes;
+  params.final_bytes = doc_bytes + 6 * 8 * 1024;  // +8 KB per save
+  params.edit_bytes = 4 * 1024;
+  return params;
+}
+
+Row run_deltacfs(std::uint64_t doc_bytes, bool enable_delta) {
+  VirtualClock clock;
+  ClientConfig config;
+  config.enable_delta = enable_delta;
+  DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan(),
+                        config);
+  system.fs().mkdir("/sync");
+  WordWorkload workload(sweep_params(doc_bytes));
+  run_workload(workload, system, clock);
+  return {system.traffic().up_bytes(), system.client_cpu_ticks()};
+}
+
+Row run_dropbox(std::uint64_t doc_bytes) {
+  VirtualClock clock;
+  DropboxSim system(clock, CostProfile::pc(), NetProfile::pc_wan());
+  system.fs().mkdir("/sync");
+  WordWorkload workload(sweep_params(doc_bytes));
+  run_workload(workload, system, clock);
+  return {system.traffic().up_bytes(), system.client_cpu_ticks()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Scaling sweep: transactional saves vs document size ===\n");
+  std::printf("(6 saves, ~8 KB of real change per save)\n\n");
+  std::printf("%-10s | %-21s | %-21s | %-21s\n", "", "DeltaCFS",
+              "Dropbox-like", "rpc-only (no delta)");
+  std::printf("%-10s | %10s %10s | %10s %10s | %10s %10s\n", "Doc size",
+              "up(MB)", "ticks", "up(MB)", "ticks", "up(MB)", "ticks");
+
+  for (const std::uint64_t mb : {1ull, 2ull, 4ull, 8ull, 16ull}) {
+    const std::uint64_t doc_bytes = mb << 20;
+    const Row dcfs = run_deltacfs(doc_bytes, true);
+    const Row dropbox = run_dropbox(doc_bytes);
+    const Row rpc = run_deltacfs(doc_bytes, false);
+    std::printf("%8lluMB | %10.2f %10llu | %10.2f %10llu | %10.2f %10llu\n",
+                static_cast<unsigned long long>(mb),
+                static_cast<double>(dcfs.upload) / (1 << 20),
+                static_cast<unsigned long long>(dcfs.ticks),
+                static_cast<double>(dropbox.upload) / (1 << 20),
+                static_cast<unsigned long long>(dropbox.ticks),
+                static_cast<double>(rpc.upload) / (1 << 20),
+                static_cast<unsigned long long>(rpc.ticks));
+  }
+
+  std::printf(
+      "\nReading: DeltaCFS's upload and CPU stay near-flat as the document\n"
+      "grows (the delta is the edit, found by bitwise comparison); both\n"
+      "baselines grow linearly with file size — the bigger the files, the\n"
+      "bigger DeltaCFS's advantage.\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Example: a chat application keeping its history in a SQLite-style file
+// (the WeChat pattern of Fig. 3) — small in-place page updates guarded by
+// a rollback journal.  Shows DeltaCFS's Traffic Usage Efficiency staying
+// near 1 where whole-file sync wastes orders of magnitude.
+//
+//   $ ./chat_app [messages]
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/deltacfs_system.h"
+#include "common/rng.h"
+
+using namespace dcfs;
+
+namespace {
+
+constexpr std::uint32_t kPageSize = 4096;
+
+/// Minimal SQLite-flavoured page store: header page + B-tree pages,
+/// updated transactionally via a rollback journal.
+class ChatDatabase {
+ public:
+  ChatDatabase(FileSystem& fs, std::string path)
+      : fs_(fs), path_(std::move(path)), journal_(path_ + "-journal") {}
+
+  void create(std::uint64_t initial_pages, Rng& rng) {
+    Result<FileHandle> handle = fs_.create(path_);
+    if (!handle) return;
+    for (std::uint64_t p = 0; p < initial_pages; ++p) {
+      fs_.write(*handle, p * kPageSize, rng.bytes(kPageSize));
+    }
+    fs_.close(*handle);
+    pages_ = initial_pages;
+  }
+
+  /// Inserts one message: journal the pages about to change, update the
+  /// header + a leaf page in place, append a page if the leaf was full,
+  /// then truncate the journal (commit).
+  void insert_message(Rng& rng, std::uint64_t& app_update_bytes) {
+    const std::uint64_t leaf = 1 + rng.next_below(pages_ - 1);
+
+    // Rollback journal: copies of header + leaf.
+    Result<FileHandle> journal = fs_.create(journal_);
+    if (!journal) journal = fs_.open(journal_);
+    if (journal) {
+      fs_.write(*journal, 0, rng.bytes(512));  // journal header
+      if (Result<FileHandle> db = fs_.open(path_)) {
+        Result<Bytes> header = fs_.read(*db, 0, kPageSize);
+        Result<Bytes> leaf_page = fs_.read(*db, leaf * kPageSize, kPageSize);
+        if (header) fs_.write(*journal, 512, *header);
+        if (leaf_page) fs_.write(*journal, 512 + kPageSize, *leaf_page);
+        fs_.close(*db);
+      }
+      fs_.close(*journal);
+    }
+
+    // The actual update.
+    if (Result<FileHandle> db = fs_.open(path_)) {
+      const Bytes counter = rng.bytes(16);
+      fs_.write(*db, 24, counter);  // header change counter (non-aligned)
+      app_update_bytes += counter.size();
+
+      Result<Bytes> leaf_page = fs_.read(*db, leaf * kPageSize, kPageSize);
+      Bytes page = leaf_page ? std::move(*leaf_page) : Bytes(kPageSize, 0);
+      page.resize(kPageSize, 0);
+      const Bytes message = rng.text(180);  // the chat message record
+      std::copy(message.begin(), message.end(),
+                page.begin() + static_cast<std::ptrdiff_t>(
+                                   rng.next_below(kPageSize - 256)));
+      fs_.write(*db, leaf * kPageSize, page);
+      app_update_bytes += page.size();
+
+      if (rng.next_below(4) == 0) {  // leaf split: append a page
+        fs_.write(*db, pages_ * kPageSize, rng.bytes(kPageSize));
+        ++pages_;
+        app_update_bytes += kPageSize;
+      }
+      fs_.close(*db);
+    }
+
+    fs_.truncate(journal_, 0);  // commit
+  }
+
+ private:
+  FileSystem& fs_;
+  std::string path_;
+  std::string journal_;
+  std::uint64_t pages_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int messages = argc > 1 ? std::atoi(argv[1]) : 50;
+
+  VirtualClock clock;
+  DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan());
+  system.fs().mkdir("/sync");
+
+  Rng rng(7);
+  ChatDatabase db(system.fs(), "/sync/chat.db");
+  db.create(/*initial_pages=*/2048, rng);  // 8 MB history
+
+  // Let the initial import sync, then measure only the chat session.
+  for (int i = 0; i < 80; ++i) {
+    clock.advance(milliseconds(250));
+    system.tick(clock.now());
+  }
+  system.finish(clock.now());
+  system.reset_meters();
+
+  std::uint64_t app_update_bytes = 0;
+  for (int m = 0; m < messages; ++m) {
+    db.insert_message(rng, app_update_bytes);
+    for (int i = 0; i < 8; ++i) {  // ~2 s between messages
+      clock.advance(milliseconds(250));
+      system.tick(clock.now());
+    }
+  }
+  for (int i = 0; i < 60; ++i) {
+    clock.advance(milliseconds(250));
+    system.tick(clock.now());
+  }
+  system.finish(clock.now());
+
+  const double update_mb = static_cast<double>(app_update_bytes) / (1 << 20);
+  const double up_mb =
+      static_cast<double>(system.traffic().up_bytes()) / (1 << 20);
+  std::printf("chat session: %d messages into an 8 MB SQLite-style file\n",
+              messages);
+  std::printf("  application updated : %.2f MB\n", update_mb);
+  std::printf("  DeltaCFS uploaded   : %.2f MB  (TUE %.2f)\n", up_mb,
+              system.traffic().tue(app_update_bytes));
+  std::printf("  client CPU (ticks)  : %llu\n",
+              static_cast<unsigned long long>(system.client_cpu_ticks()));
+  std::printf("  deltas triggered    : %llu (in-place updates ride the\n"
+              "                        NFS-like RPC path, no delta needed)\n",
+              static_cast<unsigned long long>(
+                  system.client().deltas_triggered()));
+
+  const Bytes cloud = *system.server().fetch("/sync/chat.db");
+  const Bytes local = *system.local().read_file("/sync/chat.db");
+  std::printf("  cloud == local      : %s\n", cloud == local ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Example: a document editor doing transactional saves (the Word/gedit
+// pattern of Fig. 3), with a side-by-side cost comparison against the
+// Dropbox-like and Seafile-like baselines.
+//
+//   $ ./document_editor [saves] [doc_size_mb]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "baselines/deltacfs_system.h"
+#include "baselines/dropbox_sim.h"
+#include "baselines/seafile_sim.h"
+#include "common/rng.h"
+
+using namespace dcfs;
+
+namespace {
+
+struct Editor {
+  /// The document the "application" holds in memory.
+  Bytes content;
+  Rng rng{2026};
+  int save_count = 0;
+
+  /// One editing session: insert a paragraph somewhere (shifting the rest
+  /// of the file) and touch a few spots in place.
+  void edit() {
+    const Bytes paragraph = rng.text(2'000);
+    const std::size_t at = rng.next_below(content.size());
+    content.insert(content.begin() + static_cast<std::ptrdiff_t>(at),
+                   paragraph.begin(), paragraph.end());
+    for (int i = 0; i < 3; ++i) {
+      const std::size_t spot = rng.next_below(content.size() - 100);
+      const Bytes patch = rng.text(100);
+      std::copy(patch.begin(), patch.end(),
+                content.begin() + static_cast<std::ptrdiff_t>(spot));
+    }
+  }
+
+  /// Save exactly the way Word does (Fig. 3): preserve, write temp,
+  /// atomically replace, delete backup.
+  void save(FileSystem& fs, const std::string& path) {
+    const std::string backup = path + ".wrl" + std::to_string(save_count);
+    const std::string temp = path + ".tmp";
+    fs.rename(path, backup);
+    fs.write_file(temp, content);
+    fs.rename(temp, path);
+    fs.unlink(backup);
+    ++save_count;
+  }
+};
+
+void run_editor_session(SyncSystem& system, VirtualClock& clock, int saves,
+                        std::uint64_t doc_bytes) {
+  system.fs().mkdir("/sync");
+  Editor editor;
+  editor.content = editor.rng.bytes(doc_bytes);
+  system.fs().write_file("/sync/thesis.doc", editor.content);
+  for (int i = 0; i < 40; ++i) {
+    clock.advance(milliseconds(250));
+    system.tick(clock.now());
+  }
+  system.finish(clock.now());
+  system.reset_meters();
+
+  for (int save = 0; save < saves; ++save) {
+    editor.edit();
+    editor.save(system.fs(), "/sync/thesis.doc");
+    for (int i = 0; i < 20; ++i) {  // user keeps typing for ~5 s
+      clock.advance(milliseconds(250));
+      system.tick(clock.now());
+    }
+  }
+  for (int i = 0; i < 60; ++i) {
+    clock.advance(milliseconds(250));
+    system.tick(clock.now());
+  }
+  system.finish(clock.now());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int saves = argc > 1 ? std::atoi(argv[1]) : 8;
+  const std::uint64_t doc_mb = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                        : 2;
+  const std::uint64_t doc_bytes = doc_mb << 20;
+
+  std::printf("Editing a %llu MB document, %d transactional saves...\n\n",
+              static_cast<unsigned long long>(doc_mb), saves);
+  std::printf("%-10s %14s %18s %10s\n", "System", "Upload(MB)",
+              "Client CPU(ticks)", "Deltas");
+
+  {
+    VirtualClock clock;
+    DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan());
+    run_editor_session(system, clock, saves, doc_bytes);
+    std::printf("%-10s %14.2f %18llu %10llu\n", "DeltaCFS",
+                static_cast<double>(system.traffic().up_bytes()) / (1 << 20),
+                static_cast<unsigned long long>(system.client_cpu_ticks()),
+                static_cast<unsigned long long>(
+                    system.client().deltas_triggered()));
+  }
+  {
+    VirtualClock clock;
+    DropboxSim system(clock, CostProfile::pc(), NetProfile::pc_wan());
+    run_editor_session(system, clock, saves, doc_bytes);
+    std::printf("%-10s %14.2f %18llu %10s\n", "Dropbox",
+                static_cast<double>(system.traffic().up_bytes()) / (1 << 20),
+                static_cast<unsigned long long>(system.client_cpu_ticks()),
+                "-");
+  }
+  {
+    VirtualClock clock;
+    SeafileSim system(clock, CostProfile::pc(), CostProfile::pc());
+    run_editor_session(system, clock, saves, doc_bytes);
+    std::printf("%-10s %14.2f %18llu %10s\n", "Seafile",
+                static_cast<double>(system.traffic().up_bytes()) / (1 << 20),
+                static_cast<unsigned long long>(system.client_cpu_ticks()),
+                "-");
+  }
+
+  std::printf(
+      "\nEvery save rewrites the whole file locally, yet DeltaCFS ships\n"
+      "only a small delta: the relation table recognizes the rename dance\n"
+      "and runs a local bitwise rsync against the preserved old version.\n");
+  return 0;
+}

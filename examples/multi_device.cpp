@@ -1,0 +1,143 @@
+// Example: two devices sharing one cloud namespace (§III-D).
+//
+// Device A edits; the cloud applies the increment and forwards the *same*
+// increment to device B — no recomputation anywhere.  Then both devices
+// edit the same file concurrently and the server reconciles with
+// first-write-wins, materializing a conflict copy for the loser.
+//
+//   $ ./multi_device
+#include <cstdio>
+
+#include "core/client.h"
+#include "merge/merge3.h"
+#include "server/cloud_server.h"
+#include "vfs/intercept.h"
+#include "vfs/memfs.h"
+
+using namespace dcfs;
+
+namespace {
+
+struct Device {
+  Device(std::uint32_t id, const Clock& clock, CloudServer& server)
+      : local(clock),
+        transport(NetProfile::pc_wan()),
+        client(local, transport, clock, CostProfile::pc(), make_config(id)),
+        fs(local, client) {
+    server.attach(id, transport);
+    fs.mkdir("/sync");
+  }
+
+  static ClientConfig make_config(std::uint32_t id) {
+    ClientConfig config;
+    config.client_id = id;
+    return config;
+  }
+
+  MemFs local;
+  Transport transport;
+  DeltaCfsClient client;
+  InterceptingFs fs;
+};
+
+void settle(VirtualClock& clock, CloudServer& server, Device& a, Device& b,
+            Duration duration = seconds(10)) {
+  for (Duration t = 0; t < duration; t += milliseconds(200)) {
+    clock.advance(milliseconds(200));
+    a.client.tick(clock.now());
+    b.client.tick(clock.now());
+    server.pump();
+    a.client.tick(clock.now());
+    b.client.tick(clock.now());
+  }
+  a.client.flush(clock.now());
+  b.client.flush(clock.now());
+  server.pump();
+  a.client.tick(clock.now());
+  b.client.tick(clock.now());
+}
+
+}  // namespace
+
+int main() {
+  VirtualClock clock;
+  CloudServer cloud(CostProfile::pc());
+  Device laptop(1, clock, cloud);
+  Device phone(2, clock, cloud);
+
+  // --- 1. laptop writes, phone receives ---
+  std::printf("== laptop creates /sync/notes.txt ==\n");
+  laptop.fs.write_file("/sync/notes.txt", to_bytes("groceries: milk\n"));
+  settle(clock, cloud, laptop, phone);
+  std::printf("phone sees: %s",
+              as_text(*phone.local.read_file("/sync/notes.txt")).data());
+
+  // --- 2. phone appends, laptop receives ---
+  std::printf("\n== phone appends a line ==\n");
+  {
+    Result<FileHandle> handle = phone.fs.open("/sync/notes.txt");
+    phone.fs.write(*handle, 16, to_bytes("groceries: eggs\n"));
+    phone.fs.close(*handle);
+  }
+  settle(clock, cloud, laptop, phone);
+  std::printf("laptop sees:\n%s",
+              as_text(*laptop.local.read_file("/sync/notes.txt")).data());
+
+  // --- 3. concurrent edits: first write wins, loser gets a conflict copy ---
+  std::printf("\n== both devices edit the same file while offline-ish ==\n");
+  {
+    Result<FileHandle> hl = laptop.fs.open("/sync/notes.txt");
+    laptop.fs.write(*hl, 0, to_bytes("LAPTOP EDIT     "));
+    laptop.fs.close(*hl);
+    Result<FileHandle> hp = phone.fs.open("/sync/notes.txt");
+    phone.fs.write(*hp, 0, to_bytes("PHONE EDIT      "));
+    phone.fs.close(*hp);
+  }
+  settle(clock, cloud, laptop, phone);
+
+  std::printf("cloud main copy : %.16s...\n",
+              as_text(*cloud.fetch("/sync/notes.txt")).data());
+  for (const std::string& conflict : cloud.conflict_paths()) {
+    std::printf("conflict copy   : %s (%.16s...)\n", conflict.c_str(),
+                as_text(*cloud.fetch(conflict)).data());
+  }
+  std::printf("conflicts acked : laptop=%llu phone=%llu\n",
+              static_cast<unsigned long long>(laptop.client.conflicts_acked()),
+              static_cast<unsigned long long>(phone.client.conflicts_acked()));
+  std::printf(
+      "\nFirst write wins (§III-C): the earlier increment became the main\n"
+      "version; the later one was still applied to its proper base version\n"
+      "to materialize the conflict copy — no data was lost, and no full\n"
+      "file was re-transmitted.\n");
+
+  // --- 4. resolve the conflict with a three-way text merge ---
+  if (!cloud.conflict_paths().empty()) {
+    const std::string conflict = cloud.conflict_paths().front();
+    // Base: the last version before the race (second in the history).
+    const auto versions = cloud.history("/sync/notes.txt");
+    Result<Bytes> base =
+        versions.size() >= 2
+            ? cloud.fetch_version("/sync/notes.txt", versions[1])
+            : Result<Bytes>(Errc::not_found);
+    Result<Bytes> ours = cloud.fetch("/sync/notes.txt");
+    Result<Bytes> theirs = cloud.fetch(conflict);
+    if (base && ours && theirs) {
+      const merge::MergeResult merged = merge::merge3(
+          *base, *ours, *theirs, {.ours_label = "laptop",
+                                  .theirs_label = "phone"});
+      std::printf("\n== three-way merge of the conflict ==\n%.*s",
+                  static_cast<int>(merged.content.size()),
+                  reinterpret_cast<const char*>(merged.content.data()));
+      std::printf("(%s; pushing the resolution back through laptop)\n",
+                  merged.clean ? "clean merge"
+                               : "conflict markers left for the user");
+      laptop.fs.write_file("/sync/notes.txt", merged.content);
+      settle(clock, cloud, laptop, phone);
+      std::printf("phone now sees the merged file: %s\n",
+                  *phone.local.read_file("/sync/notes.txt") == merged.content
+                      ? "yes"
+                      : "NO");
+    }
+  }
+  return 0;
+}

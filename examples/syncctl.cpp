@@ -1,0 +1,168 @@
+// syncctl: an interactive shell over a live DeltaCFS stack.
+//
+// Drives the full client/cloud pipeline from a command line — useful for
+// poking at the relation table, the sync queue, versions and conflicts by
+// hand.  Reads commands from stdin; EOF or `quit` exits.
+//
+//   $ ./syncctl <<'EOF'
+//   write /sync/a.txt hello world
+//   tick 5
+//   cloud /sync/a.txt
+//   history /sync/a.txt
+//   stats
+//   EOF
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "baselines/deltacfs_system.h"
+
+using namespace dcfs;
+
+namespace {
+
+void print_help() {
+  std::printf(
+      "commands:\n"
+      "  write <path> <text...>     create/overwrite a file\n"
+      "  append <path> <text...>    append to a file\n"
+      "  read <path>                read the local file\n"
+      "  cloud <path>               read the cloud's copy\n"
+      "  rm <path>                  unlink\n"
+      "  mv <from> <to>             rename\n"
+      "  ln <from> <to>             hard link\n"
+      "  mkdir <path>               make directory\n"
+      "  ls <dir>                   list a local directory\n"
+      "  history <path>             list cloud versions\n"
+      "  tick <seconds>             advance virtual time (sync runs)\n"
+      "  stats                      meters and counters\n"
+      "  help | quit\n");
+}
+
+std::string rest_of(std::istringstream& in) {
+  std::string rest;
+  std::getline(in, rest);
+  const std::size_t start = rest.find_first_not_of(' ');
+  return start == std::string::npos ? std::string{} : rest.substr(start);
+}
+
+}  // namespace
+
+int main() {
+  VirtualClock clock;
+  DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan());
+  system.fs().mkdir("/sync");
+  std::printf("DeltaCFS syncctl — sync root is /sync.  `help` for commands.\n");
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd.empty()) continue;
+
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      print_help();
+    } else if (cmd == "write" || cmd == "append") {
+      std::string path;
+      in >> path;
+      const std::string text = rest_of(in) + "\n";
+      if (cmd == "write") {
+        const Status st = system.fs().write_file(path, to_bytes(text));
+        std::printf("%s\n", st.is_ok() ? "ok" : st.to_string().c_str());
+      } else {
+        Result<FileHandle> handle = system.fs().open(path);
+        if (!handle) handle = system.fs().create(path);
+        if (!handle) {
+          std::printf("%s\n", handle.status().to_string().c_str());
+          continue;
+        }
+        const auto size = system.fs().stat(path)->size;
+        system.fs().write(*handle, size, to_bytes(text));
+        system.fs().close(*handle);
+        std::printf("ok\n");
+      }
+    } else if (cmd == "read" || cmd == "cloud") {
+      std::string path;
+      in >> path;
+      Result<Bytes> content = cmd == "read"
+                                  ? system.fs().read_file(path)
+                                  : system.server().fetch(path);
+      if (!content) {
+        std::printf("%s\n", content.status().to_string().c_str());
+      } else {
+        std::printf("%.*s", static_cast<int>(content->size()),
+                    reinterpret_cast<const char*>(content->data()));
+        if (content->empty() || content->back() != '\n') std::printf("\n");
+      }
+    } else if (cmd == "rm") {
+      std::string path;
+      in >> path;
+      std::printf("%s\n", system.fs().unlink(path).to_string().c_str());
+    } else if (cmd == "mv") {
+      std::string from, to;
+      in >> from >> to;
+      std::printf("%s\n", system.fs().rename(from, to).to_string().c_str());
+    } else if (cmd == "ln") {
+      std::string from, to;
+      in >> from >> to;
+      std::printf("%s\n", system.fs().link(from, to).to_string().c_str());
+    } else if (cmd == "mkdir") {
+      std::string path;
+      in >> path;
+      std::printf("%s\n", system.fs().mkdir(path).to_string().c_str());
+    } else if (cmd == "ls") {
+      std::string path;
+      in >> path;
+      if (path.empty()) path = "/sync";
+      Result<std::vector<std::string>> names = system.fs().list_dir(path);
+      if (!names) {
+        std::printf("%s\n", names.status().to_string().c_str());
+      } else {
+        for (const std::string& name : *names) std::printf("%s\n", name.c_str());
+      }
+    } else if (cmd == "history") {
+      std::string path;
+      in >> path;
+      for (const auto& version : system.server().history(path)) {
+        Result<Bytes> content = system.server().fetch_version(path, version);
+        std::printf("%-10s %zu bytes\n", proto::to_string(version).c_str(),
+                    content ? content->size() : 0);
+      }
+    } else if (cmd == "tick") {
+      double seconds_to_run = 1.0;
+      in >> seconds_to_run;
+      const auto steps = static_cast<int>(seconds_to_run * 5);
+      for (int i = 0; i < steps; ++i) {
+        clock.advance(milliseconds(200));
+        system.tick(clock.now());
+      }
+      std::printf("advanced %.1fs (virtual t=%.1fs)\n", seconds_to_run,
+                  static_cast<double>(clock.now()) / 1e6);
+    } else if (cmd == "stats") {
+      std::printf("uploaded   : %llu bytes in %llu msgs\n",
+                  static_cast<unsigned long long>(system.traffic().up_bytes()),
+                  static_cast<unsigned long long>(
+                      system.traffic().up_messages()));
+      std::printf("downloaded : %llu bytes\n",
+                  static_cast<unsigned long long>(
+                      system.traffic().down_bytes()));
+      std::printf("client CPU : %llu ticks; server CPU: %llu ticks\n",
+                  static_cast<unsigned long long>(system.client_cpu_ticks()),
+                  static_cast<unsigned long long>(system.server_cpu_ticks()));
+      std::printf("deltas     : %llu; conflicts: %llu; queue: %zu nodes, "
+                  "%llu bytes\n",
+                  static_cast<unsigned long long>(
+                      system.client().deltas_triggered()),
+                  static_cast<unsigned long long>(
+                      system.client().conflicts_acked()),
+                  system.client().queue().size(),
+                  static_cast<unsigned long long>(
+                      system.client().queue().pending_bytes()));
+    } else {
+      std::printf("unknown command '%s' — try `help`\n", cmd.c_str());
+    }
+  }
+  return 0;
+}

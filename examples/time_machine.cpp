@@ -1,0 +1,79 @@
+// Example: fine-grained version control (§III-C) — the cloud keeps recent
+// versions of every file, so a bad save can be rolled back without any
+// client-side history.
+//
+//   $ ./time_machine
+#include <cstdio>
+
+#include "baselines/deltacfs_system.h"
+#include "common/rng.h"
+
+using namespace dcfs;
+
+namespace {
+
+void let_sync_run(DeltaCfsSystem& system, VirtualClock& clock) {
+  for (int i = 0; i < 40; ++i) {
+    clock.advance(milliseconds(250));
+    system.tick(clock.now());
+  }
+  system.finish(clock.now());
+}
+
+}  // namespace
+
+int main() {
+  VirtualClock clock;
+  DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan());
+  system.fs().mkdir("/sync");
+
+  // Three generations of a config file.
+  const char* generations[] = {
+      "[server]\nport=8080\nworkers=4\n",
+      "[server]\nport=8080\nworkers=16\n",
+      "[server]\nport=80\nworkers=16\ndebug=true   # oops, shipped debug\n",
+  };
+  for (const char* generation : generations) {
+    system.fs().write_file("/sync/app.conf", to_bytes(generation));
+    let_sync_run(system, clock);
+  }
+
+  const Bytes current = *system.server().fetch("/sync/app.conf");
+  std::printf("current cloud content:\n%.*s\n",
+              static_cast<int>(current.size()),
+              reinterpret_cast<const char*>(current.data()));
+
+  // List the retained versions.
+  const auto versions = system.server().history("/sync/app.conf");
+  std::printf("retained versions (newest first):\n");
+  for (const auto& version : versions) {
+    Result<Bytes> content =
+        system.server().fetch_version("/sync/app.conf", version);
+    std::printf("  %-8s  %3zu bytes\n",
+                proto::to_string(version).c_str(),
+                content ? content->size() : 0);
+  }
+
+  // Roll back: the newest *distinct, non-empty* prior version (saves done
+  // as truncate+write leave empty intermediates in the history) restored
+  // through the normal sync path — the restore itself becomes a new
+  // version.
+  for (std::size_t i = 1; i < versions.size(); ++i) {
+    Result<Bytes> candidate =
+        system.server().fetch_version("/sync/app.conf", versions[i]);
+    if (!candidate || candidate->empty() || *candidate == current) continue;
+    std::printf("\nrolling back to %s ...\n",
+                proto::to_string(versions[i]).c_str());
+    system.fs().write_file("/sync/app.conf", *candidate);
+    let_sync_run(system, clock);
+    break;
+  }
+
+  const Bytes restored = *system.server().fetch("/sync/app.conf");
+  std::printf("\nafter rollback, cloud content:\n%.*s",
+              static_cast<int>(restored.size()),
+              reinterpret_cast<const char*>(restored.data()));
+  std::printf("\n(the debug flag is gone; the bad version remains in "
+              "history for forensics)\n");
+  return 0;
+}

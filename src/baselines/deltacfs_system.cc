@@ -1,0 +1,36 @@
+#include "baselines/deltacfs_system.h"
+
+namespace dcfs {
+
+DeltaCfsSystem::DeltaCfsSystem(const Clock& clock,
+                               const CostProfile& client_profile,
+                               const NetProfile& net, ClientConfig config,
+                               const CostProfile& server_profile)
+    : clock_(clock),
+      local_(clock),
+      transport_(net),
+      server_(server_profile),
+      client_(local_, transport_, clock, client_profile, std::move(config)),
+      intercepting_(local_, client_) {
+  server_.attach(client_.config().client_id, transport_);
+}
+
+void DeltaCfsSystem::tick(TimePoint now) {
+  client_.tick(now);
+  server_.pump();
+  client_.tick(now);  // consume acks pushed by the pump
+}
+
+void DeltaCfsSystem::finish(TimePoint now) {
+  client_.flush(now);
+  server_.pump();
+  client_.tick(now);
+}
+
+void DeltaCfsSystem::reset_meters() {
+  client_.meter().reset();
+  server_.meter().reset();
+  transport_.reset_meter();
+}
+
+}  // namespace dcfs

@@ -1,0 +1,53 @@
+// Harness wiring for DeltaCFS: MemFs (local FS) + InterceptingFs (the FUSE
+// layer) + DeltaCfsClient + Transport + CloudServer, per Fig. 4.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "baselines/sync_system.h"
+#include "core/client.h"
+#include "net/transport.h"
+#include "server/cloud_server.h"
+#include "vfs/intercept.h"
+#include "vfs/memfs.h"
+
+namespace dcfs {
+
+class DeltaCfsSystem final : public SyncSystem {
+ public:
+  DeltaCfsSystem(const Clock& clock, const CostProfile& client_profile,
+                 const NetProfile& net, ClientConfig config = {},
+                 const CostProfile& server_profile = CostProfile::pc());
+
+  [[nodiscard]] std::string_view name() const override { return "DeltaCFS"; }
+  FileSystem& fs() override { return intercepting_; }
+  void tick(TimePoint now) override;
+  void finish(TimePoint now) override;
+  [[nodiscard]] std::uint64_t client_cpu_ticks() const override {
+    return client_.meter().ticks();
+  }
+  [[nodiscard]] std::uint64_t server_cpu_ticks() const override {
+    return server_.meter().ticks();
+  }
+  [[nodiscard]] const TrafficMeter& traffic() const override {
+    return transport_.meter();
+  }
+  void reset_meters() override;
+
+  // Direct access for tests, examples and the reliability experiments.
+  [[nodiscard]] MemFs& local() noexcept { return local_; }
+  [[nodiscard]] DeltaCfsClient& client() noexcept { return client_; }
+  [[nodiscard]] CloudServer& server() noexcept { return server_; }
+  [[nodiscard]] Transport& transport() noexcept { return transport_; }
+
+ private:
+  const Clock& clock_;
+  MemFs local_;
+  Transport transport_;
+  CloudServer server_;
+  DeltaCfsClient client_;
+  InterceptingFs intercepting_;
+};
+
+}  // namespace dcfs

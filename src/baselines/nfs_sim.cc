@@ -1,0 +1,232 @@
+#include "baselines/nfs_sim.h"
+
+#include <algorithm>
+
+#include "vfs/path.h"
+
+namespace dcfs {
+// ---------------------------------------------------------------------------
+// NfsClientFs
+// ---------------------------------------------------------------------------
+
+NfsClientFs::NfsClientFs(NfsSim& owner, const Clock& clock)
+    : image_(clock), owner_(owner) {}
+
+Result<FileHandle> NfsClientFs::create(std::string_view raw_path) {
+  Result<FileHandle> handle = image_.create(raw_path);
+  if (!handle) return handle;
+  const std::string normalized = path::normalize(raw_path);
+  handle_paths_[*handle] = normalized;
+
+  owner_.rpc_small();
+  if (Result<FileHandle> remote = owner_.server_fs_.create(normalized)) {
+    owner_.server_fs_.close(*remote);
+  }
+  // A freshly created file is fully cached on the client.
+  owner_.cache_[normalized] = {.pages = {}, .whole_file = true};
+  return handle;
+}
+
+Result<FileHandle> NfsClientFs::open(std::string_view raw_path) {
+  Result<FileHandle> handle = image_.open(raw_path);
+  if (!handle) return handle;
+  handle_paths_[*handle] = path::normalize(raw_path);
+  owner_.rpc_small();  // OPEN round trip (close-to-open consistency check)
+  return handle;
+}
+
+Status NfsClientFs::close(FileHandle handle) {
+  handle_paths_.erase(handle);
+  owner_.rpc_small();  // CLOSE/commit
+  return image_.close(handle);
+}
+
+Result<Bytes> NfsClientFs::read(FileHandle handle, std::uint64_t offset,
+                                std::uint64_t size) {
+  const auto it = handle_paths_.find(handle);
+  if (it != handle_paths_.end() && size > 0) {
+    const std::uint32_t ps = owner_.config_.page_size;
+    owner_.ensure_cached(it->second, offset / ps, (offset + size - 1) / ps);
+  }
+  return image_.read(handle, offset, size);
+}
+
+Status NfsClientFs::write(FileHandle handle, std::uint64_t offset,
+                          ByteSpan data) {
+  const auto it = handle_paths_.find(handle);
+  if (it == handle_paths_.end()) return Status{Errc::bad_handle};
+  const std::string& path = it->second;
+  const std::uint32_t ps = owner_.config_.page_size;
+
+  if (!data.empty()) {
+    // Fetch-before-write: pages only *partially* covered by the write must
+    // be brought into the cache first.
+    const std::uint64_t first_page = offset / ps;
+    const std::uint64_t last_page = (offset + data.size() - 1) / ps;
+    const bool first_partial = offset % ps != 0;
+    const bool last_partial = (offset + data.size()) % ps != 0;
+    if (first_partial) {
+      owner_.ensure_cached(path, first_page, first_page);
+    }
+    if (last_partial && (last_page != first_page || !first_partial)) {
+      owner_.ensure_cached(path, last_page, last_page);
+    }
+    // Fully covered pages become cached without a fetch.
+    auto& cache = owner_.cache_[path];
+    for (std::uint64_t page = first_page; page <= last_page; ++page) {
+      cache.pages.insert(page);
+    }
+  }
+
+  const Status status = image_.write(handle, offset, data);
+  if (!status.is_ok()) return status;
+
+  // Ship the write RPC.
+  owner_.rpc_upload(data.size());
+  if (Result<FileHandle> remote = owner_.server_fs_.open(path)) {
+    owner_.server_fs_.write(*remote, offset, data);
+    owner_.server_fs_.close(*remote);
+  }
+  return status;
+}
+
+Status NfsClientFs::truncate(std::string_view raw_path, std::uint64_t size) {
+  const std::string normalized = path::normalize(raw_path);
+  const Status status = image_.truncate(normalized, size);
+  if (!status.is_ok()) return status;
+  owner_.rpc_small();
+  owner_.server_fs_.truncate(normalized, size);
+  return status;
+}
+
+Status NfsClientFs::rename(std::string_view raw_from, std::string_view raw_to) {
+  const std::string from = path::normalize(raw_from);
+  const std::string to = path::normalize(raw_to);
+  const Status status = image_.rename(from, to);
+  if (!status.is_ok()) return status;
+  owner_.rpc_small();
+  owner_.server_fs_.rename(from, to);
+  // RFC 3530 file-identity caveat: the name `to` now resolves to a
+  // different filehandle — its cached pages are gone, so the next read
+  // re-fetches the content from the server.
+  owner_.invalidate(from);
+  owner_.invalidate(to);
+  return status;
+}
+
+Status NfsClientFs::link(std::string_view raw_from, std::string_view raw_to) {
+  const Status status = image_.link(raw_from, raw_to);
+  if (!status.is_ok()) return status;
+  owner_.rpc_small();
+  owner_.server_fs_.link(raw_from, raw_to);
+  return status;
+}
+
+Status NfsClientFs::unlink(std::string_view raw_path) {
+  const std::string normalized = path::normalize(raw_path);
+  const Status status = image_.unlink(normalized);
+  if (!status.is_ok()) return status;
+  owner_.rpc_small();
+  owner_.server_fs_.unlink(normalized);
+  owner_.invalidate(normalized);
+  return status;
+}
+
+Status NfsClientFs::mkdir(std::string_view raw_path) {
+  const Status status = image_.mkdir(raw_path);
+  if (!status.is_ok()) return status;
+  owner_.rpc_small();
+  owner_.server_fs_.mkdir(raw_path);
+  return status;
+}
+
+Status NfsClientFs::rmdir(std::string_view raw_path) {
+  const Status status = image_.rmdir(raw_path);
+  if (!status.is_ok()) return status;
+  owner_.rpc_small();
+  owner_.server_fs_.rmdir(raw_path);
+  return status;
+}
+
+Result<FileStat> NfsClientFs::stat(std::string_view raw_path) const {
+  return image_.stat(raw_path);  // attribute cache
+}
+
+Result<std::vector<std::string>> NfsClientFs::list_dir(
+    std::string_view raw_path) const {
+  return image_.list_dir(raw_path);
+}
+
+Status NfsClientFs::fsync(FileHandle handle) {
+  owner_.rpc_small();  // COMMIT
+  return image_.fsync(handle);
+}
+
+// ---------------------------------------------------------------------------
+// NfsSim
+// ---------------------------------------------------------------------------
+
+NfsSim::NfsSim(const Clock& clock, const CostProfile& server_profile,
+               NfsConfig config)
+    : clock_(clock),
+      config_(std::move(config)),
+      server_meter_(server_profile),
+      server_fs_(clock),
+      client_(*this, clock) {}
+
+void NfsSim::rpc_small() {
+  traffic_.add_up(config_.rpc_overhead);
+  traffic_.add_down(config_.rpc_overhead);
+  server_meter_.charge(CostKind::net_frame, 2 * config_.rpc_overhead);
+  server_meter_.charge_op(CostKind::syscall);
+}
+
+void NfsSim::rpc_upload(std::uint64_t bytes) {
+  traffic_.add_up(bytes + config_.rpc_overhead);
+  traffic_.add_down(config_.rpc_overhead);  // reply
+  server_meter_.charge(CostKind::net_frame,
+                       bytes + 2 * config_.rpc_overhead);
+  server_meter_.charge(CostKind::byte_copy, bytes);
+  server_meter_.charge(CostKind::disk_write, bytes);
+}
+
+void NfsSim::rpc_download(std::uint64_t bytes) {
+  traffic_.add_up(config_.rpc_overhead);  // request
+  traffic_.add_down(bytes + config_.rpc_overhead);
+  server_meter_.charge(CostKind::net_frame,
+                       bytes + 2 * config_.rpc_overhead);
+  server_meter_.charge(CostKind::disk_read, bytes);
+}
+
+std::uint64_t NfsSim::ensure_cached(const std::string& path,
+                                    std::uint64_t first_page,
+                                    std::uint64_t last_page) {
+  PageCache& cache = cache_[path];
+  if (cache.whole_file) return 0;
+
+  Result<FileStat> st = server_fs_.stat(path);
+  const std::uint64_t server_size = st ? st->size : 0;
+
+  std::uint64_t fetched = 0;
+  for (std::uint64_t page = first_page; page <= last_page; ++page) {
+    if (cache.pages.contains(page)) continue;
+    const std::uint64_t page_offset =
+        page * static_cast<std::uint64_t>(config_.page_size);
+    if (page_offset < server_size) {
+      fetched += std::min<std::uint64_t>(config_.page_size,
+                                         server_size - page_offset);
+    }
+    cache.pages.insert(page);
+  }
+  if (fetched > 0) rpc_download(fetched);
+  return fetched;
+}
+
+void NfsSim::invalidate(const std::string& path) { cache_.erase(path); }
+
+Result<Bytes> NfsSim::server_content(std::string_view path) const {
+  // `server_fs_` is logically const here; MemFs::read_file needs non-const.
+  return const_cast<MemFs&>(server_fs_).read_file(path);
+}
+
+}  // namespace dcfs

@@ -1,0 +1,120 @@
+// NFSv4-like baseline.
+//
+// Every file operation is shipped to the server synchronously (NFS-like
+// file RPC without any batching or delta machinery).  The client keeps a
+// page cache (4 KB blocks) with close-to-open consistency; the behaviours
+// the paper measures are modeled faithfully:
+//  - rename changes file identity, so the destination's cached pages are
+//    invalidated and the next read re-fetches the whole file from the
+//    server (the surprising download traffic in Fig. 8(c));
+//  - a write that does not cover a whole page of an uncached region incurs
+//    fetch-before-write: the containing pages are read from the server
+//    first (the download traffic in Fig. 8(d));
+//  - the server's CPU is dominated by moving bytes through the network
+//    stack (high for Word, low for WeChat — Table II).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "baselines/sync_system.h"
+#include "metrics/cost.h"
+#include "vfs/fs.h"
+#include "vfs/memfs.h"
+
+namespace dcfs {
+
+struct NfsConfig {
+  std::string sync_root = "/sync";
+  std::uint32_t page_size = 4096;
+  std::uint64_t rpc_overhead = 120;  ///< per-RPC header bytes (each way)
+};
+
+class NfsSim;
+
+/// The client-side filesystem: applications issue POSIX ops; each op is
+/// both applied to the local cache image and shipped to the server.
+class NfsClientFs final : public FileSystem {
+ public:
+  NfsClientFs(NfsSim& owner, const Clock& clock);
+
+  Result<FileHandle> create(std::string_view raw_path) override;
+  Result<FileHandle> open(std::string_view raw_path) override;
+  Status close(FileHandle handle) override;
+  Result<Bytes> read(FileHandle handle, std::uint64_t offset,
+                     std::uint64_t size) override;
+  Status write(FileHandle handle, std::uint64_t offset, ByteSpan data) override;
+  Status truncate(std::string_view raw_path, std::uint64_t size) override;
+  Status rename(std::string_view raw_from, std::string_view raw_to) override;
+  Status link(std::string_view raw_from, std::string_view raw_to) override;
+  Status unlink(std::string_view raw_path) override;
+  Status mkdir(std::string_view raw_path) override;
+  Status rmdir(std::string_view raw_path) override;
+  Result<FileStat> stat(std::string_view raw_path) const override;
+  Result<std::vector<std::string>> list_dir(
+      std::string_view raw_path) const override;
+  Status fsync(FileHandle handle) override;
+
+ private:
+  /// Local image of the namespace (doubles as the page cache's backing).
+  MemFs image_;
+  NfsSim& owner_;
+  std::map<FileHandle, std::string> handle_paths_;
+};
+
+class NfsSim final : public SyncSystem {
+ public:
+  NfsSim(const Clock& clock, const CostProfile& server_profile,
+         NfsConfig config = {});
+
+  [[nodiscard]] std::string_view name() const override { return "NFSv4"; }
+  FileSystem& fs() override { return client_; }
+  void tick(TimePoint) override {}    // synchronous: nothing deferred
+  void finish(TimePoint) override {}
+  [[nodiscard]] std::uint64_t client_cpu_ticks() const override {
+    return 0;  // kernel callbacks; the paper does not report them either
+  }
+  [[nodiscard]] std::uint64_t server_cpu_ticks() const override {
+    return server_meter_.ticks();
+  }
+  [[nodiscard]] const TrafficMeter& traffic() const override { return traffic_; }
+  void reset_meters() override {
+    server_meter_.reset();
+    traffic_.reset();
+  }
+
+  /// Server-held content (for end-to-end verification in tests).
+  [[nodiscard]] Result<Bytes> server_content(std::string_view path) const;
+
+ private:
+  friend class NfsClientFs;
+
+  struct PageCache {
+    std::set<std::uint64_t> pages;  ///< cached page indices
+    bool whole_file = false;        ///< everything cached (freshly created)
+  };
+
+  // RPC accounting helpers called by the client FS.
+  void rpc_small();                     ///< metadata op, both directions
+  void rpc_upload(std::uint64_t bytes);
+  void rpc_download(std::uint64_t bytes);
+
+  /// Ensures pages [first, last] of `path` are cached, fetching from the
+  /// server as needed; returns bytes downloaded.
+  std::uint64_t ensure_cached(const std::string& path, std::uint64_t first_page,
+                              std::uint64_t last_page);
+
+  void invalidate(const std::string& path);
+
+  const Clock& clock_;
+  NfsConfig config_;
+  CostMeter server_meter_;
+  TrafficMeter traffic_;
+  MemFs server_fs_;
+  NfsClientFs client_;
+  std::map<std::string, PageCache> cache_;
+};
+
+}  // namespace dcfs

@@ -1,0 +1,83 @@
+// Seafile-like baseline: content-defined chunking with 1 MB average chunks
+// (§II-A).  CDC only re-checksums chunks around an edit, so client CPU is
+// moderate — but any changed chunk is uploaded whole, so network usage is
+// poor for small edits (the paper's Figures 1(c)(d) and 8).
+//
+// The server does not recompute chunk checksums (the client ships them), so
+// its CPU is dominated by receiving and storing chunk bytes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "baselines/sync_system.h"
+#include "metrics/cost.h"
+#include "rsyncx/cdc.h"
+#include "vfs/memfs.h"
+
+namespace dcfs {
+
+struct SeafileConfig {
+  std::string sync_root = "/sync";
+  rsyncx::CdcParams chunking = rsyncx::CdcParams::seafile();
+  Duration debounce = seconds(1);
+};
+
+class SeafileSim final : public SyncSystem {
+ public:
+  SeafileSim(const Clock& clock, const CostProfile& client_profile,
+             const CostProfile& server_profile, SeafileConfig config = {});
+
+  [[nodiscard]] std::string_view name() const override { return "Seafile"; }
+  FileSystem& fs() override { return local_; }
+  void tick(TimePoint now) override;
+  void finish(TimePoint now) override;
+  [[nodiscard]] std::uint64_t client_cpu_ticks() const override {
+    return client_meter_.ticks();
+  }
+  [[nodiscard]] std::uint64_t server_cpu_ticks() const override {
+    return server_meter_.ticks();
+  }
+  [[nodiscard]] const TrafficMeter& traffic() const override { return traffic_; }
+  void reset_meters() override {
+    client_meter_.reset();
+    server_meter_.reset();
+    traffic_.reset();
+  }
+
+  [[nodiscard]] MemFs& local() noexcept { return local_; }
+  /// Full client-side cost breakdown (per-primitive units).
+  [[nodiscard]] const CostMeter& client_meter() const noexcept {
+    return client_meter_;
+  }
+  [[nodiscard]] std::uint64_t syncs_performed() const noexcept {
+    return syncs_performed_;
+  }
+  /// Paths in the order their syncs completed (Table IV causality probe).
+  [[nodiscard]] const std::vector<std::string>& upload_order() const noexcept {
+    return upload_order_;
+  }
+
+ private:
+  void on_event(const FsEvent& event);
+  void sync_file(const std::string& path);
+
+  const Clock& clock_;
+  MemFs local_;
+  CostMeter client_meter_;
+  CostMeter server_meter_;
+  SeafileConfig config_;
+  TrafficMeter traffic_;
+
+  std::map<std::string, TimePoint> dirty_;
+  std::map<std::string, std::vector<rsyncx::Chunk>> manifests_;
+  std::map<std::string, Bytes> cache_;  ///< previous synced content
+  std::set<Md5::Digest> server_chunks_;
+  std::uint64_t syncs_performed_ = 0;
+  std::vector<std::string> upload_order_;
+};
+
+}  // namespace dcfs

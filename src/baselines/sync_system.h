@@ -1,0 +1,43 @@
+// Common harness interface for every sync solution under test
+// (DeltaCFS, Dropbox-like, Seafile-like, NFS, Dropsync).
+//
+// A trace replayer drives application file operations against fs(), calls
+// tick() as virtual time advances (background sync work), and finish() at
+// the end; the meters then hold the numbers reported in Table II and
+// Figures 8/9.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/clock.h"
+#include "metrics/traffic.h"
+#include "vfs/fs.h"
+
+namespace dcfs {
+
+class SyncSystem {
+ public:
+  virtual ~SyncSystem() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// The filesystem the application's operations are issued against.
+  virtual FileSystem& fs() = 0;
+
+  /// Background sync work at virtual time `now` (debounce checks, queue
+  /// drains, server pumping).
+  virtual void tick(TimePoint now) = 0;
+
+  /// Drains all pending sync state (end of trace).
+  virtual void finish(TimePoint now) = 0;
+
+  [[nodiscard]] virtual std::uint64_t client_cpu_ticks() const = 0;
+  [[nodiscard]] virtual std::uint64_t server_cpu_ticks() const = 0;
+  [[nodiscard]] virtual const TrafficMeter& traffic() const = 0;
+
+  /// Clears meters after a setup phase so only measured work counts.
+  virtual void reset_meters() = 0;
+};
+
+}  // namespace dcfs

@@ -1,0 +1,16 @@
+#include "common/bytes.h"
+
+namespace dcfs {
+
+std::string hex_encode(ByteSpan data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t byte : data) {
+    out.push_back(kDigits[byte >> 4]);
+    out.push_back(kDigits[byte & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace dcfs

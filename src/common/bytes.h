@@ -1,0 +1,80 @@
+// Byte-buffer conveniences shared across modules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcfs {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+using MutableByteSpan = std::span<std::uint8_t>;
+
+/// Builds a byte vector from a string literal / string_view payload.
+inline Bytes to_bytes(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+/// Views a byte range as text (for tests and diagnostics).
+inline std::string_view as_text(ByteSpan data) {
+  return {reinterpret_cast<const char*>(data.data()), data.size()};
+}
+
+inline std::string to_string(ByteSpan data) {
+  return std::string(as_text(data));
+}
+
+/// Appends `src` to `dst`.
+inline void append(Bytes& dst, ByteSpan src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Lowercase hex encoding, for fingerprints in logs and tests.
+std::string hex_encode(ByteSpan data);
+
+/// 64-bit FNV-1a hash; used for hash-table indexing (not integrity).
+constexpr std::uint64_t fnv1a(ByteSpan data) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::uint8_t byte : data) {
+    hash ^= byte;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+inline std::uint64_t fnv1a(std::string_view text) noexcept {
+  return fnv1a(ByteSpan{reinterpret_cast<const std::uint8_t*>(text.data()),
+                        text.size()});
+}
+
+/// Little-endian fixed-width integer encode/decode (wire + WAL framing).
+inline void put_u32(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+inline void put_u64(Bytes& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+inline std::uint32_t get_u32(ByteSpan in, std::size_t offset) {
+  return static_cast<std::uint32_t>(in[offset]) |
+         static_cast<std::uint32_t>(in[offset + 1]) << 8 |
+         static_cast<std::uint32_t>(in[offset + 2]) << 16 |
+         static_cast<std::uint32_t>(in[offset + 3]) << 24;
+}
+
+inline std::uint64_t get_u64(ByteSpan in, std::size_t offset) {
+  return static_cast<std::uint64_t>(get_u32(in, offset)) |
+         static_cast<std::uint64_t>(get_u32(in, offset + 4)) << 32;
+}
+
+}  // namespace dcfs

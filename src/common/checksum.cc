@@ -1,0 +1,41 @@
+#include "common/checksum.h"
+
+#include "common/rng.h"
+
+namespace dcfs {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(ByteSpan data, std::uint32_t seed) noexcept {
+  static const std::array<std::uint32_t, 256> kTable = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) {
+    c = kTable[(c ^ byte) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+const std::array<std::uint64_t, 256>& gear_table() noexcept {
+  static const std::array<std::uint64_t, 256> kTable = [] {
+    std::array<std::uint64_t, 256> table{};
+    Rng rng(0x9e3779b97f4a7c15ULL);  // fixed seed: reproducible boundaries
+    for (auto& entry : table) entry = rng.next_u64();
+    return table;
+  }();
+  return kTable;
+}
+
+}  // namespace dcfs

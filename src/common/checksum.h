@@ -1,0 +1,84 @@
+// Checksums used throughout DeltaCFS:
+//  - RollingChecksum: the rsync weak checksum (Adler-style) with O(1) roll,
+//    reused by the Checksum Store as the per-block integrity checksum
+//    (paper §III-E: "we can reuse the rolling checksum in rsync as the block
+//    checksum").
+//  - crc32: record framing in the KV store WAL and the wire codec.
+//  - gear_hash table: content-defined chunking (Seafile/CDC baseline).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace dcfs {
+
+/// rsync's weak rolling checksum over a window of bytes.
+///
+/// s = a + (b << 16) where a = sum(x_i) mod 2^16 and
+/// b = sum((len - i) * x_i) mod 2^16.  Supports O(1) roll: remove the
+/// leading byte, append a trailing byte.
+class RollingChecksum {
+ public:
+  RollingChecksum() = default;
+
+  /// Computes the checksum of `data` from scratch.
+  explicit RollingChecksum(ByteSpan data) { reset(data); }
+
+  void reset(ByteSpan data) noexcept {
+    a_ = 0;
+    b_ = 0;
+    len_ = static_cast<std::uint32_t>(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      a_ += data[i];
+      b_ += static_cast<std::uint32_t>(data.size() - i) * data[i];
+    }
+  }
+
+  /// Slides the window one byte: drops `out`, appends `in`.
+  /// The window length is unchanged.
+  void roll(std::uint8_t out, std::uint8_t in) noexcept {
+    a_ = a_ - out + in;
+    b_ = b_ - len_ * out + a_;
+  }
+
+  /// Shrinks the window from the front by dropping `out` (for the final
+  /// partial block at end of file).
+  void roll_out(std::uint8_t out) noexcept {
+    a_ -= out;
+    b_ -= len_ * out;
+    --len_;
+  }
+
+  [[nodiscard]] std::uint32_t digest() const noexcept {
+    return (a_ & 0xFFFF) | ((b_ & 0xFFFF) << 16);
+  }
+
+  [[nodiscard]] std::uint32_t window_length() const noexcept { return len_; }
+
+ private:
+  std::uint32_t a_ = 0;
+  std::uint32_t b_ = 0;
+  std::uint32_t len_ = 0;
+};
+
+/// One-shot weak checksum of a block.
+inline std::uint32_t weak_checksum(ByteSpan data) noexcept {
+  return RollingChecksum(data).digest();
+}
+
+/// CRC-32 (IEEE, reflected), for WAL/wire record framing.
+std::uint32_t crc32(ByteSpan data, std::uint32_t seed = 0) noexcept;
+
+/// The 256-entry random table used by the gear hash in CDC chunking.
+/// Deterministic (seeded) so chunk boundaries are reproducible.
+const std::array<std::uint64_t, 256>& gear_table() noexcept;
+
+/// One gear-hash step: h' = (h << 1) + table[byte].
+inline std::uint64_t gear_step(std::uint64_t h, std::uint8_t byte) noexcept {
+  return (h << 1) + gear_table()[byte];
+}
+
+}  // namespace dcfs

@@ -1,0 +1,14 @@
+#include "common/clock.h"
+
+#include <ctime>
+
+namespace dcfs {
+
+std::int64_t process_cpu_micros() noexcept {
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000 +
+         ts.tv_nsec / 1'000;
+}
+
+}  // namespace dcfs

@@ -1,0 +1,57 @@
+// Time sources.
+//
+// Experiments replay traces in *virtual* time so that timeout-driven
+// behaviour (relation-table expiry, sync-queue upload delay) is
+// deterministic and fast.  Production-style components take a `Clock&`
+// and never touch wall time directly.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+namespace dcfs {
+
+/// Microseconds since an arbitrary epoch.
+using TimePoint = std::int64_t;
+using Duration = std::int64_t;
+
+constexpr Duration microseconds(std::int64_t us) noexcept { return us; }
+constexpr Duration milliseconds(std::int64_t ms) noexcept { return ms * 1000; }
+constexpr Duration seconds(std::int64_t s) noexcept { return s * 1'000'000; }
+
+/// Abstract time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual TimePoint now() const noexcept = 0;
+};
+
+/// Manually-advanced clock for deterministic replay and tests.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(TimePoint start = 0) noexcept : now_(start) {}
+
+  [[nodiscard]] TimePoint now() const noexcept override { return now_; }
+
+  void advance(Duration delta) noexcept { now_ += std::max<Duration>(delta, 0); }
+  void advance_to(TimePoint t) noexcept { now_ = std::max(now_, t); }
+
+ private:
+  TimePoint now_;
+};
+
+/// Wall clock (steady), for examples that run in real time.
+class SteadyClock final : public Clock {
+ public:
+  [[nodiscard]] TimePoint now() const noexcept override {
+    const auto since_epoch = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration_cast<std::chrono::microseconds>(since_epoch)
+        .count();
+  }
+};
+
+/// Process CPU time in microseconds (for the real-CPU columns in benches).
+std::int64_t process_cpu_micros() noexcept;
+
+}  // namespace dcfs

@@ -1,0 +1,16 @@
+// Opt-in diagnostic logging, enabled with DCFS_DEBUG=1 in the environment.
+// Used by the client and server to narrate protocol decisions (delta
+// replacements, base resolution failures) when chasing a divergence.
+#pragma once
+
+#include <cstdlib>
+
+namespace dcfs {
+
+/// True if DCFS_DEBUG is set; evaluated once per process.
+inline bool debug_enabled() noexcept {
+  static const bool enabled = std::getenv("DCFS_DEBUG") != nullptr;
+  return enabled;
+}
+
+}  // namespace dcfs

@@ -1,0 +1,49 @@
+// MD5 message digest (RFC 1321), implemented from scratch.
+//
+// Used as the *strong* checksum in the classic rsync signature path — the
+// exact role librsync gives it.  DeltaCFS's local delta replaces MD5 with
+// bitwise comparison (paper §III-A); benches quantify that substitution.
+// MD5 is used here for block identity, not security.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace dcfs {
+
+class Md5 {
+ public:
+  using Digest = std::array<std::uint8_t, 16>;
+
+  Md5() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(ByteSpan data) noexcept;
+  [[nodiscard]] Digest finalize() noexcept;
+
+  /// One-shot digest of a buffer.
+  static Digest hash(ByteSpan data) noexcept {
+    Md5 md5;
+    md5.update(data);
+    return md5.finalize();
+  }
+
+  static std::string hex(ByteSpan data) {
+    const Digest d = hash(data);
+    return hex_encode(ByteSpan{d.data(), d.size()});
+  }
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 4> state_{};
+  std::uint64_t total_bytes_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace dcfs

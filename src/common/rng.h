@@ -1,0 +1,93 @@
+// Deterministic pseudo-random generation (splitmix64 core).
+// All workloads and chunking tables draw from seeded Rng instances so every
+// experiment is reproducible bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace dcfs {
+
+/// splitmix64: tiny, fast, and statistically solid for workload generation.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next_u64() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint32_t next_u32() noexcept {
+    return static_cast<std::uint32_t>(next_u64() >> 32);
+  }
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return next_u64() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Fills `out` with pseudo-random bytes (incompressible payload).
+  void fill(MutableByteSpan out) noexcept {
+    std::size_t i = 0;
+    while (i + 8 <= out.size()) {
+      std::uint64_t v = next_u64();
+      for (int k = 0; k < 8; ++k) out[i++] = static_cast<std::uint8_t>(v >> (8 * k));
+    }
+    if (i < out.size()) {
+      std::uint64_t v = next_u64();
+      while (i < out.size()) {
+        out[i++] = static_cast<std::uint8_t>(v);
+        v >>= 8;
+      }
+    }
+  }
+
+  Bytes bytes(std::size_t n) {
+    Bytes out(n);
+    fill(out);
+    return out;
+  }
+
+  /// Compressible text-like payload: log lines built from a small, skewed
+  /// vocabulary — the repetition structure real text/log files have.
+  Bytes text(std::size_t n) {
+    static constexpr const char* kWords[] = {
+        "the ",      "request ",  "response ", "handler ",  "client ",
+        "server ",   "update ",   "sync ",     "file ",     "cache ",
+        "ok ",       "done ",     "retry ",    "queue ",    "write ",
+        "INFO ",     "DEBUG ",    "t=42 ",     "id=7 ",     "size=4096 ",
+        "path=/a/b ", "\n"};
+    constexpr std::size_t kCount = sizeof(kWords) / sizeof(kWords[0]);
+    Bytes out;
+    out.reserve(n + 16);
+    while (out.size() < n) {
+      // Skewed pick: low indices are much more frequent (Zipf-ish).
+      const std::size_t pick =
+          std::min(next_below(kCount), next_below(kCount));
+      const char* word = kWords[pick];
+      while (*word != '\0') out.push_back(static_cast<std::uint8_t>(*word++));
+    }
+    out.resize(n);
+    return out;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace dcfs

@@ -1,0 +1,33 @@
+#include "common/status.h"
+
+namespace dcfs {
+
+std::string_view to_string(Errc code) noexcept {
+  switch (code) {
+    case Errc::ok: return "ok";
+    case Errc::not_found: return "not_found";
+    case Errc::already_exists: return "already_exists";
+    case Errc::not_a_directory: return "not_a_directory";
+    case Errc::is_a_directory: return "is_a_directory";
+    case Errc::not_empty: return "not_empty";
+    case Errc::no_space: return "no_space";
+    case Errc::bad_handle: return "bad_handle";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::io_error: return "io_error";
+    case Errc::conflict: return "conflict";
+    case Errc::corruption: return "corruption";
+    case Errc::unavailable: return "unavailable";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  std::string out{dcfs::to_string(code_)};
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace dcfs

@@ -1,0 +1,131 @@
+// Error model for DeltaCFS.
+//
+// Filesystem-style failures (ENOENT, EEXIST, ENOSPC, ...) are expected
+// outcomes of normal operation, so they travel as values (`Status` /
+// `Result<T>`), never as exceptions.  Exceptions are reserved for programming
+// errors (contract violations), per C++ Core Guidelines E.2/I.10.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace dcfs {
+
+/// Errno-like error codes used across the VFS, sync core and server.
+enum class Errc : std::uint8_t {
+  ok = 0,
+  not_found,        ///< ENOENT
+  already_exists,   ///< EEXIST
+  not_a_directory,  ///< ENOTDIR
+  is_a_directory,   ///< EISDIR
+  not_empty,        ///< ENOTEMPTY
+  no_space,         ///< ENOSPC
+  bad_handle,       ///< EBADF
+  invalid_argument, ///< EINVAL
+  io_error,         ///< EIO (also used for detected corruption)
+  conflict,         ///< version conflict detected by the sync protocol
+  corruption,       ///< checksum mismatch in stored data
+  unavailable,      ///< transport closed / endpoint gone
+};
+
+/// Human-readable name for an error code (stable, for logs and tests).
+std::string_view to_string(Errc code) noexcept;
+
+/// A success-or-error value; cheap to copy, compares by code.
+/// Deliberately not [[nodiscard]] at class level: cleanup-path calls
+/// (close/unlink mirrors) legitimately ignore their Status.
+class Status {
+ public:
+  Status() noexcept = default;
+  explicit Status(Errc code) noexcept : code_(code) {}
+  Status(Errc code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return Status{}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == Errc::ok; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] Errc code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// Formats "code: message" for diagnostics.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Errc code_ = Errc::ok;
+  std::string message_;
+};
+
+/// Thrown only when a Result is dereferenced while holding an error —
+/// a programming bug, not an expected runtime condition.
+class BadResultAccess : public std::logic_error {
+ public:
+  explicit BadResultAccess(const Status& status)
+      : std::logic_error("Result accessed while holding error: " +
+                         status.to_string()) {}
+};
+
+/// A value-or-Status sum type (a minimal `expected`).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Status status) : storage_(std::move(status)) {      // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(storage_).is_ok()) {
+      throw std::logic_error("Result constructed from OK status without value");
+    }
+  }
+  Result(Errc code) : Result(Status{code}) {}                // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool is_ok() const noexcept {
+    return std::holds_alternative<T>(storage_);
+  }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] Status status() const {
+    return is_ok() ? Status::ok() : std::get<Status>(storage_);
+  }
+  [[nodiscard]] Errc code() const noexcept {
+    return is_ok() ? Errc::ok : std::get<Status>(storage_).code();
+  }
+
+  [[nodiscard]] T& value() & {
+    ensure_ok();
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] const T& value() const& {
+    ensure_ok();
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    ensure_ok();
+    return std::get<T>(std::move(storage_));
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return is_ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void ensure_ok() const {
+    if (!is_ok()) throw BadResultAccess(std::get<Status>(storage_));
+  }
+
+  std::variant<T, Status> storage_;
+};
+
+}  // namespace dcfs

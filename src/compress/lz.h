@@ -1,0 +1,42 @@
+// A small LZ77 compressor with an LZ4-style token format.
+//
+// The Dropbox baseline compresses sync payloads (the paper suspects Snappy,
+// §IV-C); this module provides a real, deterministic compressor so the
+// baseline's traffic and CPU numbers reflect genuine compressibility of the
+// workload rather than a hard-coded ratio.
+//
+// Format (per sequence):
+//   token: high nibble = literal count (15 => varint extension bytes follow),
+//          low nibble  = match length - kMinMatch (15 => varint extension)
+//   [literal-count extension*] [literals]
+//   [2-byte LE offset, 1..65535] [match-length extension*]
+// The final sequence may omit the match entirely (input exhausted after the
+// literals).
+#pragma once
+
+#include <cstddef>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace dcfs::lz {
+
+inline constexpr std::size_t kMinMatch = 4;
+inline constexpr std::size_t kMaxOffset = 65535;
+
+/// Compresses `input`; always succeeds (worst case ~ input + input/255 + 16).
+Bytes compress(ByteSpan input);
+
+/// Upper bound on accepted decompressed size — malformed or adversarial
+/// streams demanding more are rejected instead of exhausting memory.
+inline constexpr std::size_t kMaxDecompressedBytes = std::size_t{1} << 31;
+
+/// Decompresses a buffer produced by compress().  Returns
+/// Errc::corruption on malformed input or if the output would exceed
+/// kMaxDecompressedBytes.
+Result<Bytes> decompress(ByteSpan input);
+
+/// Convenience: compressed size only (for ratio accounting).
+std::size_t compressed_size(ByteSpan input);
+
+}  // namespace dcfs::lz

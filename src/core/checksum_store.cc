@@ -1,0 +1,244 @@
+#include "core/checksum_store.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+
+#include "common/checksum.h"
+
+namespace dcfs {
+namespace {
+
+Bytes encode_u32(std::uint32_t v) {
+  Bytes out;
+  put_u32(out, v);
+  return out;
+}
+
+Bytes encode_u64(std::uint64_t v) {
+  Bytes out;
+  put_u64(out, v);
+  return out;
+}
+
+}  // namespace
+
+ChecksumStore::ChecksumStore(std::shared_ptr<KvStore> kv,
+                             std::uint32_t block_size, CostMeter* meter)
+    : kv_(std::move(kv)), block_size_(block_size), meter_(meter) {}
+
+std::string ChecksumStore::block_key(std::string_view path,
+                                     std::uint64_t block) const {
+  // Fixed-width block index keeps keys of one file ordered and scannable.
+  std::array<char, 17> index_hex{};
+  std::snprintf(index_hex.data(), index_hex.size(), "%016llx",
+                static_cast<unsigned long long>(block));
+  return "cs:" + std::string(path) + ":" + index_hex.data();
+}
+
+std::string ChecksumStore::size_key(std::string_view path) const {
+  return "sz:" + std::string(path);
+}
+
+void ChecksumStore::put_block_checksum(std::string_view path,
+                                       std::uint64_t block,
+                                       ByteSpan block_content) {
+  charge(CostKind::rolling_hash, block_content.size());
+  charge(CostKind::kv_op, 4);
+  kv_->put(block_key(path, block), encode_u32(weak_checksum(block_content)));
+}
+
+std::optional<std::uint32_t> ChecksumStore::get_block_checksum(
+    std::string_view path, std::uint64_t block) const {
+  charge(CostKind::kv_op, 0);
+  const auto value = kv_->get(block_key(path, block));
+  if (!value || value->size() != 4) return std::nullopt;
+  return get_u32(*value, 0);
+}
+
+std::optional<std::uint64_t> ChecksumStore::stored_size(
+    std::string_view path) const {
+  const auto value = kv_->get(size_key(path));
+  if (!value || value->size() != 8) return std::nullopt;
+  return get_u64(*value, 0);
+}
+
+void ChecksumStore::put_size(std::string_view path, std::uint64_t size) {
+  charge(CostKind::kv_op, 8);
+  kv_->put(size_key(path), encode_u64(size));
+}
+
+Status ChecksumStore::on_write(FileSystem& fs, std::string_view path,
+                               std::uint64_t offset, std::uint64_t data_size) {
+  Result<FileStat> st = fs.stat(path);
+  if (!st) return st.status();
+  const std::uint64_t file_size = st->size;
+
+  const std::uint64_t first_block = offset / block_size_;
+  const std::uint64_t last_byte =
+      data_size == 0 ? offset : offset + data_size - 1;
+  const std::uint64_t last_block = last_byte / block_size_;
+
+  Result<FileHandle> handle = fs.open(path);
+  if (!handle) return handle.status();
+  for (std::uint64_t block = first_block; block <= last_block; ++block) {
+    const std::uint64_t block_offset = block * block_size_;
+    if (block_offset >= file_size) break;
+    Result<Bytes> content = fs.read(*handle, block_offset, block_size_);
+    if (!content) {
+      fs.close(*handle);
+      return content.status();
+    }
+    charge(CostKind::byte_copy, content->size());
+    put_block_checksum(path, block, *content);
+  }
+  fs.close(*handle);
+  put_size(path, file_size);
+  return Status::ok();
+}
+
+Status ChecksumStore::on_truncate(FileSystem& fs, std::string_view path,
+                                  std::uint64_t new_size) {
+  const std::uint64_t old_size = stored_size(path).value_or(0);
+  const std::uint64_t old_blocks = (old_size + block_size_ - 1) / block_size_;
+  const std::uint64_t new_blocks = (new_size + block_size_ - 1) / block_size_;
+
+  for (std::uint64_t block = new_blocks; block < old_blocks; ++block) {
+    charge(CostKind::kv_op, 0);
+    kv_->erase(block_key(path, block));
+  }
+  // The (possibly partial) boundary block changed length: refresh it.
+  if (new_blocks > 0) {
+    Result<FileHandle> handle = fs.open(path);
+    if (!handle) return handle.status();
+    const std::uint64_t boundary = new_blocks - 1;
+    Result<Bytes> content = fs.read(*handle, boundary * block_size_,
+                                    block_size_);
+    fs.close(*handle);
+    if (!content) return content.status();
+    put_block_checksum(path, boundary, *content);
+  }
+  put_size(path, new_size);
+  return Status::ok();
+}
+
+void ChecksumStore::on_rename(std::string_view from, std::string_view to) {
+  std::vector<std::pair<std::string, Bytes>> moved;
+  kv_->scan_prefix("cs:" + std::string(from) + ":",
+                   [&](std::string_view key, ByteSpan value) {
+                     moved.emplace_back(std::string(key),
+                                        Bytes(value.begin(), value.end()));
+                   });
+  const std::string old_prefix = "cs:" + std::string(from) + ":";
+  const std::string new_prefix = "cs:" + std::string(to) + ":";
+  // Remove any stale checksums for the destination name first.
+  on_unlink(to);
+  for (const auto& [key, value] : moved) {
+    charge(CostKind::kv_op, value.size());
+    kv_->put(new_prefix + key.substr(old_prefix.size()), value);
+    kv_->erase(key);
+  }
+  if (const auto size = stored_size(from)) {
+    put_size(to, *size);
+    kv_->erase(size_key(from));
+  }
+}
+
+void ChecksumStore::on_link(std::string_view from, std::string_view to) {
+  const std::string old_prefix = "cs:" + std::string(from) + ":";
+  const std::string new_prefix = "cs:" + std::string(to) + ":";
+  std::vector<std::pair<std::string, Bytes>> copied;
+  kv_->scan_prefix(old_prefix, [&](std::string_view key, ByteSpan value) {
+    copied.emplace_back(std::string(key), Bytes(value.begin(), value.end()));
+  });
+  for (const auto& [key, value] : copied) {
+    charge(CostKind::kv_op, value.size());
+    kv_->put(new_prefix + key.substr(old_prefix.size()), value);
+  }
+  if (const auto size = stored_size(from)) put_size(to, *size);
+}
+
+void ChecksumStore::on_unlink(std::string_view path) {
+  std::vector<std::string> keys;
+  kv_->scan_prefix("cs:" + std::string(path) + ":",
+                   [&](std::string_view key, ByteSpan) {
+                     keys.emplace_back(key);
+                   });
+  for (const std::string& key : keys) {
+    charge(CostKind::kv_op, 0);
+    kv_->erase(key);
+  }
+  kv_->erase(size_key(path));
+}
+
+Status ChecksumStore::verify_range(std::string_view path, std::uint64_t offset,
+                                   ByteSpan data) {
+  const auto file_size = stored_size(path);
+  if (!file_size) return Status::ok();  // never indexed: nothing to check
+
+  const std::uint64_t end = offset + data.size();
+  std::uint64_t block = (offset + block_size_ - 1) / block_size_;  // first
+  if (offset == 0) block = 0;
+  // A block is verifiable if we hold its complete content.
+  for (;; ++block) {
+    const std::uint64_t block_offset = block * block_size_;
+    if (block_offset < offset) continue;
+    const std::uint64_t block_len =
+        std::min<std::uint64_t>(block_size_, *file_size - std::min(*file_size, block_offset));
+    if (block_len == 0) break;
+    if (block_offset + block_len > end) break;  // partially covered: skip
+
+    const auto expected = get_block_checksum(path, block);
+    if (expected) {
+      const ByteSpan content =
+          data.subspan(block_offset - offset, block_len);
+      charge(CostKind::rolling_hash, content.size());
+      if (weak_checksum(content) != *expected) {
+        return Status{Errc::corruption,
+                      "checksum mismatch in " + std::string(path) + " block " +
+                          std::to_string(block)};
+      }
+    }
+  }
+  return Status::ok();
+}
+
+Status ChecksumStore::verify_file(std::string_view path, ByteSpan content) {
+  return verify_range(path, 0, content);
+}
+
+std::vector<std::string> ChecksumStore::scan(
+    FileSystem& fs, const std::vector<std::string>& paths) {
+  std::vector<std::string> damaged;
+  for (const std::string& path : paths) {
+    Result<Bytes> content = fs.read_file(path);
+    if (!content) continue;  // deleted since: nothing to verify
+    charge(CostKind::disk_read, content->size());
+    const auto recorded = stored_size(path);
+    if (recorded && *recorded != content->size()) {
+      damaged.push_back(path);
+      continue;
+    }
+    if (!verify_file(path, *content).is_ok()) damaged.push_back(path);
+  }
+  return damaged;
+}
+
+Status ChecksumStore::index_file(FileSystem& fs, std::string_view path) {
+  Result<Bytes> content = fs.read_file(path);
+  if (!content) return content.status();
+  charge(CostKind::disk_read, content->size());
+  const std::uint64_t blocks =
+      (content->size() + block_size_ - 1) / block_size_;
+  for (std::uint64_t block = 0; block < blocks; ++block) {
+    const std::uint64_t offset = block * block_size_;
+    const std::uint64_t length =
+        std::min<std::uint64_t>(block_size_, content->size() - offset);
+    put_block_checksum(path, block,
+                       ByteSpan{content->data() + offset, length});
+  }
+  put_size(path, content->size());
+  return Status::ok();
+}
+
+}  // namespace dcfs

@@ -1,0 +1,897 @@
+#include "core/client.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/debug.h"
+#include <cstdlib>
+#include <utility>
+
+#include "compress/lz.h"
+#include "rsyncx/delta.h"
+#include "vfs/path.h"
+
+namespace dcfs {
+namespace {
+
+/// Server-to-client frame tags.
+constexpr std::uint8_t kFrameAck = 1;
+constexpr std::uint8_t kFrameRecord = 2;
+
+}  // namespace
+
+DeltaCfsClient::DeltaCfsClient(FileSystem& local, Transport& transport,
+                               const Clock& clock, const CostProfile& profile,
+                               ClientConfig config,
+                               std::shared_ptr<KvStore> checksum_kv)
+    : local_(local),
+      transport_(transport),
+      clock_(clock),
+      meter_(profile),
+      config_(std::move(config)),
+      queue_(config_.upload_delay, config_.causality,
+             config_.snapshot_interval),
+      relations_(config_.relation_timeout) {
+  config_.sync_root = path::normalize(config_.sync_root);
+  config_.tmp_dir = path::normalize(config_.tmp_dir);
+  if (config_.enable_checksums) {
+    if (!checksum_kv) {
+      checksum_kv = std::make_shared<KvStore>(
+          std::make_shared<MemoryWalStorage>());
+    }
+    checksums_ = std::make_unique<ChecksumStore>(
+        std::move(checksum_kv), config_.delta_block_size, &meter_);
+  }
+}
+
+void DeltaCfsClient::LinkGroups::link(const std::string& a,
+                                      const std::string& b) {
+  const auto it = member_of.find(a);
+  std::uint64_t id;
+  if (it != member_of.end()) {
+    id = it->second;
+  } else {
+    id = next_id++;
+    member_of[a] = id;
+    groups[id].insert(a);
+  }
+  // `b` is a fresh name; if it previously belonged elsewhere, detach first.
+  detach(b);
+  member_of[b] = id;
+  groups[id].insert(b);
+}
+
+void DeltaCfsClient::LinkGroups::detach(const std::string& path) {
+  const auto it = member_of.find(path);
+  if (it == member_of.end()) return;
+  auto& members = groups[it->second];
+  members.erase(path);
+  if (members.size() <= 1) {
+    // A single remaining name is no longer "linked" in any useful sense.
+    for (const std::string& last : members) member_of.erase(last);
+    groups.erase(it->second);
+  }
+  member_of.erase(it);
+}
+
+void DeltaCfsClient::LinkGroups::rename(const std::string& from,
+                                        const std::string& to) {
+  const auto it = member_of.find(from);
+  if (it == member_of.end()) return;
+  const std::uint64_t id = it->second;
+  groups[id].erase(from);
+  member_of.erase(it);
+  member_of[to] = id;
+  groups[id].insert(to);
+}
+
+std::vector<std::string> DeltaCfsClient::LinkGroups::siblings(
+    const std::string& path) const {
+  const auto it = member_of.find(path);
+  if (it == member_of.end()) return {};
+  std::vector<std::string> out;
+  for (const std::string& member : groups.at(it->second)) {
+    if (member != path) out.push_back(member);
+  }
+  return out;
+}
+
+bool DeltaCfsClient::in_scope(std::string_view path) const {
+  return path::is_within(path, config_.sync_root) &&
+         !path::is_within(path, config_.tmp_dir);
+}
+
+proto::VersionId DeltaCfsClient::next_version() {
+  return {config_.client_id, ++version_counter_};
+}
+
+std::optional<proto::VersionId> DeltaCfsClient::known_version(
+    std::string_view path) const {
+  const auto it = known_versions_.find(path);
+  if (it == known_versions_.end()) return std::nullopt;
+  return it->second;
+}
+
+void DeltaCfsClient::assign_versions(SyncNode& node, const std::string& path) {
+  const auto it = known_versions_.find(path);
+  node.base_version = it == known_versions_.end() ? proto::VersionId{}
+                                                  : it->second;
+  node.new_version = next_version();
+  known_versions_[path] = node.new_version;
+}
+
+void DeltaCfsClient::enqueue_meta(proto::OpKind kind, const std::string& path,
+                                  const std::string& path2,
+                                  std::uint64_t trunc_size) {
+  SyncNode node;
+  node.kind = kind;
+  node.path = path;
+  node.path2 = path2;
+  node.trunc_size = trunc_size;
+  assign_versions(node, path);
+  queue_.enqueue(std::move(node), clock_.now());
+}
+
+void DeltaCfsClient::release_preserved(const RelationTable::Entry& entry) {
+  if (!entry.from_unlink) return;
+  if (debug_enabled()) {
+    std::fprintf(stderr, "RELEASE %s (src=%s)\n", entry.dst.c_str(),
+                 entry.src.c_str());
+  }
+  local_.unlink(entry.dst);
+  if (checksums_) checksums_->on_unlink(entry.dst);
+  preserved_versions_.erase(entry.dst);
+}
+
+void DeltaCfsClient::discard_pending(const std::string& path) {
+  const auto it = pending_delta_.find(path);
+  if (it == pending_delta_.end()) return;
+  release_preserved(it->second);
+  pending_delta_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// OpSink hooks
+// ---------------------------------------------------------------------------
+
+void DeltaCfsClient::note_create(std::string_view raw_path) {
+  meter_.charge_op(CostKind::syscall);
+  const std::string path(raw_path);
+  if (!in_scope(path)) return;
+
+  links_.detach(path);  // a create binds the name to a fresh inode
+  discard_pending(path);  // any stale obligation for this name is void
+
+  // Table I: a create whose name matches an entry's src triggers delta
+  // encoding — against the entry's dst, once the new content is complete
+  // (at close).
+  if (auto entry = relations_.take_trigger(path, clock_.now())) {
+    pending_delta_[path] = *entry;
+  }
+  enqueue_meta(proto::OpKind::create, path, "", 0);
+  recently_modified_.insert(path);
+}
+
+void DeltaCfsClient::note_write(std::string_view raw_path,
+                                std::uint64_t offset, ByteSpan data,
+                                ByteSpan overwritten,
+                                std::uint64_t size_before) {
+  meter_.charge_op(CostKind::syscall);
+  const std::string path(raw_path);
+  if (!in_scope(path)) return;
+
+  meter_.charge(CostKind::byte_copy, data.size());  // copy into Sync Queue
+  if (checksums_) {
+    checksums_on_write(path, offset, data, overwritten, size_before);
+  }
+
+  SyncNode& node = queue_.add_write(path, offset, data, clock_.now());
+  if (node.new_version.is_null()) {
+    assign_versions(node, path);
+    // A fresh write node starts a fresh undo epoch: the in-place delta it
+    // may later produce must be based exactly on the cloud state this
+    // node's base_version names, i.e. the file as of this node's creation.
+    if (config_.enable_undo_log) undo_.drop(path);
+  }
+  if (config_.enable_undo_log) {
+    meter_.charge(CostKind::byte_copy, overwritten.size());
+    undo_.record_write(path, offset, overwritten, size_before);
+  }
+  recently_modified_.insert(path);
+
+  // Hard links: the write reached every name sharing the inode; the cloud
+  // stores per-path copies, so the increment must ship for each name.
+  for (const std::string& sibling : links_.siblings(path)) {
+    meter_.charge(CostKind::byte_copy, data.size());
+    if (checksums_) checksums_->on_write(local_, sibling, offset, data.size());
+    SyncNode& twin = queue_.add_write(sibling, offset, data, clock_.now());
+    if (twin.new_version.is_null()) assign_versions(twin, sibling);
+  }
+}
+
+void DeltaCfsClient::note_truncate(std::string_view raw_path,
+                                   std::uint64_t new_size,
+                                   std::uint64_t old_size, ByteSpan cut_tail) {
+  meter_.charge_op(CostKind::syscall);
+  const std::string path(raw_path);
+  if (!in_scope(path)) return;
+
+  queue_.pack(path);  // the resize closes the current write batch
+  (void)old_size;
+  (void)cut_tail;
+  if (config_.enable_undo_log) undo_.drop(path);
+  if (checksums_) checksums_->on_truncate(local_, path, new_size);
+  enqueue_meta(proto::OpKind::truncate, path, "", new_size);
+  recently_modified_.insert(path);
+  for (const std::string& sibling : links_.siblings(path)) {
+    queue_.pack(sibling);
+    if (checksums_) checksums_->on_truncate(local_, sibling, new_size);
+    enqueue_meta(proto::OpKind::truncate, sibling, "", new_size);
+  }
+}
+
+void DeltaCfsClient::note_close(std::string_view raw_path, bool wrote) {
+  meter_.charge_op(CostKind::syscall);
+  const std::string path(raw_path);
+  if (!in_scope(path)) return;
+
+  queue_.pack(path);
+  for (const std::string& sibling : links_.siblings(path)) {
+    queue_.pack(sibling);
+  }
+  if (!wrote) {
+    // Closed without writing: the delta obligation is moot; release the
+    // preserved old version so it does not linger in tmp/.
+    discard_pending(path);
+    return;
+  }
+
+  const auto pending = pending_delta_.find(path);
+  if (pending != pending_delta_.end()) {
+    const RelationTable::Entry entry = pending->second;
+    pending_delta_.erase(pending);
+
+    Result<Bytes> base = local_.read_file(entry.dst);
+    if (base) {
+      meter_.charge(CostKind::disk_read, base->size());
+      if (entry.from_unlink) {
+        const auto preserved = preserved_versions_.find(entry.dst);
+        const proto::VersionId base_version =
+            preserved == preserved_versions_.end() ? proto::VersionId{}
+                                                   : preserved->second;
+        run_delta(path, "", *base, base_version, /*base_deleted=*/true);
+      } else {
+        const auto version = known_version(entry.dst);
+        run_delta(path, entry.dst, *base,
+                  version.value_or(proto::VersionId{}),
+                  /*base_deleted=*/false);
+      }
+    }
+    // The entry is consumed either way (removed on trigger, Table I).
+    release_preserved(entry);
+  } else {
+    maybe_inplace_delta(path);
+  }
+  undo_.drop(path);
+}
+
+void DeltaCfsClient::before_rename(std::string_view raw_from,
+                                   std::string_view raw_to, bool dst_exists) {
+  (void)raw_from;
+  const std::string to(raw_to);
+  if (!dst_exists || !in_scope(to)) return;
+
+  // The rename will destroy the destination's content; keep it in memory —
+  // it is the delta base when the "name already exists" trigger fires.
+  if (Result<Bytes> old = local_.read_file(to)) {
+    meter_.charge(CostKind::byte_copy, old->size());
+    Stash stash;
+    stash.content = std::move(*old);
+    stash.version = known_version(to).value_or(proto::VersionId{});
+    stash_[to] = std::move(stash);
+  }
+}
+
+void DeltaCfsClient::note_rename(std::string_view raw_from,
+                                 std::string_view raw_to, bool dst_existed) {
+  meter_.charge_op(CostKind::syscall);
+  const std::string from(raw_from);
+  const std::string to(raw_to);
+  const bool from_in = in_scope(from);
+  const bool to_in = in_scope(to);
+  if (!from_in && !to_in) return;
+
+  queue_.pack(from);
+  queue_.pack(to);
+  undo_.rename(from, to);
+  if (checksums_) checksums_->on_rename(from, to);
+
+  if (from_in && !to_in) {
+    // Moved out of the sync folder: the cloud sees a deletion.
+    enqueue_meta(proto::OpKind::unlink, from, "", 0);
+    known_versions_.erase(from);
+    pending_delta_.erase(from);
+    return;
+  }
+  if (!from_in && to_in) {
+    // Moved into the sync folder: upload the full content.
+    Result<Bytes> content = local_.read_file(to);
+    if (content) {
+      meter_.charge(CostKind::disk_read, content->size());
+      SyncNode node;
+      node.kind = proto::OpKind::full_file;
+      node.path = to;
+      node.payload = std::move(*content);
+      assign_versions(node, to);
+      queue_.enqueue(std::move(node), clock_.now());
+      recently_modified_.insert(to);
+    }
+    return;
+  }
+
+  // Normal in-scope rename: the destination's old inode (if any) is
+  // replaced; the source name carries its inode to the new name.
+  links_.detach(to);
+  links_.rename(from, to);
+
+  SyncNode node;
+  node.kind = proto::OpKind::rename;
+  node.path = from;
+  node.path2 = to;
+  const auto it = known_versions_.find(from);
+  node.base_version =
+      it == known_versions_.end() ? proto::VersionId{} : it->second;
+  node.new_version = next_version();
+  known_versions_.erase(from);
+  known_versions_[to] = node.new_version;
+  const std::uint64_t rename_seq = queue_.enqueue(std::move(node), clock_.now());
+
+  // An open pending-delta obligation follows the file to its new name.
+  if (const auto pending = pending_delta_.find(from);
+      pending != pending_delta_.end()) {
+    discard_pending(to);  // whatever `to` owed is void: it was replaced
+    pending_delta_[to] = pending->second;
+    pending_delta_.erase(from);
+  }
+
+  // Table I: rename creates a relation entry (from -> to): the file's old
+  // version named `from` is now preserved as `to`.
+  for (const RelationTable::Entry& displaced :
+       relations_.add(from, to, clock_.now())) {
+    release_preserved(displaced);
+  }
+
+  // The destination name just (re)appeared: check both trigger rules.
+  if (auto entry = relations_.take_trigger(to, clock_.now())) {
+    // Trigger 1: `to` equals the src of an existing relation entry.
+    Result<Bytes> base = local_.read_file(entry->dst);
+    if (base) {
+      meter_.charge(CostKind::disk_read, base->size());
+      if (entry->from_unlink) {
+        const auto preserved = preserved_versions_.find(entry->dst);
+        run_delta(to, "", *base,
+                  preserved == preserved_versions_.end()
+                      ? proto::VersionId{}
+                      : preserved->second,
+                  /*base_deleted=*/true, from, rename_seq);
+      } else {
+        run_delta(to, entry->dst, *base,
+                  known_version(entry->dst).value_or(proto::VersionId{}),
+                  /*base_deleted=*/false, from, rename_seq);
+      }
+    }
+    release_preserved(*entry);
+  } else if (dst_existed) {
+    // Trigger 2: the created name already existed (gedit-style).
+    if (const auto stash = stash_.find(to); stash != stash_.end()) {
+      run_delta(to, "", stash->second.content, stash->second.version,
+                /*base_deleted=*/false, from, rename_seq);
+    }
+  }
+  stash_.erase(to);
+  recently_modified_.insert(to);
+  recently_modified_.erase(from);
+}
+
+void DeltaCfsClient::note_link(std::string_view raw_from,
+                               std::string_view raw_to) {
+  meter_.charge_op(CostKind::syscall);
+  const std::string from(raw_from);
+  const std::string to(raw_to);
+  if (!in_scope(to)) return;
+
+  if (checksums_) checksums_->on_link(from, to);
+  // The link node will copy `from`'s content as of this queue position on
+  // the cloud; a pending write node for `from` must therefore really ship
+  // (a later delta replacement would retroactively change what was linked).
+  if (SyncNode* node = queue_.find_write_node(from)) node->pinned = true;
+  links_.link(from, to);
+  SyncNode node;
+  node.kind = proto::OpKind::link;
+  node.path = from;
+  node.path2 = to;
+  node.base_version = known_version(from).value_or(proto::VersionId{});
+  node.new_version = next_version();
+  known_versions_[to] = node.new_version;
+  queue_.enqueue(std::move(node), clock_.now());
+  // Table I: no relation entry for link — a later rename-over-`to` hits the
+  // "name already exists" trigger instead.
+}
+
+bool DeltaCfsClient::intercept_unlink(std::string_view raw_path) {
+  const std::string path(raw_path);
+  if (!in_scope(path)) return false;
+
+  Result<FileStat> st = local_.stat(path);
+  if (!st || st->type != NodeType::file) return false;  // directories: never
+  if (st->size > config_.preserve_max_bytes) return false;  // ENOSPC rule
+  // A multi-link name loses nothing on unlink (the content survives under
+  // its sibling names) — no preservation needed.
+  if (!links_.siblings(path).empty()) return false;
+
+  if (!tmp_dir_ready_) {
+    local_.mkdir(config_.tmp_dir);  // idempotent enough: EEXIST is fine
+    tmp_dir_ready_ = true;
+  }
+  queue_.pack(path);
+
+  const std::string preserved =
+      config_.tmp_dir + "/p" + std::to_string(++preserve_counter_);
+  if (!local_.rename(path, preserved).is_ok()) return false;
+
+  if (debug_enabled()) {
+    std::fprintf(stderr, "PRESERVE %s -> %s\n", path.c_str(),
+                 preserved.c_str());
+  }
+  for (const RelationTable::Entry& displaced :
+       relations_.add(path, preserved, clock_.now(), /*from_unlink=*/true)) {
+    release_preserved(displaced);
+  }
+  preserved_versions_[preserved] =
+      known_version(path).value_or(proto::VersionId{});
+  if (checksums_) checksums_->on_rename(path, preserved);
+  undo_.rename(path, preserved);
+  return true;
+}
+
+void DeltaCfsClient::note_unlink(std::string_view raw_path) {
+  meter_.charge_op(CostKind::syscall);
+  const std::string path(raw_path);
+  if (!in_scope(path)) return;
+
+  queue_.pack(path);
+  links_.detach(path);
+  if (checksums_) checksums_->on_unlink(path);
+  enqueue_meta(proto::OpKind::unlink, path, "", 0);
+  known_versions_.erase(path);
+  discard_pending(path);
+  stash_.erase(path);
+  recently_modified_.erase(path);
+}
+
+void DeltaCfsClient::note_mkdir(std::string_view raw_path) {
+  meter_.charge_op(CostKind::syscall);
+  const std::string path(raw_path);
+  if (!in_scope(path)) return;
+  enqueue_meta(proto::OpKind::mkdir, path, "", 0);
+}
+
+void DeltaCfsClient::note_rmdir(std::string_view raw_path) {
+  meter_.charge_op(CostKind::syscall);
+  const std::string path(raw_path);
+  if (!in_scope(path)) return;
+  enqueue_meta(proto::OpKind::rmdir, path, "", 0);
+}
+
+Status DeltaCfsClient::verify_read(std::string_view raw_path,
+                                   std::uint64_t offset, ByteSpan data) {
+  if (!checksums_) return Status::ok();
+  const std::string path(raw_path);
+  if (!in_scope(path)) return Status::ok();
+
+  const Status verdict = checksums_->verify_range(path, offset, data);
+  if (!verdict.is_ok()) {
+    detected_corruption_.push_back(path);
+    quarantine_.insert(path);
+  }
+  return verdict;
+}
+
+// ---------------------------------------------------------------------------
+// Delta encoding
+// ---------------------------------------------------------------------------
+
+void DeltaCfsClient::run_delta(const std::string& path,
+                               const std::string& base_path,
+                               ByteSpan base_content,
+                               const proto::VersionId& base_version,
+                               bool base_deleted) {
+  run_delta(path, base_path, base_content, base_version, base_deleted, path,
+            0);
+}
+
+void DeltaCfsClient::run_delta(const std::string& path,
+                               const std::string& base_path,
+                               ByteSpan base_content,
+                               const proto::VersionId& base_version,
+                               bool base_deleted,
+                               const std::string& write_node_path,
+                               std::uint64_t trigger_rename_seq) {
+  if (!config_.enable_delta) return;
+  SyncNode* node = queue_.find_write_node(write_node_path);
+  if (node == nullptr) return;  // content already uploaded: nothing to gain
+  // The node's bytes may feed other pending consumers (an earlier delta's
+  // base lineage, a link copy, a preserved-then-deleted file): replacing it
+  // would silently corrupt the cloud.  Only the rename that carried the
+  // node's content to the delta's target is an allowed dependent.
+  if (!queue_.safe_to_replace(*node, trigger_rename_seq)) return;
+
+  Result<Bytes> current = local_.read_file(path);
+  if (!current) return;
+  meter_.charge(CostKind::disk_read, current->size());
+
+  const rsyncx::Delta delta = rsyncx::compute_delta_local(
+      base_content, *current, config_.delta_block_size, &meter_);
+
+  // Only replace the write node if the delta actually saves bytes.
+  if (delta.wire_size() >= node->content_bytes()) return;
+
+  if (debug_enabled()) {
+    std::fprintf(stderr, "CLIENT-DELTA path=%s base_path=%s bd=%d basev=<%u,%llu>\n",
+                 path.c_str(), base_path.c_str(), (int)base_deleted,
+                 base_version.client_id,
+                 (unsigned long long)base_version.counter);
+  }
+  SyncNode delta_node;
+  delta_node.kind = proto::OpKind::file_delta;
+  delta_node.path = path;
+  delta_node.path2 = base_path;
+  delta_node.payload = rsyncx::encode_delta(delta);
+  delta_node.base_version = base_version;
+  delta_node.base_deleted = base_deleted;
+  delta_node.new_version = next_version();
+  known_versions_[path] = delta_node.new_version;
+  const std::uint64_t tail_seq =
+      queue_.enqueue(std::move(delta_node), clock_.now());
+
+  queue_.replace_with_span(*node, tail_seq);
+  ++deltas_triggered_;
+}
+
+void DeltaCfsClient::maybe_inplace_delta(const std::string& path) {
+  if (!config_.enable_delta) return;
+  if (!config_.enable_undo_log || !undo_.has(path)) return;
+  if (!links_.siblings(path).empty()) return;  // linked: ship plain writes
+
+  SyncNode* node = queue_.find_write_node(path);
+  if (node == nullptr || node->state != SyncNode::State::packed) return;
+  if (!queue_.safe_to_replace(*node, 0)) return;
+
+  Result<FileStat> st = local_.stat(path);
+  if (!st || st->size == 0) return;
+
+  const std::uint64_t written = node->content_bytes();
+  if (static_cast<double>(written) <
+      config_.inplace_delta_threshold * static_cast<double>(st->size)) {
+    return;  // small in-place update: NFS-like RPC is already optimal
+  }
+
+  Result<Bytes> current = local_.read_file(path);
+  if (!current) return;
+  meter_.charge(CostKind::disk_read, current->size());
+  Result<Bytes> old_version = undo_.reconstruct(path, *current);
+  if (!old_version) return;
+
+  const rsyncx::Delta delta = rsyncx::compute_delta_local(
+      *old_version, *current, config_.delta_block_size, &meter_);
+  if (delta.wire_size() >= written) return;  // writes are tighter: keep them
+
+  if (debug_enabled()) {
+    std::fprintf(stderr, "CLIENT-INPLACE path=%s basev=<%u,%llu>\n",
+                 path.c_str(), node->base_version.client_id,
+                 (unsigned long long)node->base_version.counter);
+  }
+  SyncNode delta_node;
+  delta_node.kind = proto::OpKind::file_delta;
+  delta_node.path = path;
+  delta_node.payload = rsyncx::encode_delta(delta);
+  // The delta replaces the write node: same lineage, same versions.
+  delta_node.base_version = node->base_version;
+  delta_node.new_version = node->new_version;
+  const std::uint64_t tail_seq =
+      queue_.enqueue(std::move(delta_node), clock_.now());
+  queue_.replace_with_span(*node, tail_seq);
+  ++deltas_triggered_;
+}
+
+// ---------------------------------------------------------------------------
+// Checksum maintenance
+// ---------------------------------------------------------------------------
+
+void DeltaCfsClient::checksums_on_write(const std::string& path,
+                                        std::uint64_t offset, ByteSpan data,
+                                        ByteSpan overwritten,
+                                        std::uint64_t size_before) {
+  // Before refreshing the touched blocks, verify that their *pre-write*
+  // content matched the stored checksums: the captured old bytes let us
+  // reconstruct each touched block as it was, so silent corruption is
+  // caught even on a write-only workload.
+  const std::uint32_t bs = checksums_->block_size();
+  const std::uint64_t first_block = offset / bs;
+  Result<FileHandle> handle = local_.open(path);
+  if (handle) {
+    const std::uint64_t last_byte =
+        data.empty() ? offset : offset + data.size() - 1;
+    for (std::uint64_t block = first_block; block <= last_byte / bs; ++block) {
+      const std::uint64_t block_offset = block * bs;
+      if (block_offset >= size_before) break;
+      const std::uint64_t block_len = std::min<std::uint64_t>(
+          bs, size_before - block_offset);
+      Result<Bytes> now_content = local_.read(*handle, block_offset, block_len);
+      if (!now_content) break;
+      Bytes pre = std::move(*now_content);
+      // Splice the preserved old bytes back over the freshly-written range.
+      const std::uint64_t write_end = offset + overwritten.size();
+      for (std::uint64_t i = 0; i < pre.size(); ++i) {
+        const std::uint64_t abs = block_offset + i;
+        if (abs >= offset && abs < write_end) {
+          pre[i] = overwritten[abs - offset];
+        }
+      }
+      const Status verdict = checksums_->verify_range(
+          path, block_offset, ByteSpan{pre.data(), pre.size()});
+      if (!verdict.is_ok()) {
+        detected_corruption_.push_back(path);
+        quarantine_.insert(path);
+        break;
+      }
+    }
+    local_.close(*handle);
+  }
+  checksums_->on_write(local_, path, offset, data.size());
+}
+
+// ---------------------------------------------------------------------------
+// Sync driving
+// ---------------------------------------------------------------------------
+
+void DeltaCfsClient::tick(TimePoint now) {
+  relations_.expire(now, [this](const RelationTable::Entry& entry) {
+    if (!entry.from_unlink) return;
+    // The preserved deleted file never triggered a delta: really delete it.
+    local_.unlink(entry.dst);
+    if (checksums_) checksums_->on_unlink(entry.dst);
+    preserved_versions_.erase(entry.dst);
+  });
+
+  for (SyncNode& node : queue_.pop_ready(now)) {
+    upload_node(std::move(node));
+  }
+
+  while (auto frame = transport_.client_poll()) {
+    meter_.charge(CostKind::net_frame, frame->size());
+    meter_.charge(CostKind::encrypt, frame->size());
+    if (frame->empty()) continue;
+    const std::uint8_t tag = (*frame)[0];
+    const ByteSpan body{frame->data() + 1, frame->size() - 1};
+    if (tag == kFrameAck) {
+      if (Result<proto::Ack> ack = proto::decode_ack(body)) {
+        process_ack(*ack);
+      }
+    } else if (tag == kFrameRecord) {
+      if (Result<proto::SyncRecord> record = proto::decode_record(body)) {
+        apply_forward(*record);
+      }
+    }
+  }
+}
+
+void DeltaCfsClient::flush(TimePoint now) {
+  relations_.expire(now, [this](const RelationTable::Entry& entry) {
+    if (!entry.from_unlink) return;
+    local_.unlink(entry.dst);
+    if (checksums_) checksums_->on_unlink(entry.dst);
+    preserved_versions_.erase(entry.dst);
+  });
+  for (SyncNode& node : queue_.pop_ready(now, /*flush_all=*/true)) {
+    upload_node(std::move(node));
+  }
+}
+
+void DeltaCfsClient::upload_node(SyncNode node) {
+  if (quarantine_.contains(node.path)) return;  // never upload damaged data
+
+  proto::SyncRecord record;
+  record.sequence = node.seq;
+  record.kind = node.kind;
+  record.path = node.path;
+  record.path2 = node.path2;
+  record.size = node.trunc_size;
+  record.base_version = node.base_version;
+  record.new_version = node.new_version;
+  record.txn_group = node.txn_group;
+  record.txn_last = node.txn_last;
+  record.base_deleted = node.base_deleted;
+
+  if (node.kind == proto::OpKind::write) {
+    std::vector<proto::Segment> segments;
+    segments.reserve(node.segments.size());
+    for (WriteSegment& segment : node.segments) {
+      segments.push_back({segment.offset, std::move(segment.data)});
+    }
+    record.payload = proto::encode_segments(segments);
+  } else {
+    record.payload = std::move(node.payload);
+  }
+
+  if (config_.compress_uploads &&
+      record.payload.size() >= config_.compress_min_bytes) {
+    meter_.charge(CostKind::compress, record.payload.size());
+    Bytes packed = lz::compress(record.payload);
+    if (packed.size() < record.payload.size()) {
+      record.payload = std::move(packed);
+      record.compressed = true;
+    }
+  }
+
+  Bytes frame = proto::encode(record);
+  meter_.charge(CostKind::encrypt, frame.size());
+  meter_.charge(CostKind::net_frame, frame.size());
+  transport_.client_send(std::move(frame));
+  ++records_uploaded_;
+}
+
+void DeltaCfsClient::process_ack(const proto::Ack& ack) {
+  if (ack.result == Errc::conflict) {
+    ++conflicts_acked_;
+  } else if (ack.result != Errc::ok) {
+    ++errors_acked_;
+  }
+}
+
+void DeltaCfsClient::apply_forward(const proto::SyncRecord& raw_record) {
+  ++forwards_applied_;
+  proto::SyncRecord record = raw_record;
+  if (record.compressed) {
+    meter_.charge(CostKind::decompress, record.payload.size());
+    Result<Bytes> plain = lz::decompress(record.payload);
+    if (!plain) return;
+    record.payload = std::move(*plain);
+    record.compressed = false;
+  }
+  switch (record.kind) {
+    case proto::OpKind::create: {
+      if (Result<FileHandle> handle = local_.create(record.path)) {
+        local_.close(*handle);
+      }
+      known_versions_[record.path] = record.new_version;
+      break;
+    }
+    case proto::OpKind::mkdir:
+      local_.mkdir(record.path);
+      break;
+    case proto::OpKind::rmdir:
+      local_.rmdir(record.path);
+      break;
+    case proto::OpKind::unlink:
+      local_.unlink(record.path);
+      known_versions_.erase(record.path);
+      break;
+    case proto::OpKind::rename:
+      local_.rename(record.path, record.path2);
+      known_versions_.erase(record.path);
+      known_versions_[record.path2] = record.new_version;
+      if (checksums_) checksums_->on_rename(record.path, record.path2);
+      break;
+    case proto::OpKind::link:
+      local_.link(record.path, record.path2);
+      known_versions_[record.path2] = record.new_version;
+      if (checksums_) checksums_->on_link(record.path, record.path2);
+      break;
+    case proto::OpKind::truncate:
+      local_.truncate(record.path, record.size);
+      known_versions_[record.path] = record.new_version;
+      if (checksums_) checksums_->on_truncate(local_, record.path, record.size);
+      break;
+    case proto::OpKind::write: {
+      Result<std::vector<proto::Segment>> segments =
+          proto::decode_segments(record.payload);
+      if (!segments) break;
+      Result<FileHandle> handle = local_.open(record.path);
+      if (!handle) handle = local_.create(record.path);
+      if (!handle) break;
+      for (const proto::Segment& segment : *segments) {
+        meter_.charge(CostKind::byte_copy, segment.data.size());
+        local_.write(*handle, segment.offset, segment.data);
+      }
+      local_.close(*handle);
+      known_versions_[record.path] = record.new_version;
+      if (checksums_) checksums_->index_file(local_, record.path);
+      break;
+    }
+    case proto::OpKind::file_delta: {
+      Result<rsyncx::Delta> delta = rsyncx::decode_delta(record.payload);
+      if (!delta) break;
+      const std::string& ref =
+          record.path2.empty() ? record.path : record.path2;
+      Result<Bytes> base = local_.read_file(ref);
+      if (!base) break;
+      Result<Bytes> rebuilt = rsyncx::apply_delta(*base, *delta);
+      if (!rebuilt) break;
+      meter_.charge(CostKind::byte_copy, rebuilt->size());
+      local_.write_file(record.path, *rebuilt);
+      known_versions_[record.path] = record.new_version;
+      if (checksums_) checksums_->index_file(local_, record.path);
+      break;
+    }
+    case proto::OpKind::full_file:
+      meter_.charge(CostKind::byte_copy, record.payload.size());
+      local_.write_file(record.path, record.payload);
+      known_versions_[record.path] = record.new_version;
+      if (checksums_) checksums_->index_file(local_, record.path);
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reliability
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> DeltaCfsClient::crash_scan() {
+  if (!checksums_) return {};
+  const std::vector<std::string> paths(recently_modified_.begin(),
+                                       recently_modified_.end());
+  std::vector<std::string> damaged = checksums_->scan(local_, paths);
+  for (const std::string& path : damaged) {
+    quarantine_.insert(path);
+    detected_corruption_.push_back(path);
+  }
+  return damaged;
+}
+
+std::size_t DeltaCfsClient::import_tree() {
+  std::size_t imported = 0;
+  std::vector<std::string> stack{config_.sync_root};
+  while (!stack.empty()) {
+    const std::string dir = std::move(stack.back());
+    stack.pop_back();
+    Result<std::vector<std::string>> names = local_.list_dir(dir);
+    if (!names) continue;
+    for (const std::string& name : *names) {
+      const std::string full = path::join(dir, name);
+      if (!in_scope(full)) continue;
+      Result<FileStat> st = local_.stat(full);
+      if (!st) continue;
+      if (st->type == NodeType::directory) {
+        enqueue_meta(proto::OpKind::mkdir, full, "", 0);
+        stack.push_back(full);
+        continue;
+      }
+      if (known_versions_.contains(full)) continue;  // already tracked
+      Result<Bytes> content = local_.read_file(full);
+      if (!content) continue;
+      meter_.charge(CostKind::disk_read, content->size());
+      SyncNode node;
+      node.kind = proto::OpKind::full_file;
+      node.path = full;
+      node.payload = std::move(*content);
+      assign_versions(node, full);
+      queue_.enqueue(std::move(node), clock_.now());
+      if (checksums_) checksums_->index_file(local_, full);
+      recently_modified_.insert(full);
+      ++imported;
+    }
+  }
+  return imported;
+}
+
+Status DeltaCfsClient::recover_file(std::string_view path,
+                                    ByteSpan cloud_content) {
+  const Status written = local_.write_file(path, cloud_content);
+  if (!written.is_ok()) return written;
+  if (checksums_) checksums_->index_file(local_, path);
+  quarantine_.erase(std::string(path));
+  return Status::ok();
+}
+
+}  // namespace dcfs

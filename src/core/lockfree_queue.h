@@ -1,0 +1,78 @@
+// Lock-free multi-producer / single-consumer FIFO queue.
+//
+// The paper implements its Sync Queue with the lock-free queue technique of
+// Valois [35]; this is the equivalent Michael-Scott-style linked queue,
+// simplified for a single consumer (the uploader thread), which removes the
+// dequeue-side ABA problem: only the consumer ever touches `head_`.
+// Producers CAS on the tail; a produced node is visible to the consumer
+// once its predecessor's `next` pointer is published with release ordering.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <utility>
+
+namespace dcfs {
+
+template <typename T>
+class LockFreeQueue {
+ public:
+  LockFreeQueue() {
+    Node* stub = new Node();
+    head_ = stub;
+    tail_.store(stub, std::memory_order_relaxed);
+  }
+
+  ~LockFreeQueue() {
+    Node* node = head_;
+    while (node != nullptr) {
+      Node* next = node->next.load(std::memory_order_relaxed);
+      delete node;
+      node = next;
+    }
+  }
+
+  LockFreeQueue(const LockFreeQueue&) = delete;
+  LockFreeQueue& operator=(const LockFreeQueue&) = delete;
+
+  /// Enqueues a value; callable from any thread.
+  void push(T value) {
+    Node* node = new Node(std::move(value));
+    Node* prev = tail_.exchange(node, std::memory_order_acq_rel);
+    // Publication point: once prev->next is set, the consumer can reach
+    // `node`.  Between the exchange and this store, the queue is briefly
+    // "split"; the consumer simply observes an empty next and retries.
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  /// Dequeues the oldest value; single-consumer only.
+  std::optional<T> pop() {
+    Node* next = head_->next.load(std::memory_order_acquire);
+    if (next == nullptr) return std::nullopt;
+    std::optional<T> value(std::move(*next->value));
+    next->value.reset();
+    delete head_;
+    head_ = next;  // `next` becomes the new stub
+    return value;
+  }
+
+  /// True if nothing is currently reachable by the consumer.  Racy by
+  /// nature; meaningful only as a heuristic (e.g. idle detection).
+  [[nodiscard]] bool empty() const {
+    return head_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    Node() = default;
+    explicit Node(T v) : value(std::move(v)) {}
+    std::optional<T> value;
+    std::atomic<Node*> next{nullptr};
+  };
+
+  Node* head_;  ///< consumer-owned stub node
+  alignas(64) std::atomic<Node*> tail_;
+};
+
+}  // namespace dcfs

@@ -1,0 +1,62 @@
+#include "core/relation_table.h"
+
+#include <algorithm>
+
+namespace dcfs {
+
+std::vector<RelationTable::Entry> RelationTable::add(std::string_view src,
+                                                      std::string_view dst,
+                                                      TimePoint now,
+                                                      bool from_unlink) {
+  // A fresh relation for the same src supersedes the stale one, and an
+  // entry whose preserved copy lives at the reused dst is stale too.
+  // (An entry whose *src* equals the new dst must survive: it is exactly
+  // the one the upcoming create-trigger will consume.)
+  // stable_partition keeps the matching entries intact past the cut
+  // (remove_if would leave moved-from husks there).
+  const auto cut = std::stable_partition(
+      entries_.begin(), entries_.end(), [&](const Entry& entry) {
+        return !(entry.src == src || entry.dst == dst);
+      });
+  std::vector<Entry> displaced(std::make_move_iterator(cut),
+                               std::make_move_iterator(entries_.end()));
+  entries_.erase(cut, entries_.end());
+  entries_.push_back(Entry{std::string(src), std::string(dst), now,
+                           from_unlink});
+  return displaced;
+}
+
+std::optional<RelationTable::Entry> RelationTable::take_trigger(
+    std::string_view name, TimePoint now) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->src == name && now - it->created <= timeout_) {
+      Entry entry = *it;
+      entries_.erase(it);
+      return entry;
+    }
+  }
+  return std::nullopt;
+}
+
+void RelationTable::expire(
+    TimePoint now, const std::function<void(const Entry&)>& on_expired) {
+  while (!entries_.empty() && now - entries_.front().created > timeout_) {
+    const Entry entry = entries_.front();
+    entries_.pop_front();
+    if (on_expired) on_expired(entry);
+  }
+}
+
+std::vector<RelationTable::Entry> RelationTable::invalidate(
+    std::string_view name) {
+  const auto cut = std::stable_partition(
+      entries_.begin(), entries_.end(), [name](const Entry& entry) {
+        return !(entry.src == name || entry.dst == name);
+      });
+  std::vector<Entry> removed(std::make_move_iterator(cut),
+                             std::make_move_iterator(entries_.end()));
+  entries_.erase(cut, entries_.end());
+  return removed;
+}
+
+}  // namespace dcfs

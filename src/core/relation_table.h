@@ -1,0 +1,64 @@
+// The Relation Table (§III-A, Table I).
+//
+// Tracks the transformation of file names to recognize transactional
+// updates.  Each entry is a tuple (src -> dst) meaning: the file that used
+// to be named `src` is currently preserved under the name `dst`.  Entries
+// are created by `rename` (and by `unlink`, after the client moves the
+// victim into the tmp/ folder).  When a file is created under a name equal
+// to some entry's `src`, delta encoding is triggered between the new file
+// and the entry's `dst` — and the entry is removed.  Entries that never
+// trigger expire after a short timeout (1-3 s; default 2 s).
+#pragma once
+
+#include <deque>
+#include <vector>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/clock.h"
+
+namespace dcfs {
+
+class RelationTable {
+ public:
+  struct Entry {
+    std::string src;
+    std::string dst;
+    TimePoint created = 0;
+    bool from_unlink = false;  ///< dst is a preserved copy in tmp/
+  };
+
+  explicit RelationTable(Duration timeout = seconds(2)) : timeout_(timeout) {}
+
+  /// Records that the file previously named `src` now lives at `dst`.
+  /// A fresh relation supersedes stale entries mentioning either name;
+  /// the displaced entries are returned so the caller can release any
+  /// preserved files they own.
+  std::vector<Entry> add(std::string_view src, std::string_view dst,
+                         TimePoint now, bool from_unlink = false);
+
+  /// A file is being created under `name`.  If an entry's src matches,
+  /// the entry is consumed and returned (its dst is the preserved old
+  /// version to delta against).
+  std::optional<Entry> take_trigger(std::string_view name, TimePoint now);
+
+  /// Drops entries older than the timeout.  Expired entries created by
+  /// unlink still hold a preserved file that must now really be deleted;
+  /// they are handed to `on_expired`.
+  void expire(TimePoint now, const std::function<void(const Entry&)>& on_expired);
+
+  /// Removes and returns any entry whose src or dst equals `name` (the
+  /// file was touched in a way that invalidates the relation).
+  std::vector<Entry> invalidate(std::string_view name);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] Duration timeout() const noexcept { return timeout_; }
+
+ private:
+  Duration timeout_;
+  std::deque<Entry> entries_;  // small (file updates finish in <1 s)
+};
+
+}  // namespace dcfs

@@ -1,0 +1,270 @@
+#include "core/sync_queue.h"
+
+#include <algorithm>
+
+namespace dcfs {
+namespace {
+
+/// Inserts `data` at `offset` into the coalesced segment list.
+/// Segments are kept sorted, non-overlapping and non-adjacent.
+void coalesce_write(std::vector<WriteSegment>& segments, std::uint64_t offset,
+                    ByteSpan data) {
+  WriteSegment incoming{offset, Bytes(data.begin(), data.end())};
+
+  std::vector<WriteSegment> merged;
+  merged.reserve(segments.size() + 1);
+  bool inserted = false;
+
+  auto overlaps_or_touches = [](const WriteSegment& a, const WriteSegment& b) {
+    const std::uint64_t a_end = a.offset + a.data.size();
+    const std::uint64_t b_end = b.offset + b.data.size();
+    return a.offset <= b_end && b.offset <= a_end;
+  };
+
+  // Merge the incoming segment with every existing overlapping segment.
+  // The *incoming* bytes win where ranges overlap (they are newer).
+  for (WriteSegment& existing : segments) {
+    if (overlaps_or_touches(existing, incoming)) {
+      const std::uint64_t new_offset =
+          std::min(existing.offset, incoming.offset);
+      const std::uint64_t new_end =
+          std::max(existing.offset + existing.data.size(),
+                   incoming.offset + incoming.data.size());
+      Bytes combined(new_end - new_offset, 0);
+      std::copy(existing.data.begin(), existing.data.end(),
+                combined.begin() +
+                    static_cast<std::ptrdiff_t>(existing.offset - new_offset));
+      std::copy(incoming.data.begin(), incoming.data.end(),
+                combined.begin() +
+                    static_cast<std::ptrdiff_t>(incoming.offset - new_offset));
+      incoming.offset = new_offset;
+      incoming.data = std::move(combined);
+    } else {
+      merged.push_back(std::move(existing));
+    }
+  }
+  (void)inserted;
+  merged.push_back(std::move(incoming));
+  std::sort(merged.begin(), merged.end(),
+            [](const WriteSegment& a, const WriteSegment& b) {
+              return a.offset < b.offset;
+            });
+  segments = std::move(merged);
+}
+
+}  // namespace
+
+std::uint64_t SyncQueue::enqueue(SyncNode node, TimePoint now) {
+  node.seq = next_seq_++;
+  node.enqueue_time = now;
+  node.last_touch = now;
+  pending_bytes_ += node.content_bytes();
+  nodes_.push_back(std::make_unique<SyncNode>(std::move(node)));
+  return nodes_.back()->seq;
+}
+
+SyncNode& SyncQueue::add_write(std::string_view path, std::uint64_t offset,
+                               ByteSpan data, TimePoint now) {
+  const auto it = open_writes_.find(std::string(path));
+  if (it != open_writes_.end()) {
+    SyncNode& node = *it->second;
+    pending_bytes_ -= node.content_bytes();
+    coalesce_write(node.segments, offset, data);
+    pending_bytes_ += node.content_bytes();
+    node.last_touch = now;
+    return node;
+  }
+
+  SyncNode node;
+  node.state = SyncNode::State::open;
+  node.kind = proto::OpKind::write;
+  node.path = std::string(path);
+  node.segments.push_back({offset, Bytes(data.begin(), data.end())});
+  enqueue(std::move(node), now);
+  open_writes_.emplace(std::string(path), nodes_.back().get());
+  return *nodes_.back();
+}
+
+std::optional<std::uint64_t> SyncQueue::pack(std::string_view path) {
+  const auto it = open_writes_.find(std::string(path));
+  if (it == open_writes_.end()) return std::nullopt;
+  SyncNode* node = it->second;
+  node->state = SyncNode::State::packed;
+  open_writes_.erase(it);
+  return node->seq;
+}
+
+SyncNode* SyncQueue::find_write_node(std::string_view path) {
+  // Newest first: delta replacement targets the most recent update.
+  for (auto it = nodes_.rbegin(); it != nodes_.rend(); ++it) {
+    SyncNode& node = **it;
+    if (node.kind == proto::OpKind::write &&
+        node.state != SyncNode::State::tombstone && node.path == path) {
+      return &node;
+    }
+  }
+  return nullptr;
+}
+
+bool SyncQueue::safe_to_replace(const SyncNode& node,
+                                std::uint64_t allowed_seq) const {
+  if (node.pinned) return false;
+  // A frozen node belongs to a taken snapshot: "no more changes are
+  // allowed on it even though some nodes can be deleted" (§III-E).
+  if (mode_ == CausalityMode::snapshot && node.seq < frozen_below_) {
+    return false;
+  }
+  for (const auto& later : nodes_) {
+    if (later->seq <= node.seq) continue;
+    if (later->seq == allowed_seq) continue;
+    if (later->state == SyncNode::State::tombstone) continue;
+    if (later->path == node.path || later->path2 == node.path) return false;
+  }
+  return true;
+}
+
+void SyncQueue::replace_with_span(SyncNode& node, std::uint64_t tail_seq) {
+  if (node.state == SyncNode::State::open) {
+    open_writes_.erase(node.path);
+  }
+  pending_bytes_ -= node.content_bytes();
+  node.segments.clear();
+  node.state = SyncNode::State::tombstone;
+  add_span(node.seq, tail_seq);
+}
+
+void SyncQueue::add_span(std::uint64_t from_seq, std::uint64_t to_seq) {
+  Span span{next_span_id_++, std::min(from_seq, to_seq),
+            std::max(from_seq, to_seq)};
+  // Merge interleaving spans (§III-E): consecutive nodes covered by
+  // overlapping backindexes must be applied in one transaction.
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    for (auto it = spans_.begin(); it != spans_.end(); ++it) {
+      if (it->from <= span.to && span.from <= it->to) {
+        span.from = std::min(span.from, it->from);
+        span.to = std::max(span.to, it->to);
+        span.id = std::min(span.id, it->id);
+        spans_.erase(it);
+        merged = true;
+        break;
+      }
+    }
+  }
+  spans_.push_back(span);
+}
+
+const SyncQueue::Span* SyncQueue::covering_span(std::uint64_t seq) const {
+  for (const Span& span : spans_) {
+    if (span.from <= seq && seq <= span.to) return &span;
+  }
+  return nullptr;
+}
+
+std::vector<SyncNode> SyncQueue::pop_ready(TimePoint now, bool flush_all) {
+  std::vector<SyncNode> ready;
+  if (mode_ == CausalityMode::snapshot) {
+    if (!flush_all && now < next_snapshot_) return ready;
+    next_snapshot_ = now + snapshot_interval_;
+    // Freeze everything currently queued into one transactional group and
+    // ship it wholesale.
+    const std::uint64_t group = next_span_id_++;
+    std::uint64_t last_emittable = 0;
+    for (const auto& node : nodes_) {
+      if (node->state != SyncNode::State::tombstone) {
+        last_emittable = node->seq;
+      }
+    }
+    while (!nodes_.empty()) {
+      std::unique_ptr<SyncNode> node = std::move(nodes_.front());
+      nodes_.pop_front();
+      if (node->state == SyncNode::State::open) {
+        node->state = SyncNode::State::packed;
+        open_writes_.erase(node->path);
+      }
+      frozen_below_ = node->seq + 1;
+      node->txn_group = last_emittable != 0 ? group : 0;
+      node->txn_last = node->seq == last_emittable;
+      pending_bytes_ -= node->content_bytes();
+      if (node->state != SyncNode::State::tombstone) {
+        ready.push_back(std::move(*node));
+      }
+    }
+    spans_.clear();
+    return ready;
+  }
+
+  // A node can leave the queue when it is packed (or idle long enough to
+  // auto-pack) and its upload delay has elapsed.
+  const auto poppable = [&](const SyncNode& node) {
+    if (node.state == SyncNode::State::tombstone) return true;
+    if (node.state == SyncNode::State::open && !flush_all &&
+        now - node.last_touch < upload_delay_) {
+      return false;  // actively written: FIFO order forbids skipping it
+    }
+    return flush_all || now - node.enqueue_time >= upload_delay_ ||
+           node.state == SyncNode::State::tombstone;
+  };
+
+  const auto emit = [&](std::uint64_t group_id, std::uint64_t last_seq) {
+    std::unique_ptr<SyncNode> node = std::move(nodes_.front());
+    nodes_.pop_front();
+    if (node->state == SyncNode::State::open) {
+      node->state = SyncNode::State::packed;
+      open_writes_.erase(node->path);
+    }
+    node->txn_group = group_id;
+    node->txn_last = group_id != 0 && node->seq == last_seq;
+    pending_bytes_ -= node->content_bytes();
+    if (node->state != SyncNode::State::tombstone) {
+      ready.push_back(std::move(*node));
+    }
+  };
+
+  while (!nodes_.empty()) {
+    SyncNode& front = *nodes_.front();
+
+    if (const Span* span = covering_span(front.seq)) {
+      // Transactional groups ship atomically in one batch (a partially
+      // shipped group could be re-cut by a later span merge, and the
+      // server could never apply it).  Require every node of the span to
+      // be poppable right now; otherwise nothing pops.
+      bool whole_span_ready = true;
+      std::uint64_t last_emittable_seq = 0;
+      for (const auto& node : nodes_) {
+        if (node->seq > span->to) break;
+        if (!poppable(*node)) {
+          whole_span_ready = false;
+          break;
+        }
+        if (node->state != SyncNode::State::tombstone) {
+          last_emittable_seq = node->seq;
+        }
+      }
+      if (!whole_span_ready) break;
+
+      const std::uint64_t span_id = span->id;
+      const std::uint64_t span_to = span->to;
+      spans_.erase(std::remove_if(spans_.begin(), spans_.end(),
+                                  [&](const Span& s) { return s.id == span_id; }),
+                   spans_.end());
+      while (!nodes_.empty() && nodes_.front()->seq <= span_to) {
+        // txn_last must land on the last *emitted* record of the group.
+        emit(span_id, last_emittable_seq);
+      }
+      continue;
+    }
+
+    if (!poppable(front)) break;
+    if (front.state == SyncNode::State::open) {
+      // Idle open node (a log file held open): auto-pack and ship.
+      front.state = SyncNode::State::packed;
+      open_writes_.erase(front.path);
+    }
+    emit(0, 0);
+  }
+  return ready;
+}
+
+}  // namespace dcfs

@@ -1,0 +1,107 @@
+#include "core/undo_log.h"
+
+#include <algorithm>
+
+namespace dcfs {
+
+void UndoLog::insert_uncovered(FileUndo& undo, std::uint64_t offset,
+                               ByteSpan old_bytes) {
+  std::uint64_t cursor = offset;
+  const std::uint64_t end = offset + old_bytes.size();
+
+  while (cursor < end) {
+    // Find the first existing segment that ends after `cursor`.
+    auto it = undo.segments.upper_bound(cursor);
+    if (it != undo.segments.begin()) {
+      auto prev = std::prev(it);
+      const std::uint64_t prev_end = prev->first + prev->second.size();
+      if (prev_end > cursor) {
+        cursor = prev_end;  // already preserved here
+        continue;
+      }
+    }
+    // Free gap until the next segment (or `end`).
+    std::uint64_t gap_end = end;
+    if (it != undo.segments.end()) gap_end = std::min(gap_end, it->first);
+    if (cursor >= gap_end) {
+      if (it == undo.segments.end()) break;
+      cursor = it->first + it->second.size();
+      continue;
+    }
+    const std::uint64_t rel = cursor - offset;
+    undo.segments.emplace(
+        cursor, Bytes(old_bytes.begin() + static_cast<std::ptrdiff_t>(rel),
+                      old_bytes.begin() +
+                          static_cast<std::ptrdiff_t>(rel + (gap_end - cursor))));
+    cursor = gap_end;
+  }
+}
+
+void UndoLog::record_write(std::string_view path, std::uint64_t offset,
+                           ByteSpan overwritten, std::uint64_t size_before) {
+  FileUndo& undo = files_[std::string(path)];
+  if (!undo.size_known) {
+    undo.original_size = size_before;
+    undo.size_known = true;
+  }
+  if (!overwritten.empty()) insert_uncovered(undo, offset, overwritten);
+}
+
+void UndoLog::record_truncate(std::string_view path, std::uint64_t old_size,
+                              ByteSpan cut_tail) {
+  FileUndo& undo = files_[std::string(path)];
+  if (!undo.size_known) {
+    undo.original_size = old_size;
+    undo.size_known = true;
+  }
+  if (!cut_tail.empty()) {
+    insert_uncovered(undo, old_size - cut_tail.size(), cut_tail);
+  }
+}
+
+Result<Bytes> UndoLog::reconstruct(std::string_view path,
+                                   ByteSpan current) const {
+  const auto it = files_.find(std::string(path));
+  if (it == files_.end()) return Errc::not_found;
+  const FileUndo& undo = it->second;
+
+  Bytes old_version(current.begin(), current.end());
+  old_version.resize(undo.original_size, 0);
+  for (const auto& [offset, bytes] : undo.segments) {
+    if (offset >= old_version.size()) continue;
+    const std::uint64_t usable =
+        std::min<std::uint64_t>(bytes.size(), old_version.size() - offset);
+    std::copy(bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(usable),
+              old_version.begin() + static_cast<std::ptrdiff_t>(offset));
+  }
+  return old_version;
+}
+
+bool UndoLog::has(std::string_view path) const {
+  return files_.contains(std::string(path));
+}
+
+std::uint64_t UndoLog::preserved_bytes(std::string_view path) const {
+  const auto it = files_.find(std::string(path));
+  if (it == files_.end()) return 0;
+  std::uint64_t total = 0;
+  for (const auto& [offset, bytes] : it->second.segments) total += bytes.size();
+  return total;
+}
+
+std::uint64_t UndoLog::original_size(std::string_view path) const {
+  const auto it = files_.find(std::string(path));
+  return it == files_.end() ? 0 : it->second.original_size;
+}
+
+void UndoLog::drop(std::string_view path) { files_.erase(std::string(path)); }
+
+void UndoLog::rename(std::string_view from, std::string_view to) {
+  const auto it = files_.find(std::string(from));
+  if (it == files_.end()) return;
+  FileUndo undo = std::move(it->second);
+  files_.erase(it);
+  files_[std::string(to)] = std::move(undo);
+}
+
+}  // namespace dcfs

@@ -1,0 +1,70 @@
+// Physical undo logging for in-place updates (§III-A).
+//
+// When a write is about to overwrite existing data, the old bytes are
+// copied out first (they are already in the page cache, so this is a pure
+// memory copy).  If the update ends up touching a large portion of the
+// file (> ~50%), DeltaCFS can reconstruct the file's old version locally
+// and run delta encoding to compress the change further.
+//
+// First-preserved-wins: if a range is overwritten twice, only the bytes
+// captured by the *first* overwrite are the true old version.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace dcfs {
+
+class UndoLog {
+ public:
+  /// Records that `overwritten` was the prior content at [offset,
+  /// offset+overwritten.size()) and that the file had `size_before` bytes
+  /// before this write.  Sub-ranges already preserved are not re-recorded.
+  void record_write(std::string_view path, std::uint64_t offset,
+                    ByteSpan overwritten, std::uint64_t size_before);
+
+  /// Records a truncation; `cut_tail` holds the bytes removed at the end
+  /// (empty for an extending truncate).
+  void record_truncate(std::string_view path, std::uint64_t old_size,
+                       ByteSpan cut_tail);
+
+  /// Rebuilds the file's old version from its current content.
+  /// Fails with not_found if nothing was recorded for `path`.
+  Result<Bytes> reconstruct(std::string_view path, ByteSpan current) const;
+
+  /// True if undo data exists for `path`.
+  [[nodiscard]] bool has(std::string_view path) const;
+
+  /// Total preserved (old) bytes for `path` — the "how much of the file
+  /// changed" signal driving the in-place delta policy.
+  [[nodiscard]] std::uint64_t preserved_bytes(std::string_view path) const;
+
+  /// Original size of the file when undo recording began.
+  [[nodiscard]] std::uint64_t original_size(std::string_view path) const;
+
+  void drop(std::string_view path);
+  void rename(std::string_view from, std::string_view to);
+  void clear() { files_.clear(); }
+
+ private:
+  struct FileUndo {
+    std::uint64_t original_size = 0;
+    bool size_known = false;
+    std::map<std::uint64_t, Bytes> segments;  ///< offset -> old bytes
+  };
+
+  /// Inserts old bytes for exactly the sub-ranges of [offset, end) not yet
+  /// covered by existing segments.
+  static void insert_uncovered(FileUndo& undo, std::uint64_t offset,
+                               ByteSpan old_bytes);
+
+  std::unordered_map<std::string, FileUndo> files_;
+};
+
+}  // namespace dcfs

@@ -1,0 +1,155 @@
+#include "kvstore/kvstore.h"
+
+#include <utility>
+
+#include "common/checksum.h"
+
+namespace dcfs {
+namespace {
+
+// WAL frame: [u32 payload_len][u32 crc32(payload)][payload]
+// payload:   [u8 op][u32 key_len][key][u32 value_len][value]
+constexpr std::size_t kFrameHeader = 8;
+
+}  // namespace
+
+KvStore::KvStore(std::shared_ptr<WalStorage> storage)
+    : storage_(std::move(storage)) {
+  recover();
+}
+
+Bytes KvStore::encode_record(RecordOp op, std::string_view key,
+                             ByteSpan value) {
+  Bytes payload;
+  payload.reserve(9 + key.size() + value.size());
+  payload.push_back(static_cast<std::uint8_t>(op));
+  put_u32(payload, static_cast<std::uint32_t>(key.size()));
+  append(payload, ByteSpan{reinterpret_cast<const std::uint8_t*>(key.data()),
+                           key.size()});
+  put_u32(payload, static_cast<std::uint32_t>(value.size()));
+  append(payload, value);
+
+  Bytes frame;
+  frame.reserve(kFrameHeader + payload.size());
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, crc32(payload));
+  append(frame, payload);
+  return frame;
+}
+
+void KvStore::append_record(RecordOp op, std::string_view key,
+                            ByteSpan value) {
+  const Bytes frame = encode_record(op, key, value);
+  storage_->append(frame);
+  wal_bytes_written_ += frame.size();
+}
+
+void KvStore::put(std::string_view key, ByteSpan value) {
+  append_record(RecordOp::put, key, value);
+  wal_bytes_ += record_bytes(key, value);
+  auto [it, inserted] = table_.try_emplace(std::string(key));
+  if (!inserted) live_bytes_ -= record_bytes(key, it->second);
+  it->second.assign(value.begin(), value.end());
+  live_bytes_ += record_bytes(key, value);
+  maybe_auto_compact();
+}
+
+std::optional<Bytes> KvStore::get(std::string_view key) const {
+  const auto it = table_.find(key);
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool KvStore::erase(std::string_view key) {
+  const auto it = table_.find(key);
+  if (it == table_.end()) return false;
+  append_record(RecordOp::erase, key, {});
+  wal_bytes_ += record_bytes(key, {});
+  live_bytes_ -= record_bytes(key, it->second);
+  table_.erase(it);
+  maybe_auto_compact();
+  return true;
+}
+
+void KvStore::sync() { storage_->sync(); }
+
+void KvStore::compact() {
+  Bytes snapshot;
+  for (const auto& [key, value] : table_) {
+    const Bytes frame = encode_record(RecordOp::put, key, value);
+    append(snapshot, frame);
+  }
+  storage_->rewrite(snapshot);
+  wal_bytes_ = snapshot.size();
+}
+
+void KvStore::maybe_auto_compact() {
+  if (auto_compact_factor_ <= 0.0) return;
+  if (wal_bytes_ < auto_compact_min_bytes_) return;
+  if (static_cast<double>(wal_bytes_) >
+      auto_compact_factor_ * static_cast<double>(live_bytes_ + 1)) {
+    compact();
+  }
+}
+
+std::size_t KvStore::recover() {
+  table_.clear();
+  live_bytes_ = 0;
+  const Bytes log = storage_->read_all();
+  wal_bytes_ = log.size();
+  std::size_t pos = 0;
+  std::size_t replayed = 0;
+
+  while (pos + kFrameHeader <= log.size()) {
+    const std::uint32_t payload_len = get_u32(log, pos);
+    const std::uint32_t expected_crc = get_u32(log, pos + 4);
+    if (pos + kFrameHeader + payload_len > log.size()) break;  // torn tail
+
+    const ByteSpan payload{log.data() + pos + kFrameHeader, payload_len};
+    if (crc32(payload) != expected_crc) break;  // damaged record ends replay
+
+    if (payload_len < 9) break;
+    const auto op = static_cast<RecordOp>(payload[0]);
+    const std::uint32_t key_len = get_u32(payload, 1);
+    if (5 + key_len + 4 > payload_len) break;
+    const std::string key(reinterpret_cast<const char*>(payload.data() + 5),
+                          key_len);
+    const std::uint32_t value_len = get_u32(payload, 5 + key_len);
+    if (9 + key_len + value_len > payload_len) break;
+
+    switch (op) {
+      case RecordOp::put: {
+        auto [it, inserted] = table_.try_emplace(key);
+        if (!inserted) live_bytes_ -= record_bytes(key, it->second);
+        it->second.assign(payload.begin() + 9 + key_len,
+                          payload.begin() + 9 + key_len + value_len);
+        live_bytes_ += record_bytes(key, it->second);
+        break;
+      }
+      case RecordOp::erase: {
+        const auto it = table_.find(key);
+        if (it != table_.end()) {
+          live_bytes_ -= record_bytes(key, it->second);
+          table_.erase(it);
+        }
+        break;
+      }
+      default:
+        return replayed;  // unknown op: stop replay conservatively
+    }
+    pos += kFrameHeader + payload_len;
+    ++replayed;
+  }
+  return replayed;
+}
+
+void KvStore::scan_prefix(
+    std::string_view prefix,
+    const std::function<void(std::string_view, ByteSpan)>& fn) const {
+  for (auto it = table_.lower_bound(prefix); it != table_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    fn(it->first, it->second);
+  }
+}
+
+}  // namespace dcfs

@@ -1,0 +1,151 @@
+// Embedded key-value store (the paper stores block checksums in LevelDB;
+// this is our from-scratch equivalent).
+//
+// Architecture: an in-memory ordered table + a CRC-framed write-ahead log.
+// Every mutation is appended to the WAL before it is applied; `compact()`
+// rewrites the log as a snapshot; `recover()` replays it.  Durability
+// follows the backing storage's sync semantics, which lets the reliability
+// experiments crash the store at arbitrary points and observe LevelDB-like
+// behaviour (synced prefix survives, torn tail record is discarded).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace dcfs {
+
+/// Abstract append-only log storage for the WAL.
+///
+/// Mirrors the durability contract of a file: appends become durable only
+/// after sync(); a crash discards the unsynced suffix.
+class WalStorage {
+ public:
+  virtual ~WalStorage() = default;
+
+  virtual void append(ByteSpan data) = 0;
+  virtual void sync() = 0;
+  /// Replaces the entire log content (compaction).
+  virtual void rewrite(ByteSpan data) = 0;
+  /// Full durable + buffered content as currently visible.
+  [[nodiscard]] virtual Bytes read_all() const = 0;
+};
+
+/// In-memory WalStorage with explicit crash semantics for fault injection.
+class MemoryWalStorage final : public WalStorage {
+ public:
+  void append(ByteSpan data) override { dcfs::append(buffered_, data); }
+  void sync() override {
+    dcfs::append(durable_, buffered_);
+    buffered_.clear();
+  }
+  void rewrite(ByteSpan data) override {
+    durable_.assign(data.begin(), data.end());
+    buffered_.clear();
+  }
+  [[nodiscard]] Bytes read_all() const override {
+    Bytes all = durable_;
+    dcfs::append(all, buffered_);
+    return all;
+  }
+
+  /// Simulates a power cut: everything not yet synced is lost.
+  void crash() { buffered_.clear(); }
+
+  [[nodiscard]] std::size_t durable_size() const noexcept {
+    return durable_.size();
+  }
+
+  /// Flips one bit in the durable log (media corruption injection).
+  void corrupt_bit(std::size_t byte_offset, unsigned bit) {
+    if (byte_offset < durable_.size()) {
+      durable_[byte_offset] ^= static_cast<std::uint8_t>(1u << (bit & 7));
+    }
+  }
+
+ private:
+  Bytes durable_;
+  Bytes buffered_;
+};
+
+/// Ordered key-value store with WAL-backed durability.
+class KvStore {
+ public:
+  /// Takes shared ownership of the storage so fault-injection harnesses can
+  /// keep a handle to crash/corrupt it.
+  explicit KvStore(std::shared_ptr<WalStorage> storage);
+
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  /// Inserts or overwrites.  The mutation is WAL-appended first.
+  void put(std::string_view key, ByteSpan value);
+
+  /// Point lookup.
+  [[nodiscard]] std::optional<Bytes> get(std::string_view key) const;
+
+  /// Removes the key if present; returns whether it existed.
+  bool erase(std::string_view key);
+
+  /// Durably flushes the WAL (maps to storage sync()).
+  void sync();
+
+  /// Rewrites the WAL as a compact snapshot of the live table.
+  void compact();
+
+  /// Enables automatic compaction: whenever the WAL grows beyond
+  /// `factor` x the live snapshot size (and past `min_bytes`), the store
+  /// compacts itself after the mutation that crossed the threshold.
+  void set_auto_compaction(double factor, std::size_t min_bytes = 64 * 1024) {
+    auto_compact_factor_ = factor;
+    auto_compact_min_bytes_ = min_bytes;
+  }
+
+  /// Approximate live snapshot size (keys + values + framing).
+  [[nodiscard]] std::size_t live_bytes() const noexcept { return live_bytes_; }
+  /// Bytes currently occupying the WAL (live + garbage).
+  [[nodiscard]] std::size_t wal_bytes() const noexcept { return wal_bytes_; }
+
+  /// Rebuilds the in-memory table by replaying the WAL.  Records with bad
+  /// CRCs or a torn tail end the replay (LevelDB-style: the log is valid up
+  /// to the first damaged record).  Returns the number of records replayed.
+  std::size_t recover();
+
+  /// Iterates entries whose key starts with `prefix`, in key order.
+  void scan_prefix(std::string_view prefix,
+                   const std::function<void(std::string_view, ByteSpan)>& fn)
+      const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+  [[nodiscard]] std::uint64_t wal_bytes_written() const noexcept {
+    return wal_bytes_written_;
+  }
+
+ private:
+  enum class RecordOp : std::uint8_t { put = 1, erase = 2 };
+
+  void append_record(RecordOp op, std::string_view key, ByteSpan value);
+  static Bytes encode_record(RecordOp op, std::string_view key,
+                             ByteSpan value);
+  void maybe_auto_compact();
+  static std::size_t record_bytes(std::string_view key, ByteSpan value) {
+    return 8 + 9 + key.size() + value.size();
+  }
+
+  std::shared_ptr<WalStorage> storage_;
+  std::map<std::string, Bytes, std::less<>> table_;
+  std::uint64_t wal_bytes_written_ = 0;
+  std::size_t wal_bytes_ = 0;
+  std::size_t live_bytes_ = 0;
+  double auto_compact_factor_ = 0.0;  ///< 0 = disabled
+  std::size_t auto_compact_min_bytes_ = 64 * 1024;
+};
+
+}  // namespace dcfs

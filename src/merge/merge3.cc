@@ -1,0 +1,227 @@
+#include "merge/merge3.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dcfs::merge {
+namespace {
+
+constexpr std::size_t kNoHunk = std::numeric_limits<std::size_t>::max();
+
+void append_lines(Bytes& out, const std::vector<std::string_view>& lines,
+                  std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    append(out, ByteSpan{reinterpret_cast<const std::uint8_t*>(lines[i].data()),
+                         lines[i].size()});
+  }
+}
+
+void append_text(Bytes& out, std::string_view text) {
+  append(out, ByteSpan{reinterpret_cast<const std::uint8_t*>(text.data()),
+                       text.size()});
+}
+
+bool lines_equal(const std::vector<std::string_view>& a, std::size_t a_begin,
+                 std::size_t a_end, const std::vector<std::string_view>& b,
+                 std::size_t b_begin, std::size_t b_end) {
+  if (a_end - a_begin != b_end - b_begin) return false;
+  for (std::size_t i = 0; i < a_end - a_begin; ++i) {
+    if (a[a_begin + i] != b[b_begin + i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::string_view> split_lines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      lines.push_back(text.substr(start, i - start + 1));
+      start = i + 1;
+    }
+  }
+  if (start < text.size()) lines.push_back(text.substr(start));
+  return lines;
+}
+
+std::vector<DiffHunk> diff_lines(const std::vector<std::string_view>& a,
+                                 const std::vector<std::string_view>& b) {
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  const int max_d = n + m;
+  if (max_d == 0) return {};
+
+  // Myers O(ND) with full trace (memory O(D^2); fine for text files).
+  const int offset = max_d;
+  std::vector<int> v(2 * max_d + 2, 0);
+  std::vector<std::vector<int>> trace;
+
+  bool found = false;
+  for (int d = 0; d <= max_d && !found; ++d) {
+    trace.push_back(v);
+    for (int k = -d; k <= d; k += 2) {
+      int x;
+      if (k == -d || (k != d && v[offset + k - 1] < v[offset + k + 1])) {
+        x = v[offset + k + 1];
+      } else {
+        x = v[offset + k - 1] + 1;
+      }
+      int y = x - k;
+      while (x < n && y < m && a[static_cast<std::size_t>(x)] ==
+                                   b[static_cast<std::size_t>(y)]) {
+        ++x;
+        ++y;
+      }
+      v[offset + k] = x;
+      if (x >= n && y >= m) {
+        found = true;
+        break;
+      }
+    }
+  }
+
+  // Backtrack, collecting matched line pairs.
+  std::vector<std::pair<int, int>> matches;
+  int x = n;
+  int y = m;
+  for (int d = static_cast<int>(trace.size()) - 1; d >= 0 && (x > 0 || y > 0);
+       --d) {
+    const std::vector<int>& pv = trace[static_cast<std::size_t>(d)];
+    const int k = x - y;
+    int prev_k;
+    if (k == -d || (k != d && pv[offset + k - 1] < pv[offset + k + 1])) {
+      prev_k = k + 1;
+    } else {
+      prev_k = k - 1;
+    }
+    const int prev_x = pv[offset + prev_k];
+    const int prev_y = prev_x - prev_k;
+    while (x > prev_x && y > prev_y) {
+      matches.push_back({x - 1, y - 1});
+      --x;
+      --y;
+    }
+    if (d > 0) {
+      x = prev_x;
+      y = prev_y;
+    }
+  }
+  std::reverse(matches.begin(), matches.end());
+
+  // Gaps between matches are the edit hunks.
+  std::vector<DiffHunk> hunks;
+  std::size_t ai = 0;
+  std::size_t bi = 0;
+  for (const auto& [mx, my] : matches) {
+    const auto ax = static_cast<std::size_t>(mx);
+    const auto by = static_cast<std::size_t>(my);
+    if (ai < ax || bi < by) hunks.push_back({ai, ax, bi, by});
+    ai = ax + 1;
+    bi = by + 1;
+  }
+  if (ai < a.size() || bi < b.size()) {
+    hunks.push_back({ai, a.size(), bi, b.size()});
+  }
+  return hunks;
+}
+
+MergeResult merge3(ByteSpan base, ByteSpan ours, ByteSpan theirs,
+                   const MergeOptions& options) {
+  const auto base_lines = split_lines(as_text(base));
+  const auto ours_lines = split_lines(as_text(ours));
+  const auto theirs_lines = split_lines(as_text(theirs));
+
+  const auto ours_hunks = diff_lines(base_lines, ours_lines);
+  const auto theirs_hunks = diff_lines(base_lines, theirs_lines);
+
+  MergeResult result;
+  std::size_t base_pos = 0;
+  std::size_t oi = 0;  // next ours hunk
+  std::size_t ti = 0;  // next theirs hunk
+  std::ptrdiff_t ours_offset = 0;    // ours_line = base_line + offset
+  std::ptrdiff_t theirs_offset = 0;  // before the current position
+
+  while (true) {
+    const std::size_t next_ours =
+        oi < ours_hunks.size() ? ours_hunks[oi].a_begin : kNoHunk;
+    const std::size_t next_theirs =
+        ti < theirs_hunks.size() ? theirs_hunks[ti].a_begin : kNoHunk;
+    const std::size_t start = std::min(next_ours, next_theirs);
+
+    if (start == kNoHunk) {
+      append_lines(result.content, base_lines, base_pos, base_lines.size());
+      break;
+    }
+
+    // Unchanged prefix (identical in all three versions).
+    append_lines(result.content, base_lines, base_pos, start);
+
+    // Grow a combined region while hunks from either side overlap/touch it.
+    std::size_t lo = start;
+    std::size_t hi = start;
+    const std::ptrdiff_t ours_off_before = ours_offset;
+    const std::ptrdiff_t theirs_off_before = theirs_offset;
+    bool ours_changed = false;
+    bool theirs_changed = false;
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      if (oi < ours_hunks.size() && ours_hunks[oi].a_begin <= hi) {
+        hi = std::max(hi, ours_hunks[oi].a_end);
+        ours_offset = static_cast<std::ptrdiff_t>(ours_hunks[oi].b_end) -
+                      static_cast<std::ptrdiff_t>(ours_hunks[oi].a_end);
+        ours_changed = true;
+        ++oi;
+        grew = true;
+      }
+      if (ti < theirs_hunks.size() && theirs_hunks[ti].a_begin <= hi) {
+        hi = std::max(hi, theirs_hunks[ti].a_end);
+        theirs_offset = static_cast<std::ptrdiff_t>(theirs_hunks[ti].b_end) -
+                        static_cast<std::ptrdiff_t>(theirs_hunks[ti].a_end);
+        theirs_changed = true;
+        ++ti;
+        grew = true;
+      }
+    }
+
+    // Map the base region [lo, hi) into each side's line coordinates.
+    const auto ours_lo = static_cast<std::size_t>(
+        static_cast<std::ptrdiff_t>(lo) + ours_off_before);
+    const auto ours_hi = static_cast<std::size_t>(
+        static_cast<std::ptrdiff_t>(hi) + ours_offset);
+    const auto theirs_lo = static_cast<std::size_t>(
+        static_cast<std::ptrdiff_t>(lo) + theirs_off_before);
+    const auto theirs_hi = static_cast<std::size_t>(
+        static_cast<std::ptrdiff_t>(hi) + theirs_offset);
+
+    const bool same_change =
+        lines_equal(ours_lines, ours_lo, ours_hi, theirs_lines, theirs_lo,
+                    theirs_hi);
+    if (!ours_changed || same_change) {
+      append_lines(result.content, theirs_lines, theirs_lo, theirs_hi);
+    } else if (!theirs_changed) {
+      append_lines(result.content, ours_lines, ours_lo, ours_hi);
+    } else {
+      // Both sides changed the region differently: conflict block.
+      ++result.conflicts;
+      result.clean = false;
+      append_text(result.content, "<<<<<<< " + options.ours_label + "\n");
+      append_lines(result.content, ours_lines, ours_lo, ours_hi);
+      if (!result.content.empty() && result.content.back() != '\n') {
+        result.content.push_back('\n');
+      }
+      append_text(result.content, "=======\n");
+      append_lines(result.content, theirs_lines, theirs_lo, theirs_hi);
+      if (!result.content.empty() && result.content.back() != '\n') {
+        result.content.push_back('\n');
+      }
+      append_text(result.content, ">>>>>>> " + options.theirs_label + "\n");
+    }
+    base_pos = hi;
+  }
+  return result;
+}
+
+}  // namespace dcfs::merge

@@ -1,0 +1,57 @@
+// Three-way (diff3-style) merge for plain-text files.
+//
+// The paper's conflict handling labels both versions and "lets users
+// resolve conflicts manually, for example picking the version they want or
+// merging different versions", noting that automatic merging "is only
+// suited to plain text files" (§III-C).  This module provides exactly that
+// opt-in text merge: given the common base and the two divergent versions,
+// regions changed by only one side apply cleanly; regions changed by both
+// sides differently become git-style conflict blocks.
+//
+// Line-based; the diff core is a Myers O(ND) shortest-edit-script.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace dcfs::merge {
+
+/// One edit region between two line sequences: lines [a_begin, a_end) of A
+/// were replaced by lines [b_begin, b_end) of B.
+struct DiffHunk {
+  std::size_t a_begin = 0;
+  std::size_t a_end = 0;
+  std::size_t b_begin = 0;
+  std::size_t b_end = 0;
+
+  friend bool operator==(const DiffHunk&, const DiffHunk&) = default;
+};
+
+/// Splits `text` into lines; the trailing newline belongs to its line.
+std::vector<std::string_view> split_lines(std::string_view text);
+
+/// Myers diff between two line sequences: the minimal set of edit hunks.
+std::vector<DiffHunk> diff_lines(const std::vector<std::string_view>& a,
+                                 const std::vector<std::string_view>& b);
+
+struct MergeOptions {
+  std::string ours_label = "ours";
+  std::string theirs_label = "theirs";
+};
+
+struct MergeResult {
+  Bytes content;
+  bool clean = true;       ///< no conflict markers emitted
+  std::size_t conflicts = 0;
+};
+
+/// diff3 merge of `ours` and `theirs` against their common `base`.
+/// Conflicting regions are wrapped in "<<<<<<<"/"======="/">>>>>>>"
+/// markers; everything else merges automatically.
+MergeResult merge3(ByteSpan base, ByteSpan ours, ByteSpan theirs,
+                   const MergeOptions& options = {});
+
+}  // namespace dcfs::merge

@@ -1,0 +1,86 @@
+#include "metrics/cost.h"
+
+namespace dcfs {
+
+std::string_view to_string(CostKind kind) noexcept {
+  switch (kind) {
+    case CostKind::rolling_hash: return "rolling_hash";
+    case CostKind::strong_hash: return "strong_hash";
+    case CostKind::byte_compare: return "byte_compare";
+    case CostKind::byte_copy: return "byte_copy";
+    case CostKind::compress: return "compress";
+    case CostKind::decompress: return "decompress";
+    case CostKind::encrypt: return "encrypt";
+    case CostKind::cdc_scan: return "cdc_scan";
+    case CostKind::disk_read: return "disk_read";
+    case CostKind::disk_write: return "disk_write";
+    case CostKind::net_frame: return "net_frame";
+    case CostKind::kv_op: return "kv_op";
+    case CostKind::syscall: return "syscall";
+    case CostKind::kCount: break;
+  }
+  return "unknown";
+}
+
+namespace {
+
+constexpr std::size_t idx(CostKind kind) {
+  return static_cast<std::size_t>(kind);
+}
+
+CostProfile make_pc_profile() {
+  CostProfile p;
+  // Per-byte costs in 1/16 units; rolling hash is the 1.0 reference.
+  p.per_byte_x16[idx(CostKind::rolling_hash)] = 16;   // 1.00 / byte
+  p.per_byte_x16[idx(CostKind::strong_hash)] = 80;    // 5.00 / byte (MD5)
+  p.per_byte_x16[idx(CostKind::byte_compare)] = 4;    // 0.25 / byte
+  p.per_byte_x16[idx(CostKind::byte_copy)] = 3;       // ~0.19 / byte
+  p.per_byte_x16[idx(CostKind::compress)] = 48;       // 3.00 / byte
+  p.per_byte_x16[idx(CostKind::decompress)] = 12;     // 0.75 / byte
+  p.per_byte_x16[idx(CostKind::encrypt)] = 24;        // 1.50 / byte
+  p.per_byte_x16[idx(CostKind::cdc_scan)] = 20;       // 1.25 / byte
+  p.per_byte_x16[idx(CostKind::disk_read)] = 5;       // 0.31 / byte
+  p.per_byte_x16[idx(CostKind::disk_write)] = 6;      // 0.38 / byte
+  p.per_byte_x16[idx(CostKind::net_frame)] = 10;      // 0.63 / byte
+  p.per_byte_x16[idx(CostKind::kv_op)] = 2;
+  p.per_byte_x16[idx(CostKind::syscall)] = 0;
+  // Fixed per-invocation costs, in units.
+  p.per_op[idx(CostKind::strong_hash)] = 64;
+  p.per_op[idx(CostKind::kv_op)] = 600;
+  p.per_op[idx(CostKind::syscall)] = 800;
+  p.per_op[idx(CostKind::net_frame)] = 2000;
+  p.per_op[idx(CostKind::compress)] = 200;
+  p.per_op[idx(CostKind::encrypt)] = 300;
+  // 1 tick = 10 ms CPU on a Xeon core.  The reference primitive (rolling
+  // hash, 1 unit/byte) runs at ~300 MB/s on such a core, so one tick buys
+  // ~3e6 units.  This lands the canonical traces in the paper's absolute
+  // tick ranges (tens to ~25k).
+  p.units_per_tick = 3'000'000;
+  return p;
+}
+
+CostProfile make_mobile_profile() {
+  CostProfile p = make_pc_profile();
+  // Same algorithms, wimpier core: ~10x fewer units per tick.  Syscalls and
+  // storage I/O are proportionally pricier on Android-class kernels/flash.
+  p.units_per_tick = 300'000;
+  p.per_op[idx(CostKind::syscall)] = 1'600;
+  p.per_byte_x16[idx(CostKind::disk_read)] = 10;
+  p.per_byte_x16[idx(CostKind::disk_write)] = 14;
+  p.per_op[idx(CostKind::net_frame)] = 4'000;
+  return p;
+}
+
+}  // namespace
+
+const CostProfile& CostProfile::pc() noexcept {
+  static const CostProfile kProfile = make_pc_profile();
+  return kProfile;
+}
+
+const CostProfile& CostProfile::mobile() noexcept {
+  static const CostProfile kProfile = make_mobile_profile();
+  return kProfile;
+}
+
+}  // namespace dcfs

@@ -1,0 +1,50 @@
+// Network traffic accounting (the paper's Figures 8 and 9, and the TUE
+// metric of Figure 2).
+#pragma once
+
+#include <cstdint>
+
+namespace dcfs {
+
+/// Byte and message counters for one endpoint, split by direction.
+/// "up" is client-to-cloud, "down" is cloud-to-client.
+class TrafficMeter {
+ public:
+  void add_up(std::uint64_t bytes) noexcept {
+    up_bytes_ += bytes;
+    ++up_messages_;
+  }
+  void add_down(std::uint64_t bytes) noexcept {
+    down_bytes_ += bytes;
+    ++down_messages_;
+  }
+
+  [[nodiscard]] std::uint64_t up_bytes() const noexcept { return up_bytes_; }
+  [[nodiscard]] std::uint64_t down_bytes() const noexcept { return down_bytes_; }
+  [[nodiscard]] std::uint64_t up_messages() const noexcept { return up_messages_; }
+  [[nodiscard]] std::uint64_t down_messages() const noexcept {
+    return down_messages_;
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return up_bytes_ + down_bytes_;
+  }
+
+  /// Traffic Usage Efficiency: total sync traffic / size of the data update
+  /// (Li et al., IMC'14).  TUE == 1 is ideal; large values mean traffic
+  /// overuse.
+  [[nodiscard]] double tue(std::uint64_t update_bytes) const noexcept {
+    if (update_bytes == 0) return 0.0;
+    return static_cast<double>(total_bytes()) /
+           static_cast<double>(update_bytes);
+  }
+
+  void reset() noexcept { *this = TrafficMeter{}; }
+
+ private:
+  std::uint64_t up_bytes_ = 0;
+  std::uint64_t down_bytes_ = 0;
+  std::uint64_t up_messages_ = 0;
+  std::uint64_t down_messages_ = 0;
+};
+
+}  // namespace dcfs

@@ -1,0 +1,35 @@
+#include "net/transport.h"
+
+#include <utility>
+
+namespace dcfs {
+
+Duration Transport::client_send(Bytes frame) {
+  const std::uint64_t wire_bytes = frame.size() + profile_.frame_overhead;
+  meter_.add_up(wire_bytes);
+  to_server_.push_back(std::move(frame));
+  return profile_.upload_time(wire_bytes);
+}
+
+std::optional<Bytes> Transport::client_poll() {
+  if (to_client_.empty()) return std::nullopt;
+  Bytes frame = std::move(to_client_.front());
+  to_client_.pop_front();
+  return frame;
+}
+
+Duration Transport::server_send(Bytes frame) {
+  const std::uint64_t wire_bytes = frame.size() + profile_.frame_overhead;
+  meter_.add_down(wire_bytes);
+  to_client_.push_back(std::move(frame));
+  return profile_.download_time(wire_bytes);
+}
+
+std::optional<Bytes> Transport::server_poll() {
+  if (to_server_.empty()) return std::nullopt;
+  Bytes frame = std::move(to_server_.front());
+  to_server_.pop_front();
+  return frame;
+}
+
+}  // namespace dcfs

@@ -1,0 +1,187 @@
+#include "proto/messages.h"
+
+namespace dcfs::proto {
+namespace {
+
+void put_string(Bytes& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  append(out, ByteSpan{reinterpret_cast<const std::uint8_t*>(s.data()),
+                       s.size()});
+}
+
+bool get_string(ByteSpan in, std::size_t& pos, std::string& out) {
+  if (pos + 4 > in.size()) return false;
+  const std::uint32_t length = get_u32(in, pos);
+  pos += 4;
+  if (pos + length > in.size()) return false;
+  out.assign(reinterpret_cast<const char*>(in.data() + pos), length);
+  pos += length;
+  return true;
+}
+
+bool get_bytes(ByteSpan in, std::size_t& pos, Bytes& out) {
+  if (pos + 4 > in.size()) return false;
+  const std::uint32_t length = get_u32(in, pos);
+  pos += 4;
+  if (pos + length > in.size()) return false;
+  out.assign(in.begin() + static_cast<std::ptrdiff_t>(pos),
+             in.begin() + static_cast<std::ptrdiff_t>(pos + length));
+  pos += length;
+  return true;
+}
+
+void put_version(Bytes& out, const VersionId& v) {
+  put_u32(out, v.client_id);
+  put_u64(out, v.counter);
+}
+
+bool get_version(ByteSpan in, std::size_t& pos, VersionId& v) {
+  if (pos + 12 > in.size()) return false;
+  v.client_id = get_u32(in, pos);
+  v.counter = get_u64(in, pos + 4);
+  pos += 12;
+  return true;
+}
+
+}  // namespace
+
+Bytes encode_segments(const std::vector<Segment>& segments) {
+  Bytes wire;
+  put_u32(wire, static_cast<std::uint32_t>(segments.size()));
+  for (const Segment& segment : segments) {
+    put_u64(wire, segment.offset);
+    put_u32(wire, static_cast<std::uint32_t>(segment.data.size()));
+    append(wire, segment.data);
+  }
+  return wire;
+}
+
+Result<std::vector<Segment>> decode_segments(ByteSpan wire) {
+  if (wire.size() < 4) return Status{Errc::corruption, "segments too short"};
+  const std::uint32_t count = get_u32(wire, 0);
+  std::size_t pos = 4;
+  // Each segment needs at least 12 header bytes: larger counts are corrupt.
+  if (count > wire.size() / 12 + 1) {
+    return Status{Errc::corruption, "segment count implausible"};
+  }
+  std::vector<Segment> segments;
+  segments.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (pos + 12 > wire.size()) {
+      return Status{Errc::corruption, "segment header truncated"};
+    }
+    Segment segment;
+    segment.offset = get_u64(wire, pos);
+    const std::uint32_t length = get_u32(wire, pos + 8);
+    pos += 12;
+    if (pos + length > wire.size()) {
+      return Status{Errc::corruption, "segment data truncated"};
+    }
+    segment.data.assign(wire.begin() + static_cast<std::ptrdiff_t>(pos),
+                        wire.begin() + static_cast<std::ptrdiff_t>(pos + length));
+    pos += length;
+    segments.push_back(std::move(segment));
+  }
+  return segments;
+}
+
+std::string to_string(const VersionId& version) {
+  return "<" + std::to_string(version.client_id) + "," +
+         std::to_string(version.counter) + ">";
+}
+
+std::string_view to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::create: return "create";
+    case OpKind::mkdir: return "mkdir";
+    case OpKind::rmdir: return "rmdir";
+    case OpKind::unlink: return "unlink";
+    case OpKind::rename: return "rename";
+    case OpKind::link: return "link";
+    case OpKind::truncate: return "truncate";
+    case OpKind::write: return "write";
+    case OpKind::file_delta: return "file_delta";
+    case OpKind::full_file: return "full_file";
+  }
+  return "unknown";
+}
+
+Bytes encode(const SyncRecord& record) {
+  Bytes wire;
+  wire.reserve(64 + record.path.size() + record.path2.size() +
+               record.payload.size());
+  put_u64(wire, record.sequence);
+  wire.push_back(static_cast<std::uint8_t>(record.kind));
+  put_string(wire, record.path);
+  put_string(wire, record.path2);
+  put_u64(wire, record.offset);
+  put_u64(wire, record.size);
+  put_u32(wire, static_cast<std::uint32_t>(record.payload.size()));
+  append(wire, record.payload);
+  put_version(wire, record.base_version);
+  put_version(wire, record.new_version);
+  put_u64(wire, record.txn_group);
+  wire.push_back(record.txn_last ? 1 : 0);
+  wire.push_back(record.base_deleted ? 1 : 0);
+  wire.push_back(record.compressed ? 1 : 0);
+  return wire;
+}
+
+Result<SyncRecord> decode_record(ByteSpan wire) {
+  SyncRecord record;
+  std::size_t pos = 0;
+  if (wire.size() < 9) return Status{Errc::corruption, "record too short"};
+  record.sequence = get_u64(wire, pos);
+  pos += 8;
+  record.kind = static_cast<OpKind>(wire[pos++]);
+  if (!get_string(wire, pos, record.path) ||
+      !get_string(wire, pos, record.path2)) {
+    return Status{Errc::corruption, "record paths truncated"};
+  }
+  if (pos + 16 > wire.size()) return Status{Errc::corruption, "record truncated"};
+  record.offset = get_u64(wire, pos);
+  record.size = get_u64(wire, pos + 8);
+  pos += 16;
+  if (!get_bytes(wire, pos, record.payload)) {
+    return Status{Errc::corruption, "record payload truncated"};
+  }
+  if (!get_version(wire, pos, record.base_version) ||
+      !get_version(wire, pos, record.new_version)) {
+    return Status{Errc::corruption, "record versions truncated"};
+  }
+  if (pos + 11 > wire.size()) {
+    return Status{Errc::corruption, "record tail truncated"};
+  }
+  record.txn_group = get_u64(wire, pos);
+  record.txn_last = wire[pos + 8] != 0;
+  record.base_deleted = wire[pos + 9] != 0;
+  record.compressed = wire[pos + 10] != 0;
+  return record;
+}
+
+Bytes encode(const Ack& ack) {
+  Bytes wire;
+  put_u64(wire, ack.sequence);
+  wire.push_back(static_cast<std::uint8_t>(ack.result));
+  put_version(wire, ack.server_version);
+  put_string(wire, ack.conflict_path);
+  return wire;
+}
+
+Result<Ack> decode_ack(ByteSpan wire) {
+  if (wire.size() < 9) return Status{Errc::corruption, "ack too short"};
+  Ack ack;
+  std::size_t pos = 0;
+  ack.sequence = get_u64(wire, pos);
+  pos += 8;
+  ack.result = static_cast<Errc>(wire[pos++]);
+  if (!get_version(wire, pos, ack.server_version)) {
+    return Status{Errc::corruption, "ack version truncated"};
+  }
+  if (!get_string(wire, pos, ack.conflict_path)) {
+    return Status{Errc::corruption, "ack path truncated"};
+  }
+  return ack;
+}
+
+}  // namespace dcfs::proto

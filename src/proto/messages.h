@@ -1,0 +1,99 @@
+// Wire protocol between DeltaCFS clients and the cloud.
+//
+// Every mutating record carries the paper's client-assigned version pair
+// <CliID, VerCnt> (§III-C): `base_version` names the version the increment
+// applies to, `new_version` the version it produces.  Records that belong
+// to one backindex span share a `txn_group` and are applied transactionally
+// by the server (§III-E).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace dcfs::proto {
+
+/// <CliID, VerCnt>: client-assigned, globally unique, partially ordered.
+struct VersionId {
+  std::uint32_t client_id = 0;
+  std::uint64_t counter = 0;
+
+  friend bool operator==(const VersionId&, const VersionId&) = default;
+  [[nodiscard]] bool is_null() const noexcept {
+    return client_id == 0 && counter == 0;
+  }
+};
+
+std::string to_string(const VersionId& version);
+
+enum class OpKind : std::uint8_t {
+  create = 1,   ///< new empty file
+  mkdir,
+  rmdir,
+  unlink,
+  rename,       ///< path -> path2
+  link,         ///< path2 becomes another name for path
+  truncate,     ///< resize to `size`
+  write,        ///< payload at `offset` (NFS-like file RPC)
+  file_delta,   ///< payload = encoded rsyncx::Delta against base_version
+  full_file,    ///< payload = entire content (bootstrap / recovery)
+};
+
+std::string_view to_string(OpKind kind);
+
+/// One sync unit: a node popped from the Sync Queue, on the wire.
+struct SyncRecord {
+  std::uint64_t sequence = 0;  ///< client-local, echoed in acks
+  OpKind kind = OpKind::write;
+  std::string path;
+  std::string path2;      ///< rename destination / link new name
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0; ///< truncate target size
+  Bytes payload;
+  VersionId base_version;
+  VersionId new_version;
+  std::uint64_t txn_group = 0;  ///< 0 = standalone
+  bool txn_last = false;        ///< closes its transactional group
+  /// For file_delta: the base content belongs to a file the client deleted
+  /// (delete-then-recreate pattern); the server resolves it from its
+  /// tombstones rather than treating the stale version as a conflict.
+  bool base_deleted = false;
+  /// Payload is LZ-compressed (optional, ClientConfig::compress_uploads).
+  bool compressed = false;
+
+  friend bool operator==(const SyncRecord&, const SyncRecord&) = default;
+};
+
+/// Server response to one SyncRecord.
+struct Ack {
+  std::uint64_t sequence = 0;
+  Errc result = Errc::ok;           ///< ok | conflict | ...
+  VersionId server_version;         ///< version now current on the cloud
+  std::string conflict_path;        ///< where a conflict copy landed, if any
+
+  friend bool operator==(const Ack&, const Ack&) = default;
+};
+
+/// Payload of an OpKind::write record: the coalesced write segments of one
+/// Sync Queue write node (batched, per §III-B).
+struct Segment {
+  std::uint64_t offset = 0;
+  Bytes data;
+
+  friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+Bytes encode_segments(const std::vector<Segment>& segments);
+Result<std::vector<Segment>> decode_segments(ByteSpan wire);
+
+/// Byte-exact serialization (these frames are what the traffic meters see).
+Bytes encode(const SyncRecord& record);
+Result<SyncRecord> decode_record(ByteSpan wire);
+
+Bytes encode(const Ack& ack);
+Result<Ack> decode_ack(ByteSpan wire);
+
+}  // namespace dcfs::proto

@@ -1,0 +1,58 @@
+#include "rsyncx/cdc.h"
+
+#include <bit>
+
+#include "common/checksum.h"
+
+namespace dcfs::rsyncx {
+namespace {
+
+/// Mask with log2(average) low bits set; boundary when (hash & mask) == 0.
+std::uint64_t mask_for_average(std::size_t average) noexcept {
+  const unsigned bits = average <= 1
+                            ? 1
+                            : static_cast<unsigned>(std::bit_width(average) - 1);
+  return (std::uint64_t{1} << bits) - 1;
+}
+
+}  // namespace
+
+std::vector<Chunk> chunk_boundaries(ByteSpan data, const CdcParams& params,
+                                    CostMeter* meter) {
+  std::vector<Chunk> chunks;
+  if (data.empty()) return chunks;
+  if (meter != nullptr) meter->charge(CostKind::cdc_scan, data.size());
+
+  const std::uint64_t mask = mask_for_average(params.average);
+  std::size_t start = 0;
+  std::uint64_t hash = 0;
+
+  for (std::size_t pos = 0; pos < data.size(); ++pos) {
+    hash = gear_step(hash, data[pos]);
+    const std::size_t length = pos - start + 1;
+    const bool at_boundary =
+        (length >= params.minimum && (hash & mask) == 0) ||
+        length >= params.maximum;
+    if (at_boundary) {
+      chunks.push_back({start, length, {}});
+      start = pos + 1;
+      hash = 0;
+    }
+  }
+  if (start < data.size()) {
+    chunks.push_back({start, data.size() - start, {}});
+  }
+  return chunks;
+}
+
+std::vector<Chunk> chunk_cdc(ByteSpan data, const CdcParams& params,
+                             CostMeter* meter) {
+  std::vector<Chunk> chunks = chunk_boundaries(data, params, meter);
+  for (Chunk& chunk : chunks) {
+    if (meter != nullptr) meter->charge(CostKind::strong_hash, chunk.length);
+    chunk.id = Md5::hash(data.subspan(chunk.offset, chunk.length));
+  }
+  return chunks;
+}
+
+}  // namespace dcfs::rsyncx

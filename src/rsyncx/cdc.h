@@ -1,0 +1,44 @@
+// Content-defined chunking (the LBFS/Seafile algorithm, §II-A).
+//
+// Boundaries are picked by a gear rolling hash: a cut happens where
+// (hash & mask) == 0, giving an expected chunk size of `average`, clamped
+// to [minimum, maximum].  Because boundaries depend on content, an insert
+// or delete only disturbs the chunks around the edit — the property that
+// lets Seafile skip re-checksumming untouched chunks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/md5.h"
+#include "metrics/cost.h"
+
+namespace dcfs::rsyncx {
+
+struct Chunk {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  Md5::Digest id{};  ///< content hash used for deduplication
+};
+
+struct CdcParams {
+  std::size_t minimum = 256 * 1024;
+  std::size_t average = 1024 * 1024;  ///< Seafile's default 1 MB
+  std::size_t maximum = 4 * 1024 * 1024;
+
+  static CdcParams seafile() noexcept { return {}; }
+  /// Ori-style fine-grained chunking (4 KB average).
+  static CdcParams fine() noexcept { return {1024, 4096, 16384}; }
+};
+
+/// Splits `data` into content-defined chunks and hashes each.
+/// Charges cdc_scan per byte scanned and strong_hash per byte hashed.
+std::vector<Chunk> chunk_cdc(ByteSpan data, const CdcParams& params,
+                             CostMeter* meter);
+
+/// Splits without hashing (boundary detection only).
+std::vector<Chunk> chunk_boundaries(ByteSpan data, const CdcParams& params,
+                                    CostMeter* meter);
+
+}  // namespace dcfs::rsyncx

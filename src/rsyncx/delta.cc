@@ -1,0 +1,321 @@
+#include "rsyncx/delta.h"
+
+#include <cstring>
+#include <functional>
+#include <unordered_map>
+
+#include "common/checksum.h"
+
+namespace dcfs::rsyncx {
+namespace {
+
+void charge(CostMeter* meter, CostKind kind, std::uint64_t bytes) {
+  if (meter != nullptr) meter->charge(kind, bytes);
+}
+
+/// Appends a copy command, merging with a preceding contiguous copy.
+void emit_copy(Delta& delta, std::uint64_t src_offset, std::uint64_t length) {
+  if (!delta.commands.empty()) {
+    Command& last = delta.commands.back();
+    if (last.kind == Command::Kind::copy &&
+        last.src_offset + last.length == src_offset) {
+      last.length += length;
+      return;
+    }
+  }
+  Command cmd;
+  cmd.kind = Command::Kind::copy;
+  cmd.src_offset = src_offset;
+  cmd.length = length;
+  delta.commands.push_back(std::move(cmd));
+}
+
+void emit_literal(Delta& delta, ByteSpan bytes) {
+  if (bytes.empty()) return;
+  if (!delta.commands.empty() &&
+      delta.commands.back().kind == Command::Kind::literal) {
+    append(delta.commands.back().data, bytes);
+    return;
+  }
+  Command cmd;
+  cmd.kind = Command::Kind::literal;
+  cmd.data.assign(bytes.begin(), bytes.end());
+  delta.commands.push_back(std::move(cmd));
+}
+
+/// Block-matching core shared by the remote and local modes.
+/// `confirm(block_index, window)` performs the expensive verification.
+Delta match_blocks(
+    const Signature& signature, ByteSpan target, CostMeter* meter,
+    const std::function<bool(const BlockSignature&, ByteSpan)>& confirm) {
+  Delta delta;
+  delta.base_size = signature.file_size;
+  delta.target_size = target.size();
+
+  const std::uint32_t block_size = signature.block_size;
+  if (target.empty()) return delta;
+  if (signature.blocks.empty() || target.size() < block_size) {
+    // No full window fits (or empty base): check a possible whole-tail match
+    // below, otherwise everything is literal.
+    if (!signature.blocks.empty()) {
+      const BlockSignature& tail = signature.blocks.back();
+      if (tail.length == target.size()) {
+        charge(meter, CostKind::rolling_hash, target.size());
+        if (weak_checksum(target) == tail.weak && confirm(tail, target)) {
+          emit_copy(delta,
+                    static_cast<std::uint64_t>(tail.index) * block_size,
+                    tail.length);
+          return delta;
+        }
+      }
+    }
+    emit_literal(delta, target);
+    return delta;
+  }
+
+  // Index full-sized base blocks by weak checksum.
+  std::unordered_multimap<std::uint32_t, const BlockSignature*> index;
+  index.reserve(signature.blocks.size());
+  const BlockSignature* tail_block = nullptr;
+  for (const BlockSignature& block : signature.blocks) {
+    if (block.length == block_size) {
+      index.emplace(block.weak, &block);
+    } else {
+      tail_block = &block;
+    }
+  }
+
+  std::size_t pos = 0;
+  std::size_t literal_start = 0;
+  RollingChecksum rolling(target.subspan(0, block_size));
+  charge(meter, CostKind::rolling_hash, block_size);
+
+  while (pos + block_size <= target.size()) {
+    const std::uint32_t weak = rolling.digest();
+    const BlockSignature* matched = nullptr;
+    auto [it, end] = index.equal_range(weak);
+    for (; it != end; ++it) {
+      if (confirm(*it->second, target.subspan(pos, block_size))) {
+        matched = it->second;
+        break;
+      }
+    }
+
+    if (matched != nullptr) {
+      emit_literal(delta, target.subspan(literal_start, pos - literal_start));
+      emit_copy(delta,
+                static_cast<std::uint64_t>(matched->index) * block_size,
+                block_size);
+      pos += block_size;
+      literal_start = pos;
+      if (pos + block_size <= target.size()) {
+        rolling.reset(target.subspan(pos, block_size));
+        charge(meter, CostKind::rolling_hash, block_size);
+      }
+    } else {
+      rolling.roll(target[pos], pos + block_size < target.size()
+                                    ? target[pos + block_size]
+                                    : 0);
+      charge(meter, CostKind::rolling_hash, 1);
+      ++pos;
+    }
+  }
+
+  // Tail: try to match the base's short final block exactly.
+  const std::size_t remaining = target.size() - pos;
+  if (tail_block != nullptr && remaining == tail_block->length &&
+      remaining > 0) {
+    const ByteSpan tail = target.subspan(pos, remaining);
+    charge(meter, CostKind::rolling_hash, remaining);
+    if (weak_checksum(tail) == tail_block->weak && confirm(*tail_block, tail)) {
+      emit_literal(delta, target.subspan(literal_start, pos - literal_start));
+      emit_copy(delta,
+                static_cast<std::uint64_t>(tail_block->index) * block_size,
+                tail_block->length);
+      return delta;
+    }
+  }
+  emit_literal(delta, target.subspan(literal_start));
+  return delta;
+}
+
+}  // namespace
+
+std::uint64_t Delta::literal_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const Command& cmd : commands) {
+    if (cmd.kind == Command::Kind::literal) total += cmd.data.size();
+  }
+  return total;
+}
+
+std::uint64_t Delta::copied_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const Command& cmd : commands) {
+    if (cmd.kind == Command::Kind::copy) total += cmd.length;
+  }
+  return total;
+}
+
+std::uint64_t Delta::wire_size() const noexcept {
+  std::uint64_t total = 24;  // header: sizes + command count
+  for (const Command& cmd : commands) {
+    total += cmd.kind == Command::Kind::copy ? 17 : 5 + cmd.data.size();
+  }
+  return total;
+}
+
+Signature compute_signature(ByteSpan base, std::uint32_t block_size,
+                            bool with_strong, CostMeter* meter) {
+  Signature signature;
+  signature.block_size = block_size;
+  signature.file_size = base.size();
+  signature.has_strong = with_strong;
+  signature.blocks.reserve(base.size() / block_size + 1);
+
+  charge(meter, CostKind::rolling_hash, base.size());
+  if (with_strong) charge(meter, CostKind::strong_hash, base.size());
+
+  std::uint32_t index = 0;
+  for (std::size_t offset = 0; offset < base.size();
+       offset += block_size, ++index) {
+    const std::size_t length =
+        std::min<std::size_t>(block_size, base.size() - offset);
+    const ByteSpan block = base.subspan(offset, length);
+    BlockSignature sig;
+    sig.weak = weak_checksum(block);
+    if (with_strong) sig.strong = Md5::hash(block);
+    sig.index = index;
+    sig.length = static_cast<std::uint32_t>(length);
+    signature.blocks.push_back(sig);
+  }
+  return signature;
+}
+
+Delta compute_delta(const Signature& base_signature, ByteSpan target,
+                    CostMeter* meter) {
+  return match_blocks(
+      base_signature, target, meter,
+      [meter](const BlockSignature& block, ByteSpan window) {
+        charge(meter, CostKind::strong_hash, window.size());
+        return Md5::hash(window) == block.strong;
+      });
+}
+
+Delta compute_delta_local(ByteSpan base, ByteSpan target,
+                          std::uint32_t block_size, CostMeter* meter) {
+  // Weak-only signature: the expensive MD5 pass over the base is skipped.
+  const Signature signature =
+      compute_signature(base, block_size, /*with_strong=*/false, meter);
+  return match_blocks(
+      signature, target, meter,
+      [base, block_size, meter](const BlockSignature& block, ByteSpan window) {
+        const std::uint64_t offset =
+            static_cast<std::uint64_t>(block.index) * block_size;
+        if (offset + window.size() > base.size()) return false;
+        if (block.length != window.size()) return false;
+        charge(meter, CostKind::byte_compare, window.size());
+        return std::memcmp(base.data() + offset, window.data(),
+                           window.size()) == 0;
+      });
+}
+
+Result<Bytes> apply_delta(ByteSpan base, const Delta& delta) {
+  // Validate the patch before allocating anything: every copy must lie
+  // within the base, and the command sizes must add up to target_size
+  // (decoded deltas can carry arbitrary numbers).
+  std::uint64_t expected = 0;
+  for (const Command& cmd : delta.commands) {
+    if (cmd.kind == Command::Kind::copy) {
+      if (cmd.src_offset > base.size() ||
+          cmd.length > base.size() - cmd.src_offset) {
+        return Status{Errc::corruption, "copy range exceeds base"};
+      }
+      expected += cmd.length;
+    } else {
+      expected += cmd.data.size();
+    }
+  }
+  if (expected != delta.target_size) {
+    return Status{Errc::corruption, "reconstructed size mismatch"};
+  }
+
+  Bytes out;
+  out.reserve(expected);
+  for (const Command& cmd : delta.commands) {
+    if (cmd.kind == Command::Kind::copy) {
+      append(out, base.subspan(cmd.src_offset, cmd.length));
+    } else {
+      append(out, cmd.data);
+    }
+  }
+  return out;
+}
+
+Bytes encode_delta(const Delta& delta) {
+  Bytes wire;
+  wire.reserve(delta.wire_size());
+  put_u64(wire, delta.base_size);
+  put_u64(wire, delta.target_size);
+  put_u64(wire, delta.commands.size());
+  for (const Command& cmd : delta.commands) {
+    if (cmd.kind == Command::Kind::copy) {
+      wire.push_back(0);
+      put_u64(wire, cmd.src_offset);
+      put_u64(wire, cmd.length);
+    } else {
+      wire.push_back(1);
+      put_u32(wire, static_cast<std::uint32_t>(cmd.data.size()));
+      append(wire, cmd.data);
+    }
+  }
+  return wire;
+}
+
+Result<Delta> decode_delta(ByteSpan wire) {
+  if (wire.size() < 24) return Status{Errc::corruption, "delta header short"};
+  Delta delta;
+  delta.base_size = get_u64(wire, 0);
+  delta.target_size = get_u64(wire, 8);
+  const std::uint64_t count = get_u64(wire, 16);
+  std::size_t pos = 24;
+  // Never trust a wire count for allocation: each command occupies at
+  // least one byte, so anything larger is corrupt anyway.
+  if (count > wire.size()) {
+    return Status{Errc::corruption, "delta command count implausible"};
+  }
+  delta.commands.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (pos >= wire.size()) return Status{Errc::corruption, "delta truncated"};
+    const std::uint8_t tag = wire[pos++];
+    Command cmd;
+    if (tag == 0) {
+      if (pos + 16 > wire.size()) {
+        return Status{Errc::corruption, "copy command truncated"};
+      }
+      cmd.kind = Command::Kind::copy;
+      cmd.src_offset = get_u64(wire, pos);
+      cmd.length = get_u64(wire, pos + 8);
+      pos += 16;
+    } else if (tag == 1) {
+      if (pos + 4 > wire.size()) {
+        return Status{Errc::corruption, "literal command truncated"};
+      }
+      const std::uint32_t length = get_u32(wire, pos);
+      pos += 4;
+      if (pos + length > wire.size()) {
+        return Status{Errc::corruption, "literal data truncated"};
+      }
+      cmd.kind = Command::Kind::literal;
+      cmd.data.assign(wire.begin() + static_cast<std::ptrdiff_t>(pos),
+                      wire.begin() + static_cast<std::ptrdiff_t>(pos + length));
+      pos += length;
+    } else {
+      return Status{Errc::corruption, "unknown delta command"};
+    }
+    delta.commands.push_back(std::move(cmd));
+  }
+  return delta;
+}
+
+}  // namespace dcfs::rsyncx

@@ -1,0 +1,54 @@
+#include "server/block_store.h"
+
+namespace dcfs {
+
+BlockHandle BlockStore::put(ByteSpan content) {
+  BlockHandle handle;
+  handle.size = content.size();
+  logical_bytes_ += content.size();
+
+  for (const rsyncx::Chunk& chunk :
+       rsyncx::chunk_cdc(content, chunking_, nullptr)) {
+    handle.chunks.push_back(chunk.id);
+    const auto [it, inserted] = chunks_.try_emplace(chunk.id);
+    if (inserted) {
+      it->second.data.assign(
+          content.begin() + static_cast<std::ptrdiff_t>(chunk.offset),
+          content.begin() +
+              static_cast<std::ptrdiff_t>(chunk.offset + chunk.length));
+      unique_bytes_ += chunk.length;
+    }
+    ++it->second.refs;
+  }
+  return handle;
+}
+
+Result<Bytes> BlockStore::get(const BlockHandle& handle) const {
+  Bytes out;
+  out.reserve(handle.size);
+  for (const Md5::Digest& id : handle.chunks) {
+    const auto it = chunks_.find(id);
+    if (it == chunks_.end()) {
+      return Status{Errc::corruption, "missing chunk"};
+    }
+    append(out, it->second.data);
+  }
+  if (out.size() != handle.size) {
+    return Status{Errc::corruption, "object size mismatch"};
+  }
+  return out;
+}
+
+void BlockStore::release(const BlockHandle& handle) {
+  logical_bytes_ -= std::min<std::uint64_t>(logical_bytes_, handle.size);
+  for (const Md5::Digest& id : handle.chunks) {
+    const auto it = chunks_.find(id);
+    if (it == chunks_.end()) continue;  // double release: ignore
+    if (--it->second.refs == 0) {
+      unique_bytes_ -= it->second.data.size();
+      chunks_.erase(it);
+    }
+  }
+}
+
+}  // namespace dcfs

@@ -1,0 +1,85 @@
+// Content-addressed block storage for the cloud side.
+//
+// The paper's future work sketches the server-side design: "it becomes
+// possible to use wimpy servers (e.g., Intel Atom Processor) attached with
+// large numbers of disks to provide cloud data sync services."  For that,
+// storage cost must scale with *unique* data, not logical data: a file's
+// recent versions (kept for delta bases and conflict copies, §III-C) are
+// nearly identical, so storing them as content-defined chunks dedups the
+// history almost entirely.
+//
+// The store keeps refcounted CDC chunks; `put` returns a handle (chunk id
+// list), `release` decrements refcounts and garbage-collects chunks that
+// reach zero.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/md5.h"
+#include "common/status.h"
+#include "rsyncx/cdc.h"
+
+namespace dcfs {
+
+/// A stored object: the ordered list of chunk ids composing its content.
+struct BlockHandle {
+  std::vector<Md5::Digest> chunks;
+  std::uint64_t size = 0;
+
+  [[nodiscard]] bool empty() const noexcept { return size == 0; }
+};
+
+class BlockStore {
+ public:
+  explicit BlockStore(rsyncx::CdcParams chunking = rsyncx::CdcParams::fine())
+      : chunking_(chunking) {}
+
+  /// Stores `content`, deduplicating against everything already stored.
+  /// Chunks shared with existing objects only gain a reference.
+  BlockHandle put(ByteSpan content);
+
+  /// Reassembles an object.  Fails with corruption if a chunk is missing
+  /// (a release/GC bug or an invalid handle).
+  [[nodiscard]] Result<Bytes> get(const BlockHandle& handle) const;
+
+  /// Releases one reference on each of the handle's chunks; chunks that
+  /// reach zero references are reclaimed.
+  void release(const BlockHandle& handle);
+
+  // ---- accounting ----
+
+  /// Bytes of unique chunk data currently held.
+  [[nodiscard]] std::uint64_t unique_bytes() const noexcept {
+    return unique_bytes_;
+  }
+  /// Logical bytes across all live handles (sum of put sizes minus
+  /// releases).
+  [[nodiscard]] std::uint64_t logical_bytes() const noexcept {
+    return logical_bytes_;
+  }
+  [[nodiscard]] std::size_t chunk_count() const noexcept {
+    return chunks_.size();
+  }
+  /// logical / unique — 1.0 means no sharing, higher means dedup wins.
+  [[nodiscard]] double dedup_ratio() const noexcept {
+    if (unique_bytes_ == 0) return 1.0;
+    return static_cast<double>(logical_bytes_) /
+           static_cast<double>(unique_bytes_);
+  }
+
+ private:
+  struct Chunk {
+    Bytes data;
+    std::uint64_t refs = 0;
+  };
+
+  rsyncx::CdcParams chunking_;
+  std::map<Md5::Digest, Chunk> chunks_;
+  std::uint64_t unique_bytes_ = 0;
+  std::uint64_t logical_bytes_ = 0;
+};
+
+}  // namespace dcfs

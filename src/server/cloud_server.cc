@@ -1,0 +1,574 @@
+#include "server/cloud_server.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/debug.h"
+#include <cstdlib>
+#include <utility>
+
+#include "compress/lz.h"
+#include "rsyncx/delta.h"
+
+namespace dcfs {
+namespace {
+
+std::uint64_t group_key(std::uint32_t client, std::uint64_t group) {
+  return (static_cast<std::uint64_t>(client) << 48) ^ group;
+}
+
+}  // namespace
+
+CloudServer::CloudServer(const CostProfile& profile, std::size_t history_depth)
+    : meter_(profile), history_depth_(history_depth) {}
+
+void CloudServer::attach(std::uint32_t client_id, Transport& transport) {
+  clients_[client_id] = &transport;
+}
+
+void CloudServer::detach(std::uint32_t client_id) {
+  clients_.erase(client_id);
+}
+
+std::size_t CloudServer::pump() {
+  std::size_t processed = 0;
+  for (auto& [client_id, transport] : clients_) {
+    while (auto frame = transport->server_poll()) {
+      meter_.charge(CostKind::net_frame, frame->size());
+      meter_.charge(CostKind::encrypt, frame->size());  // TLS decrypt
+      Result<proto::SyncRecord> record = proto::decode_record(*frame);
+      if (!record) {
+        proto::Ack ack;
+        ack.result = Errc::corruption;
+        send_ack(client_id, ack);
+        continue;
+      }
+      const proto::Ack ack = apply_record(client_id, *record);
+      send_ack(client_id, ack);
+      ++processed;
+    }
+  }
+  return processed;
+}
+
+proto::Ack CloudServer::apply_record(std::uint32_t from_client,
+                                     const proto::SyncRecord& raw_record) {
+  ++records_applied_;
+  proto::SyncRecord record = raw_record;
+  if (record.compressed) {
+    meter_.charge(CostKind::decompress, record.payload.size());
+    Result<Bytes> plain = lz::decompress(record.payload);
+    if (!plain) {
+      proto::Ack ack;
+      ack.sequence = record.sequence;
+      ack.result = Errc::corruption;
+      return ack;
+    }
+    record.payload = std::move(*plain);
+    record.compressed = false;
+  }
+
+  if (record.txn_group != 0) {
+    PendingGroup& group = groups_[group_key(from_client, record.txn_group)];
+    group.records.push_back(record);
+    if (!record.txn_last) {
+      proto::Ack ack;
+      ack.sequence = record.sequence;
+      ack.result = Errc::ok;  // buffered; final verdict with the group
+      return ack;
+    }
+    PendingGroup complete = std::move(group);
+    groups_.erase(group_key(from_client, record.txn_group));
+    std::vector<proto::Ack> acks = apply_group(from_client, complete);
+    return acks.empty() ? proto::Ack{} : acks.back();
+  }
+
+  proto::Ack ack = apply_one(from_client, record, files_, nullptr, nullptr);
+  if (ack.result == Errc::ok) forward(from_client, record);
+  return ack;
+}
+
+std::vector<proto::Ack> CloudServer::apply_group(std::uint32_t from_client,
+                                                 PendingGroup group) {
+  // Transactional apply (§III-E): stage every record against a scratch
+  // copy of the touched entries; commit only if all succeed.  On any
+  // conflict the whole group becomes conflicted.
+  EntryMap snapshot;
+  for (const proto::SyncRecord& record : group.records) {
+    for (const std::string* path : {&record.path, &record.path2}) {
+      if (path->empty() || snapshot.contains(*path)) continue;
+      const auto it = files_.find(*path);
+      if (it != files_.end()) snapshot.emplace(*path, it->second);
+    }
+  }
+
+  EntryMap staged = files_;
+  std::vector<proto::Ack> acks;
+  bool conflicted = false;
+  VersionSet group_versions;
+  for (const proto::SyncRecord& record : group.records) {
+    proto::Ack ack =
+        apply_one(from_client, record, staged, &snapshot, &group_versions);
+    if (ack.result == Errc::conflict) conflicted = true;
+    group_versions.insert(
+        {record.new_version.client_id, record.new_version.counter});
+    acks.push_back(std::move(ack));
+  }
+
+  if (!conflicted) {
+    files_ = std::move(staged);
+    for (const proto::SyncRecord& record : group.records) {
+      if (const auto it = files_.find(record.path); it != files_.end()) {
+        record_arrival(record.path, it->second);
+      }
+      forward(from_client, record);
+    }
+    return acks;
+  }
+
+  // Conflict: the whole group is labeled conflicted (§III-E) and the main
+  // files stay untouched.  apply_one already materialized conflict copies
+  // into the staged map while processing the group; harvest just those.
+  ++conflicts_seen_;
+  for (proto::Ack& ack : acks) ack.result = Errc::conflict;
+  const std::string marker = ".conflict-" + std::to_string(from_client);
+  for (auto& [path, entry] : staged) {
+    if (path.find(marker) == std::string::npos) continue;
+    if (files_.contains(path)) continue;  // pre-existing conflict copy
+    meter_.charge(CostKind::byte_copy, entry.content.size());
+    meter_.charge(CostKind::disk_write, entry.content.size());
+    files_[path] = std::move(entry);
+  }
+  return acks;
+}
+
+proto::Ack CloudServer::apply_one(std::uint32_t from_client,
+                                  const proto::SyncRecord& record,
+                                  EntryMap& files, const EntryMap* snapshot,
+                                  const VersionSet* group_versions) {
+  proto::Ack ack;
+  ack.sequence = record.sequence;
+  ack.result = Errc::ok;
+
+  const bool staged = snapshot != nullptr;
+
+  switch (record.kind) {
+    case proto::OpKind::mkdir:
+      dirs_.insert(record.path);
+      break;
+
+    case proto::OpKind::rmdir:
+      dirs_.erase(std::string(record.path));
+      break;
+
+    case proto::OpKind::create: {
+      const auto it = files.find(record.path);
+      if (it != files.end()) {
+        // Re-creation over an existing entry: preserve the old content in
+        // history (the client may delta against it).
+        push_history(it->second);
+        it->second.content.clear();
+        it->second.version = record.new_version;
+      } else {
+        FileEntry entry;
+        entry.version = record.new_version;
+        // Revive history from a tombstone (delete-then-recreate pattern).
+        if (const auto tomb = tombstones_.find(record.path);
+            tomb != tombstones_.end()) {
+          entry.history = tomb->second.history;
+          entry.history.push_front(
+              {tomb->second.version, tomb->second.content});
+        }
+        files.emplace(record.path, std::move(entry));
+      }
+      break;
+    }
+
+    case proto::OpKind::unlink: {
+      const auto it = files.find(record.path);
+      if (it == files.end()) {
+        ack.result = Errc::not_found;
+        break;
+      }
+      tombstones_[record.path] = std::move(it->second);
+      files.erase(it);
+      break;
+    }
+
+    case proto::OpKind::rename: {
+      const auto src = files.find(record.path);
+      if (src == files.end()) {
+        ack.result = Errc::not_found;
+        break;
+      }
+      FileEntry moved = std::move(src->second);
+      files.erase(src);
+      const auto dst = files.find(record.path2);
+      if (dst != files.end()) {
+        // POSIX rename-over-existing: the replaced content stays reachable
+        // in the new entry's history for delta bases and conflict copies.
+        moved.history.push_front({dst->second.version, dst->second.content});
+        for (const FileVersion& v : dst->second.history) {
+          moved.history.push_back(v);
+        }
+        while (moved.history.size() > history_depth_) moved.history.pop_back();
+        files.erase(dst);
+      }
+      moved.version = record.new_version;
+      files.emplace(record.path2, std::move(moved));
+      break;
+    }
+
+    case proto::OpKind::link: {
+      const auto src = files.find(record.path);
+      if (src == files.end()) {
+        ack.result = Errc::not_found;
+        break;
+      }
+      FileEntry entry;
+      entry.content = src->second.content;
+      entry.version = record.new_version;
+      meter_.charge(CostKind::byte_copy, entry.content.size());
+      files[record.path2] = std::move(entry);
+      break;
+    }
+
+    case proto::OpKind::truncate: {
+      const auto it = files.find(record.path);
+      if (it == files.end()) {
+        ack.result = Errc::not_found;
+        break;
+      }
+      FileEntry& entry = it->second;
+      if (entry.version != record.base_version && !staged) {
+        ++conflicts_seen_;
+        ack.result = Errc::conflict;
+        break;
+      }
+      push_history(entry);
+      entry.content.resize(record.size, 0);
+      entry.version = record.new_version;
+      if (!staged) record_arrival(record.path, entry);
+      break;
+    }
+
+    case proto::OpKind::write: {
+      Result<std::vector<proto::Segment>> segments =
+          proto::decode_segments(record.payload);
+      if (!segments) {
+        ack.result = Errc::corruption;
+        break;
+      }
+      auto it = files.find(record.path);
+      if (it == files.end()) {
+        // Writes may arrive for files created in the same batch; create
+        // implicitly only when the base version is null (fresh file).
+        if (!record.base_version.is_null()) {
+          ack.result = Errc::not_found;
+          break;
+        }
+        it = files.emplace(record.path, FileEntry{}).first;
+      }
+      FileEntry& entry = it->second;
+      if (entry.version != record.base_version) {
+        // First write wins: the arriving increment conflicts.  Apply it to
+        // its proper base to materialize the conflict version (§III-C).
+        bool from_history = false;
+        const Bytes* base = resolve_base(record.path, record.base_version,
+                                         files, snapshot, from_history);
+        ++conflicts_seen_;
+        ack.result = Errc::conflict;
+        if (base != nullptr) {
+          Bytes content = *base;
+          for (const proto::Segment& segment : *segments) {
+            const std::uint64_t end = segment.offset + segment.data.size();
+            if (end > content.size()) content.resize(end, 0);
+            std::copy(segment.data.begin(), segment.data.end(),
+                      content.begin() +
+                          static_cast<std::ptrdiff_t>(segment.offset));
+          }
+          const std::string name = conflict_name(record.path, from_client);
+          FileEntry& conflict = files[name];
+          conflict.content = std::move(content);
+          conflict.version = record.new_version;
+          ack.conflict_path = name;
+        }
+        break;
+      }
+      push_history(entry);
+      std::uint64_t written = 0;
+      for (const proto::Segment& segment : *segments) {
+        const std::uint64_t end = segment.offset + segment.data.size();
+        if (end > entry.content.size()) entry.content.resize(end, 0);
+        std::copy(segment.data.begin(), segment.data.end(),
+                  entry.content.begin() +
+                      static_cast<std::ptrdiff_t>(segment.offset));
+        written += segment.data.size();
+      }
+      meter_.charge(CostKind::byte_copy, written);
+      meter_.charge(CostKind::disk_write, written);
+      entry.version = record.new_version;
+      if (!staged) record_arrival(record.path, entry);
+      break;
+    }
+
+    case proto::OpKind::file_delta: {
+      Result<rsyncx::Delta> delta = rsyncx::decode_delta(record.payload);
+      if (!delta) {
+        ack.result = Errc::corruption;
+        break;
+      }
+      const std::string& ref =
+          record.path2.empty() ? record.path : record.path2;
+      bool from_history = false;
+      const Bytes* base = nullptr;
+      if (record.base_deleted) {
+        // Delete-then-recreate: the base lives in the tombstones and using
+        // it is the expected path, not a conflict.
+        if (const auto tomb = tombstones_.find(ref);
+            tomb != tombstones_.end()) {
+          if (tomb->second.version == record.base_version) {
+            base = &tomb->second.content;
+          } else {
+            for (const FileVersion& v : tomb->second.history) {
+              if (v.version == record.base_version) {
+                base = &v.content;
+                break;
+              }
+            }
+          }
+        }
+      } else {
+        base = resolve_base(ref, record.base_version, files, snapshot,
+                            from_history);
+      }
+      if (base == nullptr) {
+        if (debug_enabled()) {
+          std::fprintf(stderr, "DELTA-FAIL path=%s ref=%s base=<%u,%llu> bd=%d ",
+                       record.path.c_str(), ref.c_str(),
+                       record.base_version.client_id,
+                       (unsigned long long)record.base_version.counter,
+                       (int)record.base_deleted);
+          const auto t = tombstones_.find(ref);
+          if (t == tombstones_.end()) std::fprintf(stderr, "no-tombstone ");
+          else std::fprintf(stderr, "tomb=<%u,%llu> ",
+                            t->second.version.client_id,
+                            (unsigned long long)t->second.version.counter);
+          const auto f = files.find(ref);
+          if (f == files.end()) std::fprintf(stderr, "no-entry\n");
+          else std::fprintf(stderr, "cur=<%u,%llu>\n",
+                            f->second.version.client_id,
+                            (unsigned long long)f->second.version.counter);
+        }
+        ++conflicts_seen_;
+        ack.result = Errc::conflict;
+        break;
+      }
+      Result<Bytes> rebuilt = rsyncx::apply_delta(*base, *delta);
+      if (!rebuilt) {
+        if (debug_enabled()) {
+          std::fprintf(stderr,
+                       "DELTA-CORRUPT path=%s ref=%s base=<%u,%llu> "
+                       "delta_base_size=%llu actual_base_size=%zu: %s\n",
+                       record.path.c_str(), ref.c_str(),
+                       record.base_version.client_id,
+                       (unsigned long long)record.base_version.counter,
+                       (unsigned long long)delta->base_size, base->size(),
+                       rebuilt.status().to_string().c_str());
+        }
+        ack.result = Errc::corruption;
+        break;
+      }
+      meter_.charge(CostKind::byte_copy, rebuilt->size());
+      meter_.charge(CostKind::disk_write, rebuilt->size());
+      if (from_history && group_versions != nullptr &&
+          group_versions->contains(
+              {record.base_version.client_id, record.base_version.counter})) {
+        // The base was displaced by an operation of this very group (a
+        // backindex span can engulf unrelated interleaved updates): the
+        // lineage is consistent, not conflicting.
+        from_history = false;
+      }
+      if (from_history) {
+        if (debug_enabled()) {
+          std::fprintf(stderr, "DELTA-HIST path=%s ref=%s base=<%u,%llu>\n",
+                       record.path.c_str(), ref.c_str(),
+                       record.base_version.client_id,
+                       (unsigned long long)record.base_version.counter);
+        }
+        // The base was superseded by another lineage: conflict copy.
+        ++conflicts_seen_;
+        ack.result = Errc::conflict;
+        const std::string name = conflict_name(record.path, from_client);
+        FileEntry& conflict = files[name];
+        conflict.content = std::move(*rebuilt);
+        conflict.version = record.new_version;
+        ack.conflict_path = name;
+        break;
+      }
+      FileEntry& entry = files[record.path];
+      push_history(entry);
+      entry.content = std::move(*rebuilt);
+      entry.version = record.new_version;
+      if (!staged) record_arrival(record.path, entry);
+      break;
+    }
+
+    case proto::OpKind::full_file: {
+      FileEntry& entry = files[record.path];
+      push_history(entry);
+      entry.content = record.payload;
+      entry.version = record.new_version;
+      meter_.charge(CostKind::byte_copy, entry.content.size());
+      meter_.charge(CostKind::disk_write, entry.content.size());
+      if (!staged) record_arrival(record.path, entry);
+      break;
+    }
+  }
+  if (ack.result != Errc::ok) {
+    rejections_.push_back({record.kind, record.path, record.path2,
+                           ack.result, record.base_version});
+  }
+  return ack;
+}
+
+const Bytes* CloudServer::resolve_base(std::string_view ref,
+                                       const proto::VersionId& version,
+                                       const EntryMap& files,
+                                       const EntryMap* snapshot,
+                                       bool& from_history) const {
+  from_history = false;
+
+  if (const auto it = files.find(ref); it != files.end()) {
+    if (it->second.version == version) return &it->second.content;
+  }
+  if (snapshot != nullptr) {
+    if (const auto it = snapshot->find(ref); it != snapshot->end()) {
+      if (it->second.version == version) return &it->second.content;
+      for (const FileVersion& v : it->second.history) {
+        if (v.version == version) {
+          from_history = true;
+          return &v.content;
+        }
+      }
+    }
+  }
+  if (const auto it = files.find(ref); it != files.end()) {
+    for (const FileVersion& v : it->second.history) {
+      if (v.version == version) {
+        from_history = true;
+        return &v.content;
+      }
+    }
+  }
+  if (const auto it = tombstones_.find(ref); it != tombstones_.end()) {
+    if (it->second.version == version) {
+      from_history = true;
+      return &it->second.content;
+    }
+    for (const FileVersion& v : it->second.history) {
+      if (v.version == version) {
+        from_history = true;
+        return &v.content;
+      }
+    }
+  }
+  return nullptr;
+}
+
+void CloudServer::push_history(FileEntry& entry) {
+  if (entry.content.empty() && entry.version.is_null()) return;
+  entry.history.push_front({entry.version, entry.content});
+  while (entry.history.size() > history_depth_) entry.history.pop_back();
+}
+
+void CloudServer::record_arrival(const std::string& path,
+                                 const FileEntry& entry) {
+  (void)entry;
+  if (arrived_.insert(path).second) arrival_order_.push_back(path);
+}
+
+void CloudServer::send_ack(std::uint32_t client_id, const proto::Ack& ack) {
+  const auto it = clients_.find(client_id);
+  if (it == clients_.end()) return;
+  Bytes frame;
+  frame.push_back(1);  // server-to-client tag: ack
+  append(frame, proto::encode(ack));
+  meter_.charge(CostKind::net_frame, frame.size());
+  it->second->server_send(std::move(frame));
+}
+
+void CloudServer::forward(std::uint32_t from_client,
+                          const proto::SyncRecord& record) {
+  if (clients_.size() < 2) return;
+  // §III-D: "besides storing the data it also forwards the data to other
+  // shared clients" — no recomputation, the same record goes out.
+  Bytes frame;
+  frame.push_back(2);  // server-to-client tag: forwarded record
+  append(frame, proto::encode(record));
+  for (auto& [client_id, transport] : clients_) {
+    if (client_id == from_client) continue;
+    meter_.charge(CostKind::net_frame, frame.size());
+    transport->server_send(frame);
+  }
+}
+
+std::string CloudServer::conflict_name(std::string_view path,
+                                       std::uint32_t client) const {
+  return std::string(path) + ".conflict-" + std::to_string(client);
+}
+
+Result<Bytes> CloudServer::fetch(std::string_view path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) return Errc::not_found;
+  return it->second.content;
+}
+
+std::vector<proto::VersionId> CloudServer::history(
+    std::string_view path) const {
+  std::vector<proto::VersionId> out;
+  const auto it = files_.find(path);
+  if (it == files_.end()) return out;
+  out.push_back(it->second.version);
+  for (const FileVersion& v : it->second.history) out.push_back(v.version);
+  return out;
+}
+
+Result<Bytes> CloudServer::fetch_version(
+    std::string_view path, const proto::VersionId& version) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) return Errc::not_found;
+  if (it->second.version == version) return it->second.content;
+  for (const FileVersion& v : it->second.history) {
+    if (v.version == version) return v.content;
+  }
+  return Errc::not_found;
+}
+
+std::optional<proto::VersionId> CloudServer::version(
+    std::string_view path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) return std::nullopt;
+  return it->second.version;
+}
+
+std::vector<std::string> CloudServer::paths() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, entry] : files_) out.push_back(path);
+  return out;
+}
+
+std::vector<std::string> CloudServer::conflict_paths() const {
+  std::vector<std::string> out;
+  for (const auto& [path, entry] : files_) {
+    if (path.find(".conflict-") != std::string::npos) out.push_back(path);
+  }
+  return out;
+}
+
+bool CloudServer::has_dir(std::string_view path) const {
+  return dirs_.contains(std::string(path));
+}
+
+}  // namespace dcfs

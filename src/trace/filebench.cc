@@ -1,0 +1,204 @@
+#include "trace/filebench.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace dcfs {
+namespace {
+
+/// Book-keeping shared by the personality loops.
+struct Bench {
+  FileSystem& fs;
+  OpCostModel& costs;
+  Rng rng;
+  Duration elapsed = 0;
+  std::uint64_t data_bytes = 0;
+  std::uint64_t ops = 0;
+
+  void pay(FbOp op, std::uint64_t bytes) {
+    elapsed += costs.cost(op, bytes);
+    ++ops;
+  }
+
+  Result<FileHandle> create(const std::string& path) {
+    pay(FbOp::create_op, 0);
+    return fs.create(path);
+  }
+  Result<FileHandle> open(const std::string& path) {
+    pay(FbOp::open_op, 0);
+    return fs.open(path);
+  }
+  void close(FileHandle handle) {
+    pay(FbOp::close_op, 0);
+    fs.close(handle);
+  }
+  void write(FileHandle handle, std::uint64_t offset, ByteSpan data) {
+    pay(FbOp::write_op, data.size());
+    fs.write(handle, offset, data);
+    data_bytes += data.size();
+  }
+  void read(FileHandle handle, std::uint64_t offset, std::uint64_t size) {
+    pay(FbOp::read_op, size);
+    if (Result<Bytes> data = fs.read(handle, offset, size)) {
+      data_bytes += data->size();
+    }
+  }
+  void remove(const std::string& path) {
+    pay(FbOp::delete_op, 0);
+    fs.unlink(path);
+  }
+  void fsync(FileHandle handle) {
+    pay(FbOp::fsync_op, 0);
+    fs.fsync(handle);
+  }
+  std::uint64_t size_of(const std::string& path) {
+    pay(FbOp::stat_op, 0);
+    Result<FileStat> st = fs.stat(path);
+    return st ? st->size : 0;
+  }
+
+  /// Writes `total` bytes at `offset` in io-sized chunks.
+  void write_stream(FileHandle handle, std::uint64_t offset,
+                    std::uint64_t total, std::uint64_t io) {
+    std::uint64_t pos = 0;
+    while (pos < total) {
+      const std::uint64_t n = std::min(io, total - pos);
+      write(handle, offset + pos, rng.bytes(n));
+      pos += n;
+    }
+  }
+};
+
+std::string file_name(const FilebenchConfig& config, std::uint64_t index) {
+  return config.root + "/f" + std::to_string(index);
+}
+
+void prepopulate(Bench& bench, const FilebenchConfig& config) {
+  bench.fs.mkdir(config.root);
+  for (std::uint32_t i = 0; i < config.nfiles; ++i) {
+    if (Result<FileHandle> handle = bench.create(file_name(config, i))) {
+      bench.write_stream(*handle, 0, config.mean_file_bytes, config.io_bytes);
+      bench.close(*handle);
+    }
+  }
+  // Population is setup: do not count it in the measured run.
+  bench.elapsed = 0;
+  bench.data_bytes = 0;
+  bench.ops = 0;
+}
+
+void fileserver_iteration(Bench& bench, const FilebenchConfig& config) {
+  const std::uint64_t victim = bench.rng.next_below(config.nfiles);
+  const std::string path = file_name(config, victim);
+
+  // createfile + writewholefile
+  bench.remove(path);
+  if (Result<FileHandle> handle = bench.create(path)) {
+    bench.write_stream(*handle, 0, config.mean_file_bytes, config.io_bytes);
+    bench.close(*handle);
+  }
+  // appendfilerand
+  if (Result<FileHandle> handle = bench.open(path)) {
+    const std::uint64_t size = bench.size_of(path);
+    bench.write(*handle, size, bench.rng.bytes(config.io_bytes * 2));
+    bench.close(*handle);
+  }
+  // readwholefile
+  if (Result<FileHandle> handle = bench.open(path)) {
+    bench.read(*handle, 0, bench.size_of(path));
+    bench.close(*handle);
+  }
+  // statfile on a random file
+  bench.size_of(file_name(config, bench.rng.next_below(config.nfiles)));
+}
+
+void varmail_iteration(Bench& bench, const FilebenchConfig& config) {
+  const std::uint64_t victim = bench.rng.next_below(config.nfiles);
+  const std::string path = file_name(config, victim);
+
+  // deletefile; createfile; appendfile; fsync; close
+  bench.remove(path);
+  if (Result<FileHandle> handle = bench.create(path)) {
+    bench.write_stream(*handle, 0, config.mean_file_bytes, config.io_bytes);
+    bench.fsync(*handle);
+    bench.close(*handle);
+  }
+  // openfile; readwholefile; appendfile; fsync; close
+  if (Result<FileHandle> handle = bench.open(path)) {
+    bench.read(*handle, 0, bench.size_of(path));
+    bench.write(*handle, bench.size_of(path),
+                bench.rng.bytes(config.io_bytes / 2 + 1));
+    bench.fsync(*handle);
+    bench.close(*handle);
+  }
+  // openfile; readwholefile; close
+  const std::string other =
+      file_name(config, bench.rng.next_below(config.nfiles));
+  if (Result<FileHandle> handle = bench.open(other)) {
+    bench.read(*handle, 0, bench.size_of(other));
+    bench.close(*handle);
+  }
+}
+
+void webserver_iteration(Bench& bench, const FilebenchConfig& config) {
+  // Read 10 random whole files...
+  for (int i = 0; i < 10; ++i) {
+    const std::string path =
+        file_name(config, bench.rng.next_below(config.nfiles));
+    if (Result<FileHandle> handle = bench.open(path)) {
+      bench.read(*handle, 0, bench.size_of(path));
+      bench.close(*handle);
+    }
+  }
+  // ...then append ~16 KB to the access log.
+  const std::string log = config.root + "/weblog";
+  Result<FileHandle> handle = bench.open(log);
+  if (!handle) handle = bench.create(log);
+  if (handle) {
+    const std::uint64_t size = bench.size_of(log);
+    bench.write(*handle, size, bench.rng.bytes(16 * 1024));
+    bench.close(*handle);
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(Personality personality) noexcept {
+  switch (personality) {
+    case Personality::fileserver: return "Fileserver";
+    case Personality::varmail: return "Varmail";
+    case Personality::webserver: return "Webserver";
+  }
+  return "unknown";
+}
+
+FilebenchResult run_filebench(const FilebenchConfig& config, FileSystem& fs,
+                              OpCostModel& costs) {
+  Bench bench{fs, costs, Rng(config.seed)};
+  prepopulate(bench, config);
+
+  for (std::uint64_t i = 0; i < config.iterations; ++i) {
+    switch (config.personality) {
+      case Personality::fileserver:
+        fileserver_iteration(bench, config);
+        break;
+      case Personality::varmail:
+        varmail_iteration(bench, config);
+        break;
+      case Personality::webserver:
+        webserver_iteration(bench, config);
+        break;
+    }
+  }
+
+  FilebenchResult result;
+  result.data_bytes = bench.data_bytes;
+  result.elapsed = std::max<Duration>(bench.elapsed, 1);
+  result.ops = bench.ops;
+  result.mbps = static_cast<double>(bench.data_bytes) /
+                (static_cast<double>(result.elapsed) / 1'000'000.0) /
+                (1024.0 * 1024.0);
+  return result;
+}
+
+}  // namespace dcfs

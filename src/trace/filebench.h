@@ -1,0 +1,77 @@
+// Filebench-style microbenchmark personalities (Table III).
+//
+// Three canonical op mixes — fileserver, varmail, webserver — issued
+// against a FileSystem stack.  Virtual elapsed time is accumulated through
+// an OpCostModel supplied by the bench: each stack (Native, FUSE,
+// DeltaCFS, DeltaCFS+checksum) prices an operation differently (FUSE
+// crossings, checksum hashing, Sync-Queue backpressure).  Throughput is
+// data bytes moved divided by virtual time — machine-independent, like all
+// other numbers in this repo.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "vfs/fs.h"
+
+namespace dcfs {
+
+enum class Personality : std::uint8_t { fileserver, varmail, webserver };
+
+std::string_view to_string(Personality personality) noexcept;
+
+/// The operation classes a cost model prices.
+enum class FbOp : std::uint8_t {
+  open_op,
+  close_op,
+  create_op,
+  delete_op,
+  stat_op,
+  read_op,    ///< bytes = payload
+  write_op,   ///< bytes = payload
+  fsync_op,
+};
+
+class OpCostModel {
+ public:
+  virtual ~OpCostModel() = default;
+  /// Virtual latency of one operation moving `bytes` payload bytes.
+  virtual Duration cost(FbOp op, std::uint64_t bytes) = 0;
+};
+
+struct FilebenchResult {
+  double mbps = 0.0;
+  std::uint64_t data_bytes = 0;
+  Duration elapsed = 0;
+  std::uint64_t ops = 0;
+};
+
+struct FilebenchConfig {
+  Personality personality = Personality::fileserver;
+  std::string root = "/bench";
+  std::uint32_t nfiles = 50;
+  std::uint64_t mean_file_bytes = 128 * 1024;
+  std::uint64_t io_bytes = 8 * 1024;       ///< per-write IO size
+  std::uint64_t iterations = 200;          ///< workload loop count
+  std::uint64_t seed = 7;
+
+  static FilebenchConfig fileserver() {
+    return {Personality::fileserver, "/bench", 50, 128 * 1024, 8 * 1024, 200,
+            7};
+  }
+  static FilebenchConfig varmail() {
+    return {Personality::varmail, "/bench", 50, 16 * 1024, 16 * 1024, 400, 8};
+  }
+  static FilebenchConfig webserver() {
+    return {Personality::webserver, "/bench", 50, 64 * 1024, 64 * 1024, 400,
+            9};
+  }
+};
+
+/// Runs the personality against `fs`, pricing every op through `costs`.
+FilebenchResult run_filebench(const FilebenchConfig& config, FileSystem& fs,
+                              OpCostModel& costs);
+
+}  // namespace dcfs

@@ -1,0 +1,42 @@
+#include "trace/workload.h"
+
+namespace dcfs {
+
+RunStats run_workload(Workload& workload, SyncSystem& system,
+                      VirtualClock& clock, const RunOptions& options) {
+  workload.setup(system.fs());
+  // Let any sync triggered by setup complete, then start clean.
+  for (Duration t = 0; t < options.drain; t += options.tick_step) {
+    clock.advance(options.tick_step);
+    system.tick(clock.now());
+  }
+  system.finish(clock.now());
+  if (options.reset_meters_after_setup) system.reset_meters();
+
+  RunStats stats;
+  bool more = true;
+  while (more) {
+    const TimePoint next = workload.next_time();
+    while (clock.now() < next) {
+      const Duration step =
+          std::min<Duration>(options.tick_step, next - clock.now());
+      clock.advance(step);
+      system.tick(clock.now());
+    }
+    more = workload.step(system.fs());
+    ++stats.steps;
+    system.tick(clock.now());
+  }
+
+  for (Duration t = 0; t < options.drain; t += options.tick_step) {
+    clock.advance(options.tick_step);
+    system.tick(clock.now());
+  }
+  system.finish(clock.now());
+
+  stats.update_bytes = workload.update_bytes();
+  stats.end_time = clock.now();
+  return stats;
+}
+
+}  // namespace dcfs

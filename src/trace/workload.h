@@ -1,0 +1,58 @@
+// Workload interface and runner.
+//
+// A Workload issues application file operations against a SyncSystem's
+// filesystem in virtual time; the runner interleaves workload steps with
+// SyncSystem::tick() so debounce timers, the relation-table timeout and the
+// Sync Queue upload delay all fire exactly as they would in real time.
+// Workloads generate their data on the fly (seeded), so multi-hundred-MB
+// traces never need to be materialized.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "baselines/sync_system.h"
+#include "common/clock.h"
+#include "vfs/fs.h"
+
+namespace dcfs {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Builds the pre-measurement state (e.g. the 20 MB file random writes
+  /// target).  Runs before meters are reset.
+  virtual void setup(FileSystem& fs) { (void)fs; }
+
+  /// Virtual time at which the next step should run.
+  [[nodiscard]] virtual TimePoint next_time() const = 0;
+
+  /// Performs the next application action(s); returns false when done.
+  virtual bool step(FileSystem& fs) = 0;
+
+  /// Application-level bytes updated so far (the TUE denominator).
+  [[nodiscard]] virtual std::uint64_t update_bytes() const = 0;
+};
+
+struct RunStats {
+  std::uint64_t update_bytes = 0;
+  TimePoint end_time = 0;
+  std::uint64_t steps = 0;
+};
+
+struct RunOptions {
+  Duration tick_step = milliseconds(200);
+  /// Idle time simulated after the last step so debounced/delayed sync
+  /// work (upload delay, relation timeouts) completes before finish().
+  Duration drain = seconds(12);
+  bool reset_meters_after_setup = true;
+};
+
+/// Replays `workload` against `system` under `clock`.
+RunStats run_workload(Workload& workload, SyncSystem& system,
+                      VirtualClock& clock, const RunOptions& options = {});
+
+}  // namespace dcfs

@@ -1,0 +1,237 @@
+// The paper's four canonical workloads (§IV-A), parameterized so benches
+// can run both the paper's exact scale and a faster scaled-down variant
+// (same shape, smaller constants — documented in EXPERIMENTS.md).
+//
+//  - AppendWorkload:   40 appends of ~800 KB to a log file (final 32 MB).
+//  - RandomWriteWorkload: 40 writes of 1010 B at random offsets of a 20 MB
+//    file.
+//  - WordWorkload: transactional saves of a document, the exact operation
+//    sequence of Fig. 3 (rename f->t0, create+write t1, rename t1->f,
+//    delete t0), with edits that *shift* content (the docx pattern that
+//    defeats block-aligned dedup).
+//  - WeChatWorkload: SQLite-style in-place updates with a rollback journal
+//    (create+write journal, small in-place page writes + appended pages,
+//    truncate journal), Fig. 3's first row.
+//  - PhotoThumbWorkload: photo+thumbnail pairs for the causal-order test
+//    (Table IV).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "trace/workload.h"
+
+namespace dcfs {
+
+// ---------------------------------------------------------------------------
+
+struct AppendParams {
+  std::string path = "/sync/app.log";
+  std::uint32_t appends = 40;
+  std::uint64_t append_bytes = 800 * 1024;
+  Duration interval = seconds(15);
+  std::uint64_t seed = 1;
+  /// Payload style: binary (serialized records — the paper's append trace
+  /// behaves as incompressible) or text (log lines; used by the
+  /// compression ablation).
+  bool text_payload = false;
+
+  static AppendParams paper() { return {}; }
+  static AppendParams scaled() {
+    AppendParams p;
+    p.appends = 20;
+    p.append_bytes = 200 * 1024;
+    return p;
+  }
+};
+
+class AppendWorkload final : public Workload {
+ public:
+  explicit AppendWorkload(AppendParams params = {});
+
+  [[nodiscard]] std::string_view name() const override { return "append"; }
+  [[nodiscard]] TimePoint next_time() const override { return next_time_; }
+  bool step(FileSystem& fs) override;
+  [[nodiscard]] std::uint64_t update_bytes() const override {
+    return update_bytes_;
+  }
+
+ private:
+  AppendParams params_;
+  Rng rng_;
+  std::uint32_t done_ = 0;
+  std::uint64_t size_ = 0;
+  std::uint64_t update_bytes_ = 0;
+  TimePoint next_time_ = seconds(1);
+  FileHandle handle_ = 0;
+  bool opened_ = false;
+};
+
+// ---------------------------------------------------------------------------
+
+struct RandomWriteParams {
+  std::string path = "/sync/data.bin";
+  std::uint64_t file_bytes = 20ull << 20;
+  std::uint32_t writes = 40;
+  std::uint32_t write_bytes = 1010;
+  Duration interval = seconds(15);
+  std::uint64_t seed = 2;
+
+  static RandomWriteParams paper() { return {}; }
+  static RandomWriteParams scaled() {
+    RandomWriteParams p;
+    p.file_bytes = 4ull << 20;
+    p.writes = 20;
+    return p;
+  }
+};
+
+class RandomWriteWorkload final : public Workload {
+ public:
+  explicit RandomWriteWorkload(RandomWriteParams params = {});
+
+  [[nodiscard]] std::string_view name() const override { return "random"; }
+  void setup(FileSystem& fs) override;
+  [[nodiscard]] TimePoint next_time() const override { return next_time_; }
+  bool step(FileSystem& fs) override;
+  [[nodiscard]] std::uint64_t update_bytes() const override {
+    return update_bytes_;
+  }
+
+ private:
+  RandomWriteParams params_;
+  Rng rng_;
+  std::uint32_t done_ = 0;
+  std::uint64_t update_bytes_ = 0;
+  TimePoint next_time_ = seconds(1);
+};
+
+// ---------------------------------------------------------------------------
+
+struct WordParams {
+  std::string doc = "/sync/report.doc";
+  std::uint32_t saves = 61;
+  std::uint64_t initial_bytes = 12'688'000;   // 12.1 MB
+  std::uint64_t final_bytes = 17'511'000;     // 16.7 MB
+  std::uint64_t edit_bytes = 16 * 1024;       ///< in-place edits per save
+  Duration interval = seconds(5);
+  std::uint64_t write_chunk = 256 * 1024;     ///< writer's IO size
+  std::uint64_t seed = 3;
+
+  static WordParams paper() { return {}; }
+  static WordParams scaled() {
+    WordParams p;
+    p.saves = 15;
+    p.initial_bytes = 3ull << 20;
+    p.final_bytes = 4ull << 20;
+    return p;
+  }
+};
+
+class WordWorkload final : public Workload {
+ public:
+  explicit WordWorkload(WordParams params = {});
+
+  [[nodiscard]] std::string_view name() const override { return "word"; }
+  void setup(FileSystem& fs) override;
+  [[nodiscard]] TimePoint next_time() const override { return next_time_; }
+  bool step(FileSystem& fs) override;
+  [[nodiscard]] std::uint64_t update_bytes() const override {
+    return update_bytes_;
+  }
+
+ private:
+  /// Applies one editing session to `content_`: an insertion at a random
+  /// position (shifting everything after it) plus small in-place edits.
+  void edit_content();
+
+  WordParams params_;
+  Rng rng_;
+  Bytes content_;  ///< the document as the editor holds it in memory
+  std::uint32_t done_ = 0;
+  std::uint64_t update_bytes_ = 0;
+  TimePoint next_time_ = seconds(1);
+};
+
+// ---------------------------------------------------------------------------
+
+struct WeChatParams {
+  std::string db = "/sync/chat.db";
+  std::string journal = "/sync/chat.db-journal";
+  std::uint32_t page_size = 4096;
+  std::uint32_t updates = 373;
+  std::uint64_t initial_bytes = 131ull << 20;  // 131 MB
+  std::uint64_t final_bytes = 137ull << 20;    // 137 MB
+  std::uint32_t inplace_pages = 2;  ///< B-tree pages rewritten per update
+  Duration interval = seconds(1);
+  std::uint64_t seed = 4;
+
+  static WeChatParams paper() { return {}; }
+  static WeChatParams scaled() {
+    WeChatParams p;
+    p.updates = 60;
+    p.initial_bytes = 12ull << 20;
+    p.final_bytes = 13ull << 20;
+    return p;
+  }
+};
+
+class WeChatWorkload final : public Workload {
+ public:
+  explicit WeChatWorkload(WeChatParams params = {});
+
+  [[nodiscard]] std::string_view name() const override { return "wechat"; }
+  void setup(FileSystem& fs) override;
+  [[nodiscard]] TimePoint next_time() const override { return next_time_; }
+  bool step(FileSystem& fs) override;
+  [[nodiscard]] std::uint64_t update_bytes() const override {
+    return update_bytes_;
+  }
+
+ private:
+  WeChatParams params_;
+  Rng rng_;
+  std::uint64_t pages_ = 0;          ///< current page count of the DB
+  std::uint64_t grow_per_update_ = 0;
+  std::uint32_t done_ = 0;
+  std::uint64_t update_bytes_ = 0;
+  TimePoint next_time_ = seconds(1);
+};
+
+// ---------------------------------------------------------------------------
+
+struct PhotoThumbParams {
+  std::string dir = "/sync/photos";
+  std::uint32_t pairs = 5;
+  std::uint64_t photo_bytes = 2ull << 20;
+  std::uint64_t thumb_bytes = 16 * 1024;
+  Duration interval = seconds(4);
+  std::uint64_t seed = 5;
+};
+
+class PhotoThumbWorkload final : public Workload {
+ public:
+  explicit PhotoThumbWorkload(PhotoThumbParams params = {});
+
+  [[nodiscard]] std::string_view name() const override { return "photos"; }
+  void setup(FileSystem& fs) override;
+  [[nodiscard]] TimePoint next_time() const override { return next_time_; }
+  bool step(FileSystem& fs) override;
+  [[nodiscard]] std::uint64_t update_bytes() const override {
+    return update_bytes_;
+  }
+
+  /// The causally-correct upload order (photo_k before thumb_k, pairs in
+  /// sequence) for comparison with a server's arrival order.
+  [[nodiscard]] std::vector<std::string> expected_order() const;
+
+ private:
+  PhotoThumbParams params_;
+  Rng rng_;
+  std::uint32_t done_ = 0;
+  std::uint64_t update_bytes_ = 0;
+  TimePoint next_time_ = seconds(1);
+};
+
+}  // namespace dcfs

@@ -1,0 +1,38 @@
+#include "vfs/fs.h"
+
+namespace dcfs {
+
+Result<Bytes> FileSystem::read_file(std::string_view path) {
+  Result<FileStat> st = stat(path);
+  if (!st) return st.status();
+  if (st->type != NodeType::file) return Errc::is_a_directory;
+
+  Result<FileHandle> handle = open(path);
+  if (!handle) return handle.status();
+  Result<Bytes> data = read(*handle, 0, st->size);
+  const Status close_status = close(*handle);
+  if (!data) return data;
+  if (!close_status.is_ok()) return close_status;
+  return data;
+}
+
+Status FileSystem::write_file(std::string_view path, ByteSpan data) {
+  FileHandle handle = 0;
+  if (Result<FileHandle> existing = open(path)) {
+    handle = *existing;
+    if (Status st = truncate(path, 0); !st.is_ok()) {
+      close(handle);
+      return st;
+    }
+  } else {
+    Result<FileHandle> created = create(path);
+    if (!created) return created.status();
+    handle = *created;
+  }
+  const Status write_status = write(handle, 0, data);
+  const Status close_status = close(handle);
+  if (!write_status.is_ok()) return write_status;
+  return close_status;
+}
+
+}  // namespace dcfs

@@ -1,0 +1,110 @@
+// The filesystem interface every layer implements.
+//
+// This is the stand-in for the FUSE stack of the paper (Fig. 4):
+//   application -> [InterceptingFs = DeltaCFS in LibFuse] -> MemFs (local FS)
+// Baselines that only watch files (Dropbox/Seafile) subscribe to
+// inotify-style FsEvents instead of intercepting operations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace dcfs {
+
+using InodeId = std::uint64_t;
+using FileHandle = std::uint64_t;
+
+enum class NodeType : std::uint8_t { file, directory };
+
+struct FileStat {
+  InodeId inode = 0;
+  NodeType type = NodeType::file;
+  std::uint64_t size = 0;
+  std::uint32_t nlink = 0;
+  TimePoint mtime = 0;
+};
+
+/// inotify-equivalent event stream (what Dropbox-like watchers consume).
+struct FsEvent {
+  enum class Kind : std::uint8_t {
+    created,
+    modified,      ///< write or truncate touched the file
+    closed_write,  ///< a handle opened for writing was closed
+    removed,
+    renamed,       ///< `path` -> `dst_path`
+  };
+  Kind kind = Kind::modified;
+  std::string path;
+  std::string dst_path;  ///< only for renamed
+  TimePoint time = 0;
+};
+
+using FsEventCallback = std::function<void(const FsEvent&)>;
+
+/// POSIX-flavoured filesystem operations.  Expected failures are Status
+/// codes (ENOENT and friends), never exceptions.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Creates a regular file (parent must exist) and opens it read-write.
+  /// Fails with already_exists if the name is taken.
+  virtual Result<FileHandle> create(std::string_view raw_path) = 0;
+
+  /// Opens an existing regular file read-write.
+  virtual Result<FileHandle> open(std::string_view raw_path) = 0;
+
+  virtual Status close(FileHandle handle) = 0;
+
+  /// Reads up to `size` bytes at `offset`; short reads at EOF.
+  virtual Result<Bytes> read(FileHandle handle, std::uint64_t offset,
+                             std::uint64_t size) = 0;
+
+  /// Writes `data` at `offset`, extending the file as needed (sparse holes
+  /// are zero-filled).
+  virtual Status write(FileHandle handle, std::uint64_t offset,
+                       ByteSpan data) = 0;
+
+  virtual Status truncate(std::string_view raw_path, std::uint64_t size) = 0;
+
+  /// POSIX rename: atomically replaces an existing destination file.
+  virtual Status rename(std::string_view raw_from, std::string_view raw_to) = 0;
+
+  /// Hard link: `raw_to` becomes another name for the file at `raw_from`.
+  virtual Status link(std::string_view raw_from, std::string_view raw_to) = 0;
+
+  virtual Status unlink(std::string_view raw_path) = 0;
+
+  virtual Status mkdir(std::string_view raw_path) = 0;
+  virtual Status rmdir(std::string_view raw_path) = 0;
+
+  virtual Result<FileStat> stat(std::string_view raw_path) const = 0;
+
+  /// Child names of a directory, sorted.
+  virtual Result<std::vector<std::string>> list_dir(
+      std::string_view raw_path) const = 0;
+
+  virtual Status fsync(FileHandle handle) = 0;
+
+  // ---- Whole-file conveniences built on the primitives. ----
+
+  /// Reads the entire file at `path`.
+  Result<Bytes> read_file(std::string_view path);
+
+  /// Creates-or-truncates `path` and writes `data` as its full content.
+  Status write_file(std::string_view path, ByteSpan data);
+
+  /// True if `path` names an existing file or directory.
+  bool exists(std::string_view path) const {
+    return stat(path).is_ok();
+  }
+};
+
+}  // namespace dcfs

@@ -1,0 +1,164 @@
+#include "vfs/intercept.h"
+
+#include "vfs/path.h"
+
+namespace dcfs {
+
+Result<FileHandle> InterceptingFs::create(std::string_view raw_path) {
+  const std::string normalized = path::normalize(raw_path);
+  // The relation table must see the create *before* it happens so it can
+  // trigger delta encoding against a preserved old version; but triggering
+  // needs the new content, which only exists after the application writes
+  // it.  Following the paper, creation is noted post-op and delta encoding
+  // fires when the relation matches (create-with-src-name case).
+  Result<FileHandle> handle = inner_.create(normalized);
+  if (!handle) return handle;
+  handles_.emplace(*handle, HandleInfo{normalized, false});
+  sink_.note_create(normalized);
+  return handle;
+}
+
+Result<FileHandle> InterceptingFs::open(std::string_view raw_path) {
+  const std::string normalized = path::normalize(raw_path);
+  Result<FileHandle> handle = inner_.open(normalized);
+  if (!handle) return handle;
+  handles_.emplace(*handle, HandleInfo{normalized, false});
+  return handle;
+}
+
+Status InterceptingFs::close(FileHandle handle) {
+  const auto it = handles_.find(handle);
+  const Status status = inner_.close(handle);
+  if (it != handles_.end()) {
+    if (status.is_ok()) sink_.note_close(it->second.path, it->second.wrote);
+    handles_.erase(it);
+  }
+  return status;
+}
+
+Result<Bytes> InterceptingFs::read(FileHandle handle, std::uint64_t offset,
+                                   std::uint64_t size) {
+  Result<Bytes> data = inner_.read(handle, offset, size);
+  if (!data) return data;
+  const auto it = handles_.find(handle);
+  if (it != handles_.end()) {
+    const Status verdict = sink_.verify_read(it->second.path, offset, *data);
+    if (!verdict.is_ok()) return verdict;
+  }
+  return data;
+}
+
+Status InterceptingFs::write(FileHandle handle, std::uint64_t offset,
+                             ByteSpan data) {
+  const auto it = handles_.find(handle);
+  if (it == handles_.end()) return Status{Errc::bad_handle};
+
+  // Capture the bytes about to be overwritten (physical undo, §III-A).
+  // They are served from the inner FS cache — no real disk I/O in the paper
+  // either ("the data to be copied out are usually already cached").
+  Bytes overwritten;
+  if (Result<Bytes> old = inner_.read(handle, offset, data.size())) {
+    overwritten = std::move(*old);
+  }
+  Result<FileStat> before = inner_.stat(it->second.path);
+  const std::uint64_t size_before = before ? before->size : 0;
+
+  const Status status = inner_.write(handle, offset, data);
+  if (!status.is_ok()) return status;
+  it->second.wrote = true;
+  sink_.note_write(it->second.path, offset, data, overwritten, size_before);
+  return status;
+}
+
+Status InterceptingFs::truncate(std::string_view raw_path,
+                                std::uint64_t size) {
+  const std::string normalized = path::normalize(raw_path);
+  Result<FileStat> before = inner_.stat(normalized);
+  const std::uint64_t old_size = before ? before->size : 0;
+
+  // Preserve the tail being cut off (undo data for a shrinking truncate).
+  Bytes cut_tail;
+  if (before && size < old_size) {
+    if (Result<FileHandle> handle = inner_.open(normalized)) {
+      if (Result<Bytes> tail = inner_.read(*handle, size, old_size - size)) {
+        cut_tail = std::move(*tail);
+      }
+      inner_.close(*handle);
+    }
+  }
+
+  const Status status = inner_.truncate(normalized, size);
+  if (status.is_ok()) {
+    sink_.note_truncate(normalized, size, old_size, cut_tail);
+  }
+  return status;
+}
+
+Status InterceptingFs::rename(std::string_view raw_from,
+                              std::string_view raw_to) {
+  const std::string from = path::normalize(raw_from);
+  const std::string to = path::normalize(raw_to);
+  const bool dst_existed = inner_.exists(to);
+  sink_.before_rename(from, to, dst_existed);
+  const Status status = inner_.rename(from, to);
+  if (status.is_ok()) sink_.note_rename(from, to, dst_existed);
+  return status;
+}
+
+Status InterceptingFs::link(std::string_view raw_from,
+                            std::string_view raw_to) {
+  const std::string from = path::normalize(raw_from);
+  const std::string to = path::normalize(raw_to);
+  const Status status = inner_.link(from, to);
+  if (status.is_ok()) sink_.note_link(from, to);
+  return status;
+}
+
+Status InterceptingFs::unlink(std::string_view raw_path) {
+  const std::string normalized = path::normalize(raw_path);
+  if (!inner_.exists(normalized)) return Status{Errc::not_found};
+
+  if (sink_.intercept_unlink(normalized)) {
+    // The sink preserved the file (moved it aside on the inner FS); from the
+    // application's perspective the unlink succeeded.
+    sink_.note_unlink(normalized);
+    return Status::ok();
+  }
+  const Status status = inner_.unlink(normalized);
+  if (status.is_ok()) sink_.note_unlink(normalized);
+  return status;
+}
+
+Status InterceptingFs::mkdir(std::string_view raw_path) {
+  const std::string normalized = path::normalize(raw_path);
+  const Status status = inner_.mkdir(normalized);
+  if (status.is_ok()) sink_.note_mkdir(normalized);
+  return status;
+}
+
+Status InterceptingFs::rmdir(std::string_view raw_path) {
+  const std::string normalized = path::normalize(raw_path);
+  const Status status = inner_.rmdir(normalized);
+  if (status.is_ok()) sink_.note_rmdir(normalized);
+  return status;
+}
+
+Result<FileStat> InterceptingFs::stat(std::string_view raw_path) const {
+  return inner_.stat(raw_path);
+}
+
+Result<std::vector<std::string>> InterceptingFs::list_dir(
+    std::string_view raw_path) const {
+  return inner_.list_dir(raw_path);
+}
+
+Status InterceptingFs::fsync(FileHandle handle) {
+  const Status status = inner_.fsync(handle);
+  if (status.is_ok()) {
+    const auto it = handles_.find(handle);
+    if (it != handles_.end()) sink_.note_fsync(it->second.path);
+  }
+  return status;
+}
+
+}  // namespace dcfs

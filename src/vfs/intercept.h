@@ -1,0 +1,121 @@
+// Operation interception — the LibFuse callback layer of Fig. 4.
+//
+// InterceptingFs wraps the local filesystem; every operation is forwarded
+// and, on success, reported to an OpSink (the DeltaCFS client).  Two hooks
+// are *pre*-operation because the paper requires it:
+//   - intercept_unlink: the client may preserve the victim file (move into
+//     tmp/) instead of letting the deletion destroy the old version;
+//   - verify_read: the client checks block checksums and can fail the read
+//     with EIO when corruption is detected.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "vfs/fs.h"
+
+namespace dcfs {
+
+/// Callback set consumed by a sync client sitting in the FUSE position.
+/// All note_* calls happen after the operation succeeded on the local FS.
+class OpSink {
+ public:
+  virtual ~OpSink() = default;
+
+  virtual void note_create(std::string_view path) { (void)path; }
+
+  /// `overwritten` holds the prior content of the overwritten byte range
+  /// (shorter than `data` when the write extends the file) — the physical
+  /// undo data of §III-A.  `size_before` is the file size before the write.
+  virtual void note_write(std::string_view path, std::uint64_t offset,
+                          ByteSpan data, ByteSpan overwritten,
+                          std::uint64_t size_before) {
+    (void)path; (void)offset; (void)data; (void)overwritten;
+    (void)size_before;
+  }
+
+  /// `cut_tail` holds the bytes removed by a shrinking truncate (undo data).
+  virtual void note_truncate(std::string_view path, std::uint64_t new_size,
+                             std::uint64_t old_size, ByteSpan cut_tail) {
+    (void)path; (void)new_size; (void)old_size; (void)cut_tail;
+  }
+
+  virtual void note_close(std::string_view path, bool wrote) {
+    (void)path; (void)wrote;
+  }
+
+  /// Pre-rename hook: when the destination exists, the rename will destroy
+  /// its content — the sink can stash it (the old version needed when the
+  /// "file's name already exists" trigger of Table I fires).
+  virtual void before_rename(std::string_view from, std::string_view to,
+                             bool dst_exists) {
+    (void)from; (void)to; (void)dst_exists;
+  }
+
+  virtual void note_rename(std::string_view from, std::string_view to,
+                           bool dst_existed) {
+    (void)from; (void)to; (void)dst_existed;
+  }
+
+  virtual void note_link(std::string_view from, std::string_view to) {
+    (void)from; (void)to;
+  }
+
+  /// Pre-unlink hook.  Return true if the sink preserved the file itself
+  /// (e.g. renamed it into tmp/); the interceptor then skips the real
+  /// unlink.  Return false for normal deletion.
+  virtual bool intercept_unlink(std::string_view path) {
+    (void)path;
+    return false;
+  }
+
+  virtual void note_unlink(std::string_view path) { (void)path; }
+
+  virtual void note_mkdir(std::string_view path) { (void)path; }
+  virtual void note_rmdir(std::string_view path) { (void)path; }
+  virtual void note_fsync(std::string_view path) { (void)path; }
+
+  /// Post-read verification hook; returning a non-OK status fails the read
+  /// (corruption detected by the Checksum Store).
+  virtual Status verify_read(std::string_view path, std::uint64_t offset,
+                             ByteSpan data) {
+    (void)path; (void)offset; (void)data;
+    return Status::ok();
+  }
+};
+
+/// FileSystem decorator that reports operations to an OpSink.
+class InterceptingFs final : public FileSystem {
+ public:
+  InterceptingFs(FileSystem& inner, OpSink& sink)
+      : inner_(inner), sink_(sink) {}
+
+  Result<FileHandle> create(std::string_view raw_path) override;
+  Result<FileHandle> open(std::string_view raw_path) override;
+  Status close(FileHandle handle) override;
+  Result<Bytes> read(FileHandle handle, std::uint64_t offset,
+                     std::uint64_t size) override;
+  Status write(FileHandle handle, std::uint64_t offset, ByteSpan data) override;
+  Status truncate(std::string_view raw_path, std::uint64_t size) override;
+  Status rename(std::string_view raw_from, std::string_view raw_to) override;
+  Status link(std::string_view raw_from, std::string_view raw_to) override;
+  Status unlink(std::string_view raw_path) override;
+  Status mkdir(std::string_view raw_path) override;
+  Status rmdir(std::string_view raw_path) override;
+  Result<FileStat> stat(std::string_view raw_path) const override;
+  Result<std::vector<std::string>> list_dir(
+      std::string_view raw_path) const override;
+  Status fsync(FileHandle handle) override;
+
+ private:
+  struct HandleInfo {
+    std::string path;
+    bool wrote = false;
+  };
+
+  FileSystem& inner_;
+  OpSink& sink_;
+  std::unordered_map<FileHandle, HandleInfo> handles_;
+};
+
+}  // namespace dcfs

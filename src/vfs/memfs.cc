@@ -1,0 +1,352 @@
+#include "vfs/memfs.h"
+
+#include <algorithm>
+
+#include "vfs/path.h"
+
+namespace dcfs {
+
+MemFs::MemFs(const Clock& clock, std::uint64_t capacity_bytes)
+    : clock_(clock), capacity_bytes_(capacity_bytes) {
+  auto root = std::make_unique<Inode>();
+  root->type = NodeType::directory;
+  root->nlink = 1;
+  root_ = next_inode_++;
+  inodes_.emplace(root_, std::move(root));
+}
+
+Result<InodeId> MemFs::resolve(std::string_view normalized) const {
+  InodeId current = root_;
+  for (const auto& part : path::components(normalized)) {
+    const Inode& dir = node(current);
+    if (dir.type != NodeType::directory) return Errc::not_a_directory;
+    const auto it = dir.children.find(part);
+    if (it == dir.children.end()) return Errc::not_found;
+    current = it->second;
+  }
+  return current;
+}
+
+Result<InodeId> MemFs::resolve_parent(std::string_view normalized) const {
+  if (normalized == "/") return Errc::invalid_argument;
+  return resolve(path::dirname(normalized));
+}
+
+Result<InodeId> MemFs::lookup_file(std::string_view raw_path) const {
+  const std::string normalized = path::normalize(raw_path);
+  Result<InodeId> id = resolve(normalized);
+  if (!id) return id;
+  if (node(*id).type != NodeType::file) return Errc::is_a_directory;
+  return id;
+}
+
+void MemFs::emit(FsEvent event) {
+  event.time = clock_.now();
+  for (const auto& [id, watcher] : watchers_) {
+    if (path::is_within(event.path, watcher.root) ||
+        (!event.dst_path.empty() &&
+         path::is_within(event.dst_path, watcher.root))) {
+      watcher.callback(event);
+    }
+  }
+}
+
+Result<FileHandle> MemFs::create(std::string_view raw_path) {
+  const std::string normalized = path::normalize(raw_path);
+  if (normalized == "/") return Errc::invalid_argument;
+
+  Result<InodeId> parent = resolve_parent(normalized);
+  if (!parent) return parent.status();
+  Inode& dir = node(*parent);
+  if (dir.type != NodeType::directory) return Errc::not_a_directory;
+
+  const std::string name = path::basename(normalized);
+  if (dir.children.contains(name)) return Errc::already_exists;
+
+  auto inode = std::make_unique<Inode>();
+  inode->type = NodeType::file;
+  inode->nlink = 1;
+  inode->mtime = clock_.now();
+  const InodeId id = next_inode_++;
+  inodes_.emplace(id, std::move(inode));
+  dir.children.emplace(name, id);
+
+  const FileHandle handle = next_handle_++;
+  node(id).open_count++;
+  handles_.emplace(handle, Handle{id, normalized, false});
+
+  emit({FsEvent::Kind::created, normalized, {}, 0});
+  return handle;
+}
+
+Result<FileHandle> MemFs::open(std::string_view raw_path) {
+  const std::string normalized = path::normalize(raw_path);
+  Result<InodeId> id = lookup_file(normalized);
+  if (!id) return id.status();
+
+  const FileHandle handle = next_handle_++;
+  node(*id).open_count++;
+  handles_.emplace(handle, Handle{*id, normalized, false});
+  return handle;
+}
+
+Status MemFs::close(FileHandle handle) {
+  const auto it = handles_.find(handle);
+  if (it == handles_.end()) return Status{Errc::bad_handle};
+  const Handle h = it->second;
+  handles_.erase(it);
+
+  Inode& inode = node(h.inode);
+  inode.open_count--;
+  if (h.wrote) emit({FsEvent::Kind::closed_write, h.path, {}, 0});
+  release_if_orphan(h.inode);
+  return Status::ok();
+}
+
+Result<Bytes> MemFs::read(FileHandle handle, std::uint64_t offset,
+                          std::uint64_t size) {
+  const auto it = handles_.find(handle);
+  if (it == handles_.end()) return Errc::bad_handle;
+  const Inode& inode = node(it->second.inode);
+  if (offset >= inode.data.size()) return Bytes{};
+  const std::uint64_t end = std::min<std::uint64_t>(
+      inode.data.size(), offset + size);
+  return Bytes(inode.data.begin() + static_cast<std::ptrdiff_t>(offset),
+               inode.data.begin() + static_cast<std::ptrdiff_t>(end));
+}
+
+Status MemFs::write(FileHandle handle, std::uint64_t offset, ByteSpan data) {
+  const auto it = handles_.find(handle);
+  if (it == handles_.end()) return Status{Errc::bad_handle};
+  Inode& inode = node(it->second.inode);
+
+  const std::uint64_t end = offset + data.size();
+  const std::uint64_t grow =
+      end > inode.data.size() ? end - inode.data.size() : 0;
+  if (capacity_bytes_ > 0 && used_bytes_ + grow > capacity_bytes_) {
+    return Status{Errc::no_space};
+  }
+  if (grow > 0) {
+    inode.data.resize(end, 0);  // zero-fill sparse holes
+    used_bytes_ += grow;
+  }
+  std::copy(data.begin(), data.end(),
+            inode.data.begin() + static_cast<std::ptrdiff_t>(offset));
+  inode.mtime = clock_.now();
+  it->second.wrote = true;
+
+  emit({FsEvent::Kind::modified, it->second.path, {}, 0});
+  return Status::ok();
+}
+
+Status MemFs::truncate(std::string_view raw_path, std::uint64_t size) {
+  const std::string normalized = path::normalize(raw_path);
+  Result<InodeId> id = lookup_file(normalized);
+  if (!id) return id.status();
+  Inode& inode = node(*id);
+
+  if (size > inode.data.size()) {
+    const std::uint64_t grow = size - inode.data.size();
+    if (capacity_bytes_ > 0 && used_bytes_ + grow > capacity_bytes_) {
+      return Status{Errc::no_space};
+    }
+    used_bytes_ += grow;
+    inode.data.resize(size, 0);
+  } else {
+    used_bytes_ -= inode.data.size() - size;
+    inode.data.resize(size);
+  }
+  inode.mtime = clock_.now();
+  emit({FsEvent::Kind::modified, normalized, {}, 0});
+  return Status::ok();
+}
+
+Status MemFs::rename(std::string_view raw_from, std::string_view raw_to) {
+  const std::string from = path::normalize(raw_from);
+  const std::string to = path::normalize(raw_to);
+  if (from == "/" || to == "/" || from == to) {
+    return Status{Errc::invalid_argument};
+  }
+
+  Result<InodeId> src = resolve(from);
+  if (!src) return src.status();
+  Result<InodeId> from_parent = resolve_parent(from);
+  if (!from_parent) return from_parent.status();
+  Result<InodeId> to_parent = resolve_parent(to);
+  if (!to_parent) return to_parent.status();
+  if (node(*to_parent).type != NodeType::directory) {
+    return Status{Errc::not_a_directory};
+  }
+
+  const std::string to_name = path::basename(to);
+  Inode& dst_dir = node(*to_parent);
+  const auto existing = dst_dir.children.find(to_name);
+  if (existing != dst_dir.children.end()) {
+    const InodeId victim = existing->second;
+    if (node(victim).type == NodeType::directory) {
+      // Only empty-directory replacement is allowed; keep it simple: refuse.
+      return Status{Errc::is_a_directory};
+    }
+    dst_dir.children.erase(existing);
+    Inode& victim_node = node(victim);
+    victim_node.nlink--;
+    release_if_orphan(victim);
+  }
+
+  node(*from_parent).children.erase(path::basename(from));
+  dst_dir.children.emplace(to_name, *src);
+  node(*src).mtime = clock_.now();
+
+  emit({FsEvent::Kind::renamed, from, to, 0});
+  return Status::ok();
+}
+
+Status MemFs::link(std::string_view raw_from, std::string_view raw_to) {
+  const std::string from = path::normalize(raw_from);
+  const std::string to = path::normalize(raw_to);
+
+  Result<InodeId> src = lookup_file(from);
+  if (!src) return src.status();
+  Result<InodeId> to_parent = resolve_parent(to);
+  if (!to_parent) return to_parent.status();
+  Inode& dir = node(*to_parent);
+  if (dir.type != NodeType::directory) return Status{Errc::not_a_directory};
+  const std::string name = path::basename(to);
+  if (dir.children.contains(name)) return Status{Errc::already_exists};
+
+  dir.children.emplace(name, *src);
+  node(*src).nlink++;
+  emit({FsEvent::Kind::created, to, {}, 0});
+  return Status::ok();
+}
+
+Status MemFs::unlink(std::string_view raw_path) {
+  const std::string normalized = path::normalize(raw_path);
+  Result<InodeId> id = resolve(normalized);
+  if (!id) return id.status();
+  if (node(*id).type == NodeType::directory) return Status{Errc::is_a_directory};
+
+  Result<InodeId> parent = resolve_parent(normalized);
+  if (!parent) return parent.status();
+  node(*parent).children.erase(path::basename(normalized));
+  Inode& inode = node(*id);
+  inode.nlink--;
+  emit({FsEvent::Kind::removed, normalized, {}, 0});
+  release_if_orphan(*id);
+  return Status::ok();
+}
+
+Status MemFs::mkdir(std::string_view raw_path) {
+  const std::string normalized = path::normalize(raw_path);
+  if (normalized == "/") return Status{Errc::already_exists};
+  Result<InodeId> parent = resolve_parent(normalized);
+  if (!parent) return parent.status();
+  Inode& dir = node(*parent);
+  if (dir.type != NodeType::directory) return Status{Errc::not_a_directory};
+  const std::string name = path::basename(normalized);
+  if (dir.children.contains(name)) return Status{Errc::already_exists};
+
+  auto inode = std::make_unique<Inode>();
+  inode->type = NodeType::directory;
+  inode->nlink = 1;
+  inode->mtime = clock_.now();
+  const InodeId id = next_inode_++;
+  inodes_.emplace(id, std::move(inode));
+  dir.children.emplace(name, id);
+  emit({FsEvent::Kind::created, normalized, {}, 0});
+  return Status::ok();
+}
+
+Status MemFs::rmdir(std::string_view raw_path) {
+  const std::string normalized = path::normalize(raw_path);
+  if (normalized == "/") return Status{Errc::invalid_argument};
+  Result<InodeId> id = resolve(normalized);
+  if (!id) return id.status();
+  Inode& dir = node(*id);
+  if (dir.type != NodeType::directory) return Status{Errc::not_a_directory};
+  if (!dir.children.empty()) return Status{Errc::not_empty};
+
+  Result<InodeId> parent = resolve_parent(normalized);
+  if (!parent) return parent.status();
+  node(*parent).children.erase(path::basename(normalized));
+  inodes_.erase(*id);
+  emit({FsEvent::Kind::removed, normalized, {}, 0});
+  return Status::ok();
+}
+
+Result<FileStat> MemFs::stat(std::string_view raw_path) const {
+  const std::string normalized = path::normalize(raw_path);
+  Result<InodeId> id = resolve(normalized);
+  if (!id) return id.status();
+  const Inode& inode = node(*id);
+  FileStat out;
+  out.inode = *id;
+  out.type = inode.type;
+  out.size = inode.data.size();
+  out.nlink = inode.nlink;
+  out.mtime = inode.mtime;
+  return out;
+}
+
+Result<std::vector<std::string>> MemFs::list_dir(
+    std::string_view raw_path) const {
+  const std::string normalized = path::normalize(raw_path);
+  Result<InodeId> id = resolve(normalized);
+  if (!id) return id.status();
+  const Inode& dir = node(*id);
+  if (dir.type != NodeType::directory) return Errc::not_a_directory;
+  std::vector<std::string> names;
+  names.reserve(dir.children.size());
+  for (const auto& [name, child] : dir.children) names.push_back(name);
+  return names;
+}
+
+Status MemFs::fsync(FileHandle handle) {
+  if (!handles_.contains(handle)) return Status{Errc::bad_handle};
+  return Status::ok();  // MemFs is always "durable"; KV store models sync
+}
+
+std::uint64_t MemFs::watch(std::string_view watch_root,
+                           FsEventCallback callback) {
+  const std::uint64_t id = next_watcher_++;
+  watchers_.emplace(
+      id, Watcher{path::normalize(watch_root), std::move(callback)});
+  return id;
+}
+
+void MemFs::unwatch(std::uint64_t watcher_id) { watchers_.erase(watcher_id); }
+
+Status MemFs::corrupt_bit(std::string_view path, std::uint64_t byte_offset,
+                          unsigned bit) {
+  Result<InodeId> id = lookup_file(path);
+  if (!id) return id.status();
+  Inode& inode = node(*id);
+  if (byte_offset >= inode.data.size()) return Status{Errc::invalid_argument};
+  inode.data[byte_offset] ^= static_cast<std::uint8_t>(1u << (bit & 7));
+  return Status::ok();
+}
+
+Status MemFs::write_bypassing(std::string_view path, std::uint64_t offset,
+                              ByteSpan data) {
+  Result<InodeId> id = lookup_file(path);
+  if (!id) return id.status();
+  Inode& inode = node(*id);
+  const std::uint64_t end = offset + data.size();
+  if (end > inode.data.size()) inode.data.resize(end, 0);
+  std::copy(data.begin(), data.end(),
+            inode.data.begin() + static_cast<std::ptrdiff_t>(offset));
+  return Status::ok();  // no event, no mtime change: invisible mutation
+}
+
+void MemFs::release_if_orphan(InodeId id) {
+  if (id == root_) return;
+  const auto it = inodes_.find(id);
+  if (it == inodes_.end()) return;
+  Inode& inode = *it->second;
+  if (inode.nlink == 0 && inode.open_count == 0) {
+    used_bytes_ -= inode.data.size();
+    inodes_.erase(it);
+  }
+}
+
+}  // namespace dcfs

@@ -1,0 +1,116 @@
+// In-memory filesystem: the "local file system" under DeltaCFS (Fig. 4) and
+// the ext4 stand-in for the reliability experiments.
+//
+// Features needed by the paper's experiments:
+//  - hard links (gedit's transactional update uses link+rename),
+//  - POSIX rename-over-existing semantics,
+//  - an inotify-equivalent event stream for the watcher-based baselines,
+//  - optional capacity limit (ENOSPC path of the relation table),
+//  - out-of-band fault injection: bit flips and writes that bypass the
+//    observer stack (the paper's debugfs trick, Table IV).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "vfs/fs.h"
+
+namespace dcfs {
+
+class MemFs final : public FileSystem {
+ public:
+  /// `clock` drives mtimes and event timestamps; unlimited capacity unless
+  /// `capacity_bytes` > 0.
+  explicit MemFs(const Clock& clock, std::uint64_t capacity_bytes = 0);
+
+  Result<FileHandle> create(std::string_view raw_path) override;
+  Result<FileHandle> open(std::string_view raw_path) override;
+  Status close(FileHandle handle) override;
+  Result<Bytes> read(FileHandle handle, std::uint64_t offset,
+                     std::uint64_t size) override;
+  Status write(FileHandle handle, std::uint64_t offset, ByteSpan data) override;
+  Status truncate(std::string_view raw_path, std::uint64_t size) override;
+  Status rename(std::string_view raw_from, std::string_view raw_to) override;
+  Status link(std::string_view raw_from, std::string_view raw_to) override;
+  Status unlink(std::string_view raw_path) override;
+  Status mkdir(std::string_view raw_path) override;
+  Status rmdir(std::string_view raw_path) override;
+  Result<FileStat> stat(std::string_view raw_path) const override;
+  Result<std::vector<std::string>> list_dir(
+      std::string_view raw_path) const override;
+  Status fsync(FileHandle handle) override;
+
+  // ---- inotify-equivalent watcher API ----
+
+  /// Registers a callback for events under `watch_root`; returns an id.
+  std::uint64_t watch(std::string_view watch_root, FsEventCallback callback);
+  void unwatch(std::uint64_t watcher_id);
+
+  // ---- Fault injection (bypasses the op path and emits no events) ----
+
+  /// Flips one bit of the file's content (silent media corruption).
+  Status corrupt_bit(std::string_view path, std::uint64_t byte_offset,
+                     unsigned bit);
+
+  /// Overwrites bytes bypassing the VFS op path — models data written where
+  /// metadata was not updated after an ordered-journaling crash.
+  Status write_bypassing(std::string_view path, std::uint64_t offset,
+                         ByteSpan data);
+
+  // ---- Introspection ----
+
+  [[nodiscard]] std::uint64_t used_bytes() const noexcept { return used_bytes_; }
+  [[nodiscard]] std::uint64_t open_handle_count() const noexcept {
+    return handles_.size();
+  }
+
+ private:
+  struct Inode {
+    NodeType type = NodeType::file;
+    Bytes data;                               // files
+    std::map<std::string, InodeId> children;  // directories
+    std::uint32_t nlink = 0;
+    std::uint32_t open_count = 0;
+    TimePoint mtime = 0;
+  };
+
+  struct Handle {
+    InodeId inode = 0;
+    std::string path;   ///< name at open time (what FUSE reports)
+    bool wrote = false;
+  };
+
+  Inode& node(InodeId id) { return *inodes_.at(id); }
+  const Inode& node(InodeId id) const { return *inodes_.at(id); }
+
+  /// Resolves a normalized path to an inode; null Result on failure.
+  Result<InodeId> resolve(std::string_view normalized) const;
+  /// Resolves the parent directory of a normalized path.
+  Result<InodeId> resolve_parent(std::string_view normalized) const;
+
+  void release_if_orphan(InodeId id);
+  void emit(FsEvent event);
+  Result<InodeId> lookup_file(std::string_view raw_path) const;
+
+  const Clock& clock_;
+  std::uint64_t capacity_bytes_;
+  std::uint64_t used_bytes_ = 0;
+
+  InodeId next_inode_ = 1;
+  FileHandle next_handle_ = 1;
+  std::unordered_map<InodeId, std::unique_ptr<Inode>> inodes_;
+  std::unordered_map<FileHandle, Handle> handles_;
+  InodeId root_ = 0;
+
+  struct Watcher {
+    std::string root;
+    FsEventCallback callback;
+  };
+  std::uint64_t next_watcher_ = 1;
+  std::map<std::uint64_t, Watcher> watchers_;
+};
+
+}  // namespace dcfs

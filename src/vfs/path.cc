@@ -1,0 +1,68 @@
+#include "vfs/path.h"
+
+namespace dcfs::path {
+
+std::string normalize(std::string_view raw) {
+  std::vector<std::string_view> parts;
+  std::size_t i = 0;
+  while (i < raw.size()) {
+    while (i < raw.size() && raw[i] == '/') ++i;
+    const std::size_t start = i;
+    while (i < raw.size() && raw[i] != '/') ++i;
+    if (i == start) break;
+    const std::string_view part = raw.substr(start, i - start);
+    if (part == ".") continue;
+    if (part == "..") {
+      if (!parts.empty()) parts.pop_back();
+      continue;
+    }
+    parts.push_back(part);
+  }
+  std::string out;
+  if (parts.empty()) return "/";
+  for (const auto& part : parts) {
+    out += '/';
+    out += part;
+  }
+  return out;
+}
+
+std::string dirname(std::string_view path) {
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string_view::npos || slash == 0) return "/";
+  return std::string(path.substr(0, slash));
+}
+
+std::string basename(std::string_view path) {
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string_view::npos) return std::string(path);
+  return std::string(path.substr(slash + 1));
+}
+
+std::vector<std::string> components(std::string_view path) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') ++i;
+    const std::size_t start = i;
+    while (i < path.size() && path[i] != '/') ++i;
+    if (i > start) out.emplace_back(path.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string join(std::string_view dir, std::string_view name) {
+  std::string out(dir);
+  if (out.empty() || out.back() != '/') out += '/';
+  out += name;
+  return normalize(out);
+}
+
+bool is_within(std::string_view path, std::string_view prefix) {
+  if (prefix == "/") return true;
+  if (path == prefix) return true;
+  return path.size() > prefix.size() && path.starts_with(prefix) &&
+         path[prefix.size()] == '/';
+}
+
+}  // namespace dcfs::path

@@ -1,0 +1,30 @@
+// Path handling for the in-memory VFS.  Paths are absolute, '/'-separated,
+// normalized (no ".", "..", duplicate or trailing slashes).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcfs::path {
+
+/// Normalizes a path to canonical absolute form ("/a/b").  A relative input
+/// is treated as relative to "/".  Empty input normalizes to "/".
+std::string normalize(std::string_view raw);
+
+/// Parent directory of a normalized path ("/a/b" -> "/a"; "/a" -> "/").
+std::string dirname(std::string_view path);
+
+/// Final component ("/a/b" -> "b"; "/" -> "").
+std::string basename(std::string_view path);
+
+/// Splits a normalized path into components ("/a/b" -> {"a", "b"}).
+std::vector<std::string> components(std::string_view path);
+
+/// Joins a directory and a child name.
+std::string join(std::string_view dir, std::string_view name);
+
+/// True if `path` is `prefix` itself or lies underneath it.
+bool is_within(std::string_view path, std::string_view prefix);
+
+}  // namespace dcfs::path

@@ -1,0 +1,99 @@
+// Content correctness for the baseline systems: whatever their traffic/CPU
+// profiles, every sync solution must faithfully mirror the client's files.
+// (For DeltaCFS this is covered by the e2e property suite; here the
+// baselines get the same bar under the canonical workloads.)
+#include <gtest/gtest.h>
+
+#include "baselines/dropbox_sim.h"
+#include "common/rng.h"
+#include "baselines/nfs_sim.h"
+#include "baselines/seafile_sim.h"
+#include "trace/workloads.h"
+
+namespace dcfs {
+namespace {
+
+TEST(NfsCorrectnessTest, WordWorkloadMirrorsExactly) {
+  VirtualClock clock;
+  NfsSim nfs(clock, CostProfile::pc());
+  nfs.fs().mkdir("/sync");
+  WordParams params = WordParams::scaled();
+  params.saves = 5;
+  params.initial_bytes = 300'000;
+  params.final_bytes = 360'000;
+  WordWorkload workload(params);
+  run_workload(workload, nfs, clock);
+
+  const Bytes local = *nfs.fs().read_file(params.doc);
+  Result<Bytes> server = nfs.server_content(params.doc);
+  ASSERT_TRUE(server.is_ok());
+  EXPECT_EQ(*server, local);
+}
+
+TEST(NfsCorrectnessTest, WeChatWorkloadMirrorsExactly) {
+  VirtualClock clock;
+  NfsSim nfs(clock, CostProfile::pc());
+  nfs.fs().mkdir("/sync");
+  WeChatParams params = WeChatParams::scaled();
+  params.updates = 6;
+  params.initial_bytes = 1 << 20;
+  params.final_bytes = (1 << 20) + 64 * 1024;
+  WeChatWorkload workload(params);
+  run_workload(workload, nfs, clock);
+
+  EXPECT_EQ(*nfs.server_content(params.db), *nfs.fs().read_file(params.db));
+  // The journal mirrors too (truncated to zero after the last commit).
+  Result<Bytes> journal = nfs.server_content(params.journal);
+  ASSERT_TRUE(journal.is_ok());
+  EXPECT_TRUE(journal->empty());
+}
+
+TEST(DropboxCorrectnessTest, IncrementalSyncsStayCheapAcrossSaves) {
+  // The per-path cache must track the synced state: if it ever desynced,
+  // later syncs would fall back to full uploads.  Verify the incremental
+  // cost stays bounded save after save.
+  VirtualClock clock;
+  DropboxSim dropbox(clock, CostProfile::pc(), NetProfile::pc_wan());
+  dropbox.fs().mkdir("/sync");
+
+  Rng rng(3);
+  Bytes content = rng.bytes(2 << 20);
+  dropbox.fs().write_file("/sync/doc", content);
+  for (int i = 0; i < 20; ++i) {
+    clock.advance(milliseconds(250));
+    dropbox.tick(clock.now());
+  }
+
+  for (int save = 0; save < 5; ++save) {
+    const std::uint64_t before = dropbox.traffic().up_bytes();
+    content[rng.next_below(content.size())] ^= 0x40;  // tiny edit
+    dropbox.fs().write_file("/sync/doc", content);
+    for (int i = 0; i < 20; ++i) {
+      clock.advance(milliseconds(250));
+      dropbox.tick(clock.now());
+    }
+    // Each tiny edit costs ~a 4 KB chunk + metadata, never a full upload.
+    EXPECT_LT(dropbox.traffic().up_bytes() - before, 200'000u)
+        << "save " << save;
+  }
+}
+
+TEST(SeafileCorrectnessTest, ManifestRoundTripsThroughEdits) {
+  VirtualClock clock;
+  SeafileSim seafile(clock, CostProfile::pc(), CostProfile::pc());
+  seafile.fs().mkdir("/sync");
+  WeChatParams params = WeChatParams::scaled();
+  params.updates = 5;
+  params.initial_bytes = 2 << 20;
+  params.final_bytes = (2 << 20) + 64 * 1024;
+  WeChatWorkload workload(params);
+  const RunStats stats = run_workload(workload, seafile, clock);
+
+  EXPECT_GT(stats.update_bytes, 0u);
+  EXPECT_GT(seafile.syncs_performed(), 0u);
+  // The chunk-size tax: upload far exceeds the actual update size.
+  EXPECT_GT(seafile.traffic().up_bytes(), 3 * stats.update_bytes);
+}
+
+}  // namespace
+}  // namespace dcfs

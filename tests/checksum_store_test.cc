@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/checksum_store.h"
+#include "vfs/memfs.h"
+
+namespace dcfs {
+namespace {
+
+class ChecksumStoreTest : public ::testing::Test {
+ protected:
+  ChecksumStoreTest()
+      : fs_(clock_),
+        kv_(std::make_shared<KvStore>(std::make_shared<MemoryWalStorage>())),
+        store_(kv_, 4096) {}
+
+  void write_indexed(const std::string& path, ByteSpan data) {
+    ASSERT_TRUE(fs_.write_file(path, data).is_ok());
+    ASSERT_TRUE(store_.index_file(fs_, path).is_ok());
+  }
+
+  VirtualClock clock_;
+  MemFs fs_;
+  std::shared_ptr<KvStore> kv_;
+  ChecksumStore store_;
+};
+
+TEST_F(ChecksumStoreTest, CleanFileVerifies) {
+  Rng rng(1);
+  const Bytes data = rng.bytes(20'000);
+  write_indexed("/f", data);
+  EXPECT_TRUE(store_.verify_file("/f", data).is_ok());
+}
+
+TEST_F(ChecksumStoreTest, BitFlipIsDetected) {
+  Rng rng(2);
+  Bytes data = rng.bytes(20'000);
+  write_indexed("/f", data);
+
+  data[12'345] ^= 0x04;  // silent corruption
+  EXPECT_EQ(store_.verify_file("/f", data).code(), Errc::corruption);
+}
+
+TEST_F(ChecksumStoreTest, TailBlockCorruptionIsDetected) {
+  Rng rng(3);
+  Bytes data = rng.bytes(10'000);  // 2 blocks + 1808-byte tail
+  write_indexed("/f", data);
+  data[9'999] ^= 0x80;
+  EXPECT_EQ(store_.verify_file("/f", data).code(), Errc::corruption);
+}
+
+TEST_F(ChecksumStoreTest, WriteRefreshesTouchedBlocks) {
+  Rng rng(4);
+  Bytes data = rng.bytes(20'000);
+  write_indexed("/f", data);
+
+  // Overwrite a range through the FS, then update the store.
+  const Bytes patch = rng.bytes(5000);
+  Result<FileHandle> handle = fs_.open("/f");
+  ASSERT_TRUE(handle.is_ok());
+  fs_.write(*handle, 3000, patch);
+  fs_.close(*handle);
+  ASSERT_TRUE(store_.on_write(fs_, "/f", 3000, patch.size()).is_ok());
+
+  Result<Bytes> current = fs_.read_file("/f");
+  EXPECT_TRUE(store_.verify_file("/f", *current).is_ok());
+}
+
+TEST_F(ChecksumStoreTest, TruncateDropsAndRefreshesBlocks) {
+  Rng rng(5);
+  Bytes data = rng.bytes(20'000);
+  write_indexed("/f", data);
+
+  ASSERT_TRUE(fs_.truncate("/f", 6'000).is_ok());
+  ASSERT_TRUE(store_.on_truncate(fs_, "/f", 6'000).is_ok());
+
+  Result<Bytes> current = fs_.read_file("/f");
+  EXPECT_TRUE(store_.verify_file("/f", *current).is_ok());
+
+  // Old blocks beyond the new size are gone from the KV store.
+  std::size_t remaining = 0;
+  kv_->scan_prefix("cs:/f:", [&](std::string_view, ByteSpan) { ++remaining; });
+  EXPECT_EQ(remaining, 2u);  // 6000 bytes = blocks 0 and 1
+}
+
+TEST_F(ChecksumStoreTest, RenameMovesChecksums) {
+  Rng rng(6);
+  const Bytes data = rng.bytes(10'000);
+  write_indexed("/a", data);
+
+  ASSERT_TRUE(fs_.rename("/a", "/b").is_ok());
+  store_.on_rename("/a", "/b");
+
+  EXPECT_TRUE(store_.verify_file("/b", data).is_ok());
+  std::size_t old_keys = 0;
+  kv_->scan_prefix("cs:/a:", [&](std::string_view, ByteSpan) { ++old_keys; });
+  EXPECT_EQ(old_keys, 0u);
+
+  Bytes tampered = data;
+  tampered[0] ^= 1;
+  EXPECT_FALSE(store_.verify_file("/b", tampered).is_ok());
+}
+
+TEST_F(ChecksumStoreTest, LinkCopiesChecksums) {
+  Rng rng(7);
+  const Bytes data = rng.bytes(8'000);
+  write_indexed("/f", data);
+  ASSERT_TRUE(fs_.link("/f", "/f2").is_ok());
+  store_.on_link("/f", "/f2");
+  EXPECT_TRUE(store_.verify_file("/f2", data).is_ok());
+}
+
+TEST_F(ChecksumStoreTest, UnlinkRemovesChecksums) {
+  Rng rng(8);
+  write_indexed("/f", rng.bytes(9'000));
+  store_.on_unlink("/f");
+  std::size_t keys = 0;
+  kv_->scan_prefix("cs:", [&](std::string_view, ByteSpan) { ++keys; });
+  EXPECT_EQ(keys, 0u);
+}
+
+TEST_F(ChecksumStoreTest, VerifyRangeSkipsPartialBlocks) {
+  Rng rng(9);
+  Bytes data = rng.bytes(16'384);  // 4 exact blocks
+  write_indexed("/f", data);
+
+  // Corrupt block 0, but verify a range that only partially covers it:
+  // best-effort verification cannot see it.
+  data[100] ^= 0xFF;
+  EXPECT_TRUE(
+      store_.verify_range("/f", 2048, ByteSpan{data.data() + 2048, 4096})
+          .is_ok());
+
+  // A range fully covering block 0 does see it.
+  EXPECT_FALSE(
+      store_.verify_range("/f", 0, ByteSpan{data.data(), 4096}).is_ok());
+}
+
+TEST_F(ChecksumStoreTest, UnindexedFileVerifiesTrivially) {
+  Rng rng(10);
+  const Bytes data = rng.bytes(1000);
+  EXPECT_TRUE(store_.verify_file("/never-seen", data).is_ok());
+}
+
+TEST_F(ChecksumStoreTest, ScanFindsDamagedFiles) {
+  Rng rng(11);
+  write_indexed("/ok", rng.bytes(10'000));
+  write_indexed("/bad", rng.bytes(10'000));
+  write_indexed("/resized", rng.bytes(10'000));
+
+  // Out-of-band damage (the paper's debugfs trick).
+  ASSERT_TRUE(fs_.corrupt_bit("/bad", 5'000, 1).is_ok());
+  ASSERT_TRUE(fs_.write_bypassing("/resized", 10'000, rng.bytes(100)).is_ok());
+
+  const auto damaged = store_.scan(fs_, {"/ok", "/bad", "/resized", "/gone"});
+  EXPECT_EQ(damaged,
+            (std::vector<std::string>{"/bad", "/resized"}));
+}
+
+TEST_F(ChecksumStoreTest, ChecksumsSurviveKvRecovery) {
+  Rng rng(12);
+  const Bytes data = rng.bytes(10'000);
+  write_indexed("/f", data);
+  kv_->sync();
+  kv_->recover();
+  EXPECT_TRUE(store_.verify_file("/f", data).is_ok());
+  Bytes tampered = data;
+  tampered[1] ^= 2;
+  EXPECT_FALSE(store_.verify_file("/f", tampered).is_ok());
+}
+
+class ChecksumBlockSizeTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ChecksumBlockSizeTest, DetectsCorruptionAtEveryBlockSize) {
+  VirtualClock clock;
+  MemFs fs(clock);
+  auto kv = std::make_shared<KvStore>(std::make_shared<MemoryWalStorage>());
+  ChecksumStore store(kv, GetParam());
+
+  Rng rng(GetParam());
+  Bytes data = rng.bytes(3 * GetParam() + GetParam() / 2);
+  ASSERT_TRUE(fs.write_file("/f", data).is_ok());
+  ASSERT_TRUE(store.index_file(fs, "/f").is_ok());
+  EXPECT_TRUE(store.verify_file("/f", data).is_ok());
+
+  data[data.size() - 1] ^= 1;
+  EXPECT_FALSE(store.verify_file("/f", data).is_ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, ChecksumBlockSizeTest,
+                         ::testing::Values(512, 1024, 4096, 16384));
+
+}  // namespace
+}  // namespace dcfs

@@ -1,0 +1,138 @@
+// Configuration sweeps: DeltaCFS must stay correct (cloud == local, no
+// protocol errors) across its whole configuration space — block sizes,
+// upload delays, relation timeouts, causality modes, compression, and
+// checksums — not just at the defaults the benches use.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/deltacfs_system.h"
+#include "common/rng.h"
+
+namespace dcfs {
+namespace {
+
+/// A condensed mixed workload: in-place writes, a transactional save, a
+/// delete-recreate, and a truncate — every sync path in one run.
+void run_mixed_workload(DeltaCfsSystem& system, VirtualClock& clock,
+                        Bytes& doc) {
+  auto tick_for = [&](Duration d) {
+    for (Duration t = 0; t < d; t += milliseconds(200)) {
+      clock.advance(milliseconds(200));
+      system.tick(clock.now());
+    }
+  };
+  Rng rng(42);
+
+  system.fs().write_file("/sync/doc", doc);
+  tick_for(seconds(8));
+
+  // In-place writes.
+  {
+    Result<FileHandle> handle = system.fs().open("/sync/doc");
+    const Bytes patch = rng.bytes(500);
+    system.fs().write(*handle, 1000, patch);
+    system.fs().close(*handle);
+    std::copy(patch.begin(), patch.end(), doc.begin() + 1000);
+  }
+  tick_for(seconds(6));
+
+  // Transactional save with a small edit.
+  doc[doc.size() / 2] ^= 0x18;
+  system.fs().rename("/sync/doc", "/sync/doc.bak");
+  system.fs().write_file("/sync/doc.tmp", doc);
+  system.fs().rename("/sync/doc.tmp", "/sync/doc");
+  system.fs().unlink("/sync/doc.bak");
+  tick_for(seconds(6));
+
+  // Delete-then-recreate.
+  system.fs().unlink("/sync/doc");
+  doc[7] ^= 0x01;
+  system.fs().write_file("/sync/doc", doc);
+  tick_for(seconds(6));
+
+  // Truncate.
+  doc.resize(doc.size() * 3 / 4);
+  system.fs().truncate("/sync/doc", doc.size());
+  tick_for(seconds(8));
+  system.finish(clock.now());
+  system.tick(clock.now());
+}
+
+struct SweepPoint {
+  std::uint32_t block_size;
+  Duration upload_delay;
+  Duration relation_timeout;
+  CausalityMode causality;
+  bool compress;
+  bool checksums;
+};
+
+class ConfigSweepTest : public ::testing::TestWithParam<SweepPoint> {};
+
+TEST_P(ConfigSweepTest, MixedWorkloadConverges) {
+  const SweepPoint point = GetParam();
+  ClientConfig config;
+  config.delta_block_size = point.block_size;
+  config.upload_delay = point.upload_delay;
+  config.relation_timeout = point.relation_timeout;
+  config.causality = point.causality;
+  config.compress_uploads = point.compress;
+  config.enable_checksums = point.checksums;
+
+  VirtualClock clock;
+  DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan(),
+                        config);
+  system.fs().mkdir("/sync");
+
+  Rng rng(7);
+  Bytes doc = rng.bytes(150'000);
+  run_mixed_workload(system, clock, doc);
+
+  Result<Bytes> cloud = system.server().fetch("/sync/doc");
+  ASSERT_TRUE(cloud.is_ok());
+  EXPECT_EQ(*cloud, doc);
+  EXPECT_EQ(system.client().conflicts_acked(), 0u);
+  EXPECT_EQ(system.client().errors_acked(), 0u);
+  if (point.checksums) {
+    EXPECT_TRUE(system.client().detected_corruption().empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Points, ConfigSweepTest,
+    ::testing::Values(
+        // Defaults.
+        SweepPoint{4096, seconds(3), seconds(2), CausalityMode::backindex,
+                   false, false},
+        // Small and large delta blocks.
+        SweepPoint{512, seconds(3), seconds(2), CausalityMode::backindex,
+                   false, false},
+        SweepPoint{65536, seconds(3), seconds(2), CausalityMode::backindex,
+                   false, false},
+        // Aggressive and lazy upload delays.
+        SweepPoint{4096, milliseconds(200), seconds(2),
+                   CausalityMode::backindex, false, false},
+        SweepPoint{4096, seconds(10), seconds(2), CausalityMode::backindex,
+                   false, false},
+        // Relation timeout extremes (the trigger itself is same-tick here).
+        SweepPoint{4096, seconds(3), seconds(1), CausalityMode::backindex,
+                   false, false},
+        SweepPoint{4096, seconds(3), seconds(5), CausalityMode::backindex,
+                   false, false},
+        // Snapshot causality, short and long intervals.
+        SweepPoint{4096, seconds(3), seconds(2), CausalityMode::snapshot,
+                   false, false},
+        // Compression and checksums, individually and together.
+        SweepPoint{4096, seconds(3), seconds(2), CausalityMode::backindex,
+                   true, false},
+        SweepPoint{4096, seconds(3), seconds(2), CausalityMode::backindex,
+                   false, true},
+        SweepPoint{4096, seconds(3), seconds(2), CausalityMode::backindex,
+                   true, true},
+        // Everything non-default at once.
+        SweepPoint{1024, seconds(1), seconds(1), CausalityMode::snapshot,
+                   true, true}));
+
+}  // namespace
+}  // namespace dcfs

@@ -1,0 +1,334 @@
+// Tests for the extension features: upload compression, snapshot-mode
+// causality, server version history, hard-link fan-out, the
+// safe_to_replace guard, and merge-assisted conflict resolution.
+#include <gtest/gtest.h>
+
+#include "baselines/deltacfs_system.h"
+#include "common/rng.h"
+#include "merge/merge3.h"
+
+namespace dcfs {
+namespace {
+
+void drive(DeltaCfsSystem& system, VirtualClock& clock,
+           Duration duration = seconds(10)) {
+  for (Duration t = 0; t < duration; t += milliseconds(200)) {
+    clock.advance(milliseconds(200));
+    system.tick(clock.now());
+  }
+  system.finish(clock.now());
+  system.tick(clock.now());
+}
+
+// ---------------------------------------------------------------------------
+// Upload compression
+// ---------------------------------------------------------------------------
+
+TEST(CompressionTest, CompressedUploadsRoundTripAndShrink) {
+  Rng rng(1);
+  const Bytes text = rng.text(500'000);
+
+  auto run = [&](bool compress) {
+    VirtualClock clock;
+    ClientConfig config;
+    config.compress_uploads = compress;
+    DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan(),
+                          config);
+    system.fs().mkdir("/sync");
+    system.fs().write_file("/sync/log.txt", text);
+    drive(system, clock);
+    EXPECT_EQ(*system.server().fetch("/sync/log.txt"), text);
+    return system.traffic().up_bytes();
+  };
+
+  const std::uint64_t plain = run(false);
+  const std::uint64_t packed = run(true);
+  EXPECT_LT(packed, plain / 2);  // log text compresses well
+}
+
+TEST(CompressionTest, IncompressiblePayloadShipsUncompressed) {
+  Rng rng(2);
+  const Bytes noise = rng.bytes(200'000);
+  VirtualClock clock;
+  ClientConfig config;
+  config.compress_uploads = true;
+  DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan(),
+                        config);
+  system.fs().mkdir("/sync");
+  system.fs().write_file("/sync/blob", noise);
+  drive(system, clock);
+  EXPECT_EQ(*system.server().fetch("/sync/blob"), noise);
+  // Random bytes don't shrink: wire size stays ~payload size.
+  EXPECT_GE(system.traffic().up_bytes(), noise.size());
+}
+
+TEST(CompressionTest, CompressedDeltaFlowsStillWork) {
+  Rng rng(3);
+  VirtualClock clock;
+  ClientConfig config;
+  config.compress_uploads = true;
+  DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan(),
+                        config);
+  system.fs().mkdir("/sync");
+
+  Bytes content = rng.text(300'000);
+  system.fs().write_file("/sync/doc", content);
+  drive(system, clock);
+
+  content[1000] ^= 0x55;
+  system.fs().rename("/sync/doc", "/sync/doc.bak");
+  system.fs().write_file("/sync/doc.tmp", content);
+  system.fs().rename("/sync/doc.tmp", "/sync/doc");
+  system.fs().unlink("/sync/doc.bak");
+  drive(system, clock);
+
+  EXPECT_EQ(*system.server().fetch("/sync/doc"), content);
+  EXPECT_EQ(system.client().deltas_triggered(), 1u);
+  EXPECT_EQ(system.client().errors_acked(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot causality mode
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotModeTest, ContentStillConverges) {
+  Rng rng(4);
+  VirtualClock clock;
+  ClientConfig config;
+  config.causality = CausalityMode::snapshot;
+  config.snapshot_interval = seconds(2);
+  DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan(),
+                        config);
+  system.fs().mkdir("/sync");
+
+  Bytes content = rng.bytes(100'000);
+  system.fs().write_file("/sync/doc", content);
+  drive(system, clock);
+
+  // Fast transactional update (entirely within one snapshot window).
+  content[5] ^= 1;
+  system.fs().rename("/sync/doc", "/sync/doc.bak");
+  system.fs().write_file("/sync/doc.tmp", content);
+  system.fs().rename("/sync/doc.tmp", "/sync/doc");
+  system.fs().unlink("/sync/doc.bak");
+  drive(system, clock);
+
+  EXPECT_EQ(*system.server().fetch("/sync/doc"), content);
+  EXPECT_EQ(system.client().errors_acked(), 0u);
+  EXPECT_EQ(system.client().conflicts_acked(), 0u);
+}
+
+TEST(SnapshotModeTest, CausalOrderPreserved) {
+  VirtualClock clock;
+  ClientConfig config;
+  config.causality = CausalityMode::snapshot;
+  DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan(),
+                        config);
+  system.fs().mkdir("/sync");
+  system.fs().write_file("/sync/a", to_bytes("A"));
+  system.fs().write_file("/sync/b", to_bytes("B"));
+  drive(system, clock);
+
+  const auto& order = system.server().arrival_order();
+  const auto pos = [&](const std::string& p) {
+    return std::find(order.begin(), order.end(), p) - order.begin();
+  };
+  EXPECT_LT(pos("/sync/a"), pos("/sync/b"));
+}
+
+// ---------------------------------------------------------------------------
+// Server version history (§III-C)
+// ---------------------------------------------------------------------------
+
+TEST(VersionHistoryTest, RecentVersionsRetrievable) {
+  VirtualClock clock;
+  DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan());
+  system.fs().mkdir("/sync");
+
+  std::vector<Bytes> generations;
+  for (int i = 0; i < 3; ++i) {
+    Bytes content = to_bytes("generation " + std::to_string(i) + "\n");
+    system.fs().write_file("/sync/f", content);
+    drive(system, clock, seconds(6));
+    generations.push_back(std::move(content));
+  }
+
+  const auto versions = system.server().history("/sync/f");
+  ASSERT_GE(versions.size(), 3u);
+  // Newest first: the current version matches the latest write.
+  EXPECT_EQ(*system.server().fetch_version("/sync/f", versions[0]),
+            generations[2]);
+  // Walk back through history: earlier generations are still there.
+  bool found_gen0 = false;
+  for (const auto& version : versions) {
+    Result<Bytes> content = system.server().fetch_version("/sync/f", version);
+    ASSERT_TRUE(content.is_ok());
+    if (*content == generations[0]) found_gen0 = true;
+  }
+  EXPECT_TRUE(found_gen0);
+
+  EXPECT_FALSE(
+      system.server().fetch_version("/sync/f", {99, 99}).is_ok());
+  EXPECT_TRUE(system.server().history("/missing").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Hard links
+// ---------------------------------------------------------------------------
+
+TEST(HardLinkTest, WriteThroughOneNameSyncsAllNames) {
+  VirtualClock clock;
+  DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan());
+  system.fs().mkdir("/sync");
+
+  system.fs().write_file("/sync/a", to_bytes("shared-content"));
+  ASSERT_TRUE(system.fs().link("/sync/a", "/sync/b").is_ok());
+  drive(system, clock);
+  EXPECT_EQ(as_text(*system.server().fetch("/sync/b")), "shared-content");
+
+  // Write through `a`: the cloud copy of `b` must follow (shared inode).
+  Result<FileHandle> handle = system.fs().open("/sync/a");
+  system.fs().write(*handle, 0, to_bytes("SHARED"));
+  system.fs().close(*handle);
+  drive(system, clock);
+
+  EXPECT_EQ(as_text(ByteSpan{system.server().fetch("/sync/a")->data(), 6}),
+            "SHARED");
+  EXPECT_EQ(as_text(ByteSpan{system.server().fetch("/sync/b")->data(), 6}),
+            "SHARED");
+}
+
+TEST(HardLinkTest, RenameBreaksTheGroupForTheReplacedName) {
+  VirtualClock clock;
+  DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan());
+  system.fs().mkdir("/sync");
+
+  system.fs().write_file("/sync/a", to_bytes("old"));
+  system.fs().link("/sync/a", "/sync/backup");
+  system.fs().write_file("/sync/new", to_bytes("NEW"));
+  system.fs().rename("/sync/new", "/sync/a");  // a now a fresh inode
+  drive(system, clock);
+
+  EXPECT_EQ(as_text(*system.server().fetch("/sync/a")), "NEW");
+  EXPECT_EQ(as_text(*system.server().fetch("/sync/backup")), "old");
+
+  // Writes to the fresh `a` must not leak into `backup` anymore.
+  Result<FileHandle> handle = system.fs().open("/sync/a");
+  system.fs().write(*handle, 0, to_bytes("XYZ"));
+  system.fs().close(*handle);
+  drive(system, clock);
+  EXPECT_EQ(as_text(*system.server().fetch("/sync/backup")), "old");
+}
+
+// ---------------------------------------------------------------------------
+// safe_to_replace guard
+// ---------------------------------------------------------------------------
+
+TEST(SafeToReplaceTest, BlocksWhenLaterNodesDependOnThePath) {
+  SyncQueue queue(seconds(3));
+  queue.add_write("/f", 0, to_bytes("data"), 0);
+  queue.pack("/f");
+  SyncNode* node = queue.find_write_node("/f");
+  ASSERT_NE(node, nullptr);
+  EXPECT_TRUE(queue.safe_to_replace(*node, 0));
+
+  // A later link referencing /f blocks replacement...
+  SyncNode link;
+  link.kind = proto::OpKind::link;
+  link.path = "/f";
+  link.path2 = "/f2";
+  const std::uint64_t link_seq = queue.enqueue(std::move(link), 0);
+  EXPECT_FALSE(queue.safe_to_replace(*node, 0));
+  // ...unless it is the explicitly allowed trigger node.
+  EXPECT_TRUE(queue.safe_to_replace(*node, link_seq));
+}
+
+TEST(SafeToReplaceTest, PinnedNodesNeverReplaceable) {
+  SyncQueue queue(seconds(3));
+  queue.add_write("/f", 0, to_bytes("data"), 0);
+  SyncNode* node = queue.find_write_node("/f");
+  ASSERT_NE(node, nullptr);
+  node->pinned = true;
+  EXPECT_FALSE(queue.safe_to_replace(*node, 0));
+}
+
+// ---------------------------------------------------------------------------
+// Conflict resolution with merge3 (the full loop)
+// ---------------------------------------------------------------------------
+
+TEST(ConflictMergeTest, ConflictCopyMergesBackCleanly) {
+  // One client, but we simulate the divergence with a stale-base write to
+  // produce a conflict copy, then merge it with merge3 and recover.
+  VirtualClock clock;
+  DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan());
+  system.fs().mkdir("/sync");
+
+  const std::string base_text = "alpha\nbeta\ngamma\n";
+  system.fs().write_file("/sync/notes", to_bytes(base_text));
+  drive(system, clock);
+  const auto base_version = system.server().version("/sync/notes");
+  ASSERT_TRUE(base_version.has_value());
+
+  // Main line advances (edit gamma).
+  system.fs().write_file("/sync/notes", to_bytes("alpha\nbeta\nGAMMA\n"));
+  drive(system, clock);
+
+  // A stale increment arrives (another device's edit of alpha against the
+  // original base): first write wins, conflict copy materializes.
+  proto::SyncRecord stale;
+  stale.kind = proto::OpKind::full_file;
+  stale.path = "/sync/notes";
+  stale.payload = to_bytes("ALPHA\nbeta\ngamma\n");
+  stale.base_version = *base_version;
+  stale.new_version = {9, 1};
+  // full_file records apply unconditionally; use a write to trip the
+  // version check instead.
+  proto::SyncRecord stale_write;
+  stale_write.kind = proto::OpKind::write;
+  stale_write.path = "/sync/notes";
+  stale_write.payload =
+      proto::encode_segments({{0, to_bytes("ALPHA")}});
+  stale_write.base_version = *base_version;
+  stale_write.new_version = {9, 1};
+  const proto::Ack ack = system.server().apply_record(9, stale_write);
+  ASSERT_EQ(ack.result, Errc::conflict);
+  ASSERT_FALSE(ack.conflict_path.empty());
+
+  // Resolve: three-way merge of base, main line, and the conflict copy.
+  Result<Bytes> base = system.server().fetch_version("/sync/notes",
+                                                     *base_version);
+  ASSERT_TRUE(base.is_ok());
+  Result<Bytes> ours = system.server().fetch("/sync/notes");
+  Result<Bytes> theirs = system.server().fetch(ack.conflict_path);
+  ASSERT_TRUE(ours.is_ok());
+  ASSERT_TRUE(theirs.is_ok());
+
+  const merge::MergeResult merged = merge::merge3(*base, *ours, *theirs);
+  EXPECT_TRUE(merged.clean);
+  EXPECT_EQ(as_text(merged.content), "ALPHA\nbeta\nGAMMA\n");
+
+  // Push the resolution back through the normal sync path.
+  system.fs().write_file("/sync/notes", merged.content);
+  drive(system, clock);
+  EXPECT_EQ(as_text(*system.server().fetch("/sync/notes")),
+            "ALPHA\nbeta\nGAMMA\n");
+}
+
+// ---------------------------------------------------------------------------
+// Server rejection log
+// ---------------------------------------------------------------------------
+
+TEST(RejectionLogTest, RecordsUnappliableRecords) {
+  CloudServer server(CostProfile::pc());
+  proto::SyncRecord bogus;
+  bogus.kind = proto::OpKind::unlink;
+  bogus.path = "/never-existed";
+  const proto::Ack ack = server.apply_record(1, bogus);
+  EXPECT_EQ(ack.result, Errc::not_found);
+  ASSERT_EQ(server.rejections().size(), 1u);
+  EXPECT_EQ(server.rejections()[0].path, "/never-existed");
+  EXPECT_EQ(server.rejections()[0].result, Errc::not_found);
+}
+
+}  // namespace
+}  // namespace dcfs

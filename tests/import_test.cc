@@ -1,0 +1,151 @@
+// Tests for the bootstrap path: attaching a pre-existing folder
+// (import_tree) and re-attaching after client state loss.
+#include <gtest/gtest.h>
+
+#include "baselines/deltacfs_system.h"
+#include "common/rng.h"
+
+namespace dcfs {
+namespace {
+
+void drive(DeltaCfsSystem& system, VirtualClock& clock,
+           Duration duration = seconds(10)) {
+  for (Duration t = 0; t < duration; t += milliseconds(200)) {
+    clock.advance(milliseconds(200));
+    system.tick(clock.now());
+  }
+  system.finish(clock.now());
+  system.tick(clock.now());
+}
+
+TEST(ImportTest, ExistingTreeUploadsFully) {
+  VirtualClock clock;
+  DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan());
+  Rng rng(1);
+
+  // Files created directly on the local FS (before DeltaCFS "mounted").
+  MemFs& local = system.local();
+  local.mkdir("/sync");
+  local.mkdir("/sync/photos");
+  const Bytes a = rng.bytes(50'000);
+  const Bytes b = rng.bytes(5'000);
+  const Bytes c = rng.text(20'000);
+  ASSERT_TRUE(local.write_file("/sync/a.bin", a).is_ok());
+  ASSERT_TRUE(local.write_file("/sync/photos/b.jpg", b).is_ok());
+  ASSERT_TRUE(local.write_file("/sync/notes.txt", c).is_ok());
+
+  EXPECT_EQ(system.client().import_tree(), 3u);
+  drive(system, clock);
+
+  EXPECT_EQ(*system.server().fetch("/sync/a.bin"), a);
+  EXPECT_EQ(*system.server().fetch("/sync/photos/b.jpg"), b);
+  EXPECT_EQ(*system.server().fetch("/sync/notes.txt"), c);
+  EXPECT_TRUE(system.server().has_dir("/sync/photos"));
+}
+
+TEST(ImportTest, TrackedFilesAreNotReimported) {
+  VirtualClock clock;
+  DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan());
+  system.fs().mkdir("/sync");
+  system.fs().write_file("/sync/f", to_bytes("tracked"));
+  drive(system, clock);
+
+  // The file is already known: import must skip it (no duplicate upload).
+  EXPECT_EQ(system.client().import_tree(), 0u);
+}
+
+TEST(ImportTest, ImportedFilesContinueIncrementalSync) {
+  VirtualClock clock;
+  DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan());
+  Rng rng(2);
+  system.local().mkdir("/sync");
+  Bytes content = rng.bytes(100'000);
+  ASSERT_TRUE(system.local().write_file("/sync/doc", content).is_ok());
+  system.client().import_tree();
+  drive(system, clock);
+  const std::uint64_t after_import = system.traffic().up_bytes();
+
+  // A small in-place edit after import rides the normal RPC path.
+  Result<FileHandle> handle = system.fs().open("/sync/doc");
+  const Bytes patch = rng.bytes(100);
+  system.fs().write(*handle, 50'000, patch);
+  system.fs().close(*handle);
+  std::copy(patch.begin(), patch.end(), content.begin() + 50'000);
+  drive(system, clock);
+
+  EXPECT_EQ(*system.server().fetch("/sync/doc"), content);
+  EXPECT_LT(system.traffic().up_bytes() - after_import, 2'000u);
+}
+
+TEST(ImportTest, ChecksumsIndexedOnImport) {
+  ClientConfig config;
+  config.enable_checksums = true;
+  VirtualClock clock;
+  DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan(),
+                        config);
+  Rng rng(3);
+  system.local().mkdir("/sync");
+  ASSERT_TRUE(system.local().write_file("/sync/f", rng.bytes(20'000)).is_ok());
+  system.client().import_tree();
+  drive(system, clock);
+
+  // Corruption after import is detected on read.
+  ASSERT_TRUE(system.local().corrupt_bit("/sync/f", 9'000, 0).is_ok());
+  EXPECT_EQ(system.fs().read_file("/sync/f").code(), Errc::corruption);
+}
+
+
+TEST(RestartTest, FreshClientReconvergesWithExistingCloud) {
+  // Simulate a client crash/reinstall: the local files survive, the
+  // client's in-memory state (versions, queue) is gone.  A fresh client
+  // attached to the same local FS and cloud re-imports and reconverges.
+  VirtualClock clock;
+  MemFs local(clock);
+  Transport transport(NetProfile::pc_wan());
+  CloudServer server(CostProfile::pc());
+  Rng rng(9);
+  const Bytes before_crash = rng.bytes(40'000);
+
+  {
+    DeltaCfsClient client(local, transport, clock, CostProfile::pc());
+    InterceptingFs fs(local, client);
+    server.attach(1, transport);
+    fs.mkdir("/sync");
+    fs.write_file("/sync/doc", before_crash);
+    for (int i = 0; i < 40; ++i) {
+      clock.advance(milliseconds(250));
+      client.tick(clock.now());
+      server.pump();
+      client.tick(clock.now());
+    }
+    client.flush(clock.now());
+    server.pump();
+  }  // client dies with its state
+
+  ASSERT_EQ(*server.fetch("/sync/doc"), before_crash);
+
+  // The user edited the file while "offline"; then a fresh client starts.
+  Bytes after_crash = before_crash;
+  after_crash[123] ^= 0x77;
+  ASSERT_TRUE(local.write_file("/sync/doc", after_crash).is_ok());
+
+  ClientConfig config;
+  config.client_id = 2;  // a new installation gets a new id
+  DeltaCfsClient fresh(local, transport, clock, CostProfile::pc(), config);
+  server.attach(2, transport);
+  EXPECT_EQ(fresh.import_tree(), 1u);
+  for (int i = 0; i < 40; ++i) {
+    clock.advance(milliseconds(250));
+    fresh.tick(clock.now());
+    server.pump();
+    fresh.tick(clock.now());
+  }
+  fresh.flush(clock.now());
+  server.pump();
+  fresh.tick(clock.now());
+
+  EXPECT_EQ(*server.fetch("/sync/doc"), after_crash);
+}
+
+}  // namespace
+}  // namespace dcfs

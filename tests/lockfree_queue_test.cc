@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/lockfree_queue.h"
+
+namespace dcfs {
+namespace {
+
+TEST(LockFreeQueueTest, FifoSingleThread) {
+  LockFreeQueue<int> queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(queue.pop().has_value());
+
+  for (int i = 0; i < 100; ++i) queue.push(i);
+  EXPECT_FALSE(queue.empty());
+  for (int i = 0; i < 100; ++i) {
+    auto value = queue.pop();
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, i);
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(LockFreeQueueTest, MoveOnlyValues) {
+  LockFreeQueue<std::unique_ptr<int>> queue;
+  queue.push(std::make_unique<int>(7));
+  auto value = queue.pop();
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(**value, 7);
+}
+
+TEST(LockFreeQueueTest, InterleavedPushPop) {
+  LockFreeQueue<int> queue;
+  int next_expected = 0;
+  for (int i = 0; i < 1000; ++i) {
+    queue.push(i);
+    if (i % 3 == 0) {
+      auto value = queue.pop();
+      ASSERT_TRUE(value.has_value());
+      EXPECT_EQ(*value, next_expected++);
+    }
+  }
+  while (auto value = queue.pop()) EXPECT_EQ(*value, next_expected++);
+  EXPECT_EQ(next_expected, 1000);
+}
+
+TEST(LockFreeQueueTest, MultiProducerSingleConsumerStress) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 20'000;
+  LockFreeQueue<std::pair<int, int>> queue;  // (producer, sequence)
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) queue.push({p, i});
+    });
+  }
+
+  std::vector<int> next_from(kProducers, 0);
+  std::uint64_t received = 0;
+  std::thread consumer([&] {
+    while (received < kProducers * kPerProducer) {
+      if (auto value = queue.pop()) {
+        const auto [producer, sequence] = *value;
+        // Per-producer FIFO must hold even under contention.
+        ASSERT_EQ(sequence, next_from[producer]);
+        ++next_from[producer];
+        ++received;
+      } else if (done.load() && queue.empty() &&
+                 received == kProducers * kPerProducer) {
+        break;
+      }
+    }
+  });
+
+  for (auto& producer : producers) producer.join();
+  done.store(true);
+  consumer.join();
+
+  EXPECT_EQ(received, kProducers * kPerProducer);
+  for (int p = 0; p < kProducers; ++p) EXPECT_EQ(next_from[p], kPerProducer);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(LockFreeQueueTest, DestructionReleasesPendingNodes) {
+  // ASAN/valgrind-style check: destroying a non-empty queue must not leak
+  // or double-free (exercised implicitly by running under ctest).
+  auto queue = std::make_unique<LockFreeQueue<std::string>>();
+  for (int i = 0; i < 100; ++i) queue->push(std::string(1000, 'x'));
+  queue->pop();
+  queue.reset();
+}
+
+}  // namespace
+}  // namespace dcfs

@@ -1,0 +1,199 @@
+// Property test: MemFs against a trivially-correct reference model.
+//
+// The model is a flat map path -> content plus a directory set; hard links
+// are modeled as shared content ids.  Random op sequences must leave MemFs
+// and the model in identical states, and MemFs must never crash or leak
+// (used_bytes returns to the model's accounting).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "common/rng.h"
+#include "vfs/memfs.h"
+#include "vfs/path.h"
+
+namespace dcfs {
+namespace {
+
+/// Reference model with POSIX-ish semantics (shared content via shared_ptr
+/// models hard links).
+class ModelFs {
+ public:
+  ModelFs() { dirs_.insert("/"); }
+
+  Status create(const std::string& path) {
+    if (files_.contains(path) || dirs_.contains(path)) {
+      return Status{Errc::already_exists};
+    }
+    if (!dirs_.contains(path::dirname(path))) return Status{Errc::not_found};
+    files_[path] = std::make_shared<Bytes>();
+    return Status::ok();
+  }
+
+  Status write(const std::string& path, std::uint64_t offset, ByteSpan data) {
+    const auto it = files_.find(path);
+    if (it == files_.end()) return Status{Errc::not_found};
+    Bytes& content = *it->second;
+    if (offset + data.size() > content.size()) {
+      content.resize(offset + data.size(), 0);
+    }
+    std::copy(data.begin(), data.end(),
+              content.begin() + static_cast<std::ptrdiff_t>(offset));
+    return Status::ok();
+  }
+
+  Status truncate(const std::string& path, std::uint64_t size) {
+    const auto it = files_.find(path);
+    if (it == files_.end()) return Status{Errc::not_found};
+    it->second->resize(size, 0);
+    return Status::ok();
+  }
+
+  Status rename(const std::string& from, const std::string& to) {
+    if (from == to) return Status{Errc::invalid_argument};
+    const auto it = files_.find(from);
+    if (it == files_.end()) return Status{Errc::not_found};
+    if (dirs_.contains(to)) return Status{Errc::is_a_directory};
+    if (!dirs_.contains(path::dirname(to))) return Status{Errc::not_found};
+    files_[to] = it->second;
+    files_.erase(from);
+    return Status::ok();
+  }
+
+  Status link(const std::string& from, const std::string& to) {
+    const auto it = files_.find(from);
+    if (it == files_.end()) return Status{Errc::not_found};
+    if (files_.contains(to) || dirs_.contains(to)) {
+      return Status{Errc::already_exists};
+    }
+    if (!dirs_.contains(path::dirname(to))) return Status{Errc::not_found};
+    files_[to] = it->second;
+    return Status::ok();
+  }
+
+  Status unlink(const std::string& path) {
+    if (dirs_.contains(path)) return Status{Errc::is_a_directory};
+    if (files_.erase(path) == 0) return Status{Errc::not_found};
+    return Status::ok();
+  }
+
+  Status mkdir(const std::string& path) {
+    if (dirs_.contains(path) || files_.contains(path)) {
+      return Status{Errc::already_exists};
+    }
+    if (!dirs_.contains(path::dirname(path))) return Status{Errc::not_found};
+    dirs_.insert(path);
+    return Status::ok();
+  }
+
+  const std::map<std::string, std::shared_ptr<Bytes>>& files() const {
+    return files_;
+  }
+
+ private:
+  std::map<std::string, std::shared_ptr<Bytes>> files_;
+  std::set<std::string> dirs_;
+};
+
+class MemFsPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MemFsPropertyTest, MatchesReferenceModel) {
+  VirtualClock clock;
+  MemFs fs(clock);
+  ModelFs model;
+  Rng rng(GetParam());
+
+  fs.mkdir("/d");
+  model.mkdir("/d");
+
+  const auto random_path = [&]() {
+    const std::string dir = rng.next_below(3) == 0 ? "/d" : "";
+    return dir + "/f" + std::to_string(rng.next_below(6));
+  };
+
+  for (int op = 0; op < 400; ++op) {
+    const std::string a = random_path();
+    const std::string b = random_path();
+    switch (rng.next_below(7)) {
+      case 0: {  // create (+close)
+        Result<FileHandle> handle = fs.create(a);
+        const Status expected = model.create(a);
+        ASSERT_EQ(handle.is_ok(), expected.is_ok()) << op << " create " << a;
+        if (handle) fs.close(*handle);
+        break;
+      }
+      case 1: {  // write somewhere
+        const std::uint64_t offset = rng.next_below(5000);
+        const Bytes data = rng.bytes(1 + rng.next_below(2000));
+        Result<FileHandle> handle = fs.open(a);
+        const bool model_has = model.files().contains(a);
+        ASSERT_EQ(handle.is_ok(), model_has) << op << " open " << a;
+        if (handle) {
+          ASSERT_TRUE(fs.write(*handle, offset, data).is_ok());
+          ASSERT_TRUE(model.write(a, offset, data).is_ok());
+          fs.close(*handle);
+        }
+        break;
+      }
+      case 2: {  // truncate
+        const std::uint64_t size = rng.next_below(8000);
+        const Status real = fs.truncate(a, size);
+        const Status expected = model.truncate(a, size);
+        ASSERT_EQ(real.is_ok(), expected.is_ok()) << op << " trunc " << a;
+        break;
+      }
+      case 3: {  // rename
+        const Status real = fs.rename(a, b);
+        const Status expected = model.rename(a, b);
+        ASSERT_EQ(real.is_ok(), expected.is_ok())
+            << op << " rename " << a << "->" << b;
+        break;
+      }
+      case 4: {  // link
+        const Status real = fs.link(a, b);
+        const Status expected = model.link(a, b);
+        ASSERT_EQ(real.is_ok(), expected.is_ok())
+            << op << " link " << a << "->" << b;
+        break;
+      }
+      case 5: {  // unlink
+        const Status real = fs.unlink(a);
+        const Status expected = model.unlink(a);
+        ASSERT_EQ(real.is_ok(), expected.is_ok()) << op << " unlink " << a;
+        break;
+      }
+      case 6: {  // fault injection must not disturb equivalence when
+                 // mirrored into the model
+        if (model.files().contains(a) && !model.files().at(a)->empty()) {
+          const std::uint64_t at =
+              rng.next_below(model.files().at(a)->size());
+          ASSERT_TRUE(fs.corrupt_bit(a, at, 1).is_ok());
+          (*model.files().at(a))[at] ^= 0x02;
+        }
+        break;
+      }
+    }
+  }
+
+  // Final state comparison: every model file exists with equal content.
+  std::uint64_t total_bytes = 0;
+  std::set<const Bytes*> counted;
+  for (const auto& [path, content] : model.files()) {
+    Result<Bytes> real = fs.read_file(path);
+    ASSERT_TRUE(real.is_ok()) << path;
+    EXPECT_EQ(*real, *content) << path;
+    if (counted.insert(content.get()).second) {
+      total_bytes += content->size();  // hard links share storage
+    }
+  }
+  EXPECT_EQ(fs.used_bytes(), total_bytes);
+  EXPECT_EQ(fs.open_handle_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemFsPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace dcfs

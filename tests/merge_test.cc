@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "merge/merge3.h"
+
+namespace dcfs::merge {
+namespace {
+
+Bytes text(std::string_view s) { return to_bytes(s); }
+
+std::string merged(std::string_view base, std::string_view ours,
+                   std::string_view theirs, bool* clean = nullptr) {
+  const MergeResult result = merge3(text(base), text(ours), text(theirs));
+  if (clean != nullptr) *clean = result.clean;
+  return to_string(result.content);
+}
+
+// ---------------------------------------------------------------------------
+// split_lines / diff_lines
+// ---------------------------------------------------------------------------
+
+TEST(SplitLinesTest, KeepsNewlinesWithLines) {
+  const auto lines = split_lines("a\nb\nc");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "a\n");
+  EXPECT_EQ(lines[1], "b\n");
+  EXPECT_EQ(lines[2], "c");  // no trailing newline
+  EXPECT_TRUE(split_lines("").empty());
+  EXPECT_EQ(split_lines("\n").size(), 1u);
+}
+
+TEST(DiffLinesTest, IdenticalSequencesHaveNoHunks) {
+  const auto lines = split_lines("a\nb\nc\n");
+  EXPECT_TRUE(diff_lines(lines, lines).empty());
+}
+
+TEST(DiffLinesTest, InsertionDeletionReplacement) {
+  const auto a = split_lines("a\nb\nc\n");
+  const auto b = split_lines("a\nX\nb\nc\n");   // insertion at 1
+  auto hunks = diff_lines(a, b);
+  ASSERT_EQ(hunks.size(), 1u);
+  EXPECT_EQ(hunks[0], (DiffHunk{1, 1, 1, 2}));
+
+  const auto c = split_lines("a\nc\n");          // deletion of b
+  hunks = diff_lines(a, c);
+  ASSERT_EQ(hunks.size(), 1u);
+  EXPECT_EQ(hunks[0], (DiffHunk{1, 2, 1, 1}));
+
+  const auto d = split_lines("a\nB\nc\n");       // replacement of b
+  hunks = diff_lines(a, d);
+  ASSERT_EQ(hunks.size(), 1u);
+  EXPECT_EQ(hunks[0], (DiffHunk{1, 2, 1, 2}));
+}
+
+TEST(DiffLinesTest, HunksReconstructTarget) {
+  Rng rng(1);
+  for (int round = 0; round < 30; ++round) {
+    // Random line soups with shared vocabulary so matches exist.
+    auto make = [&](int n) {
+      std::string out;
+      for (int i = 0; i < n; ++i) {
+        out += "line" + std::to_string(rng.next_below(12)) + "\n";
+      }
+      return out;
+    };
+    const std::string a_text = make(2 + static_cast<int>(rng.next_below(40)));
+    const std::string b_text = make(2 + static_cast<int>(rng.next_below(40)));
+    const auto a = split_lines(a_text);
+    const auto b = split_lines(b_text);
+    const auto hunks = diff_lines(a, b);
+
+    // Replay the hunks over `a`: must produce exactly `b`.
+    std::string rebuilt;
+    std::size_t ai = 0;
+    for (const DiffHunk& hunk : hunks) {
+      for (; ai < hunk.a_begin; ++ai) rebuilt += a[ai];
+      for (std::size_t bi = hunk.b_begin; bi < hunk.b_end; ++bi) {
+        rebuilt += b[bi];
+      }
+      ai = hunk.a_end;
+    }
+    for (; ai < a.size(); ++ai) rebuilt += a[ai];
+    EXPECT_EQ(rebuilt, b_text) << "round " << round;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// merge3
+// ---------------------------------------------------------------------------
+
+TEST(Merge3Test, NoChangesYieldsBase) {
+  bool clean = false;
+  EXPECT_EQ(merged("a\nb\n", "a\nb\n", "a\nb\n", &clean), "a\nb\n");
+  EXPECT_TRUE(clean);
+}
+
+TEST(Merge3Test, OneSidedChangesApply) {
+  bool clean = false;
+  EXPECT_EQ(merged("a\nb\nc\n", "a\nB\nc\n", "a\nb\nc\n", &clean),
+            "a\nB\nc\n");
+  EXPECT_TRUE(clean);
+  EXPECT_EQ(merged("a\nb\nc\n", "a\nb\nc\n", "a\nb\nC\n", &clean),
+            "a\nb\nC\n");
+  EXPECT_TRUE(clean);
+}
+
+TEST(Merge3Test, DisjointChangesBothApply) {
+  bool clean = false;
+  const std::string base = "one\ntwo\nthree\nfour\nfive\n";
+  const std::string ours = "ONE\ntwo\nthree\nfour\nfive\n";
+  const std::string theirs = "one\ntwo\nthree\nfour\nFIVE\n";
+  EXPECT_EQ(merged(base, ours, theirs, &clean),
+            "ONE\ntwo\nthree\nfour\nFIVE\n");
+  EXPECT_TRUE(clean);
+}
+
+TEST(Merge3Test, IdenticalChangesMergeCleanly) {
+  bool clean = false;
+  EXPECT_EQ(merged("a\nb\n", "a\nX\n", "a\nX\n", &clean), "a\nX\n");
+  EXPECT_TRUE(clean);
+}
+
+TEST(Merge3Test, OverlappingDifferentChangesConflict) {
+  const MergeResult result =
+      merge3(text("a\nb\nc\n"), text("a\nOURS\nc\n"), text("a\nTHEIRS\nc\n"),
+             {.ours_label = "laptop", .theirs_label = "phone"});
+  EXPECT_FALSE(result.clean);
+  EXPECT_EQ(result.conflicts, 1u);
+  const std::string out = to_string(result.content);
+  EXPECT_NE(out.find("<<<<<<< laptop\nOURS\n"), std::string::npos);
+  EXPECT_NE(out.find("=======\nTHEIRS\n"), std::string::npos);
+  EXPECT_NE(out.find(">>>>>>> phone\n"), std::string::npos);
+  EXPECT_EQ(out.find("a\n"), 0u);  // shared prefix survives
+}
+
+TEST(Merge3Test, InsertionsAtBothEnds) {
+  bool clean = false;
+  EXPECT_EQ(merged("m\n", "top\nm\n", "m\nbottom\n", &clean),
+            "top\nm\nbottom\n");
+  EXPECT_TRUE(clean);
+}
+
+TEST(Merge3Test, DeletionVersusEditConflicts) {
+  const MergeResult result =
+      merge3(text("a\nb\nc\n"), text("a\nc\n"), text("a\nB!\nc\n"));
+  EXPECT_FALSE(result.clean);
+  EXPECT_EQ(result.conflicts, 1u);
+}
+
+TEST(Merge3Test, BothDeleteSameRegionCleanly) {
+  bool clean = false;
+  EXPECT_EQ(merged("a\nb\nc\n", "a\nc\n", "a\nc\n", &clean), "a\nc\n");
+  EXPECT_TRUE(clean);
+}
+
+TEST(Merge3Test, EmptyInputs) {
+  bool clean = false;
+  EXPECT_EQ(merged("", "new\n", "", &clean), "new\n");
+  EXPECT_TRUE(clean);
+  EXPECT_EQ(merged("gone\n", "", "gone\n", &clean), "");
+  EXPECT_TRUE(clean);
+  EXPECT_EQ(merged("", "", "", &clean), "");
+  EXPECT_TRUE(clean);
+}
+
+TEST(Merge3Test, MultipleIndependentRegions) {
+  const std::string base = "1\n2\n3\n4\n5\n6\n7\n8\n9\n";
+  const std::string ours = "1\nA\n3\n4\n5\n6\n7\n8\n9\n";   // edits line 2
+  const std::string theirs = "1\n2\n3\n4\n5\n6\n7\nB\n9\n"; // edits line 8
+  bool clean = false;
+  EXPECT_EQ(merged(base, ours, theirs, &clean),
+            "1\nA\n3\n4\n5\n6\n7\nB\n9\n");
+  EXPECT_TRUE(clean);
+}
+
+TEST(Merge3Test, RandomizedOneSidedMergesAreClean) {
+  Rng rng(5);
+  for (int round = 0; round < 20; ++round) {
+    std::string base;
+    for (int i = 0; i < 30; ++i) {
+      base += "line " + std::to_string(i) + "\n";
+    }
+    // Mutate only one side.
+    auto lines = split_lines(base);
+    std::string ours;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (rng.next_below(5) == 0) {
+        ours += "changed " + std::to_string(round) + "\n";
+      } else {
+        ours += std::string(lines[i]);
+      }
+    }
+    bool clean = false;
+    EXPECT_EQ(merged(base, ours, base, &clean), ours) << round;
+    EXPECT_TRUE(clean) << round;
+    EXPECT_EQ(merged(base, base, ours, &clean), ours) << round;
+    EXPECT_TRUE(clean) << round;
+  }
+}
+
+}  // namespace
+}  // namespace dcfs::merge

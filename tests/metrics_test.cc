@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "metrics/cost.h"
+#include "metrics/traffic.h"
+
+namespace dcfs {
+namespace {
+
+TEST(CostMeterTest, ChargesPerByteAndPerOp) {
+  CostMeter meter(CostProfile::pc());
+  EXPECT_EQ(meter.units(), 0u);
+  EXPECT_EQ(meter.ticks(), 0u);
+
+  // rolling_hash is the 1 unit/byte reference with no per-op cost.
+  meter.charge(CostKind::rolling_hash, 1'000'000);
+  EXPECT_EQ(meter.units(), 1'000'000u);
+  EXPECT_EQ(meter.ticks(),
+            1'000'000 / CostProfile::pc().units_per_tick);
+
+  meter.reset();
+  EXPECT_EQ(meter.units(), 0u);
+}
+
+TEST(CostMeterTest, StrongHashCostsFiveTimesRolling) {
+  CostMeter rolling(CostProfile::pc());
+  CostMeter strong(CostProfile::pc());
+  rolling.charge(CostKind::rolling_hash, 1'000'000);
+  strong.charge(CostKind::strong_hash, 1'000'000);
+  EXPECT_NEAR(static_cast<double>(strong.units()) /
+                  static_cast<double>(rolling.units()),
+              5.0, 0.1);
+}
+
+TEST(CostMeterTest, PerOpFixedCostsAccumulate) {
+  CostMeter meter(CostProfile::pc());
+  for (int i = 0; i < 100; ++i) meter.charge_op(CostKind::syscall);
+  EXPECT_EQ(meter.units(), 100u * CostProfile::pc().per_op[static_cast<int>(
+                               CostKind::syscall)]);
+}
+
+TEST(CostMeterTest, BreakdownByKind) {
+  CostMeter meter(CostProfile::pc());
+  meter.charge(CostKind::rolling_hash, 100);
+  meter.charge(CostKind::byte_compare, 400);
+  EXPECT_EQ(meter.units_for(CostKind::rolling_hash), 100u);
+  EXPECT_EQ(meter.units_for(CostKind::byte_compare), 100u);  // 0.25/byte
+  EXPECT_EQ(meter.units_for(CostKind::strong_hash), 0u);
+}
+
+TEST(CostProfileTest, MobileTicksAreDearer) {
+  // Same algorithmic work yields ~10x more ticks on the mobile profile.
+  CostMeter pc(CostProfile::pc());
+  CostMeter mobile(CostProfile::mobile());
+  pc.charge(CostKind::rolling_hash, 50'000'000);
+  mobile.charge(CostKind::rolling_hash, 50'000'000);
+  EXPECT_GE(mobile.ticks(), 9 * pc.ticks());
+}
+
+TEST(CostProfileTest, AllKindsHaveNames) {
+  for (std::size_t i = 0; i < kCostKindCount; ++i) {
+    EXPECT_NE(to_string(static_cast<CostKind>(i)), "unknown");
+  }
+}
+
+TEST(TrafficMeterTest, DirectionalAccounting) {
+  TrafficMeter meter;
+  meter.add_up(1000);
+  meter.add_up(500);
+  meter.add_down(250);
+  EXPECT_EQ(meter.up_bytes(), 1500u);
+  EXPECT_EQ(meter.down_bytes(), 250u);
+  EXPECT_EQ(meter.up_messages(), 2u);
+  EXPECT_EQ(meter.down_messages(), 1u);
+  EXPECT_EQ(meter.total_bytes(), 1750u);
+  EXPECT_DOUBLE_EQ(meter.tue(1750), 1.0);
+  meter.reset();
+  EXPECT_EQ(meter.total_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace dcfs

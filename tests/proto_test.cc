@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "proto/messages.h"
+
+namespace dcfs::proto {
+namespace {
+
+SyncRecord sample_record() {
+  SyncRecord record;
+  record.sequence = 42;
+  record.kind = OpKind::file_delta;
+  record.path = "/sync/report.doc";
+  record.path2 = "/sync/report.doc.wrl0";
+  record.offset = 0;
+  record.size = 0;
+  record.payload = to_bytes("delta-bytes");
+  record.base_version = {3, 17};
+  record.new_version = {3, 18};
+  record.txn_group = 7;
+  record.txn_last = true;
+  record.base_deleted = true;
+  return record;
+}
+
+TEST(ProtoTest, RecordRoundTrip) {
+  const SyncRecord record = sample_record();
+  Result<SyncRecord> decoded = decode_record(encode(record));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(*decoded, record);
+}
+
+TEST(ProtoTest, RecordWithEmptyFieldsRoundTrips) {
+  SyncRecord record;
+  record.kind = OpKind::create;
+  record.path = "/f";
+  Result<SyncRecord> decoded = decode_record(encode(record));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(*decoded, record);
+}
+
+TEST(ProtoTest, RecordWithBinaryPayloadRoundTrips) {
+  Rng rng(31);
+  SyncRecord record;
+  record.kind = OpKind::write;
+  record.path = "/sync/chat.db";
+  record.payload = rng.bytes(100'000);
+  record.new_version = {1, 1};
+  Result<SyncRecord> decoded = decode_record(encode(record));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(*decoded, record);
+}
+
+TEST(ProtoTest, TruncatedRecordFails) {
+  Bytes wire = encode(sample_record());
+  for (const std::size_t cut : {0u, 1u, 8u, 9u, 20u}) {
+    if (cut < wire.size()) {
+      EXPECT_FALSE(
+          decode_record(ByteSpan{wire.data(), cut}).is_ok())
+          << "prefix length " << cut;
+    }
+  }
+  wire.resize(wire.size() - 1);
+  EXPECT_FALSE(decode_record(wire).is_ok());
+}
+
+TEST(ProtoTest, AckRoundTrip) {
+  Ack ack;
+  ack.sequence = 9;
+  ack.result = Errc::conflict;
+  ack.server_version = {2, 5};
+  ack.conflict_path = "/sync/f.conflict-2";
+  Result<Ack> decoded = decode_ack(encode(ack));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(*decoded, ack);
+}
+
+TEST(ProtoTest, AckTruncationFails) {
+  const Bytes wire = encode(Ack{});
+  EXPECT_FALSE(decode_ack(ByteSpan{wire.data(), 5}).is_ok());
+}
+
+TEST(ProtoTest, SegmentsRoundTrip) {
+  Rng rng(32);
+  std::vector<Segment> segments;
+  segments.push_back({0, rng.bytes(100)});
+  segments.push_back({4096, rng.bytes(4096)});
+  segments.push_back({1 << 20, rng.bytes(1)});
+  Result<std::vector<Segment>> decoded =
+      decode_segments(encode_segments(segments));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(*decoded, segments);
+}
+
+TEST(ProtoTest, EmptySegmentListRoundTrips) {
+  Result<std::vector<Segment>> decoded = decode_segments(encode_segments({}));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(ProtoTest, SegmentsTruncationFails) {
+  std::vector<Segment> segments{{0, to_bytes("abcdef")}};
+  Bytes wire = encode_segments(segments);
+  wire.resize(wire.size() - 2);
+  EXPECT_FALSE(decode_segments(wire).is_ok());
+  EXPECT_FALSE(decode_segments(Bytes{1}).is_ok());
+}
+
+TEST(ProtoTest, VersionIdBasics) {
+  const VersionId a{1, 2};
+  const VersionId b{1, 2};
+  const VersionId c{2, 2};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(VersionId{}.is_null());
+  EXPECT_FALSE(a.is_null());
+  EXPECT_EQ(to_string(a), "<1,2>");
+}
+
+TEST(ProtoTest, OpKindNames) {
+  EXPECT_EQ(to_string(OpKind::write), "write");
+  EXPECT_EQ(to_string(OpKind::file_delta), "file_delta");
+  EXPECT_EQ(to_string(OpKind::rename), "rename");
+}
+
+}  // namespace
+}  // namespace dcfs::proto

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "core/relation_table.h"
+
+namespace dcfs {
+namespace {
+
+TEST(RelationTableTest, RenameEntryTriggersOnCreate) {
+  RelationTable table(seconds(2));
+  // Word, Fig. 5: rename f -> t0 creates entry (f -> t0).
+  table.add("/f", "/t0", seconds(0));
+  EXPECT_EQ(table.size(), 1u);
+
+  // Creating "/f" again triggers delta encoding against "/t0".
+  auto entry = table.take_trigger("/f", milliseconds(500));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->src, "/f");
+  EXPECT_EQ(entry->dst, "/t0");
+  EXPECT_EQ(table.size(), 0u);  // entry removed on trigger
+}
+
+TEST(RelationTableTest, NoTriggerForUnrelatedName) {
+  RelationTable table(seconds(2));
+  table.add("/f", "/t0", 0);
+  EXPECT_FALSE(table.take_trigger("/g", 0).has_value());
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(RelationTableTest, StaleEntryDoesNotTrigger) {
+  RelationTable table(seconds(2));
+  table.add("/f", "/t0", seconds(0));
+  EXPECT_FALSE(table.take_trigger("/f", seconds(5)).has_value());
+}
+
+TEST(RelationTableTest, ExpiryRemovesOldEntriesAndReportsUnlinkOnes) {
+  RelationTable table(seconds(2));
+  table.add("/a", "/tmp/p1", seconds(0), /*from_unlink=*/true);
+  table.add("/b", "/t0", seconds(1));
+
+  std::vector<std::string> expired;
+  table.expire(seconds(2) + 1, [&](const RelationTable::Entry& entry) {
+    if (entry.from_unlink) expired.push_back(entry.dst);
+  });
+  EXPECT_EQ(table.size(), 1u);  // /b entry still fresh
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], "/tmp/p1");
+
+  expired.clear();
+  table.expire(seconds(4), [&](const RelationTable::Entry& entry) {
+    expired.push_back(entry.src);
+  });
+  EXPECT_EQ(table.size(), 0u);
+  // The rename entry also expires but is reported (caller filters).
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], "/b");
+}
+
+TEST(RelationTableTest, FreshEntrySupersedesSameSrc) {
+  RelationTable table(seconds(2));
+  table.add("/f", "/old", seconds(0));
+  table.add("/f", "/new", seconds(1));
+  EXPECT_EQ(table.size(), 1u);
+  auto entry = table.take_trigger("/f", seconds(1));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->dst, "/new");
+}
+
+TEST(RelationTableTest, InvalidateRemovesBySrcOrDst) {
+  RelationTable table(seconds(2));
+  table.add("/a", "/b", 0);
+  table.add("/c", "/d", 0);
+  table.invalidate("/b");  // matches dst of first
+  EXPECT_EQ(table.size(), 1u);
+  table.invalidate("/c");  // matches src of second
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(RelationTableTest, ConfigurableTimeout) {
+  RelationTable table(seconds(1));
+  table.add("/f", "/t0", seconds(0));
+  EXPECT_FALSE(table.take_trigger("/f", seconds(1) + 1).has_value());
+
+  RelationTable longer(seconds(3));
+  longer.add("/f", "/t0", seconds(0));
+  EXPECT_TRUE(longer.take_trigger("/f", seconds(2)).has_value());
+}
+
+TEST(RelationTableTest, MultipleEntriesIndependentTriggers) {
+  RelationTable table(seconds(2));
+  table.add("/a", "/a0", 0);
+  table.add("/b", "/b0", 0);
+  auto entry = table.take_trigger("/b", 0);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->dst, "/b0");
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.take_trigger("/a", 0).has_value());
+}
+
+}  // namespace
+}  // namespace dcfs

@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/checksum.h"
+#include "common/rng.h"
+#include "metrics/cost.h"
+#include "rsyncx/cdc.h"
+#include "rsyncx/delta.h"
+
+namespace dcfs::rsyncx {
+namespace {
+
+Bytes mutate_insert(const Bytes& base, std::size_t at, ByteSpan inserted) {
+  Bytes out(base.begin(), base.begin() + static_cast<std::ptrdiff_t>(at));
+  append(out, inserted);
+  out.insert(out.end(), base.begin() + static_cast<std::ptrdiff_t>(at),
+             base.end());
+  return out;
+}
+
+void expect_roundtrip(const Bytes& base, const Bytes& target,
+                      std::uint32_t block_size) {
+  // Remote mode.
+  const Signature signature =
+      compute_signature(base, block_size, /*with_strong=*/true, nullptr);
+  const Delta remote = compute_delta(signature, target, nullptr);
+  Result<Bytes> rebuilt = apply_delta(base, remote);
+  ASSERT_TRUE(rebuilt.is_ok()) << rebuilt.status().to_string();
+  EXPECT_EQ(*rebuilt, target);
+
+  // Local (bitwise-compare) mode must produce the same reconstruction.
+  const Delta local = compute_delta_local(base, target, block_size, nullptr);
+  Result<Bytes> rebuilt_local = apply_delta(base, local);
+  ASSERT_TRUE(rebuilt_local.is_ok());
+  EXPECT_EQ(*rebuilt_local, target);
+}
+
+TEST(DeltaTest, IdenticalFilesAreAllCopy) {
+  Rng rng(1);
+  const Bytes base = rng.bytes(64 * 1024);
+  const Delta delta = compute_delta_local(base, base, 4096, nullptr);
+  EXPECT_EQ(delta.literal_bytes(), 0u);
+  EXPECT_EQ(delta.copied_bytes(), base.size());
+  // Adjacent copies merge into one command.
+  EXPECT_EQ(delta.commands.size(), 1u);
+  EXPECT_LT(delta.wire_size(), 64u);
+}
+
+TEST(DeltaTest, EmptyBaseIsAllLiteral) {
+  Rng rng(2);
+  const Bytes target = rng.bytes(10'000);
+  expect_roundtrip({}, target, 4096);
+  const Delta delta = compute_delta_local({}, target, 4096, nullptr);
+  EXPECT_EQ(delta.literal_bytes(), target.size());
+}
+
+TEST(DeltaTest, EmptyTargetIsEmptyDelta) {
+  Rng rng(3);
+  const Bytes base = rng.bytes(10'000);
+  const Delta delta = compute_delta_local(base, {}, 4096, nullptr);
+  EXPECT_TRUE(delta.commands.empty());
+  EXPECT_EQ(apply_delta(base, delta)->size(), 0u);
+}
+
+TEST(DeltaTest, InsertionOnlyCostsTheInsertedBytes) {
+  Rng rng(4);
+  const Bytes base = rng.bytes(1 << 20);
+  const Bytes inserted = rng.bytes(1000);
+  const Bytes target = mutate_insert(base, 500'000, inserted);
+  expect_roundtrip(base, target, 4096);
+
+  const Delta delta = compute_delta_local(base, target, 4096, nullptr);
+  // Literals: the inserted bytes plus at most ~2 disturbed blocks.
+  EXPECT_LE(delta.literal_bytes(), inserted.size() + 2 * 4096);
+  EXPECT_GE(delta.copied_bytes(), base.size() - 2 * 4096);
+}
+
+TEST(DeltaTest, AppendOnlyCostsTheAppendedBytes) {
+  Rng rng(5);
+  const Bytes base = rng.bytes(100'000);
+  Bytes target = base;
+  append(target, rng.bytes(5000));
+  expect_roundtrip(base, target, 4096);
+  const Delta delta = compute_delta_local(base, target, 4096, nullptr);
+  EXPECT_LE(delta.literal_bytes(), 5000u + 4096u);
+}
+
+TEST(DeltaTest, TailBlockMatches) {
+  Rng rng(6);
+  const Bytes base = rng.bytes(10'000);  // 2 full blocks + 1808B tail
+  const Bytes target = base;             // identical, incl. short tail
+  const Delta delta = compute_delta_local(base, target, 4096, nullptr);
+  EXPECT_EQ(delta.literal_bytes(), 0u);
+}
+
+TEST(DeltaTest, CompletelyDifferentContentIsAllLiteral) {
+  Rng rng(7);
+  const Bytes base = rng.bytes(50'000);
+  const Bytes target = rng.bytes(50'000);
+  expect_roundtrip(base, target, 4096);
+  const Delta delta = compute_delta_local(base, target, 4096, nullptr);
+  EXPECT_EQ(delta.literal_bytes(), target.size());
+}
+
+TEST(DeltaTest, LocalModeSkipsStrongHashing) {
+  Rng rng(8);
+  const Bytes base = rng.bytes(1 << 20);
+  const Bytes target = mutate_insert(base, 1000, rng.bytes(100));
+
+  CostMeter remote_meter(CostProfile::pc());
+  const Signature signature =
+      compute_signature(base, 4096, /*with_strong=*/true, &remote_meter);
+  compute_delta(signature, target, &remote_meter);
+
+  CostMeter local_meter(CostProfile::pc());
+  compute_delta_local(base, target, 4096, &local_meter);
+
+  EXPECT_GT(remote_meter.units_for(CostKind::strong_hash), 0u);
+  EXPECT_EQ(local_meter.units_for(CostKind::strong_hash), 0u);
+  // The paper's key claim: bitwise comparison is much cheaper overall.
+  EXPECT_LT(local_meter.units(), remote_meter.units());
+}
+
+TEST(DeltaTest, WireRoundTrip) {
+  Rng rng(9);
+  const Bytes base = rng.bytes(100'000);
+  const Bytes target = mutate_insert(base, 40'000, rng.bytes(2000));
+  const Delta delta = compute_delta_local(base, target, 4096, nullptr);
+
+  const Bytes wire = encode_delta(delta);
+  EXPECT_EQ(wire.size(), delta.wire_size());
+  Result<Delta> decoded = decode_delta(wire);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(apply_delta(base, *decoded).value(), target);
+}
+
+TEST(DeltaTest, DecodeRejectsTruncation) {
+  Rng rng(10);
+  const Bytes base = rng.bytes(10'000);
+  const Delta delta = compute_delta_local(base, base, 4096, nullptr);
+  Bytes wire = encode_delta(delta);
+  wire.resize(wire.size() - 1);
+  EXPECT_FALSE(decode_delta(wire).is_ok());
+  EXPECT_FALSE(decode_delta(Bytes{1, 2, 3}).is_ok());
+}
+
+TEST(DeltaTest, ApplyRejectsOutOfRangeCopy) {
+  Delta bogus;
+  bogus.target_size = 10;
+  Command cmd;
+  cmd.kind = Command::Kind::copy;
+  cmd.src_offset = 100;
+  cmd.length = 10;
+  bogus.commands.push_back(cmd);
+  EXPECT_EQ(apply_delta(Bytes(20, 0), bogus).code(), Errc::corruption);
+}
+
+TEST(DeltaTest, WeakCollisionIsResolvedByVerification) {
+  // Craft two different blocks with identical weak checksums: the rolling
+  // sum is permutation-invariant within... actually a,b sums differ under
+  // permutation; instead use blocks that swap two equidistant byte pairs.
+  // Simpler: brute-force a small collision.
+  Bytes a{1, 2, 3, 4};
+  Bytes b{2, 1, 4, 3};  // not guaranteed equal; search below
+  bool found = false;
+  Rng rng(11);
+  const std::uint32_t target_weak = weak_checksum(a);
+  for (int i = 0; i < 200'000 && !found; ++i) {
+    b = rng.bytes(4);
+    found = (weak_checksum(b) == target_weak) && b != a;
+  }
+  if (!found) GTEST_SKIP() << "no collision found in budget";
+
+  // base = [a]; target = [b]: the weak hash matches but contents differ —
+  // verification must reject the copy and emit a literal.
+  const Delta delta = compute_delta_local(a, b, 4, nullptr);
+  EXPECT_EQ(apply_delta(a, delta).value(), b);
+  EXPECT_EQ(delta.literal_bytes(), b.size());
+}
+
+class DeltaBlockSizeTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(DeltaBlockSizeTest, RoundTripWithEdits) {
+  Rng rng(GetParam());
+  const Bytes base = rng.bytes(200'000);
+  Bytes target = mutate_insert(base, 77'777, rng.bytes(313));
+  // Also flip some bytes in place.
+  for (int i = 0; i < 5; ++i) {
+    target[rng.next_below(target.size())] ^= 0xFF;
+  }
+  expect_roundtrip(base, target, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, DeltaBlockSizeTest,
+                         ::testing::Values(128, 512, 1024, 4096, 16384,
+                                           65536));
+
+// ---------------------------------------------------------------------------
+// CDC
+// ---------------------------------------------------------------------------
+
+TEST(CdcTest, ChunksCoverInputExactly) {
+  Rng rng(20);
+  const Bytes data = rng.bytes(10 << 20);
+  const auto chunks = chunk_cdc(data, CdcParams::seafile(), nullptr);
+  std::uint64_t offset = 0;
+  for (const Chunk& chunk : chunks) {
+    EXPECT_EQ(chunk.offset, offset);
+    offset += chunk.length;
+  }
+  EXPECT_EQ(offset, data.size());
+}
+
+TEST(CdcTest, RespectsMinMaxBounds) {
+  Rng rng(21);
+  const Bytes data = rng.bytes(20 << 20);
+  const CdcParams params = CdcParams::seafile();
+  const auto chunks = chunk_boundaries(data, params, nullptr);
+  for (std::size_t i = 0; i + 1 < chunks.size(); ++i) {
+    EXPECT_GE(chunks[i].length, params.minimum);
+    EXPECT_LE(chunks[i].length, params.maximum);
+  }
+}
+
+TEST(CdcTest, AverageChunkSizeIsRoughlyTarget) {
+  Rng rng(22);
+  const Bytes data = rng.bytes(64 << 20);
+  const auto chunks = chunk_boundaries(data, CdcParams::seafile(), nullptr);
+  const double average =
+      static_cast<double>(data.size()) / static_cast<double>(chunks.size());
+  EXPECT_GT(average, 256.0 * 1024);        // >= min by construction
+  EXPECT_LT(average, 3.0 * 1024 * 1024);   // within ~3x of the 1 MB target
+}
+
+TEST(CdcTest, LocalEditOnlyDisturbsNearbyChunks) {
+  Rng rng(23);
+  Bytes data = rng.bytes(16 << 20);
+  const auto before = chunk_cdc(data, CdcParams::seafile(), nullptr);
+
+  // Flip bytes in the middle; chunks far from the edit keep their ids.
+  for (int i = 0; i < 100; ++i) data[8'000'000 + i] ^= 0x5A;
+  const auto after = chunk_cdc(data, CdcParams::seafile(), nullptr);
+
+  std::size_t unchanged = 0;
+  for (const Chunk& chunk : after) {
+    for (const Chunk& old : before) {
+      if (old.id == chunk.id) {
+        ++unchanged;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(unchanged, after.size() / 2);
+}
+
+TEST(CdcTest, ContentShiftPreservesMostChunks) {
+  // The CDC selling point: inserting bytes early must not re-chunk the
+  // whole file (fixed-size blocking would).
+  Rng rng(24);
+  Bytes data = rng.bytes(16 << 20);
+  const auto before = chunk_cdc(data, CdcParams::seafile(), nullptr);
+
+  const Bytes inserted = rng.bytes(1000);
+  data.insert(data.begin() + 100'000, inserted.begin(), inserted.end());
+  const auto after = chunk_cdc(data, CdcParams::seafile(), nullptr);
+
+  std::size_t reused = 0;
+  for (const Chunk& chunk : after) {
+    for (const Chunk& old : before) {
+      if (old.id == chunk.id) {
+        ++reused;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(reused, after.size() * 2 / 3);
+}
+
+TEST(CdcTest, EmptyInputYieldsNoChunks) {
+  EXPECT_TRUE(chunk_cdc({}, CdcParams::seafile(), nullptr).empty());
+}
+
+TEST(CdcTest, FineParamsMakeSmallChunks) {
+  Rng rng(25);
+  const Bytes data = rng.bytes(1 << 20);
+  const auto chunks = chunk_boundaries(data, CdcParams::fine(), nullptr);
+  const double average =
+      static_cast<double>(data.size()) / static_cast<double>(chunks.size());
+  EXPECT_LT(average, 16.0 * 1024);
+}
+
+}  // namespace
+}  // namespace dcfs::rsyncx

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "core/sync_queue.h"
+
+namespace dcfs {
+namespace {
+
+SyncNode meta(proto::OpKind kind, std::string path, std::string path2 = "") {
+  SyncNode node;
+  node.kind = kind;
+  node.path = std::move(path);
+  node.path2 = std::move(path2);
+  return node;
+}
+
+TEST(SyncQueueTest, MetaNodesPopInFifoOrderAfterDelay) {
+  SyncQueue queue(seconds(3));
+  queue.enqueue(meta(proto::OpKind::create, "/a"), 0);
+  queue.enqueue(meta(proto::OpKind::create, "/b"), 0);
+
+  EXPECT_TRUE(queue.pop_ready(seconds(1)).empty());  // too early
+  const auto ready = queue.pop_ready(seconds(3));
+  ASSERT_EQ(ready.size(), 2u);
+  EXPECT_EQ(ready[0].path, "/a");
+  EXPECT_EQ(ready[1].path, "/b");
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(SyncQueueTest, WritesCoalesceIntoOneNode) {
+  SyncQueue queue(seconds(3));
+  queue.add_write("/f", 0, to_bytes("aaaa"), 0);
+  queue.add_write("/f", 4, to_bytes("bbbb"), 0);   // adjacent: merge
+  queue.add_write("/f", 2, to_bytes("XX"), 0);     // overlap: newer wins
+  EXPECT_EQ(queue.size(), 1u);
+
+  queue.pack("/f");
+  const auto ready = queue.pop_ready(seconds(3));
+  ASSERT_EQ(ready.size(), 1u);
+  ASSERT_EQ(ready[0].segments.size(), 1u);
+  EXPECT_EQ(ready[0].segments[0].offset, 0u);
+  EXPECT_EQ(as_text(ready[0].segments[0].data), "aaXXbbbb");
+}
+
+TEST(SyncQueueTest, DisjointWritesKeepSeparateSegments) {
+  SyncQueue queue(seconds(3));
+  queue.add_write("/f", 0, to_bytes("head"), 0);
+  queue.add_write("/f", 100, to_bytes("tail"), 0);
+  queue.pack("/f");
+  const auto ready = queue.pop_ready(0, /*flush_all=*/true);
+  ASSERT_EQ(ready.size(), 1u);
+  ASSERT_EQ(ready[0].segments.size(), 2u);
+  EXPECT_EQ(ready[0].segments[0].offset, 0u);
+  EXPECT_EQ(ready[0].segments[1].offset, 100u);
+}
+
+TEST(SyncQueueTest, WritesToDifferentFilesGetDifferentNodes) {
+  SyncQueue queue(seconds(3));
+  queue.add_write("/a", 0, to_bytes("1"), 0);
+  queue.add_write("/b", 0, to_bytes("2"), 0);
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(SyncQueueTest, PackedNodeStopsAbsorbingWrites) {
+  SyncQueue queue(seconds(3));
+  queue.add_write("/f", 0, to_bytes("first"), 0);
+  queue.pack("/f");
+  queue.add_write("/f", 0, to_bytes("SECOND"), 0);
+  EXPECT_EQ(queue.size(), 2u);
+
+  // The paper's corruption scenario: rename away + recreate must not attach
+  // new writes to the old node.
+  const auto ready = queue.pop_ready(0, true);
+  ASSERT_EQ(ready.size(), 2u);
+  EXPECT_EQ(as_text(ready[0].segments[0].data), "first");
+  EXPECT_EQ(as_text(ready[1].segments[0].data), "SECOND");
+}
+
+TEST(SyncQueueTest, OpenWriteNodeBlocksPopUntilIdle) {
+  SyncQueue queue(seconds(3));
+  queue.add_write("/f", 0, to_bytes("x"), seconds(0));
+  queue.enqueue(meta(proto::OpKind::create, "/later"), seconds(0));
+
+  // At t=4 the node is idle (last touch 0, delay 3): auto-packed and popped.
+  queue.add_write("/f", 1, to_bytes("y"), seconds(2));  // still active at 4?
+  // last_touch=2 => at t=4 age=2 < 3: blocked, nothing pops.
+  EXPECT_TRUE(queue.pop_ready(seconds(4)).empty());
+
+  // At t=6, age=4 >= 3: auto-pack, both nodes pop.
+  const auto ready = queue.pop_ready(seconds(6));
+  ASSERT_EQ(ready.size(), 2u);
+  EXPECT_EQ(ready[0].kind, proto::OpKind::write);
+  EXPECT_EQ(ready[1].path, "/later");
+}
+
+TEST(SyncQueueTest, TombstonedNodeIsDropped) {
+  SyncQueue queue(seconds(0));
+  queue.add_write("/t1", 0, to_bytes("contents"), 0);
+  queue.pack("/t1");
+  queue.enqueue(meta(proto::OpKind::rename, "/t1", "/f"), 0);
+
+  SyncNode* node = queue.find_write_node("/t1");
+  ASSERT_NE(node, nullptr);
+
+  SyncNode delta = meta(proto::OpKind::file_delta, "/f", "/t0");
+  const std::uint64_t delta_seq = queue.enqueue(std::move(delta), 0);
+  queue.replace_with_span(*node, delta_seq);
+
+  const auto ready = queue.pop_ready(0, true);
+  ASSERT_EQ(ready.size(), 2u);  // write node dropped
+  EXPECT_EQ(ready[0].kind, proto::OpKind::rename);
+  EXPECT_EQ(ready[1].kind, proto::OpKind::file_delta);
+}
+
+TEST(SyncQueueTest, SpanLabelsTransactionalGroup) {
+  SyncQueue queue(seconds(0));
+  queue.add_write("/t1", 0, to_bytes("contents"), 0);
+  queue.pack("/t1");
+  queue.enqueue(meta(proto::OpKind::rename, "/t1", "/f"), 0);
+  SyncNode* node = queue.find_write_node("/t1");
+  ASSERT_NE(node, nullptr);
+  const std::uint64_t delta_seq =
+      queue.enqueue(meta(proto::OpKind::file_delta, "/f", "/t0"), 0);
+  queue.replace_with_span(*node, delta_seq);
+
+  const auto ready = queue.pop_ready(0, true);
+  ASSERT_EQ(ready.size(), 2u);
+  EXPECT_NE(ready[0].txn_group, 0u);
+  EXPECT_EQ(ready[0].txn_group, ready[1].txn_group);
+  EXPECT_FALSE(ready[0].txn_last);
+  EXPECT_TRUE(ready[1].txn_last);
+}
+
+TEST(SyncQueueTest, InterleavedSpansMerge) {
+  SyncQueue queue(seconds(0));
+  for (int i = 0; i < 6; ++i) {
+    queue.enqueue(meta(proto::OpKind::create, "/f" + std::to_string(i)), 0);
+  }
+  queue.add_span(2, 4);
+  queue.add_span(3, 6);  // interleaves with [2,4] -> merged [2,6]
+
+  const auto ready = queue.pop_ready(0, true);
+  ASSERT_EQ(ready.size(), 6u);
+  EXPECT_EQ(ready[0].txn_group, 0u);
+  const std::uint64_t group = ready[1].txn_group;  // seq 2
+  EXPECT_NE(group, 0u);
+  for (int i = 1; i <= 5; ++i) EXPECT_EQ(ready[i].txn_group, group);
+  EXPECT_TRUE(ready[5].txn_last);
+  for (int i = 1; i < 5; ++i) EXPECT_FALSE(ready[i].txn_last);
+}
+
+TEST(SyncQueueTest, SpanHoldsEarlierNodesUntilClosingNodeReady) {
+  SyncQueue queue(seconds(3));
+  queue.enqueue(meta(proto::OpKind::create, "/a"), seconds(0));
+  queue.enqueue(meta(proto::OpKind::create, "/b"), seconds(0));
+  // Span [1,3]: node 3 enqueued much later.
+  const std::uint64_t late =
+      queue.enqueue(meta(proto::OpKind::file_delta, "/a"), seconds(10));
+  queue.add_span(1, late);
+
+  // At t=5 nodes 1,2 are past their delay but the closing node is not.
+  EXPECT_TRUE(queue.pop_ready(seconds(5)).empty());
+
+  // Once the closing node matures, the whole group pops together.
+  const auto ready = queue.pop_ready(seconds(13));
+  ASSERT_EQ(ready.size(), 3u);
+  EXPECT_TRUE(ready[2].txn_last);
+}
+
+TEST(SyncQueueTest, PendingBytesTracksContent) {
+  SyncQueue queue(seconds(3));
+  EXPECT_EQ(queue.pending_bytes(), 0u);
+  queue.add_write("/f", 0, Bytes(100, 'x'), 0);
+  EXPECT_EQ(queue.pending_bytes(), 100u);
+  queue.add_write("/f", 100, Bytes(50, 'y'), 0);
+  EXPECT_EQ(queue.pending_bytes(), 150u);
+  queue.pack("/f");
+  queue.pop_ready(0, true);
+  EXPECT_EQ(queue.pending_bytes(), 0u);
+}
+
+TEST(SyncQueueTest, FindWriteNodeFindsNewestNonTombstone) {
+  SyncQueue queue(seconds(3));
+  queue.add_write("/f", 0, to_bytes("old"), 0);
+  queue.pack("/f");
+  queue.add_write("/f", 0, to_bytes("new"), 0);
+  SyncNode* node = queue.find_write_node("/f");
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(as_text(node->segments[0].data), "new");
+  EXPECT_EQ(queue.find_write_node("/missing"), nullptr);
+}
+
+TEST(SyncQueueTest, FlushDrainsEverythingIncludingOpenNodes) {
+  SyncQueue queue(seconds(3));
+  queue.add_write("/f", 0, to_bytes("x"), 0);
+  queue.enqueue(meta(proto::OpKind::unlink, "/g"), 0);
+  const auto ready = queue.pop_ready(0, /*flush_all=*/true);
+  EXPECT_EQ(ready.size(), 2u);
+  EXPECT_TRUE(queue.empty());
+}
+
+
+TEST(SyncQueueSnapshotTest, SnapshotShipsWholeQueueAsOneGroup) {
+  SyncQueue queue(seconds(3), CausalityMode::snapshot, seconds(2));
+  queue.enqueue(meta(proto::OpKind::create, "/a"), 0);
+  queue.add_write("/a", 0, to_bytes("x"), 0);
+
+  // The first pop takes the first snapshot; the schedule runs from there.
+  const auto first = queue.pop_ready(seconds(1));
+  ASSERT_EQ(first.size(), 2u);
+  // The whole snapshot forms one transactional group.
+  EXPECT_NE(first[0].txn_group, 0u);
+  EXPECT_EQ(first[0].txn_group, first[1].txn_group);
+  EXPECT_TRUE(first[1].txn_last);
+  EXPECT_FALSE(first[0].txn_last);
+
+  // Nothing further ships until the interval elapses.
+  queue.enqueue(meta(proto::OpKind::create, "/b"), seconds(1));
+  EXPECT_TRUE(queue.pop_ready(seconds(2)).empty());
+  EXPECT_EQ(queue.pop_ready(seconds(3)).size(), 1u);
+}
+
+TEST(SyncQueueSnapshotTest, SuccessiveSnapshotsGetDistinctGroups) {
+  SyncQueue queue(seconds(3), CausalityMode::snapshot, seconds(2));
+  queue.enqueue(meta(proto::OpKind::create, "/a"), 0);
+  const auto first = queue.pop_ready(seconds(2));
+  ASSERT_EQ(first.size(), 1u);
+
+  queue.enqueue(meta(proto::OpKind::create, "/b"), seconds(3));
+  const auto second = queue.pop_ready(seconds(5));
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_NE(first[0].txn_group, second[0].txn_group);
+}
+
+TEST(SyncQueueSnapshotTest, EmptyQueueSnapshotsQuietly) {
+  SyncQueue queue(seconds(3), CausalityMode::snapshot, seconds(1));
+  EXPECT_TRUE(queue.pop_ready(seconds(1)).empty());
+  EXPECT_TRUE(queue.pop_ready(seconds(2)).empty());
+}
+
+TEST(SyncQueueSnapshotTest, FlushShipsImmediately) {
+  SyncQueue queue(seconds(3), CausalityMode::snapshot, seconds(60));
+  queue.add_write("/f", 0, to_bytes("data"), 0);
+  const auto ready = queue.pop_ready(0, /*flush_all=*/true);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(SyncQueueSnapshotTest, TombstonesWithinWindowStillDrop) {
+  SyncQueue queue(seconds(3), CausalityMode::snapshot, seconds(5));
+  queue.add_write("/t1", 0, to_bytes("contents"), 0);
+  queue.pack("/t1");
+  SyncNode* node = queue.find_write_node("/t1");
+  ASSERT_NE(node, nullptr);
+  ASSERT_TRUE(queue.safe_to_replace(*node, 0));
+  const std::uint64_t delta_seq =
+      queue.enqueue(meta(proto::OpKind::file_delta, "/f", "/t0"), 0);
+  queue.replace_with_span(*node, delta_seq);
+
+  const auto ready = queue.pop_ready(seconds(5));
+  ASSERT_EQ(ready.size(), 1u);  // tombstone dropped, delta ships
+  EXPECT_EQ(ready[0].kind, proto::OpKind::file_delta);
+}
+
+}  // namespace
+}  // namespace dcfs

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/undo_log.h"
+
+namespace dcfs {
+namespace {
+
+TEST(UndoLogTest, ReconstructsAfterOverwrite) {
+  UndoLog undo;
+  Bytes file = to_bytes("hello world");
+  // Overwrite "world" with "WORLD": preserve the old bytes first.
+  undo.record_write("/f", 6, to_bytes("world"), file.size());
+  std::copy_n("WORLD", 5, file.begin() + 6);
+
+  Result<Bytes> old_version = undo.reconstruct("/f", file);
+  ASSERT_TRUE(old_version.is_ok());
+  EXPECT_EQ(as_text(*old_version), "hello world");
+}
+
+TEST(UndoLogTest, FirstPreservedBytesWin) {
+  UndoLog undo;
+  Bytes file = to_bytes("AAAA");
+  undo.record_write("/f", 0, to_bytes("AAAA"), 4);  // true old bytes
+  file = to_bytes("BBBB");
+  undo.record_write("/f", 0, to_bytes("BBBB"), 4);  // stale: already covered
+  file = to_bytes("CCCC");
+
+  EXPECT_EQ(as_text(*undo.reconstruct("/f", file)), "AAAA");
+}
+
+TEST(UndoLogTest, PartialOverlapPreservesOnlyUncovered) {
+  UndoLog undo;
+  // Old file: 0123456789
+  undo.record_write("/f", 2, to_bytes("2345"), 10);   // covers [2,6)
+  undo.record_write("/f", 4, to_bytes("XX67"), 10);   // [4,6) covered; [6,8) new
+  // Current content after both writes (values don't matter for coverage):
+  const Bytes current = to_bytes("01YYYYZZ89");
+
+  Result<Bytes> old_version = undo.reconstruct("/f", current);
+  ASSERT_TRUE(old_version.is_ok());
+  // [2,6) from first record, [6,8) from second record's uncovered tail.
+  EXPECT_EQ(as_text(*old_version), "0123456789");
+}
+
+TEST(UndoLogTest, ExtendingWriteRestoresOriginalSize) {
+  UndoLog undo;
+  Bytes file = to_bytes("abc");
+  undo.record_write("/f", 3, {}, 3);  // append: nothing overwritten
+  append(file, to_bytes("defgh"));
+
+  Result<Bytes> old_version = undo.reconstruct("/f", file);
+  ASSERT_TRUE(old_version.is_ok());
+  EXPECT_EQ(as_text(*old_version), "abc");
+}
+
+TEST(UndoLogTest, TruncateTailIsRestored) {
+  UndoLog undo;
+  Bytes file = to_bytes("abcdef");
+  undo.record_truncate("/f", 6, to_bytes("def"));
+  file.resize(3);
+
+  Result<Bytes> old_version = undo.reconstruct("/f", file);
+  ASSERT_TRUE(old_version.is_ok());
+  EXPECT_EQ(as_text(*old_version), "abcdef");
+}
+
+TEST(UndoLogTest, UnknownPathFails) {
+  UndoLog undo;
+  EXPECT_EQ(undo.reconstruct("/nope", {}).code(), Errc::not_found);
+  EXPECT_FALSE(undo.has("/nope"));
+  EXPECT_EQ(undo.preserved_bytes("/nope"), 0u);
+}
+
+TEST(UndoLogTest, DropAndRename) {
+  UndoLog undo;
+  undo.record_write("/a", 0, to_bytes("x"), 1);
+  EXPECT_TRUE(undo.has("/a"));
+
+  undo.rename("/a", "/b");
+  EXPECT_FALSE(undo.has("/a"));
+  EXPECT_TRUE(undo.has("/b"));
+  EXPECT_EQ(undo.preserved_bytes("/b"), 1u);
+
+  undo.drop("/b");
+  EXPECT_FALSE(undo.has("/b"));
+}
+
+TEST(UndoLogTest, RandomizedReconstructionMatchesTrueOldVersion) {
+  Rng rng(77);
+  for (int round = 0; round < 20; ++round) {
+    UndoLog undo;
+    const Bytes original = rng.bytes(2000);
+    Bytes current = original;
+
+    for (int write = 0; write < 30; ++write) {
+      const std::uint64_t size_before = current.size();
+      const std::uint64_t offset = rng.next_below(current.size() + 100);
+      const Bytes data = rng.bytes(1 + rng.next_below(200));
+      // Capture what exists in the overwritten range.
+      Bytes overwritten;
+      if (offset < current.size()) {
+        const std::uint64_t n =
+            std::min<std::uint64_t>(data.size(), current.size() - offset);
+        overwritten.assign(
+            current.begin() + static_cast<std::ptrdiff_t>(offset),
+            current.begin() + static_cast<std::ptrdiff_t>(offset + n));
+      }
+      undo.record_write("/f", offset, overwritten, size_before);
+      if (offset + data.size() > current.size()) {
+        current.resize(offset + data.size(), 0);
+      }
+      std::copy(data.begin(), data.end(),
+                current.begin() + static_cast<std::ptrdiff_t>(offset));
+    }
+
+    Result<Bytes> reconstructed = undo.reconstruct("/f", current);
+    ASSERT_TRUE(reconstructed.is_ok());
+    EXPECT_EQ(*reconstructed, original) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace dcfs

@@ -1,0 +1,397 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vfs/intercept.h"
+#include "vfs/memfs.h"
+#include "vfs/path.h"
+
+namespace dcfs {
+namespace {
+
+class MemFsTest : public ::testing::Test {
+ protected:
+  VirtualClock clock_;
+  MemFs fs_{clock_};
+};
+
+// ---------------------------------------------------------------------------
+// Paths
+// ---------------------------------------------------------------------------
+
+TEST(PathTest, Normalize) {
+  EXPECT_EQ(path::normalize(""), "/");
+  EXPECT_EQ(path::normalize("/"), "/");
+  EXPECT_EQ(path::normalize("a/b"), "/a/b");
+  EXPECT_EQ(path::normalize("//a///b/"), "/a/b");
+  EXPECT_EQ(path::normalize("/a/./b"), "/a/b");
+  EXPECT_EQ(path::normalize("/a/../b"), "/b");
+  EXPECT_EQ(path::normalize("/../a"), "/a");
+}
+
+TEST(PathTest, DirnameBasename) {
+  EXPECT_EQ(path::dirname("/a/b/c"), "/a/b");
+  EXPECT_EQ(path::dirname("/a"), "/");
+  EXPECT_EQ(path::basename("/a/b"), "b");
+  EXPECT_EQ(path::basename("/"), "");
+  EXPECT_EQ(path::join("/a", "b"), "/a/b");
+  EXPECT_EQ(path::join("/", "b"), "/b");
+}
+
+TEST(PathTest, IsWithin) {
+  EXPECT_TRUE(path::is_within("/sync/a", "/sync"));
+  EXPECT_TRUE(path::is_within("/sync", "/sync"));
+  EXPECT_TRUE(path::is_within("/anything", "/"));
+  EXPECT_FALSE(path::is_within("/synced/a", "/sync"));
+  EXPECT_FALSE(path::is_within("/other", "/sync"));
+}
+
+// ---------------------------------------------------------------------------
+// MemFs basics
+// ---------------------------------------------------------------------------
+
+TEST_F(MemFsTest, CreateWriteReadRoundTrip) {
+  Result<FileHandle> handle = fs_.create("/f");
+  ASSERT_TRUE(handle.is_ok());
+  EXPECT_TRUE(fs_.write(*handle, 0, to_bytes("hello")).is_ok());
+  Result<Bytes> data = fs_.read(*handle, 0, 100);
+  ASSERT_TRUE(data.is_ok());
+  EXPECT_EQ(as_text(*data), "hello");
+  EXPECT_TRUE(fs_.close(*handle).is_ok());
+}
+
+TEST_F(MemFsTest, CreateFailsIfExists) {
+  fs_.write_file("/f", to_bytes("x"));
+  Result<FileHandle> handle = fs_.create("/f");
+  EXPECT_EQ(handle.code(), Errc::already_exists);
+}
+
+TEST_F(MemFsTest, OpenMissingFails) {
+  EXPECT_EQ(fs_.open("/nope").code(), Errc::not_found);
+}
+
+TEST_F(MemFsTest, CreateInMissingParentFails) {
+  EXPECT_EQ(fs_.create("/no/dir/f").code(), Errc::not_found);
+}
+
+TEST_F(MemFsTest, SparseWritesZeroFill) {
+  Result<FileHandle> handle = fs_.create("/f");
+  ASSERT_TRUE(handle.is_ok());
+  fs_.write(*handle, 10, to_bytes("end"));
+  Result<Bytes> data = fs_.read(*handle, 0, 13);
+  ASSERT_TRUE(data.is_ok());
+  ASSERT_EQ(data->size(), 13u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ((*data)[i], 0);
+  EXPECT_EQ(as_text(ByteSpan{data->data() + 10, 3}), "end");
+  fs_.close(*handle);
+}
+
+TEST_F(MemFsTest, ReadPastEofIsShort) {
+  fs_.write_file("/f", to_bytes("abc"));
+  Result<FileHandle> handle = fs_.open("/f");
+  ASSERT_TRUE(handle.is_ok());
+  EXPECT_EQ(fs_.read(*handle, 2, 10)->size(), 1u);
+  EXPECT_TRUE(fs_.read(*handle, 5, 10)->empty());
+  fs_.close(*handle);
+}
+
+TEST_F(MemFsTest, TruncateShrinkAndGrow) {
+  fs_.write_file("/f", to_bytes("abcdef"));
+  EXPECT_TRUE(fs_.truncate("/f", 3).is_ok());
+  EXPECT_EQ(fs_.stat("/f")->size, 3u);
+  EXPECT_TRUE(fs_.truncate("/f", 8).is_ok());
+  Result<Bytes> data = fs_.read_file("/f");
+  ASSERT_TRUE(data.is_ok());
+  EXPECT_EQ(data->size(), 8u);
+  EXPECT_EQ((*data)[5], 0);
+}
+
+TEST_F(MemFsTest, MkdirRmdirListDir) {
+  EXPECT_TRUE(fs_.mkdir("/d").is_ok());
+  EXPECT_EQ(fs_.mkdir("/d").code(), Errc::already_exists);
+  fs_.write_file("/d/a", to_bytes("1"));
+  fs_.write_file("/d/b", to_bytes("2"));
+  Result<std::vector<std::string>> names = fs_.list_dir("/d");
+  ASSERT_TRUE(names.is_ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(fs_.rmdir("/d").code(), Errc::not_empty);
+  fs_.unlink("/d/a");
+  fs_.unlink("/d/b");
+  EXPECT_TRUE(fs_.rmdir("/d").is_ok());
+  EXPECT_FALSE(fs_.exists("/d"));
+}
+
+TEST_F(MemFsTest, RenameMovesContent) {
+  fs_.write_file("/a", to_bytes("data"));
+  EXPECT_TRUE(fs_.rename("/a", "/b").is_ok());
+  EXPECT_FALSE(fs_.exists("/a"));
+  EXPECT_EQ(as_text(*fs_.read_file("/b")), "data");
+}
+
+TEST_F(MemFsTest, RenameReplacesExisting) {
+  fs_.write_file("/a", to_bytes("new"));
+  fs_.write_file("/b", to_bytes("old"));
+  EXPECT_TRUE(fs_.rename("/a", "/b").is_ok());
+  EXPECT_EQ(as_text(*fs_.read_file("/b")), "new");
+  EXPECT_FALSE(fs_.exists("/a"));
+}
+
+TEST_F(MemFsTest, HardLinkSharesContentUntilUnlink) {
+  fs_.write_file("/f", to_bytes("shared"));
+  EXPECT_TRUE(fs_.link("/f", "/f2").is_ok());
+  EXPECT_EQ(fs_.stat("/f")->nlink, 2u);
+  EXPECT_EQ(fs_.stat("/f")->inode, fs_.stat("/f2")->inode);
+
+  // Writing through one name is visible through the other.
+  Result<FileHandle> handle = fs_.open("/f");
+  fs_.write(*handle, 0, to_bytes("SHARED"));
+  fs_.close(*handle);
+  EXPECT_EQ(as_text(*fs_.read_file("/f2")), "SHARED");
+
+  EXPECT_TRUE(fs_.unlink("/f").is_ok());
+  EXPECT_EQ(as_text(*fs_.read_file("/f2")), "SHARED");
+  EXPECT_EQ(fs_.stat("/f2")->nlink, 1u);
+}
+
+TEST_F(MemFsTest, UnlinkedOpenFileStaysReadable) {
+  fs_.write_file("/f", to_bytes("ghost"));
+  Result<FileHandle> handle = fs_.open("/f");
+  ASSERT_TRUE(handle.is_ok());
+  EXPECT_TRUE(fs_.unlink("/f").is_ok());
+  EXPECT_FALSE(fs_.exists("/f"));
+  EXPECT_EQ(as_text(*fs_.read(*handle, 0, 5)), "ghost");
+  fs_.close(*handle);
+  EXPECT_EQ(fs_.open_handle_count(), 0u);
+}
+
+TEST_F(MemFsTest, CapacityEnforced) {
+  MemFs small(clock_, 100);
+  Result<FileHandle> handle = small.create("/f");
+  ASSERT_TRUE(handle.is_ok());
+  EXPECT_TRUE(small.write(*handle, 0, Bytes(80, 'x')).is_ok());
+  EXPECT_EQ(small.write(*handle, 80, Bytes(40, 'y')).code(), Errc::no_space);
+  // Overwrites need no new space.
+  EXPECT_TRUE(small.write(*handle, 0, Bytes(80, 'z')).is_ok());
+  small.close(*handle);
+  EXPECT_EQ(small.used_bytes(), 80u);
+}
+
+TEST_F(MemFsTest, UsedBytesTracksLifecycle) {
+  fs_.write_file("/f", Bytes(1000, 'a'));
+  EXPECT_EQ(fs_.used_bytes(), 1000u);
+  fs_.truncate("/f", 400);
+  EXPECT_EQ(fs_.used_bytes(), 400u);
+  fs_.unlink("/f");
+  EXPECT_EQ(fs_.used_bytes(), 0u);
+}
+
+TEST_F(MemFsTest, MtimeFollowsClock) {
+  clock_.advance(seconds(5));
+  fs_.write_file("/f", to_bytes("x"));
+  EXPECT_EQ(fs_.stat("/f")->mtime, seconds(5));
+}
+
+// ---------------------------------------------------------------------------
+// Watcher events (the inotify substitute)
+// ---------------------------------------------------------------------------
+
+TEST_F(MemFsTest, WatcherSeesLifecycleEvents) {
+  std::vector<FsEvent> events;
+  fs_.mkdir("/sync");
+  fs_.watch("/sync", [&](const FsEvent& e) { events.push_back(e); });
+
+  fs_.write_file("/sync/f", to_bytes("abc"));   // created+modified+closed
+  fs_.rename("/sync/f", "/sync/g");
+  fs_.unlink("/sync/g");
+
+  ASSERT_GE(events.size(), 4u);
+  EXPECT_EQ(events.front().kind, FsEvent::Kind::created);
+  EXPECT_EQ(events.front().path, "/sync/f");
+  bool saw_rename = false;
+  bool saw_remove = false;
+  for (const FsEvent& e : events) {
+    if (e.kind == FsEvent::Kind::renamed) {
+      saw_rename = true;
+      EXPECT_EQ(e.path, "/sync/f");
+      EXPECT_EQ(e.dst_path, "/sync/g");
+    }
+    if (e.kind == FsEvent::Kind::removed) saw_remove = true;
+  }
+  EXPECT_TRUE(saw_rename);
+  EXPECT_TRUE(saw_remove);
+}
+
+TEST_F(MemFsTest, WatcherScopeIsRespected) {
+  std::vector<FsEvent> events;
+  fs_.mkdir("/sync");
+  fs_.mkdir("/other");
+  const std::uint64_t id =
+      fs_.watch("/sync", [&](const FsEvent& e) { events.push_back(e); });
+
+  fs_.write_file("/other/f", to_bytes("x"));
+  EXPECT_TRUE(events.empty());
+
+  fs_.write_file("/sync/f", to_bytes("x"));
+  EXPECT_FALSE(events.empty());
+
+  events.clear();
+  fs_.unwatch(id);
+  fs_.write_file("/sync/g", to_bytes("x"));
+  EXPECT_TRUE(events.empty());
+}
+
+TEST_F(MemFsTest, FaultInjectionBypassesWatchers) {
+  std::vector<FsEvent> events;
+  fs_.write_file("/f", Bytes(100, 'a'));
+  fs_.watch("/", [&](const FsEvent& e) { events.push_back(e); });
+
+  EXPECT_TRUE(fs_.corrupt_bit("/f", 10, 3).is_ok());
+  EXPECT_TRUE(fs_.write_bypassing("/f", 0, to_bytes("zz")).is_ok());
+  EXPECT_TRUE(events.empty());
+
+  Result<Bytes> data = fs_.read_file("/f");
+  EXPECT_EQ((*data)[0], 'z');
+  EXPECT_EQ((*data)[10], 'a' ^ (1 << 3));
+}
+
+// ---------------------------------------------------------------------------
+// InterceptingFs
+// ---------------------------------------------------------------------------
+
+struct RecordingSink final : OpSink {
+  std::vector<std::string> log;
+  Bytes last_overwritten;
+  std::uint64_t last_size_before = 0;
+  Bytes last_cut_tail;
+  bool preserve_unlinks = false;
+  FileSystem* local = nullptr;
+  Status read_verdict = Status::ok();
+
+  void note_create(std::string_view path) override {
+    log.push_back("create " + std::string(path));
+  }
+  void note_write(std::string_view path, std::uint64_t offset, ByteSpan data,
+                  ByteSpan overwritten, std::uint64_t size_before) override {
+    log.push_back("write " + std::string(path) + "@" +
+                  std::to_string(offset) + "+" + std::to_string(data.size()));
+    last_overwritten.assign(overwritten.begin(), overwritten.end());
+    last_size_before = size_before;
+  }
+  void note_truncate(std::string_view path, std::uint64_t new_size,
+                     std::uint64_t, ByteSpan cut_tail) override {
+    log.push_back("truncate " + std::string(path) + "=" +
+                  std::to_string(new_size));
+    last_cut_tail.assign(cut_tail.begin(), cut_tail.end());
+  }
+  void note_close(std::string_view path, bool wrote) override {
+    log.push_back("close " + std::string(path) + (wrote ? " w" : ""));
+  }
+  void before_rename(std::string_view, std::string_view to,
+                     bool dst_exists) override {
+    if (dst_exists) log.push_back("stash " + std::string(to));
+  }
+  void note_rename(std::string_view from, std::string_view to,
+                   bool dst_existed) override {
+    log.push_back("rename " + std::string(from) + "->" + std::string(to) +
+                  (dst_existed ? " replace" : ""));
+  }
+  void note_link(std::string_view from, std::string_view to) override {
+    log.push_back("link " + std::string(from) + "->" + std::string(to));
+  }
+  bool intercept_unlink(std::string_view path) override {
+    if (!preserve_unlinks) return false;
+    return local->rename(path, std::string(path) + ".saved").is_ok();
+  }
+  void note_unlink(std::string_view path) override {
+    log.push_back("unlink " + std::string(path));
+  }
+  Status verify_read(std::string_view, std::uint64_t, ByteSpan) override {
+    return read_verdict;
+  }
+};
+
+class InterceptTest : public ::testing::Test {
+ protected:
+  InterceptTest() : fs_(clock_), sink_(), ifs_(fs_, sink_) {
+    sink_.local = &fs_;
+  }
+  VirtualClock clock_;
+  MemFs fs_;
+  RecordingSink sink_;
+  InterceptingFs ifs_;
+};
+
+TEST_F(InterceptTest, NotesLifecycle) {
+  Result<FileHandle> handle = ifs_.create("/f");
+  ASSERT_TRUE(handle.is_ok());
+  ifs_.write(*handle, 0, to_bytes("abc"));
+  ifs_.close(*handle);
+  ifs_.rename("/f", "/g");
+  ifs_.unlink("/g");
+
+  ASSERT_EQ(sink_.log.size(), 5u);
+  EXPECT_EQ(sink_.log[0], "create /f");
+  EXPECT_EQ(sink_.log[1], "write /f@0+3");
+  EXPECT_EQ(sink_.log[2], "close /f w");
+  EXPECT_EQ(sink_.log[3], "rename /f->/g");
+  EXPECT_EQ(sink_.log[4], "unlink /g");
+}
+
+TEST_F(InterceptTest, CapturesOverwrittenBytesAndSize) {
+  ifs_.write_file("/f", to_bytes("abcdef"));
+  Result<FileHandle> handle = ifs_.open("/f");
+  ifs_.write(*handle, 2, to_bytes("XYZW"));
+  ifs_.close(*handle);
+  EXPECT_EQ(as_text(sink_.last_overwritten), "cdef");
+  EXPECT_EQ(sink_.last_size_before, 6u);
+
+  // Extending write: only the existing suffix is "overwritten".
+  handle = ifs_.open("/f");
+  ifs_.write(*handle, 5, to_bytes("123"));
+  ifs_.close(*handle);
+  EXPECT_EQ(sink_.last_overwritten.size(), 1u);
+  EXPECT_EQ(sink_.last_size_before, 6u);
+}
+
+TEST_F(InterceptTest, CapturesTruncatedTail) {
+  ifs_.write_file("/f", to_bytes("abcdef"));
+  ifs_.truncate("/f", 2);
+  EXPECT_EQ(as_text(sink_.last_cut_tail), "cdef");
+}
+
+TEST_F(InterceptTest, StashCalledOnReplacingRename) {
+  ifs_.write_file("/a", to_bytes("1"));
+  ifs_.write_file("/b", to_bytes("2"));
+  sink_.log.clear();
+  ifs_.rename("/a", "/b");
+  ASSERT_EQ(sink_.log.size(), 2u);
+  EXPECT_EQ(sink_.log[0], "stash /b");
+  EXPECT_EQ(sink_.log[1], "rename /a->/b replace");
+}
+
+TEST_F(InterceptTest, UnlinkPreservationSkipsRealUnlink) {
+  ifs_.write_file("/f", to_bytes("keep"));
+  sink_.preserve_unlinks = true;
+  EXPECT_TRUE(ifs_.unlink("/f").is_ok());
+  EXPECT_FALSE(fs_.exists("/f"));               // app sees it gone
+  EXPECT_TRUE(fs_.exists("/f.saved"));          // but it was preserved
+  EXPECT_EQ(as_text(*fs_.read_file("/f.saved")), "keep");
+}
+
+TEST_F(InterceptTest, ReadVerdictFailsRead) {
+  ifs_.write_file("/f", to_bytes("data"));
+  sink_.read_verdict = Status{Errc::corruption, "bad block"};
+  Result<FileHandle> handle = ifs_.open("/f");
+  Result<Bytes> data = ifs_.read(*handle, 0, 4);
+  EXPECT_EQ(data.code(), Errc::corruption);
+  ifs_.close(*handle);
+}
+
+TEST_F(InterceptTest, FailedOpsAreNotReported) {
+  EXPECT_FALSE(ifs_.open("/missing").is_ok());
+  EXPECT_FALSE(ifs_.rename("/missing", "/x").is_ok());
+  EXPECT_FALSE(ifs_.unlink("/missing").is_ok());
+  EXPECT_TRUE(sink_.log.empty());
+}
+
+}  // namespace
+}  // namespace dcfs

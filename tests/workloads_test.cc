@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "baselines/deltacfs_system.h"
+#include "common/rng.h"
+#include "trace/filebench.h"
+#include "trace/workloads.h"
+
+namespace dcfs {
+namespace {
+
+/// A no-op cost model (every op is 1 µs) for filebench plumbing tests.
+struct FlatCosts final : OpCostModel {
+  Duration cost(FbOp, std::uint64_t) override { return 1; }
+};
+
+// ---------------------------------------------------------------------------
+// Workloads against DeltaCFS end-to-end (content correctness is the bar).
+// ---------------------------------------------------------------------------
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() : system_(clock_, CostProfile::pc(), NetProfile::pc_wan()) {
+    system_.fs().mkdir("/sync");
+  }
+
+  RunStats run(Workload& workload) {
+    return run_workload(workload, system_, clock_);
+  }
+
+  VirtualClock clock_;
+  DeltaCfsSystem system_;
+};
+
+TEST_F(WorkloadTest, AppendWorkloadSyncsExactContent) {
+  AppendParams params = AppendParams::scaled();
+  AppendWorkload workload(params);
+  const RunStats stats = run(workload);
+
+  EXPECT_EQ(stats.update_bytes,
+            static_cast<std::uint64_t>(params.appends) * params.append_bytes);
+  Result<Bytes> local = system_.local().read_file(params.path);
+  Result<Bytes> cloud = system_.server().fetch(params.path);
+  ASSERT_TRUE(local.is_ok());
+  ASSERT_TRUE(cloud.is_ok());
+  EXPECT_EQ(*local, *cloud);
+  EXPECT_EQ(local->size(), stats.update_bytes);
+}
+
+TEST_F(WorkloadTest, RandomWriteWorkloadSyncsExactContent) {
+  RandomWriteParams params = RandomWriteParams::scaled();
+  RandomWriteWorkload workload(params);
+  run(workload);
+
+  Result<Bytes> local = system_.local().read_file(params.path);
+  Result<Bytes> cloud = system_.server().fetch(params.path);
+  ASSERT_TRUE(local.is_ok());
+  ASSERT_TRUE(cloud.is_ok());
+  EXPECT_EQ(*local, *cloud);
+  EXPECT_EQ(local->size(), params.file_bytes);
+}
+
+TEST_F(WorkloadTest, WordWorkloadSyncsExactContentViaDeltas) {
+  WordParams params = WordParams::scaled();
+  params.saves = 6;
+  WordWorkload workload(params);
+  run(workload);
+
+  Result<Bytes> local = system_.local().read_file(params.doc);
+  Result<Bytes> cloud = system_.server().fetch(params.doc);
+  ASSERT_TRUE(local.is_ok());
+  ASSERT_TRUE(cloud.is_ok()) << "doc missing on cloud";
+  EXPECT_EQ(*local, *cloud);
+  EXPECT_GT(local->size(), params.initial_bytes);
+
+  // Transactional updates were recognized: deltas fired, and the uploaded
+  // volume stayed well below saves × filesize.
+  EXPECT_GE(system_.client().deltas_triggered(), params.saves - 1);
+  EXPECT_LT(system_.traffic().up_bytes(),
+            params.saves * params.initial_bytes / 2);
+  EXPECT_EQ(system_.client().conflicts_acked(), 0u);
+  // No temp or backup files leaked to the cloud.
+  for (const std::string& path : system_.server().paths()) {
+    EXPECT_EQ(path.find(".wrl"), std::string::npos) << path;
+    EXPECT_EQ(path.find(".dft"), std::string::npos) << path;
+  }
+}
+
+TEST_F(WorkloadTest, WeChatWorkloadSyncsExactContent) {
+  WeChatParams params = WeChatParams::scaled();
+  params.updates = 12;
+  WeChatWorkload workload(params);
+  const RunStats stats = run(workload);
+
+  Result<Bytes> local = system_.local().read_file(params.db);
+  Result<Bytes> cloud = system_.server().fetch(params.db);
+  ASSERT_TRUE(local.is_ok());
+  ASSERT_TRUE(cloud.is_ok());
+  EXPECT_EQ(*local, *cloud);
+
+  // In-place updates ride the NFS-like RPC path: traffic ~ update bytes,
+  // not ~ file size.
+  EXPECT_LT(system_.traffic().up_bytes(), params.initial_bytes / 2);
+  EXPECT_GT(stats.update_bytes, 0u);
+  // The journal ends truncated to zero on both sides.
+  Result<FileStat> journal = system_.local().stat(params.journal);
+  ASSERT_TRUE(journal.is_ok());
+  EXPECT_EQ(journal->size, 0u);
+}
+
+TEST_F(WorkloadTest, PhotoThumbWorkloadPreservesCausalOrder) {
+  PhotoThumbParams params;
+  params.pairs = 3;
+  PhotoThumbWorkload workload(params);
+  run(workload);
+
+  const auto& order = system_.server().arrival_order();
+  const auto pos = [&](const std::string& p) {
+    return std::find(order.begin(), order.end(), p) - order.begin();
+  };
+  for (std::uint32_t i = 0; i < params.pairs; ++i) {
+    const std::string photo =
+        params.dir + "/photo" + std::to_string(i) + ".jpg";
+    const std::string thumb =
+        params.dir + "/thumb" + std::to_string(i) + ".jpg";
+    ASSERT_TRUE(system_.server().fetch(photo).is_ok());
+    ASSERT_TRUE(system_.server().fetch(thumb).is_ok());
+    EXPECT_LT(pos(photo), pos(thumb)) << "pair " << i;
+  }
+}
+
+TEST_F(WorkloadTest, WorkloadsAreDeterministic) {
+  AppendParams params = AppendParams::scaled();
+  params.appends = 3;
+
+  VirtualClock clock2;
+  DeltaCfsSystem system2(clock2, CostProfile::pc(), NetProfile::pc_wan());
+  system2.fs().mkdir("/sync");
+
+  AppendWorkload w1(params);
+  AppendWorkload w2(params);
+  run_workload(w1, system_, clock_);
+  run_workload(w2, system2, clock2);
+
+  EXPECT_EQ(system_.traffic().up_bytes(), system2.traffic().up_bytes());
+  EXPECT_EQ(system_.client().meter().units(), system2.client().meter().units());
+  EXPECT_EQ(*system_.server().fetch(params.path),
+            *system2.server().fetch(params.path));
+}
+
+// ---------------------------------------------------------------------------
+// Filebench personalities
+// ---------------------------------------------------------------------------
+
+TEST(FilebenchTest, PersonalitiesRunAndMoveData) {
+  VirtualClock clock;
+  MemFs fs(clock);
+  FlatCosts costs;
+
+  for (const FilebenchConfig& config :
+       {FilebenchConfig::fileserver(), FilebenchConfig::varmail(),
+        FilebenchConfig::webserver()}) {
+    FilebenchConfig small = config;
+    small.iterations = 20;
+    const FilebenchResult result = run_filebench(small, fs, costs);
+    EXPECT_GT(result.data_bytes, 0u) << to_string(config.personality);
+    EXPECT_GT(result.ops, 0u);
+    EXPECT_GT(result.mbps, 0.0);
+  }
+}
+
+TEST(FilebenchTest, HigherOpCostLowersThroughput) {
+  struct SlowCosts final : OpCostModel {
+    Duration cost(FbOp, std::uint64_t bytes) override {
+      return 10 + static_cast<Duration>(bytes / 100);
+    }
+  };
+  VirtualClock clock;
+  MemFs fs1(clock);
+  MemFs fs2(clock);
+  FlatCosts flat;
+  SlowCosts slow;
+
+  FilebenchConfig config = FilebenchConfig::fileserver();
+  config.iterations = 20;
+  const FilebenchResult fast = run_filebench(config, fs1, flat);
+  const FilebenchResult slow_result = run_filebench(config, fs2, slow);
+  EXPECT_GT(fast.mbps, slow_result.mbps);
+}
+
+TEST(FilebenchTest, WebserverIsReadDominated) {
+  VirtualClock clock;
+  MemFs fs(clock);
+
+  struct SplitCosts final : OpCostModel {
+    std::uint64_t read_bytes = 0;
+    std::uint64_t write_bytes = 0;
+    Duration cost(FbOp op, std::uint64_t bytes) override {
+      if (op == FbOp::read_op) read_bytes += bytes;
+      if (op == FbOp::write_op) write_bytes += bytes;
+      return 1;
+    }
+  };
+  SplitCosts costs;
+  FilebenchConfig config = FilebenchConfig::webserver();
+  config.iterations = 30;
+  run_filebench(config, fs, costs);
+  EXPECT_GT(costs.read_bytes, 5 * costs.write_bytes);
+}
+
+}  // namespace
+}  // namespace dcfs
