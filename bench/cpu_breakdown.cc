@@ -17,18 +17,19 @@ namespace {
 using namespace dcfs;
 
 void print_breakdown(const char* name, const CostMeter& meter) {
+  const CostSnapshot snap = meter.snapshot();
   std::printf("\n%s (total %llu units, %llu ticks)\n", name,
-              static_cast<unsigned long long>(meter.units()),
-              static_cast<unsigned long long>(meter.ticks()));
+              static_cast<unsigned long long>(snap.total_units),
+              static_cast<unsigned long long>(snap.ticks));
   for (std::size_t i = 0; i < kCostKindCount; ++i) {
     const auto kind = static_cast<CostKind>(i);
-    const std::uint64_t units = meter.units_for(kind);
+    const std::uint64_t units = snap.units_by_kind[i];
     if (units == 0) continue;
     std::printf("  %-14s %12llu units  (%4.1f%%)\n",
                 std::string(to_string(kind)).c_str(),
                 static_cast<unsigned long long>(units),
                 100.0 * static_cast<double>(units) /
-                    static_cast<double>(meter.units() + 1));
+                    static_cast<double>(snap.total_units + 1));
   }
 }
 

@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "baselines/deltacfs_system.h"
@@ -19,6 +21,7 @@
 #include "baselines/nfs_sim.h"
 #include "baselines/seafile_sim.h"
 #include "common/clock.h"
+#include "obs/obs.h"
 #include "trace/workload.h"
 #include "trace/workloads.h"
 
@@ -94,7 +97,8 @@ struct RunResult {
 };
 
 inline std::unique_ptr<SyncSystem> make_system(Solution solution,
-                                               const Clock& clock) {
+                                               const Clock& clock,
+                                               obs::Obs* obs = nullptr) {
   switch (solution) {
     case Solution::dropbox:
       return std::make_unique<DropboxSim>(clock, CostProfile::pc(),
@@ -106,7 +110,9 @@ inline std::unique_ptr<SyncSystem> make_system(Solution solution,
       return std::make_unique<NfsSim>(clock, CostProfile::pc());
     case Solution::deltacfs:
       return std::make_unique<DeltaCfsSystem>(clock, CostProfile::pc(),
-                                              NetProfile::pc_wan());
+                                              NetProfile::pc_wan(),
+                                              ClientConfig{},
+                                              CostProfile::pc(), obs);
     case Solution::dropsync: {
       DropboxConfig config;
       config.use_rsync = false;
@@ -117,21 +123,91 @@ inline std::unique_ptr<SyncSystem> make_system(Solution solution,
     }
     case Solution::deltacfs_mobile:
       return std::make_unique<DeltaCfsSystem>(clock, CostProfile::mobile(),
-                                              NetProfile::mobile_wan());
+                                              NetProfile::mobile_wan(),
+                                              ClientConfig{},
+                                              CostProfile::pc(), obs);
   }
   return nullptr;
+}
+
+/// --trace-out=<file> support, shared by every bench binary.  When the flag
+/// is present, each DeltaCFS run records spans into one shared tracer; the
+/// Chrome trace_event JSON is written (and a span summary printed) at exit.
+struct TraceOptions {
+  bool parsed = false;
+  std::string trace_out;  ///< empty = tracing disabled
+};
+
+inline TraceOptions& trace_options() {
+  static TraceOptions options;
+  return options;
+}
+
+/// The bench-wide observability context; null unless --trace-out was given.
+inline obs::Obs* shared_obs() {
+  if (trace_options().trace_out.empty()) return nullptr;
+  static obs::Obs obs;
+  return &obs;
+}
+
+inline void write_trace_at_exit() {
+  obs::Obs* obs = shared_obs();
+  if (obs == nullptr) return;
+  const std::string& path = trace_options().trace_out;
+  const std::string json = obs->tracer.to_chrome_json();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "trace-out: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  std::printf("\n%s", obs->tracer.summary().c_str());
+  std::printf("trace written to %s (%zu events)\n", path.c_str(),
+              obs->tracer.events().size());
+}
+
+/// Parses flags shared by every bench binary.  Idempotent; called from
+/// paper_scale_requested so individual bench mains need no changes.
+inline void parse_common_flags(int argc, char** argv) {
+  TraceOptions& options = trace_options();
+  if (options.parsed) return;
+  options.parsed = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    constexpr std::string_view kTraceOut = "--trace-out=";
+    if (arg.substr(0, kTraceOut.size()) == kTraceOut) {
+      options.trace_out = std::string(arg.substr(kTraceOut.size()));
+    }
+  }
+  if (!options.trace_out.empty()) {
+    // Construct the shared Obs *before* registering the exit writer so its
+    // (atexit-registered) destructor runs after the writer, not before.
+    shared_obs();
+    std::atexit(write_trace_at_exit);
+  }
 }
 
 /// Replays `factory()` against a fresh instance of `solution`.
 inline RunResult run_one(Solution solution, const TraceSet& trace) {
   VirtualClock clock;
-  std::unique_ptr<SyncSystem> system = make_system(solution, clock);
+  obs::Obs* obs = shared_obs();
+  std::unique_ptr<SyncSystem> system = make_system(solution, clock, obs);
+  if (obs != nullptr) {
+    // One pid per run keeps successive virtual-time runs (which all start
+    // at t=0) on separate tracks in the trace viewer.
+    static std::uint32_t next_pid = 1;
+    obs->tracer.set_process(next_pid++, std::string(to_string(solution)) +
+                                            " / " + trace.name);
+    obs->tracer.enable(clock);
+  }
   system->fs().mkdir("/sync");
 
   std::unique_ptr<Workload> workload = trace.factory();
   const std::int64_t cpu_before = process_cpu_micros();
   const RunStats stats = run_workload(*workload, *system, clock);
   const std::int64_t cpu_after = process_cpu_micros();
+  if (obs != nullptr) obs->tracer.disable();
 
   RunResult result;
   result.solution = to_string(solution);
@@ -153,6 +229,7 @@ inline RunResult run_one(Solution solution, const TraceSet& trace) {
 }
 
 inline bool paper_scale_requested(int argc, char** argv) {
+  parse_common_flags(argc, argv);
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--paper") return true;
   }

@@ -12,11 +12,13 @@
 //   stats
 //   EOF
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "baselines/deltacfs_system.h"
+#include "obs/obs.h"
 
 using namespace dcfs;
 
@@ -36,7 +38,8 @@ void print_help() {
       "  ls <dir>                   list a local directory\n"
       "  history <path>             list cloud versions\n"
       "  tick <seconds>             advance virtual time (sync runs)\n"
-      "  stats                      meters and counters\n"
+      "  stats                      meters, counters and metric registry\n"
+      "  trace [file]               span summary, or Chrome JSON to <file>\n"
       "  help | quit\n");
 }
 
@@ -51,7 +54,10 @@ std::string rest_of(std::istringstream& in) {
 
 int main() {
   VirtualClock clock;
-  DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan());
+  obs::Obs obs;
+  obs.tracer.enable(clock);
+  DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan(), {},
+                        CostProfile::pc(), &obs);
   system.fs().mkdir("/sync");
   std::printf("DeltaCFS syncctl — sync root is /sync.  `help` for commands.\n");
 
@@ -160,6 +166,23 @@ int main() {
                   system.client().queue().size(),
                   static_cast<unsigned long long>(
                       system.client().queue().pending_bytes()));
+      std::printf("--- metric registry ---\n%s",
+                  system.metrics_snapshot().to_string().c_str());
+    } else if (cmd == "trace") {
+      std::string path;
+      in >> path;
+      if (path.empty()) {
+        std::printf("%s", obs.tracer.summary().c_str());
+      } else {
+        std::ofstream out(path);
+        if (!out) {
+          std::printf("cannot open %s\n", path.c_str());
+        } else {
+          out << obs.tracer.to_chrome_json();
+          std::printf("wrote %zu events to %s\n", obs.tracer.events().size(),
+                      path.c_str());
+        }
+      }
     } else {
       std::printf("unknown command '%s' — try `help`\n", cmd.c_str());
     }

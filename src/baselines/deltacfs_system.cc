@@ -5,13 +5,16 @@ namespace dcfs {
 DeltaCfsSystem::DeltaCfsSystem(const Clock& clock,
                                const CostProfile& client_profile,
                                const NetProfile& net, ClientConfig config,
-                               const CostProfile& server_profile)
+                               const CostProfile& server_profile,
+                               obs::Obs* obs)
     : clock_(clock),
+      obs_(obs),
       local_(clock),
-      transport_(net),
-      server_(server_profile),
-      client_(local_, transport_, clock, client_profile, std::move(config)),
-      intercepting_(local_, client_) {
+      transport_(net, obs),
+      server_(server_profile, 16, obs),
+      client_(local_, transport_, clock, client_profile, std::move(config),
+              nullptr, obs),
+      intercepting_(local_, client_, obs) {
   server_.attach(client_.config().client_id, transport_);
 }
 
@@ -31,6 +34,14 @@ void DeltaCfsSystem::reset_meters() {
   client_.meter().reset();
   server_.meter().reset();
   transport_.reset_meter();
+}
+
+obs::Snapshot DeltaCfsSystem::metrics_snapshot() {
+  if (obs_ == nullptr) return {};
+  obs::export_cost(client_.meter(), obs_->registry, "client.cpu");
+  obs::export_cost(server_.meter(), obs_->registry, "server.cpu");
+  obs::export_traffic(transport_.meter(), obs_->registry, "net");
+  return obs_->registry.snapshot();
 }
 
 }  // namespace dcfs

@@ -18,7 +18,8 @@ class DeltaCfsSystem final : public SyncSystem {
  public:
   DeltaCfsSystem(const Clock& clock, const CostProfile& client_profile,
                  const NetProfile& net, ClientConfig config = {},
-                 const CostProfile& server_profile = CostProfile::pc());
+                 const CostProfile& server_profile = CostProfile::pc(),
+                 obs::Obs* obs = nullptr);
 
   [[nodiscard]] std::string_view name() const override { return "DeltaCFS"; }
   FileSystem& fs() override { return intercepting_; }
@@ -40,9 +41,15 @@ class DeltaCfsSystem final : public SyncSystem {
   [[nodiscard]] DeltaCfsClient& client() noexcept { return client_; }
   [[nodiscard]] CloudServer& server() noexcept { return server_; }
   [[nodiscard]] Transport& transport() noexcept { return transport_; }
+  [[nodiscard]] obs::Obs* obs() noexcept { return obs_; }
+
+  /// Registry snapshot with CPU and traffic meters exported on top of the
+  /// live instruments.  Empty when observability is disabled.
+  [[nodiscard]] obs::Snapshot metrics_snapshot();
 
  private:
   const Clock& clock_;
+  obs::Obs* obs_;
   MemFs local_;
   Transport transport_;
   CloudServer server_;

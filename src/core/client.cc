@@ -1,10 +1,6 @@
 #include "core/client.h"
 
 #include <algorithm>
-#include <cstdio>
-
-#include "common/debug.h"
-#include <cstdlib>
 #include <utility>
 
 #include "compress/lz.h"
@@ -23,7 +19,8 @@ constexpr std::uint8_t kFrameRecord = 2;
 DeltaCfsClient::DeltaCfsClient(FileSystem& local, Transport& transport,
                                const Clock& clock, const CostProfile& profile,
                                ClientConfig config,
-                               std::shared_ptr<KvStore> checksum_kv)
+                               std::shared_ptr<KvStore> checksum_kv,
+                               obs::Obs* obs)
     : local_(local),
       transport_(transport),
       clock_(clock),
@@ -34,6 +31,24 @@ DeltaCfsClient::DeltaCfsClient(FileSystem& local, Transport& transport,
       relations_(config_.relation_timeout) {
   config_.sync_root = path::normalize(config_.sync_root);
   config_.tmp_dir = path::normalize(config_.tmp_dir);
+  if (obs != nullptr) {
+    tracer_ = &obs->tracer;
+    queue_.set_obs(obs);
+    obs::Registry& reg = obs->registry;
+    stats_.relation_hits = &reg.counter("client.relation.hit");
+    stats_.relation_misses = &reg.counter("client.relation.miss");
+    stats_.delta_replaced = &reg.counter("client.delta.replaced");
+    stats_.delta_kept_rpc = &reg.counter("client.delta.kept_rpc");
+    stats_.delta_bytes_saved = &reg.counter("client.delta.bytes_saved");
+    stats_.checksum_failures = &reg.counter("client.checksum.failures");
+    stats_.uploads = &reg.counter("client.uploads.records");
+    stats_.acks_ok = &reg.counter("client.acks.ok");
+    stats_.acks_conflict = &reg.counter("client.acks.conflict");
+    stats_.acks_error = &reg.counter("client.acks.error");
+    stats_.forwards = &reg.counter("client.forwards.applied");
+    stats_.record_bytes =
+        &reg.histogram("client.upload.record_bytes", obs::default_bytes_bounds());
+  }
   if (config_.enable_checksums) {
     if (!checksum_kv) {
       checksum_kv = std::make_shared<KvStore>(
@@ -134,10 +149,8 @@ void DeltaCfsClient::enqueue_meta(proto::OpKind kind, const std::string& path,
 
 void DeltaCfsClient::release_preserved(const RelationTable::Entry& entry) {
   if (!entry.from_unlink) return;
-  if (debug_enabled()) {
-    std::fprintf(stderr, "RELEASE %s (src=%s)\n", entry.dst.c_str(),
-                 entry.src.c_str());
-  }
+  DCFS_LOG_DEBUG("client", "release preserved", {"dst", entry.dst},
+                 {"src", entry.src});
   local_.unlink(entry.dst);
   if (checksums_) checksums_->on_unlink(entry.dst);
   preserved_versions_.erase(entry.dst);
@@ -166,7 +179,10 @@ void DeltaCfsClient::note_create(std::string_view raw_path) {
   // encoding — against the entry's dst, once the new content is complete
   // (at close).
   if (auto entry = relations_.take_trigger(path, clock_.now())) {
+    obs::inc(stats_.relation_hits);
     pending_delta_[path] = *entry;
+  } else {
+    obs::inc(stats_.relation_misses);
   }
   enqueue_meta(proto::OpKind::create, path, "", 0);
   recently_modified_.insert(path);
@@ -185,6 +201,7 @@ void DeltaCfsClient::note_write(std::string_view raw_path,
     checksums_on_write(path, offset, data, overwritten, size_before);
   }
 
+  obs::Span span(tracer_, "client.enqueue");
   SyncNode& node = queue_.add_write(path, offset, data, clock_.now());
   if (node.new_version.is_null()) {
     assign_versions(node, path);
@@ -363,6 +380,7 @@ void DeltaCfsClient::note_rename(std::string_view raw_from,
 
   // The destination name just (re)appeared: check both trigger rules.
   if (auto entry = relations_.take_trigger(to, clock_.now())) {
+    obs::inc(stats_.relation_hits);
     // Trigger 1: `to` equals the src of an existing relation entry.
     Result<Bytes> base = local_.read_file(entry->dst);
     if (base) {
@@ -382,6 +400,7 @@ void DeltaCfsClient::note_rename(std::string_view raw_from,
     }
     release_preserved(*entry);
   } else if (dst_existed) {
+    obs::inc(stats_.relation_misses);
     // Trigger 2: the created name already existed (gedit-style).
     if (const auto stash = stash_.find(to); stash != stash_.end()) {
       run_delta(to, "", stash->second.content, stash->second.version,
@@ -439,10 +458,8 @@ bool DeltaCfsClient::intercept_unlink(std::string_view raw_path) {
       config_.tmp_dir + "/p" + std::to_string(++preserve_counter_);
   if (!local_.rename(path, preserved).is_ok()) return false;
 
-  if (debug_enabled()) {
-    std::fprintf(stderr, "PRESERVE %s -> %s\n", path.c_str(),
-                 preserved.c_str());
-  }
+  DCFS_LOG_DEBUG("client", "preserve on unlink", {"path", path},
+                 {"preserved", preserved});
   for (const RelationTable::Entry& displaced :
        relations_.add(path, preserved, clock_.now(), /*from_unlink=*/true)) {
     release_preserved(displaced);
@@ -491,6 +508,9 @@ Status DeltaCfsClient::verify_read(std::string_view raw_path,
 
   const Status verdict = checksums_->verify_range(path, offset, data);
   if (!verdict.is_ok()) {
+    obs::inc(stats_.checksum_failures);
+    DCFS_LOG_WARN("client", "read verify failed", {"path", path},
+                  {"offset", offset});
     detected_corruption_.push_back(path);
     quarantine_.insert(path);
   }
@@ -524,24 +544,30 @@ void DeltaCfsClient::run_delta(const std::string& path,
   // base lineage, a link copy, a preserved-then-deleted file): replacing it
   // would silently corrupt the cloud.  Only the rename that carried the
   // node's content to the delta's target is an allowed dependent.
-  if (!queue_.safe_to_replace(*node, trigger_rename_seq)) return;
+  if (!queue_.safe_to_replace(*node, trigger_rename_seq)) {
+    obs::inc(stats_.delta_kept_rpc);
+    return;
+  }
 
   Result<Bytes> current = local_.read_file(path);
   if (!current) return;
   meter_.charge(CostKind::disk_read, current->size());
 
+  obs::Span span(tracer_, "client.delta");
   const rsyncx::Delta delta = rsyncx::compute_delta_local(
       base_content, *current, config_.delta_block_size, &meter_);
 
   // Only replace the write node if the delta actually saves bytes.
-  if (delta.wire_size() >= node->content_bytes()) return;
-
-  if (debug_enabled()) {
-    std::fprintf(stderr, "CLIENT-DELTA path=%s base_path=%s bd=%d basev=<%u,%llu>\n",
-                 path.c_str(), base_path.c_str(), (int)base_deleted,
-                 base_version.client_id,
-                 (unsigned long long)base_version.counter);
+  if (delta.wire_size() >= node->content_bytes()) {
+    obs::inc(stats_.delta_kept_rpc);
+    return;
   }
+
+  obs::inc(stats_.delta_replaced);
+  obs::inc(stats_.delta_bytes_saved, node->content_bytes() - delta.wire_size());
+  DCFS_LOG_DEBUG("client", "delta replace", {"path", path},
+                 {"base_path", base_path}, {"base_deleted", base_deleted},
+                 {"base_version", proto::to_string(base_version)});
   SyncNode delta_node;
   delta_node.kind = proto::OpKind::file_delta;
   delta_node.path = path;
@@ -573,6 +599,7 @@ void DeltaCfsClient::maybe_inplace_delta(const std::string& path) {
   const std::uint64_t written = node->content_bytes();
   if (static_cast<double>(written) <
       config_.inplace_delta_threshold * static_cast<double>(st->size)) {
+    obs::inc(stats_.delta_kept_rpc);
     return;  // small in-place update: NFS-like RPC is already optimal
   }
 
@@ -582,15 +609,18 @@ void DeltaCfsClient::maybe_inplace_delta(const std::string& path) {
   Result<Bytes> old_version = undo_.reconstruct(path, *current);
   if (!old_version) return;
 
+  obs::Span span(tracer_, "client.delta");
   const rsyncx::Delta delta = rsyncx::compute_delta_local(
       *old_version, *current, config_.delta_block_size, &meter_);
-  if (delta.wire_size() >= written) return;  // writes are tighter: keep them
-
-  if (debug_enabled()) {
-    std::fprintf(stderr, "CLIENT-INPLACE path=%s basev=<%u,%llu>\n",
-                 path.c_str(), node->base_version.client_id,
-                 (unsigned long long)node->base_version.counter);
+  if (delta.wire_size() >= written) {
+    obs::inc(stats_.delta_kept_rpc);
+    return;  // writes are tighter: keep them
   }
+
+  obs::inc(stats_.delta_replaced);
+  obs::inc(stats_.delta_bytes_saved, written - delta.wire_size());
+  DCFS_LOG_DEBUG("client", "in-place delta replace", {"path", path},
+                 {"base_version", proto::to_string(node->base_version)});
   SyncNode delta_node;
   delta_node.kind = proto::OpKind::file_delta;
   delta_node.path = path;
@@ -641,6 +671,9 @@ void DeltaCfsClient::checksums_on_write(const std::string& path,
       const Status verdict = checksums_->verify_range(
           path, block_offset, ByteSpan{pre.data(), pre.size()});
       if (!verdict.is_ok()) {
+        obs::inc(stats_.checksum_failures);
+        DCFS_LOG_WARN("client", "pre-write verify failed", {"path", path},
+                      {"block", block});
         detected_corruption_.push_back(path);
         quarantine_.insert(path);
         break;
@@ -664,8 +697,12 @@ void DeltaCfsClient::tick(TimePoint now) {
     preserved_versions_.erase(entry.dst);
   });
 
-  for (SyncNode& node : queue_.pop_ready(now)) {
-    upload_node(std::move(node));
+  std::vector<SyncNode> ready = queue_.pop_ready(now);
+  if (!ready.empty()) {
+    obs::Span batch(tracer_, "client.upload_batch");
+    for (SyncNode& node : ready) {
+      upload_node(std::move(node));
+    }
   }
 
   while (auto frame = transport_.client_poll()) {
@@ -693,14 +730,19 @@ void DeltaCfsClient::flush(TimePoint now) {
     if (checksums_) checksums_->on_unlink(entry.dst);
     preserved_versions_.erase(entry.dst);
   });
-  for (SyncNode& node : queue_.pop_ready(now, /*flush_all=*/true)) {
-    upload_node(std::move(node));
+  std::vector<SyncNode> ready = queue_.pop_ready(now, /*flush_all=*/true);
+  if (!ready.empty()) {
+    obs::Span batch(tracer_, "client.upload_batch");
+    for (SyncNode& node : ready) {
+      upload_node(std::move(node));
+    }
   }
 }
 
 void DeltaCfsClient::upload_node(SyncNode node) {
   if (quarantine_.contains(node.path)) return;  // never upload damaged data
 
+  obs::Span span(tracer_, "client.upload", proto::to_string(node.kind));
   proto::SyncRecord record;
   record.sequence = node.seq;
   record.kind = node.kind;
@@ -737,19 +779,30 @@ void DeltaCfsClient::upload_node(SyncNode node) {
   Bytes frame = proto::encode(record);
   meter_.charge(CostKind::encrypt, frame.size());
   meter_.charge(CostKind::net_frame, frame.size());
-  transport_.client_send(std::move(frame));
+  obs::inc(stats_.uploads);
+  obs::observe(stats_.record_bytes, frame.size());
+  transport_.client_send(std::move(frame), proto::MessageType::sync_record);
   ++records_uploaded_;
 }
 
 void DeltaCfsClient::process_ack(const proto::Ack& ack) {
   if (ack.result == Errc::conflict) {
+    obs::inc(stats_.acks_conflict);
+    DCFS_LOG_DEBUG("client", "conflict acked", {"sequence", ack.sequence},
+                   {"conflict_path", ack.conflict_path});
     ++conflicts_acked_;
   } else if (ack.result != Errc::ok) {
+    obs::inc(stats_.acks_error);
     ++errors_acked_;
+  } else {
+    obs::inc(stats_.acks_ok);
   }
 }
 
 void DeltaCfsClient::apply_forward(const proto::SyncRecord& raw_record) {
+  obs::Span span(tracer_, "client.apply_forward",
+                 proto::to_string(raw_record.kind));
+  obs::inc(stats_.forwards);
   ++forwards_applied_;
   proto::SyncRecord record = raw_record;
   if (record.compressed) {
@@ -843,6 +896,8 @@ std::vector<std::string> DeltaCfsClient::crash_scan() {
                                        recently_modified_.end());
   std::vector<std::string> damaged = checksums_->scan(local_, paths);
   for (const std::string& path : damaged) {
+    obs::inc(stats_.checksum_failures);
+    DCFS_LOG_WARN("client", "crash scan found damage", {"path", path});
     quarantine_.insert(path);
     detected_corruption_.push_back(path);
   }

@@ -69,7 +69,8 @@ class DeltaCfsClient final : public OpSink {
   /// `checksum_kv` backs the Checksum Store when checksums are enabled.
   DeltaCfsClient(FileSystem& local, Transport& transport, const Clock& clock,
                  const CostProfile& profile, ClientConfig config = {},
-                 std::shared_ptr<KvStore> checksum_kv = nullptr);
+                 std::shared_ptr<KvStore> checksum_kv = nullptr,
+                 obs::Obs* obs = nullptr);
 
   // ---- OpSink (the LibFuse callbacks) ----
   void note_create(std::string_view path) override;
@@ -204,6 +205,22 @@ class DeltaCfsClient final : public OpSink {
   Transport& transport_;
   const Clock& clock_;
   CostMeter meter_;
+  obs::Tracer* tracer_ = nullptr;
+  /// Registered instruments; all null when observability is disabled.
+  struct Stats {
+    obs::Counter* relation_hits = nullptr;
+    obs::Counter* relation_misses = nullptr;
+    obs::Counter* delta_replaced = nullptr;
+    obs::Counter* delta_kept_rpc = nullptr;
+    obs::Counter* delta_bytes_saved = nullptr;
+    obs::Counter* checksum_failures = nullptr;
+    obs::Counter* uploads = nullptr;
+    obs::Counter* acks_ok = nullptr;
+    obs::Counter* acks_conflict = nullptr;
+    obs::Counter* acks_error = nullptr;
+    obs::Counter* forwards = nullptr;
+    obs::Histogram* record_bytes = nullptr;
+  } stats_;
   ClientConfig config_;
   SyncQueue queue_;
   RelationTable relations_;

@@ -54,12 +54,28 @@ void coalesce_write(std::vector<WriteSegment>& segments, std::uint64_t offset,
 
 }  // namespace
 
+void SyncQueue::set_obs(obs::Obs* obs) {
+  if (obs == nullptr) {
+    depth_gauge_ = nullptr;
+    pending_bytes_gauge_ = nullptr;
+    write_merges_ = nullptr;
+    flush_latency_us_ = nullptr;
+    return;
+  }
+  depth_gauge_ = &obs->registry.gauge("queue.depth");
+  pending_bytes_gauge_ = &obs->registry.gauge("queue.pending_bytes");
+  write_merges_ = &obs->registry.counter("queue.write_merges");
+  flush_latency_us_ = &obs->registry.histogram("queue.flush_latency_us");
+  update_gauges();
+}
+
 std::uint64_t SyncQueue::enqueue(SyncNode node, TimePoint now) {
   node.seq = next_seq_++;
   node.enqueue_time = now;
   node.last_touch = now;
   pending_bytes_ += node.content_bytes();
   nodes_.push_back(std::make_unique<SyncNode>(std::move(node)));
+  update_gauges();
   return nodes_.back()->seq;
 }
 
@@ -72,6 +88,8 @@ SyncNode& SyncQueue::add_write(std::string_view path, std::uint64_t offset,
     coalesce_write(node.segments, offset, data);
     pending_bytes_ += node.content_bytes();
     node.last_touch = now;
+    obs::inc(write_merges_);
+    update_gauges();
     return node;
   }
 
@@ -130,6 +148,7 @@ void SyncQueue::replace_with_span(SyncNode& node, std::uint64_t tail_seq) {
   pending_bytes_ -= node.content_bytes();
   node.segments.clear();
   node.state = SyncNode::State::tombstone;
+  update_gauges();
   add_span(node.seq, tail_seq);
 }
 
@@ -188,10 +207,13 @@ std::vector<SyncNode> SyncQueue::pop_ready(TimePoint now, bool flush_all) {
       node->txn_last = node->seq == last_emittable;
       pending_bytes_ -= node->content_bytes();
       if (node->state != SyncNode::State::tombstone) {
+        obs::observe(flush_latency_us_,
+                     static_cast<std::uint64_t>(now - node->enqueue_time));
         ready.push_back(std::move(*node));
       }
     }
     spans_.clear();
+    update_gauges();
     return ready;
   }
 
@@ -218,6 +240,8 @@ std::vector<SyncNode> SyncQueue::pop_ready(TimePoint now, bool flush_all) {
     node->txn_last = group_id != 0 && node->seq == last_seq;
     pending_bytes_ -= node->content_bytes();
     if (node->state != SyncNode::State::tombstone) {
+      obs::observe(flush_latency_us_,
+                   static_cast<std::uint64_t>(now - node->enqueue_time));
       ready.push_back(std::move(*node));
     }
   };
@@ -264,6 +288,7 @@ std::vector<SyncNode> SyncQueue::pop_ready(TimePoint now, bool flush_all) {
     }
     emit(0, 0);
   }
+  update_gauges();
   return ready;
 }
 

@@ -21,6 +21,7 @@
 
 #include "common/bytes.h"
 #include "common/clock.h"
+#include "obs/obs.h"
 #include "proto/messages.h"
 
 namespace dcfs {
@@ -137,7 +138,16 @@ class SyncQueue {
   [[nodiscard]] Duration upload_delay() const noexcept { return upload_delay_; }
   [[nodiscard]] CausalityMode mode() const noexcept { return mode_; }
 
+  /// Registers the queue's instruments (depth/pending-bytes gauges, merge
+  /// counter, flush-latency histogram).  Null disables them again.
+  void set_obs(obs::Obs* obs);
+
  private:
+  void update_gauges() noexcept {
+    obs::set(depth_gauge_, static_cast<std::int64_t>(nodes_.size()));
+    obs::set(pending_bytes_gauge_, static_cast<std::int64_t>(pending_bytes_));
+  }
+
   struct Span {
     std::uint64_t id = 0;
     std::uint64_t from = 0;
@@ -158,6 +168,10 @@ class SyncQueue {
   std::unordered_map<std::string, SyncNode*> open_writes_;  ///< hash index
   std::vector<Span> spans_;
   std::uint64_t pending_bytes_ = 0;
+  obs::Gauge* depth_gauge_ = nullptr;
+  obs::Gauge* pending_bytes_gauge_ = nullptr;
+  obs::Counter* write_merges_ = nullptr;
+  obs::Histogram* flush_latency_us_ = nullptr;
 };
 
 }  // namespace dcfs

@@ -54,6 +54,14 @@ struct CostProfile {
   static const CostProfile& mobile() noexcept;
 };
 
+/// Point-in-time copy of a CostMeter's per-kind breakdown, in whole units.
+/// The one source of truth for breakdown tables and the metrics registry.
+struct CostSnapshot {
+  std::array<std::uint64_t, kCostKindCount> units_by_kind{};
+  std::uint64_t total_units = 0;
+  std::uint64_t ticks = 0;
+};
+
 /// Accumulates charged costs; one meter per accounted component
 /// (e.g. client CPU vs server CPU).
 class CostMeter {
@@ -87,6 +95,17 @@ class CostMeter {
   /// Units attributable to one primitive (for breakdown tables).
   [[nodiscard]] std::uint64_t units_for(CostKind kind) const noexcept {
     return units_x16_[static_cast<std::size_t>(kind)] / 16;
+  }
+
+  /// Per-kind breakdown, totals and ticks in one consistent copy.
+  [[nodiscard]] CostSnapshot snapshot() const noexcept {
+    CostSnapshot snap;
+    for (std::size_t i = 0; i < kCostKindCount; ++i) {
+      snap.units_by_kind[i] = units_x16_[i] / 16;
+    }
+    snap.total_units = units();
+    snap.ticks = snap.total_units / profile_->units_per_tick;
+    return snap;
   }
 
   void reset() noexcept { units_x16_.fill(0); }

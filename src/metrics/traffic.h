@@ -2,21 +2,33 @@
 // metric of Figure 2).
 #pragma once
 
+#include <array>
 #include <cstdint>
+
+#include "proto/messages.h"
 
 namespace dcfs {
 
-/// Byte and message counters for one endpoint, split by direction.
-/// "up" is client-to-cloud, "down" is cloud-to-client.
+/// Byte and message counters for one endpoint, split by direction and
+/// attributed per proto::MessageType.  "up" is client-to-cloud, "down" is
+/// cloud-to-client.
 class TrafficMeter {
  public:
-  void add_up(std::uint64_t bytes) noexcept {
+  void add_up(std::uint64_t bytes,
+              proto::MessageType type = proto::MessageType::other) noexcept {
     up_bytes_ += bytes;
     ++up_messages_;
+    const auto i = static_cast<std::size_t>(type);
+    up_bytes_by_type_[i] += bytes;
+    ++up_messages_by_type_[i];
   }
-  void add_down(std::uint64_t bytes) noexcept {
+  void add_down(std::uint64_t bytes,
+                proto::MessageType type = proto::MessageType::other) noexcept {
     down_bytes_ += bytes;
     ++down_messages_;
+    const auto i = static_cast<std::size_t>(type);
+    down_bytes_by_type_[i] += bytes;
+    ++down_messages_by_type_[i];
   }
 
   [[nodiscard]] std::uint64_t up_bytes() const noexcept { return up_bytes_; }
@@ -27,6 +39,23 @@ class TrafficMeter {
   }
   [[nodiscard]] std::uint64_t total_bytes() const noexcept {
     return up_bytes_ + down_bytes_;
+  }
+
+  // Per-message-type breakdown.
+  [[nodiscard]] std::uint64_t up_bytes(proto::MessageType type) const noexcept {
+    return up_bytes_by_type_[static_cast<std::size_t>(type)];
+  }
+  [[nodiscard]] std::uint64_t up_messages(
+      proto::MessageType type) const noexcept {
+    return up_messages_by_type_[static_cast<std::size_t>(type)];
+  }
+  [[nodiscard]] std::uint64_t down_bytes(
+      proto::MessageType type) const noexcept {
+    return down_bytes_by_type_[static_cast<std::size_t>(type)];
+  }
+  [[nodiscard]] std::uint64_t down_messages(
+      proto::MessageType type) const noexcept {
+    return down_messages_by_type_[static_cast<std::size_t>(type)];
   }
 
   /// Traffic Usage Efficiency: total sync traffic / size of the data update
@@ -45,6 +74,10 @@ class TrafficMeter {
   std::uint64_t down_bytes_ = 0;
   std::uint64_t up_messages_ = 0;
   std::uint64_t down_messages_ = 0;
+  std::array<std::uint64_t, proto::kMessageTypeCount> up_bytes_by_type_{};
+  std::array<std::uint64_t, proto::kMessageTypeCount> up_messages_by_type_{};
+  std::array<std::uint64_t, proto::kMessageTypeCount> down_bytes_by_type_{};
+  std::array<std::uint64_t, proto::kMessageTypeCount> down_messages_by_type_{};
 };
 
 }  // namespace dcfs

@@ -4,11 +4,13 @@
 
 namespace dcfs {
 
-Duration Transport::client_send(Bytes frame) {
+Duration Transport::client_send(Bytes frame, proto::MessageType type) {
   const std::uint64_t wire_bytes = frame.size() + profile_.frame_overhead;
-  meter_.add_up(wire_bytes);
+  meter_.add_up(wire_bytes, type);
   to_server_.push_back(std::move(frame));
-  return profile_.upload_time(wire_bytes);
+  const Duration wire_time = profile_.upload_time(wire_bytes);
+  obs::observe(upload_wire_us_, static_cast<std::uint64_t>(wire_time));
+  return wire_time;
 }
 
 std::optional<Bytes> Transport::client_poll() {
@@ -18,11 +20,13 @@ std::optional<Bytes> Transport::client_poll() {
   return frame;
 }
 
-Duration Transport::server_send(Bytes frame) {
+Duration Transport::server_send(Bytes frame, proto::MessageType type) {
   const std::uint64_t wire_bytes = frame.size() + profile_.frame_overhead;
-  meter_.add_down(wire_bytes);
+  meter_.add_down(wire_bytes, type);
   to_client_.push_back(std::move(frame));
-  return profile_.download_time(wire_bytes);
+  const Duration wire_time = profile_.download_time(wire_bytes);
+  obs::observe(download_wire_us_, static_cast<std::uint64_t>(wire_time));
+  return wire_time;
 }
 
 std::optional<Bytes> Transport::server_poll() {

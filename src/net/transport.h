@@ -13,6 +13,7 @@
 #include "common/bytes.h"
 #include "common/clock.h"
 #include "metrics/traffic.h"
+#include "obs/obs.h"
 
 namespace dcfs {
 
@@ -56,19 +57,27 @@ struct NetProfile {
 /// trace replayer drives client and server alternately in virtual time.
 class Transport {
  public:
-  explicit Transport(NetProfile profile) : profile_(profile) {}
+  explicit Transport(NetProfile profile, obs::Obs* obs = nullptr)
+      : profile_(profile) {
+    if (obs != nullptr) {
+      upload_wire_us_ = &obs->registry.histogram("net.upload_wire_us");
+      download_wire_us_ = &obs->registry.histogram("net.download_wire_us");
+    }
+  }
 
   // ---- client side ----
 
-  /// Queues a frame for the server; accounts upstream traffic and returns
-  /// the modeled wire time for this frame.
-  Duration client_send(Bytes frame);
+  /// Queues a frame for the server; accounts upstream traffic (attributed
+  /// to `type`) and returns the modeled wire time for this frame.
+  Duration client_send(Bytes frame,
+                       proto::MessageType type = proto::MessageType::other);
   /// Next frame the server pushed down, if any.
   std::optional<Bytes> client_poll();
 
   // ---- server side ----
 
-  Duration server_send(Bytes frame);
+  Duration server_send(Bytes frame,
+                       proto::MessageType type = proto::MessageType::other);
   std::optional<Bytes> server_poll();
 
   [[nodiscard]] const TrafficMeter& meter() const noexcept { return meter_; }
@@ -84,6 +93,8 @@ class Transport {
   TrafficMeter meter_;
   std::deque<Bytes> to_server_;
   std::deque<Bytes> to_client_;
+  obs::Histogram* upload_wire_us_ = nullptr;
+  obs::Histogram* download_wire_us_ = nullptr;
 };
 
 }  // namespace dcfs

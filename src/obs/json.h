@@ -1,0 +1,70 @@
+// Minimal JSON parser used to validate exported Chrome traces in tests and
+// the `trace_check` tool.  Not a general-purpose library: it favours strict
+// parsing and a small footprint over speed.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace dcfs::obs::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool b) : data_(b) {}
+  Value(double d) : data_(d) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const noexcept {
+    return std::holds_alternative<std::nullptr_t>(data_);
+  }
+  [[nodiscard]] bool is_bool() const noexcept {
+    return std::holds_alternative<bool>(data_);
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return std::holds_alternative<double>(data_);
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return std::holds_alternative<std::string>(data_);
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return std::holds_alternative<Array>(data_);
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return std::holds_alternative<Object>(data_);
+  }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(data_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(data_); }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(data_);
+  }
+  [[nodiscard]] const Array& as_array() const { return std::get<Array>(data_); }
+  [[nodiscard]] const Object& as_object() const {
+    return std::get<Object>(data_);
+  }
+
+  /// Object member lookup; null when absent or when this is not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const noexcept;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+/// Parses a complete JSON document.  On failure returns nullopt and, when
+/// `error` is non-null, a message with the byte offset of the problem.
+std::optional<Value> parse(std::string_view text, std::string* error = nullptr);
+
+}  // namespace dcfs::obs::json

@@ -1,0 +1,123 @@
+#include "obs/log.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dcfs::obs {
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool needs_quotes(std::string_view value) noexcept {
+  if (value.empty()) return true;
+  for (const char c : value) {
+    if (c == ' ' || c == '=' || c == '"' || c == '\t') return true;
+  }
+  return false;
+}
+
+void append_value(std::string& line, std::string_view value) {
+  if (!needs_quotes(value)) {
+    line.append(value);
+    return;
+  }
+  line.push_back('"');
+  for (const char c : value) {
+    if (c == '"' || c == '\\') line.push_back('\\');
+    line.push_back(c);
+  }
+  line.push_back('"');
+}
+
+}  // namespace
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::trace:
+      return "trace";
+    case LogLevel::debug:
+      return "debug";
+    case LogLevel::info:
+      return "info";
+    case LogLevel::warn:
+      return "warn";
+    case LogLevel::error:
+      return "error";
+    case LogLevel::off:
+      return "off";
+  }
+  return "?";
+}
+
+LogLevel level_from_name(std::string_view name, LogLevel fallback) noexcept {
+  for (const LogLevel level :
+       {LogLevel::trace, LogLevel::debug, LogLevel::info, LogLevel::warn,
+        LogLevel::error, LogLevel::off}) {
+    if (iequals(name, to_string(level))) return level;
+  }
+  if (iequals(name, "warning")) return LogLevel::warn;
+  return fallback;
+}
+
+LogLevel level_from_env(const char* dcfs_log, const char* dcfs_debug) noexcept {
+  if (dcfs_log != nullptr && dcfs_log[0] != '\0') {
+    return level_from_name(dcfs_log, LogLevel::warn);
+  }
+  // Legacy alias: DCFS_DEBUG set to anything but "0" means debug level.
+  if (dcfs_debug != nullptr && dcfs_debug[0] != '\0' &&
+      std::string_view(dcfs_debug) != "0") {
+    return LogLevel::debug;
+  }
+  return LogLevel::warn;
+}
+
+Logger& Logger::global() {
+  static Logger logger(level_from_env(std::getenv("DCFS_LOG"),
+                                      std::getenv("DCFS_DEBUG")));
+  return logger;
+}
+
+void Logger::set_sink(std::function<void(std::string_view)> sink) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view message,
+                 std::initializer_list<LogField> fields) {
+  // The macros pre-check to skip field construction; direct callers still
+  // get the threshold applied here.
+  if (!enabled(level)) return;
+  std::string line;
+  line.reserve(64 + message.size());
+  line.push_back('[');
+  line.append(to_string(level));
+  line.append("] ");
+  line.append(component);
+  line.append(": ");
+  line.append(message);
+  for (const LogField& field : fields) {
+    line.push_back(' ');
+    line.append(field.key);
+    line.push_back('=');
+    append_value(line, field.value);
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (sink_) {
+    sink_(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace dcfs::obs

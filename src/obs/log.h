@@ -1,0 +1,110 @@
+// dcfs::obs — structured logging: level + component + key=value fields.
+//
+// Subsumes the old all-or-nothing DCFS_DEBUG flag: the global logger's
+// threshold comes from DCFS_LOG=<trace|debug|info|warn|error|off> with
+// DCFS_DEBUG=1 kept working as a legacy alias for the debug level.  The
+// DCFS_LOG_* macros evaluate their fields only when the level is enabled,
+// so disabled logging costs one load + compare.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace dcfs::obs {
+
+enum class LogLevel : std::uint8_t { trace = 0, debug, info, warn, error, off };
+
+std::string_view to_string(LogLevel level) noexcept;
+
+/// Parses a level name ("debug", "WARN", ...); `fallback` on no match.
+LogLevel level_from_name(std::string_view name, LogLevel fallback) noexcept;
+
+/// Threshold selection from the environment values of DCFS_LOG and
+/// DCFS_DEBUG (either may be null).  Pure — tests pass values directly.
+LogLevel level_from_env(const char* dcfs_log, const char* dcfs_debug) noexcept;
+
+/// One key=value pair attached to a log line.
+struct LogField {
+  std::string_view key;
+  std::string value;
+
+  LogField(std::string_view k, std::string_view v) : key(k), value(v) {}
+  LogField(std::string_view k, const char* v) : key(k), value(v) {}
+  LogField(std::string_view k, const std::string& v) : key(k), value(v) {}
+  LogField(std::string_view k, bool v)
+      : key(k), value(v ? "true" : "false") {}
+  template <typename T,
+            typename = std::enable_if_t<std::is_arithmetic_v<T> &&
+                                        !std::is_same_v<T, bool> &&
+                                        !std::is_same_v<T, char>>>
+  LogField(std::string_view k, T v) : key(k), value(std::to_string(v)) {}
+};
+
+class Logger {
+ public:
+  explicit Logger(LogLevel level = LogLevel::warn)
+      : level_(static_cast<std::uint8_t>(level)) {}
+
+  /// Process-wide logger; threshold initialized from the environment once.
+  static Logger& global();
+
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return static_cast<std::uint8_t>(level) >=
+           level_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const noexcept {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  void set_level(LogLevel level) noexcept {
+    level_.store(static_cast<std::uint8_t>(level),
+                 std::memory_order_relaxed);
+  }
+
+  /// Redirects formatted lines; null restores the default (stderr).
+  void set_sink(std::function<void(std::string_view)> sink);
+
+  /// Formats and emits one line:  [level] component: message k=v k=v
+  /// Values containing spaces, quotes or '=' are double-quoted.
+  void log(LogLevel level, std::string_view component,
+           std::string_view message,
+           std::initializer_list<LogField> fields = {});
+
+ private:
+  std::atomic<std::uint8_t> level_;
+  std::mutex mu_;  ///< serializes sink access and line emission
+  std::function<void(std::string_view)> sink_;
+};
+
+}  // namespace dcfs::obs
+
+/// Level-checked logging; fields are built only when the level is enabled.
+/// Usage: DCFS_LOG_DEBUG("client", "delta replace", {"path", path});
+#define DCFS_LOG_AT(level_, component_, message_, ...)                  \
+  do {                                                                  \
+    ::dcfs::obs::Logger& dcfs_logger_ = ::dcfs::obs::Logger::global();  \
+    if (dcfs_logger_.enabled(level_)) {                                 \
+      dcfs_logger_.log(level_, component_, message_, {__VA_ARGS__});    \
+    }                                                                   \
+  } while (0)
+
+#define DCFS_LOG_TRACE(component_, message_, ...)                        \
+  DCFS_LOG_AT(::dcfs::obs::LogLevel::trace, component_,                  \
+              message_ __VA_OPT__(, ) __VA_ARGS__)
+#define DCFS_LOG_DEBUG(component_, message_, ...)                        \
+  DCFS_LOG_AT(::dcfs::obs::LogLevel::debug, component_,                  \
+              message_ __VA_OPT__(, ) __VA_ARGS__)
+#define DCFS_LOG_INFO(component_, message_, ...)                         \
+  DCFS_LOG_AT(::dcfs::obs::LogLevel::info, component_,                   \
+              message_ __VA_OPT__(, ) __VA_ARGS__)
+#define DCFS_LOG_WARN(component_, message_, ...)                         \
+  DCFS_LOG_AT(::dcfs::obs::LogLevel::warn, component_,                   \
+              message_ __VA_OPT__(, ) __VA_ARGS__)
+#define DCFS_LOG_ERROR(component_, message_, ...)                        \
+  DCFS_LOG_AT(::dcfs::obs::LogLevel::error, component_,                  \
+              message_ __VA_OPT__(, ) __VA_ARGS__)

@@ -1,0 +1,236 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace dcfs::obs {
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {}
+
+void Histogram::observe(std::uint64_t value) noexcept {
+  std::size_t i = 0;
+  while (i < bounds_.size() && value > bounds_[i]) ++i;
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+const std::vector<std::uint64_t>& default_latency_bounds_us() {
+  static const std::vector<std::uint64_t> bounds = [] {
+    std::vector<std::uint64_t> out;
+    for (std::uint64_t decade = 10; decade <= 10'000'000; decade *= 10) {
+      out.push_back(decade);
+      out.push_back(decade * 2);
+      out.push_back(decade * 5);
+    }
+    out.push_back(100'000'000);  // 100 s
+    return out;
+  }();
+  return bounds;
+}
+
+const std::vector<std::uint64_t>& default_bytes_bounds() {
+  static const std::vector<std::uint64_t> bounds = [] {
+    std::vector<std::uint64_t> out;
+    for (std::uint64_t b = 64; b <= (16ull << 20); b *= 4) out.push_back(b);
+    return out;
+  }();
+  return bounds;
+}
+
+std::uint64_t HistogramSnapshot::percentile(double p) const noexcept {
+  if (count == 0) return 0;
+  const double clamped = std::min(std::max(p, 0.0), 100.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= std::max<std::uint64_t>(target, 1)) {
+      return i < bounds.size() ? bounds[i] : max;
+    }
+  }
+  return max;
+}
+
+bool Snapshot::has_counter(std::string_view name) const noexcept {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+std::uint64_t Snapshot::counter(std::string_view name) const noexcept {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+bool Snapshot::has_gauge(std::string_view name) const noexcept {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+std::int64_t Snapshot::gauge(std::string_view name) const noexcept {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* Snapshot::histogram(
+    std::string_view name) const noexcept {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string Snapshot::to_string() const {
+  std::string out;
+  char line[256];
+  if (!counters.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, value] : counters) {
+      std::snprintf(line, sizeof(line), "  %-40s %12llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      out += line;
+    }
+  }
+  if (!gauges.empty()) {
+    out += "gauges:\n";
+    for (const auto& [name, value] : gauges) {
+      std::snprintf(line, sizeof(line), "  %-40s %12lld\n", name.c_str(),
+                    static_cast<long long>(value));
+      out += line;
+    }
+  }
+  if (!histograms.empty()) {
+    out += "histograms:\n";
+    for (const HistogramSnapshot& h : histograms) {
+      std::snprintf(line, sizeof(line),
+                    "  %-40s count=%llu min=%llu mean=%.1f p50=%llu "
+                    "p99=%llu max=%llu\n",
+                    h.name.c_str(), static_cast<unsigned long long>(h.count),
+                    static_cast<unsigned long long>(h.count ? h.min : 0),
+                    h.mean(),
+                    static_cast<unsigned long long>(h.percentile(50)),
+                    static_cast<unsigned long long>(h.percentile(99)),
+                    static_cast<unsigned long long>(h.max));
+      out += line;
+    }
+  }
+  return out;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               const std::vector<std::uint64_t>& bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_
+              .emplace(std::string(name), std::make_unique<Histogram>(bounds))
+              .first->second;
+}
+
+Snapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.bounds = histogram->bounds_;
+    h.counts.reserve(histogram->counts_.size());
+    for (const auto& c : histogram->counts_) {
+      h.counts.push_back(c.load(std::memory_order_relaxed));
+    }
+    h.count = histogram->count();
+    h.sum = histogram->sum();
+    h.max = histogram->max_.load(std::memory_order_relaxed);
+    const std::uint64_t min = histogram->min_.load(std::memory_order_relaxed);
+    h.min = h.count == 0 ? 0 : min;
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+void export_cost(const CostMeter& meter, Registry& registry,
+                 std::string_view prefix) {
+  const CostSnapshot snap = meter.snapshot();
+  const std::string base(prefix);
+  registry.gauge(base + ".units")
+      .set(static_cast<std::int64_t>(snap.total_units));
+  registry.gauge(base + ".ticks").set(static_cast<std::int64_t>(snap.ticks));
+  for (std::size_t i = 0; i < kCostKindCount; ++i) {
+    if (snap.units_by_kind[i] == 0) continue;
+    registry.gauge(base + ".units." +
+                   std::string(to_string(static_cast<CostKind>(i))))
+        .set(static_cast<std::int64_t>(snap.units_by_kind[i]));
+  }
+}
+
+void export_traffic(const TrafficMeter& meter, Registry& registry,
+                    std::string_view prefix) {
+  const std::string base(prefix);
+  registry.gauge(base + ".up.bytes")
+      .set(static_cast<std::int64_t>(meter.up_bytes()));
+  registry.gauge(base + ".up.msgs")
+      .set(static_cast<std::int64_t>(meter.up_messages()));
+  registry.gauge(base + ".down.bytes")
+      .set(static_cast<std::int64_t>(meter.down_bytes()));
+  registry.gauge(base + ".down.msgs")
+      .set(static_cast<std::int64_t>(meter.down_messages()));
+  for (std::size_t i = 0; i < proto::kMessageTypeCount; ++i) {
+    const auto type = static_cast<proto::MessageType>(i);
+    std::string suffix(".");
+    suffix += proto::to_string(type);
+    registry.gauge(base + ".up.bytes" + suffix)
+        .set(static_cast<std::int64_t>(meter.up_bytes(type)));
+    registry.gauge(base + ".up.msgs" + suffix)
+        .set(static_cast<std::int64_t>(meter.up_messages(type)));
+    registry.gauge(base + ".down.bytes" + suffix)
+        .set(static_cast<std::int64_t>(meter.down_bytes(type)));
+    registry.gauge(base + ".down.msgs" + suffix)
+        .set(static_cast<std::int64_t>(meter.down_messages(type)));
+  }
+}
+
+}  // namespace dcfs::obs

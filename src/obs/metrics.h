@@ -1,0 +1,173 @@
+// dcfs::obs — metrics registry: named counters, gauges and fixed-bucket
+// histograms for the sync pipeline.
+//
+// Increment paths are single relaxed atomic operations so instruments can
+// sit on hot paths; name lookup (registration) happens once at wiring time
+// and hands back a stable reference that outlives the caller's use.  A
+// Snapshot() is a point-in-time copy: later increments never mutate it.
+// Every component accepts a null observability context and skips each
+// instrument behind a single pointer test (the opt-out guard).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "metrics/cost.h"
+#include "metrics/traffic.h"
+
+namespace dcfs::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time level (queue depth, pending bytes).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram.  `bounds` are strictly increasing inclusive
+/// upper bounds; one implicit overflow bucket catches everything above the
+/// last bound.  Tracks count/sum/min/max alongside the buckets.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::uint64_t> bounds);
+
+  void observe(std::uint64_t value) noexcept;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& bounds() const noexcept {
+    return bounds_;
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  std::vector<std::uint64_t> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  ///< bounds + overflow
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ull};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// 1-2-5 series from 10 µs to 100 s — the default latency bucketing.
+const std::vector<std::uint64_t>& default_latency_bounds_us();
+/// Powers of four from 64 B to 16 MB — payload/record size bucketing.
+const std::vector<std::uint64_t>& default_bytes_bounds();
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<std::uint64_t> bounds;
+  std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 (overflow last)
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Upper bound of the bucket holding the p-th percentile (0 < p <= 100).
+  [[nodiscard]] std::uint64_t percentile(double p) const noexcept;
+};
+
+/// Point-in-time copy of every registered metric, sorted by name.
+struct Snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  [[nodiscard]] bool has_counter(std::string_view name) const noexcept;
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const noexcept;
+  [[nodiscard]] bool has_gauge(std::string_view name) const noexcept;
+  [[nodiscard]] std::int64_t gauge(std::string_view name) const noexcept;
+  [[nodiscard]] const HistogramSnapshot* histogram(
+      std::string_view name) const noexcept;
+
+  /// Human-readable dump (the `syncctl stats` format).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Owns every metric.  Registration is mutex-protected and idempotent
+/// (same name returns the same instance); handles stay valid for the
+/// registry's lifetime.
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(
+      std::string_view name,
+      const std::vector<std::uint64_t>& bounds = default_latency_bounds_us());
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// Null-safe helpers: components store handle pointers that stay null when
+// observability is disabled, so each instrument costs one branch.
+inline void inc(Counter* counter, std::uint64_t n = 1) noexcept {
+  if (counter != nullptr) counter->inc(n);
+}
+inline void observe(Histogram* histogram, std::uint64_t value) noexcept {
+  if (histogram != nullptr) histogram->observe(value);
+}
+inline void set(Gauge* gauge, std::int64_t value) noexcept {
+  if (gauge != nullptr) gauge->set(value);
+}
+
+/// Exports a CostMeter's per-kind breakdown as gauges:
+/// `<prefix>.units`, `<prefix>.ticks`, `<prefix>.units.<kind>` (non-zero
+/// kinds only).  Idempotent — gauges are set, not accumulated.
+void export_cost(const CostMeter& meter, Registry& registry,
+                 std::string_view prefix);
+
+/// Exports a TrafficMeter including the per-message-type breakdown:
+/// `<prefix>.{up,down}.{bytes,msgs}` and
+/// `<prefix>.{up,down}.{bytes,msgs}.<message_type>`.
+void export_traffic(const TrafficMeter& meter, Registry& registry,
+                    std::string_view prefix);
+
+}  // namespace dcfs::obs

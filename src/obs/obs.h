@@ -1,0 +1,18 @@
+// dcfs::obs — one observability context bundling the metrics registry,
+// tracer and logger.  Components take an `Obs*` (default nullptr) at
+// construction; null means fully disabled at single-branch cost.
+#pragma once
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dcfs::obs {
+
+struct Obs {
+  Registry registry;
+  Tracer tracer;
+  Logger* logger = &Logger::global();
+};
+
+}  // namespace dcfs::obs

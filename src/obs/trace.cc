@@ -1,0 +1,266 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "obs/json.h"
+
+namespace dcfs::obs {
+namespace {
+
+// Sentinel pushed when a begin is dropped at capacity, so the matching
+// end() still unwinds the stack without emitting an event.
+constexpr std::size_t kDroppedSpan = ~static_cast<std::size_t>(0);
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+void Tracer::set_process(std::uint32_t pid, std::string name) {
+  pid_ = pid;
+  process_names_.emplace_back(pid, std::move(name));
+}
+
+void Tracer::begin(std::string_view name, std::string_view cat) {
+  if (!enabled_ || clock_ == nullptr) return;
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    stack_.push_back(kDroppedSpan);
+    return;
+  }
+  TraceEvent event;
+  event.name = std::string(name);
+  event.cat = std::string(cat);
+  event.phase = 'B';
+  event.ts = clock_->now();
+  event.pid = pid_;
+  stack_.push_back(events_.size());
+  events_.push_back(std::move(event));
+}
+
+void Tracer::end() {
+  if (stack_.empty()) return;
+  const std::size_t begin_index = stack_.back();
+  stack_.pop_back();
+  if (begin_index == kDroppedSpan) return;
+  // Copy before push_back: growing events_ may invalidate the reference.
+  const TraceEvent begin_event = events_[begin_index];
+  TraceEvent event;
+  event.name = begin_event.name;
+  event.cat = begin_event.cat;
+  event.phase = 'E';
+  event.ts = clock_ != nullptr ? clock_->now() : begin_event.ts;
+  event.pid = begin_event.pid;
+  event.tid = begin_event.tid;
+  events_.push_back(std::move(event));
+}
+
+void Tracer::instant(std::string_view name, std::string_view cat) {
+  if (!enabled_ || clock_ == nullptr) return;
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  TraceEvent event;
+  event.name = std::string(name);
+  event.cat = std::string(cat);
+  event.phase = 'i';
+  event.ts = clock_->now();
+  event.pid = pid_;
+  events_.push_back(std::move(event));
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[128];
+  for (const auto& [pid, name] : process_names_) {
+    if (!first) out.push_back(',');
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                  "\"tid\":0,\"args\":{\"name\":",
+                  pid);
+    out += buf;
+    append_json_string(out, name);
+    out += "}}";
+  }
+  for (const TraceEvent& event : events_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, event.name);
+    if (!event.cat.empty()) {
+      out += ",\"cat\":";
+      append_json_string(out, event.cat);
+    }
+    std::snprintf(buf, sizeof(buf),
+                  ",\"ph\":\"%c\",\"ts\":%lld,\"pid\":%u,\"tid\":%u}",
+                  event.phase, static_cast<long long>(event.ts), event.pid,
+                  event.tid);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Tracer::summary() const {
+  struct Stats {
+    std::uint64_t count = 0;
+    std::int64_t total_us = 0;
+    std::int64_t min_us = 0;
+    std::int64_t max_us = 0;
+  };
+  std::map<std::string, Stats> by_name;
+  // Replay the per-track begin stacks to pair up durations.
+  std::map<std::pair<std::uint32_t, std::uint32_t>,
+           std::vector<const TraceEvent*>>
+      open;
+  for (const TraceEvent& event : events_) {
+    auto& stack = open[{event.pid, event.tid}];
+    if (event.phase == 'B') {
+      stack.push_back(&event);
+    } else if (event.phase == 'E' && !stack.empty()) {
+      const TraceEvent* begin_event = stack.back();
+      stack.pop_back();
+      const std::int64_t duration = event.ts - begin_event->ts;
+      Stats& stats = by_name[begin_event->name];
+      if (stats.count == 0 || duration < stats.min_us) {
+        stats.min_us = duration;
+      }
+      stats.max_us = std::max(stats.max_us, duration);
+      stats.total_us += duration;
+      ++stats.count;
+    }
+  }
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-28s %8s %12s %10s %10s\n", "span",
+                "count", "total_us", "min_us", "max_us");
+  out += line;
+  for (const auto& [name, stats] : by_name) {
+    std::snprintf(line, sizeof(line), "%-28s %8llu %12lld %10lld %10lld\n",
+                  name.c_str(), static_cast<unsigned long long>(stats.count),
+                  static_cast<long long>(stats.total_us),
+                  static_cast<long long>(stats.min_us),
+                  static_cast<long long>(stats.max_us));
+    out += line;
+  }
+  if (dropped_ > 0) {
+    std::snprintf(line, sizeof(line), "(%llu spans dropped at capacity)\n",
+                  static_cast<unsigned long long>(dropped_));
+    out += line;
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  events_.clear();
+  stack_.clear();
+  process_names_.clear();
+  dropped_ = 0;
+}
+
+bool well_nested(const std::vector<TraceEvent>& events) {
+  std::map<std::pair<std::uint32_t, std::uint32_t>,
+           std::vector<const TraceEvent*>>
+      open;
+  for (const TraceEvent& event : events) {
+    if (event.phase == 'M' || event.phase == 'i') continue;
+    auto& stack = open[{event.pid, event.tid}];
+    if (event.phase == 'B') {
+      stack.push_back(&event);
+    } else if (event.phase == 'E') {
+      if (stack.empty() || stack.back()->name != event.name ||
+          event.ts < stack.back()->ts) {
+        return false;
+      }
+      stack.pop_back();
+    } else {
+      return false;
+    }
+  }
+  for (const auto& [track, stack] : open) {
+    if (!stack.empty()) return false;
+  }
+  return true;
+}
+
+bool validate_chrome_trace(std::string_view json, std::string* error,
+                           std::size_t* event_count) {
+  auto set_error = [error](std::string_view message) {
+    if (error != nullptr) *error = std::string(message);
+    return false;
+  };
+  std::string parse_error;
+  const std::optional<json::Value> doc = json::parse(json, &parse_error);
+  if (!doc) return set_error("JSON parse failed: " + parse_error);
+  if (!doc->is_object()) return set_error("top level is not an object");
+  const json::Value* trace_events = doc->find("traceEvents");
+  if (trace_events == nullptr || !trace_events->is_array()) {
+    return set_error("missing traceEvents array");
+  }
+  std::vector<TraceEvent> events;
+  for (const json::Value& entry : trace_events->as_array()) {
+    if (!entry.is_object()) return set_error("trace event is not an object");
+    const json::Value* name = entry.find("name");
+    const json::Value* phase = entry.find("ph");
+    if (name == nullptr || !name->is_string() || phase == nullptr ||
+        !phase->is_string() || phase->as_string().size() != 1) {
+      return set_error("trace event missing name/ph");
+    }
+    const char ph = phase->as_string()[0];
+    if (ph == 'M') continue;  // metadata records carry no ts
+    const json::Value* ts = entry.find("ts");
+    const json::Value* pid = entry.find("pid");
+    const json::Value* tid = entry.find("tid");
+    if (ts == nullptr || !ts->is_number() || pid == nullptr ||
+        !pid->is_number() || tid == nullptr || !tid->is_number()) {
+      return set_error("trace event missing ts/pid/tid");
+    }
+    TraceEvent event;
+    event.name = name->as_string();
+    event.phase = ph;
+    event.ts = static_cast<TimePoint>(ts->as_number());
+    event.pid = static_cast<std::uint32_t>(pid->as_number());
+    event.tid = static_cast<std::uint32_t>(tid->as_number());
+    events.push_back(std::move(event));
+  }
+  if (event_count != nullptr) *event_count = events.size();
+  if (!well_nested(events)) return set_error("spans are not well-nested");
+  return true;
+}
+
+}  // namespace dcfs::obs

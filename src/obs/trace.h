@@ -1,0 +1,117 @@
+// dcfs::obs — span-based tracer.
+//
+// Records begin/end events against a pluggable Clock (src/common/clock.h),
+// so benches tracing virtual time are fully deterministic.  Exports Chrome
+// trace_event JSON (load in chrome://tracing or https://ui.perfetto.dev)
+// and a human-readable per-span-name summary.  When disabled (the default)
+// every begin() caller bails on a single branch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace dcfs::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char phase = 'B';  ///< 'B' begin, 'E' end, 'i' instant
+  TimePoint ts = 0;  ///< microseconds
+  std::uint32_t pid = 1;
+  std::uint32_t tid = 1;
+};
+
+/// Begin/end span recorder.  Spans on the same (pid, tid) must strictly
+/// nest — guaranteed by the RAII `Span` helper.  `set_process` switches the
+/// pid attributed to subsequent events so overlapping virtual-time runs
+/// (e.g. successive bench configs) stay separate tracks in the viewer.
+class Tracer {
+ public:
+  /// Starts recording, timestamping events with `clock` (not owned; must
+  /// outlive the tracer or be cleared with disable()).
+  void enable(const Clock& clock) noexcept {
+    clock_ = &clock;
+    enabled_ = true;
+  }
+  void disable() noexcept {
+    enabled_ = false;
+    clock_ = nullptr;
+  }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Names a process track and directs subsequent events to `pid`.
+  void set_process(std::uint32_t pid, std::string name);
+
+  void begin(std::string_view name, std::string_view cat = {});
+  /// Ends the innermost open span.  Safe to call after disable() — the
+  /// stack still unwinds (using the begin timestamp when no clock is set).
+  void end();
+  void instant(std::string_view name, std::string_view cat = {});
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t open_spans() const noexcept {
+    return stack_.size();
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Chrome trace_event JSON: {"traceEvents": [...]} with process_name
+  /// metadata records first.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  /// Per-name table: count, total/min/max duration in µs.
+  [[nodiscard]] std::string summary() const;
+
+  void clear();
+  /// Caps stored events; begins past the cap are counted in dropped().
+  void set_capacity(std::size_t max_events) noexcept {
+    max_events_ = max_events;
+  }
+
+ private:
+  bool enabled_ = false;
+  const Clock* clock_ = nullptr;
+  std::uint32_t pid_ = 1;
+  std::vector<std::pair<std::uint32_t, std::string>> process_names_;
+  std::vector<TraceEvent> events_;
+  std::vector<std::size_t> stack_;  ///< indices of open 'B' events
+  std::size_t max_events_ = 4'000'000;
+  std::uint64_t dropped_ = 0;
+};
+
+/// RAII span: begins on construction, ends on destruction.  A null tracer
+/// or a disabled one makes both ends a no-op — the single-branch opt-out.
+class Span {
+ public:
+  Span(Tracer* tracer, std::string_view name, std::string_view cat = {})
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr) {
+    if (tracer_ != nullptr) tracer_->begin(name, cat);
+  }
+  ~Span() {
+    if (tracer_ != nullptr) tracer_->end();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Tracer* tracer_;
+};
+
+/// True when every 'E' closes the innermost open 'B' of the same name on
+/// its (pid, tid) track and nothing is left open.
+bool well_nested(const std::vector<TraceEvent>& events);
+
+/// Full validation of an exported trace: parses the JSON, checks the
+/// traceEvents structure, and verifies B/E nesting per track.  Used by
+/// tests and the `trace_check` CI tool.  `event_count`, when non-null,
+/// receives the number of non-metadata events.
+bool validate_chrome_trace(std::string_view json, std::string* error = nullptr,
+                           std::size_t* event_count = nullptr);
+
+}  // namespace dcfs::obs

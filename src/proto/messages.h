@@ -9,12 +9,38 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
 
 namespace dcfs::proto {
+
+/// Coarse classification of a wire frame, used for per-type traffic
+/// attribution (TrafficMeter breakdown, Fig. 8/9 honesty).
+enum class MessageType : std::uint8_t {
+  sync_record = 0,  ///< client-to-cloud SyncRecord frame
+  ack,              ///< cloud-to-client Ack frame
+  forward,          ///< cloud-to-client forwarded record (multi-device)
+  other,            ///< anything unclassified
+};
+
+inline constexpr std::size_t kMessageTypeCount = 4;
+
+constexpr std::string_view to_string(MessageType type) noexcept {
+  switch (type) {
+    case MessageType::sync_record:
+      return "sync_record";
+    case MessageType::ack:
+      return "ack";
+    case MessageType::forward:
+      return "forward";
+    case MessageType::other:
+      return "other";
+  }
+  return "?";
+}
 
 /// <CliID, VerCnt>: client-assigned, globally unique, partially ordered.
 struct VersionId {

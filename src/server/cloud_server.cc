@@ -1,10 +1,6 @@
 #include "server/cloud_server.h"
 
 #include <algorithm>
-#include <cstdio>
-
-#include "common/debug.h"
-#include <cstdlib>
 #include <utility>
 
 #include "compress/lz.h"
@@ -19,8 +15,18 @@ std::uint64_t group_key(std::uint32_t client, std::uint64_t group) {
 
 }  // namespace
 
-CloudServer::CloudServer(const CostProfile& profile, std::size_t history_depth)
-    : meter_(profile), history_depth_(history_depth) {}
+CloudServer::CloudServer(const CostProfile& profile, std::size_t history_depth,
+                         obs::Obs* obs)
+    : meter_(profile), history_depth_(history_depth) {
+  if (obs != nullptr) {
+    tracer_ = &obs->tracer;
+    applied_counter_ = &obs->registry.counter("server.records_applied");
+    conflict_counter_ = &obs->registry.counter("server.conflicts");
+    txn_buffered_ = &obs->registry.counter("server.txn.buffered_records");
+    txn_groups_applied_ = &obs->registry.counter("server.txn.groups_applied");
+    apply_latency_us_ = &obs->registry.histogram("server.apply_latency_us");
+  }
+}
 
 void CloudServer::attach(std::uint32_t client_id, Transport& transport) {
   clients_[client_id] = &transport;
@@ -53,6 +59,26 @@ std::size_t CloudServer::pump() {
 
 proto::Ack CloudServer::apply_record(std::uint32_t from_client,
                                      const proto::SyncRecord& raw_record) {
+  obs::Span span(tracer_, "server.apply", proto::to_string(raw_record.kind));
+  obs::inc(applied_counter_);
+  const std::uint64_t units_before = meter_.units();
+  const std::uint64_t conflicts_before = conflicts_seen_;
+  proto::Ack ack = apply_record_impl(from_client, raw_record);
+  // Modeled apply latency: the cost-model units this record consumed,
+  // converted at 10 ms-per-tick — deterministic in virtual time.
+  if (apply_latency_us_ != nullptr) {
+    const std::uint64_t delta_units = meter_.units() - units_before;
+    apply_latency_us_->observe(delta_units * 10'000 /
+                               meter_.profile().units_per_tick);
+  }
+  if (conflicts_seen_ > conflicts_before) {
+    obs::inc(conflict_counter_, conflicts_seen_ - conflicts_before);
+  }
+  return ack;
+}
+
+proto::Ack CloudServer::apply_record_impl(std::uint32_t from_client,
+                                          const proto::SyncRecord& raw_record) {
   ++records_applied_;
   proto::SyncRecord record = raw_record;
   if (record.compressed) {
@@ -72,6 +98,7 @@ proto::Ack CloudServer::apply_record(std::uint32_t from_client,
     PendingGroup& group = groups_[group_key(from_client, record.txn_group)];
     group.records.push_back(record);
     if (!record.txn_last) {
+      obs::inc(txn_buffered_);
       proto::Ack ack;
       ack.sequence = record.sequence;
       ack.result = Errc::ok;  // buffered; final verdict with the group
@@ -90,6 +117,8 @@ proto::Ack CloudServer::apply_record(std::uint32_t from_client,
 
 std::vector<proto::Ack> CloudServer::apply_group(std::uint32_t from_client,
                                                  PendingGroup group) {
+  obs::Span span(tracer_, "server.apply_group");
+  obs::inc(txn_groups_applied_);
   // Transactional apply (§III-E): stage every record against a scratch
   // copy of the touched entries; commit only if all succeed.  On any
   // conflict the whole group becomes conflicted.
@@ -343,22 +372,19 @@ proto::Ack CloudServer::apply_one(std::uint32_t from_client,
                             from_history);
       }
       if (base == nullptr) {
-        if (debug_enabled()) {
-          std::fprintf(stderr, "DELTA-FAIL path=%s ref=%s base=<%u,%llu> bd=%d ",
-                       record.path.c_str(), ref.c_str(),
-                       record.base_version.client_id,
-                       (unsigned long long)record.base_version.counter,
-                       (int)record.base_deleted);
+        if (obs::Logger::global().enabled(obs::LogLevel::debug)) {
           const auto t = tombstones_.find(ref);
-          if (t == tombstones_.end()) std::fprintf(stderr, "no-tombstone ");
-          else std::fprintf(stderr, "tomb=<%u,%llu> ",
-                            t->second.version.client_id,
-                            (unsigned long long)t->second.version.counter);
           const auto f = files.find(ref);
-          if (f == files.end()) std::fprintf(stderr, "no-entry\n");
-          else std::fprintf(stderr, "cur=<%u,%llu>\n",
-                            f->second.version.client_id,
-                            (unsigned long long)f->second.version.counter);
+          DCFS_LOG_DEBUG(
+              "server", "delta base unresolved", {"path", record.path},
+              {"ref", ref}, {"base_version", proto::to_string(record.base_version)},
+              {"base_deleted", record.base_deleted},
+              {"tombstone", t == tombstones_.end()
+                                ? std::string("none")
+                                : proto::to_string(t->second.version)},
+              {"current", f == files.end()
+                              ? std::string("none")
+                              : proto::to_string(f->second.version)});
         }
         ++conflicts_seen_;
         ack.result = Errc::conflict;
@@ -366,16 +392,12 @@ proto::Ack CloudServer::apply_one(std::uint32_t from_client,
       }
       Result<Bytes> rebuilt = rsyncx::apply_delta(*base, *delta);
       if (!rebuilt) {
-        if (debug_enabled()) {
-          std::fprintf(stderr,
-                       "DELTA-CORRUPT path=%s ref=%s base=<%u,%llu> "
-                       "delta_base_size=%llu actual_base_size=%zu: %s\n",
-                       record.path.c_str(), ref.c_str(),
-                       record.base_version.client_id,
-                       (unsigned long long)record.base_version.counter,
-                       (unsigned long long)delta->base_size, base->size(),
-                       rebuilt.status().to_string().c_str());
-        }
+        DCFS_LOG_DEBUG("server", "delta apply corrupt", {"path", record.path},
+                       {"ref", ref},
+                       {"base_version", proto::to_string(record.base_version)},
+                       {"delta_base_size", delta->base_size},
+                       {"actual_base_size", base->size()},
+                       {"status", rebuilt.status().to_string()});
         ack.result = Errc::corruption;
         break;
       }
@@ -390,12 +412,9 @@ proto::Ack CloudServer::apply_one(std::uint32_t from_client,
         from_history = false;
       }
       if (from_history) {
-        if (debug_enabled()) {
-          std::fprintf(stderr, "DELTA-HIST path=%s ref=%s base=<%u,%llu>\n",
-                       record.path.c_str(), ref.c_str(),
-                       record.base_version.client_id,
-                       (unsigned long long)record.base_version.counter);
-        }
+        DCFS_LOG_DEBUG("server", "delta base from history",
+                       {"path", record.path}, {"ref", ref},
+                       {"base_version", proto::to_string(record.base_version)});
         // The base was superseded by another lineage: conflict copy.
         ++conflicts_seen_;
         ack.result = Errc::conflict;
@@ -495,7 +514,7 @@ void CloudServer::send_ack(std::uint32_t client_id, const proto::Ack& ack) {
   frame.push_back(1);  // server-to-client tag: ack
   append(frame, proto::encode(ack));
   meter_.charge(CostKind::net_frame, frame.size());
-  it->second->server_send(std::move(frame));
+  it->second->server_send(std::move(frame), proto::MessageType::ack);
 }
 
 void CloudServer::forward(std::uint32_t from_client,
@@ -509,7 +528,7 @@ void CloudServer::forward(std::uint32_t from_client,
   for (auto& [client_id, transport] : clients_) {
     if (client_id == from_client) continue;
     meter_.charge(CostKind::net_frame, frame.size());
-    transport->server_send(frame);
+    transport->server_send(frame, proto::MessageType::forward);
   }
 }
 

@@ -4,7 +4,28 @@
 
 namespace dcfs {
 
+InterceptingFs::InterceptingFs(FileSystem& inner, OpSink& sink, obs::Obs* obs)
+    : inner_(inner), sink_(sink) {
+  if (obs == nullptr) return;
+  tracer_ = &obs->tracer;
+  // Eagerly registered so every op appears in the snapshot, even at zero.
+  obs::Registry& reg = obs->registry;
+  ops_.create = &reg.counter("vfs.ops.create");
+  ops_.open = &reg.counter("vfs.ops.open");
+  ops_.close = &reg.counter("vfs.ops.close");
+  ops_.read = &reg.counter("vfs.ops.read");
+  ops_.write = &reg.counter("vfs.ops.write");
+  ops_.truncate = &reg.counter("vfs.ops.truncate");
+  ops_.rename = &reg.counter("vfs.ops.rename");
+  ops_.link = &reg.counter("vfs.ops.link");
+  ops_.unlink = &reg.counter("vfs.ops.unlink");
+  ops_.mkdir = &reg.counter("vfs.ops.mkdir");
+  ops_.rmdir = &reg.counter("vfs.ops.rmdir");
+  ops_.fsync = &reg.counter("vfs.ops.fsync");
+}
+
 Result<FileHandle> InterceptingFs::create(std::string_view raw_path) {
+  obs::Span span(tracer_, "intercept.create");
   const std::string normalized = path::normalize(raw_path);
   // The relation table must see the create *before* it happens so it can
   // trigger delta encoding against a preserved old version; but triggering
@@ -14,6 +35,7 @@ Result<FileHandle> InterceptingFs::create(std::string_view raw_path) {
   Result<FileHandle> handle = inner_.create(normalized);
   if (!handle) return handle;
   handles_.emplace(*handle, HandleInfo{normalized, false});
+  obs::inc(ops_.create);
   sink_.note_create(normalized);
   return handle;
 }
@@ -23,14 +45,19 @@ Result<FileHandle> InterceptingFs::open(std::string_view raw_path) {
   Result<FileHandle> handle = inner_.open(normalized);
   if (!handle) return handle;
   handles_.emplace(*handle, HandleInfo{normalized, false});
+  obs::inc(ops_.open);
   return handle;
 }
 
 Status InterceptingFs::close(FileHandle handle) {
+  obs::Span span(tracer_, "intercept.close");
   const auto it = handles_.find(handle);
   const Status status = inner_.close(handle);
   if (it != handles_.end()) {
-    if (status.is_ok()) sink_.note_close(it->second.path, it->second.wrote);
+    if (status.is_ok()) {
+      obs::inc(ops_.close);
+      sink_.note_close(it->second.path, it->second.wrote);
+    }
     handles_.erase(it);
   }
   return status;
@@ -45,11 +72,13 @@ Result<Bytes> InterceptingFs::read(FileHandle handle, std::uint64_t offset,
     const Status verdict = sink_.verify_read(it->second.path, offset, *data);
     if (!verdict.is_ok()) return verdict;
   }
+  obs::inc(ops_.read);
   return data;
 }
 
 Status InterceptingFs::write(FileHandle handle, std::uint64_t offset,
                              ByteSpan data) {
+  obs::Span span(tracer_, "intercept.write");
   const auto it = handles_.find(handle);
   if (it == handles_.end()) return Status{Errc::bad_handle};
 
@@ -66,12 +95,14 @@ Status InterceptingFs::write(FileHandle handle, std::uint64_t offset,
   const Status status = inner_.write(handle, offset, data);
   if (!status.is_ok()) return status;
   it->second.wrote = true;
+  obs::inc(ops_.write);
   sink_.note_write(it->second.path, offset, data, overwritten, size_before);
   return status;
 }
 
 Status InterceptingFs::truncate(std::string_view raw_path,
                                 std::uint64_t size) {
+  obs::Span span(tracer_, "intercept.truncate");
   const std::string normalized = path::normalize(raw_path);
   Result<FileStat> before = inner_.stat(normalized);
   const std::uint64_t old_size = before ? before->size : 0;
@@ -89,6 +120,7 @@ Status InterceptingFs::truncate(std::string_view raw_path,
 
   const Status status = inner_.truncate(normalized, size);
   if (status.is_ok()) {
+    obs::inc(ops_.truncate);
     sink_.note_truncate(normalized, size, old_size, cut_tail);
   }
   return status;
@@ -96,12 +128,16 @@ Status InterceptingFs::truncate(std::string_view raw_path,
 
 Status InterceptingFs::rename(std::string_view raw_from,
                               std::string_view raw_to) {
+  obs::Span span(tracer_, "intercept.rename");
   const std::string from = path::normalize(raw_from);
   const std::string to = path::normalize(raw_to);
   const bool dst_existed = inner_.exists(to);
   sink_.before_rename(from, to, dst_existed);
   const Status status = inner_.rename(from, to);
-  if (status.is_ok()) sink_.note_rename(from, to, dst_existed);
+  if (status.is_ok()) {
+    obs::inc(ops_.rename);
+    sink_.note_rename(from, to, dst_existed);
+  }
   return status;
 }
 
@@ -110,36 +146,50 @@ Status InterceptingFs::link(std::string_view raw_from,
   const std::string from = path::normalize(raw_from);
   const std::string to = path::normalize(raw_to);
   const Status status = inner_.link(from, to);
-  if (status.is_ok()) sink_.note_link(from, to);
+  if (status.is_ok()) {
+    obs::inc(ops_.link);
+    sink_.note_link(from, to);
+  }
   return status;
 }
 
 Status InterceptingFs::unlink(std::string_view raw_path) {
+  obs::Span span(tracer_, "intercept.unlink");
   const std::string normalized = path::normalize(raw_path);
   if (!inner_.exists(normalized)) return Status{Errc::not_found};
 
   if (sink_.intercept_unlink(normalized)) {
     // The sink preserved the file (moved it aside on the inner FS); from the
     // application's perspective the unlink succeeded.
+    obs::inc(ops_.unlink);
     sink_.note_unlink(normalized);
     return Status::ok();
   }
   const Status status = inner_.unlink(normalized);
-  if (status.is_ok()) sink_.note_unlink(normalized);
+  if (status.is_ok()) {
+    obs::inc(ops_.unlink);
+    sink_.note_unlink(normalized);
+  }
   return status;
 }
 
 Status InterceptingFs::mkdir(std::string_view raw_path) {
   const std::string normalized = path::normalize(raw_path);
   const Status status = inner_.mkdir(normalized);
-  if (status.is_ok()) sink_.note_mkdir(normalized);
+  if (status.is_ok()) {
+    obs::inc(ops_.mkdir);
+    sink_.note_mkdir(normalized);
+  }
   return status;
 }
 
 Status InterceptingFs::rmdir(std::string_view raw_path) {
   const std::string normalized = path::normalize(raw_path);
   const Status status = inner_.rmdir(normalized);
-  if (status.is_ok()) sink_.note_rmdir(normalized);
+  if (status.is_ok()) {
+    obs::inc(ops_.rmdir);
+    sink_.note_rmdir(normalized);
+  }
   return status;
 }
 
@@ -155,6 +205,7 @@ Result<std::vector<std::string>> InterceptingFs::list_dir(
 Status InterceptingFs::fsync(FileHandle handle) {
   const Status status = inner_.fsync(handle);
   if (status.is_ok()) {
+    obs::inc(ops_.fsync);
     const auto it = handles_.find(handle);
     if (it != handles_.end()) sink_.note_fsync(it->second.path);
   }

@@ -12,6 +12,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/obs.h"
 #include "vfs/fs.h"
 
 namespace dcfs {
@@ -87,8 +88,7 @@ class OpSink {
 /// FileSystem decorator that reports operations to an OpSink.
 class InterceptingFs final : public FileSystem {
  public:
-  InterceptingFs(FileSystem& inner, OpSink& sink)
-      : inner_(inner), sink_(sink) {}
+  InterceptingFs(FileSystem& inner, OpSink& sink, obs::Obs* obs = nullptr);
 
   Result<FileHandle> create(std::string_view raw_path) override;
   Result<FileHandle> open(std::string_view raw_path) override;
@@ -116,6 +116,23 @@ class InterceptingFs final : public FileSystem {
   FileSystem& inner_;
   OpSink& sink_;
   std::unordered_map<FileHandle, HandleInfo> handles_;
+
+  obs::Tracer* tracer_ = nullptr;
+  /// Per-op success counters (vfs.ops.<op>); all null when obs is off.
+  struct OpCounters {
+    obs::Counter* create = nullptr;
+    obs::Counter* open = nullptr;
+    obs::Counter* close = nullptr;
+    obs::Counter* read = nullptr;
+    obs::Counter* write = nullptr;
+    obs::Counter* truncate = nullptr;
+    obs::Counter* rename = nullptr;
+    obs::Counter* link = nullptr;
+    obs::Counter* unlink = nullptr;
+    obs::Counter* mkdir = nullptr;
+    obs::Counter* rmdir = nullptr;
+    obs::Counter* fsync = nullptr;
+  } ops_;
 };
 
 }  // namespace dcfs

@@ -77,5 +77,69 @@ TEST(TrafficMeterTest, DirectionalAccounting) {
   EXPECT_EQ(meter.total_bytes(), 0u);
 }
 
+TEST(TrafficMeterTest, PerMessageTypeBreakdown) {
+  TrafficMeter meter;
+  meter.add_up(1000, proto::MessageType::sync_record);
+  meter.add_up(500, proto::MessageType::sync_record);
+  meter.add_up(40);  // defaults to `other`
+  meter.add_down(30, proto::MessageType::ack);
+  meter.add_down(2000, proto::MessageType::forward);
+
+  EXPECT_EQ(meter.up_bytes(proto::MessageType::sync_record), 1500u);
+  EXPECT_EQ(meter.up_messages(proto::MessageType::sync_record), 2u);
+  EXPECT_EQ(meter.up_bytes(proto::MessageType::other), 40u);
+  EXPECT_EQ(meter.up_bytes(proto::MessageType::ack), 0u);
+  EXPECT_EQ(meter.down_bytes(proto::MessageType::ack), 30u);
+  EXPECT_EQ(meter.down_bytes(proto::MessageType::forward), 2000u);
+  EXPECT_EQ(meter.down_messages(proto::MessageType::forward), 1u);
+
+  // Typed breakdown sums to the directional totals.
+  std::uint64_t up_sum = 0;
+  std::uint64_t down_sum = 0;
+  for (std::size_t i = 0; i < proto::kMessageTypeCount; ++i) {
+    const auto type = static_cast<proto::MessageType>(i);
+    up_sum += meter.up_bytes(type);
+    down_sum += meter.down_bytes(type);
+  }
+  EXPECT_EQ(up_sum, meter.up_bytes());
+  EXPECT_EQ(down_sum, meter.down_bytes());
+
+  meter.reset();
+  EXPECT_EQ(meter.up_bytes(proto::MessageType::sync_record), 0u);
+  EXPECT_EQ(meter.down_messages(proto::MessageType::ack), 0u);
+}
+
+TEST(MessageTypeTest, NamesAreStable) {
+  EXPECT_EQ(proto::to_string(proto::MessageType::sync_record), "sync_record");
+  EXPECT_EQ(proto::to_string(proto::MessageType::ack), "ack");
+  EXPECT_EQ(proto::to_string(proto::MessageType::forward), "forward");
+  EXPECT_EQ(proto::to_string(proto::MessageType::other), "other");
+}
+
+TEST(CostMeterTest, SnapshotMatchesAccessors) {
+  CostMeter meter(CostProfile::pc());
+  meter.charge(CostKind::rolling_hash, 100'000);
+  meter.charge(CostKind::byte_compare, 400'000);
+  meter.charge_op(CostKind::syscall);
+
+  const CostSnapshot snap = meter.snapshot();
+  EXPECT_EQ(snap.total_units, meter.units());
+  EXPECT_EQ(snap.ticks, meter.ticks());
+  for (std::size_t i = 0; i < kCostKindCount; ++i) {
+    EXPECT_EQ(snap.units_by_kind[i],
+              meter.units_for(static_cast<CostKind>(i)))
+        << to_string(static_cast<CostKind>(i));
+  }
+
+  // The per-kind breakdown accounts for every charged unit.
+  std::uint64_t sum = 0;
+  for (const std::uint64_t units : snap.units_by_kind) sum += units;
+  EXPECT_EQ(sum, snap.total_units);
+
+  // A snapshot is a copy: later charges don't mutate it.
+  meter.charge(CostKind::rolling_hash, 50'000);
+  EXPECT_EQ(snap.total_units + 50'000, meter.snapshot().total_units);
+}
+
 }  // namespace
 }  // namespace dcfs

@@ -1,0 +1,191 @@
+// Integration test: the observability context wired through a full
+// DeltaCFS stack.  One workload run must populate op counters, the
+// delta-vs-RPC counters, the queue gauges, the per-message-type traffic
+// breakdown and the latency histograms — and the tracer must emit a valid,
+// well-nested Chrome trace with the expected span chain.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baselines/deltacfs_system.h"
+#include "common/rng.h"
+#include "obs/obs.h"
+
+namespace dcfs {
+namespace {
+
+class ObsIntegrationTest : public ::testing::Test {
+ protected:
+  ObsIntegrationTest() {
+    obs_.tracer.enable(clock_);
+    system_.fs().mkdir("/sync");
+  }
+
+  void run_for(Duration duration) {
+    for (Duration t = 0; t < duration; t += milliseconds(200)) {
+      clock_.advance(milliseconds(200));
+      system_.tick(clock_.now());
+    }
+  }
+
+  void drain() {
+    run_for(seconds(10));
+    system_.finish(clock_.now());
+  }
+
+  /// The Word transactional-update flow (Fig. 3) — triggers one delta.
+  void word_flow() {
+    Rng rng(2);
+    Bytes content = rng.bytes(200'000);
+    ASSERT_TRUE(system_.fs().write_file("/sync/doc", content).is_ok());
+    drain();
+    content.insert(content.begin() + 100'000, 42);
+    ASSERT_TRUE(system_.fs().rename("/sync/doc", "/sync/doc.t0").is_ok());
+    Result<FileHandle> handle = system_.fs().create("/sync/doc.t1");
+    ASSERT_TRUE(handle.is_ok());
+    system_.fs().write(*handle, 0, content);
+    system_.fs().close(*handle);
+    ASSERT_TRUE(system_.fs().rename("/sync/doc.t1", "/sync/doc").is_ok());
+    ASSERT_TRUE(system_.fs().unlink("/sync/doc.t0").is_ok());
+    drain();
+  }
+
+  VirtualClock clock_;
+  obs::Obs obs_;
+  DeltaCfsSystem system_{clock_,         CostProfile::pc(),
+                         NetProfile::pc_wan(), ClientConfig{},
+                         CostProfile::pc(),    &obs_};
+};
+
+TEST_F(ObsIntegrationTest, SnapshotCoversTheWholePipeline) {
+  word_flow();
+  const obs::Snapshot snap = system_.metrics_snapshot();
+
+  // VFS op counts by type.
+  EXPECT_GE(snap.counter("vfs.ops.create"), 2u);  // doc + doc.t1
+  EXPECT_GE(snap.counter("vfs.ops.write"), 2u);
+  EXPECT_GE(snap.counter("vfs.ops.rename"), 2u);
+  EXPECT_GE(snap.counter("vfs.ops.unlink"), 1u);
+  EXPECT_TRUE(snap.has_counter("vfs.ops.mkdir"));  // registered even if 0
+
+  // Delta-vs-full-RPC decisions: the Word flow replaced one upload.
+  EXPECT_GE(snap.counter("client.delta.replaced"), 1u);
+  EXPECT_TRUE(snap.has_counter("client.delta.kept_rpc"));
+  EXPECT_GE(snap.counter("client.relation.hit"), 1u);
+  EXPECT_GT(snap.counter("client.delta.bytes_saved"), 100'000u);
+  EXPECT_GE(snap.counter("client.uploads.records"), 2u);
+  EXPECT_GE(snap.counter("client.acks.ok"), 2u);
+  EXPECT_EQ(snap.counter("client.checksum.failures"), 0u);
+
+  // Queue gauges: drained, so depth is back to zero.
+  ASSERT_TRUE(snap.has_gauge("queue.depth"));
+  EXPECT_EQ(snap.gauge("queue.depth"), 0);
+  EXPECT_EQ(snap.gauge("queue.pending_bytes"), 0);
+
+  // Server side.
+  EXPECT_GE(snap.counter("server.records_applied"), 2u);
+  EXPECT_EQ(snap.counter("server.conflicts"), 0u);
+
+  // Per-message-type traffic: records up, acks down.
+  EXPECT_GT(snap.gauge("net.up.bytes.sync_record"), 0);
+  EXPECT_GT(snap.gauge("net.down.bytes.ack"), 0);
+  EXPECT_EQ(snap.gauge("net.up.bytes"),
+            static_cast<std::int64_t>(system_.traffic().up_bytes()));
+
+  // CPU meters exported through the same registry.
+  EXPECT_GT(snap.gauge("client.cpu.units"), 0);
+  EXPECT_GT(snap.gauge("server.cpu.units"), 0);
+
+  // At least three latency histograms with samples.
+  int populated = 0;
+  for (const char* name :
+       {"queue.flush_latency_us", "net.upload_wire_us",
+        "net.download_wire_us", "server.apply_latency_us"}) {
+    const obs::HistogramSnapshot* h = snap.histogram(name);
+    ASSERT_NE(h, nullptr) << name;
+    if (h->count > 0) ++populated;
+  }
+  EXPECT_GE(populated, 3);
+
+  // Record sizes flowed into the bytes histogram.
+  const obs::HistogramSnapshot* record_bytes =
+      snap.histogram("client.upload.record_bytes");
+  ASSERT_NE(record_bytes, nullptr);
+  EXPECT_EQ(record_bytes->count, snap.counter("client.uploads.records"));
+}
+
+TEST_F(ObsIntegrationTest, TraceIsValidAndSpansChain) {
+  word_flow();
+  obs_.tracer.disable();
+
+  const std::string json = obs_.tracer.to_chrome_json();
+  std::string error;
+  std::size_t count = 0;
+  EXPECT_TRUE(obs::validate_chrome_trace(json, &error, &count)) << error;
+  EXPECT_GT(count, 0u);
+
+  // Walk the span stack: the paper's pipeline shows up as nested spans —
+  // an intercepted write encloses the client enqueue, an upload batch
+  // encloses each upload, and the server applies records under its own
+  // span.
+  bool enqueue_inside_intercept = false;
+  bool upload_inside_batch = false;
+  bool saw_server_apply = false;
+  bool saw_delta = false;
+  std::vector<std::string> stack;
+  for (const obs::TraceEvent& event : obs_.tracer.events()) {
+    if (event.phase == 'B') {
+      if (event.name == "client.enqueue" && !stack.empty() &&
+          stack.back() == "intercept.write") {
+        enqueue_inside_intercept = true;
+      }
+      if (event.name == "client.upload" && !stack.empty() &&
+          stack.back() == "client.upload_batch") {
+        upload_inside_batch = true;
+      }
+      if (event.name == "server.apply") saw_server_apply = true;
+      if (event.name == "client.delta") saw_delta = true;
+      stack.push_back(event.name);
+    } else if (event.phase == 'E') {
+      ASSERT_FALSE(stack.empty());
+      stack.pop_back();
+    }
+  }
+  EXPECT_TRUE(stack.empty());
+  EXPECT_TRUE(enqueue_inside_intercept);
+  EXPECT_TRUE(upload_inside_batch);
+  EXPECT_TRUE(saw_server_apply);
+  EXPECT_TRUE(saw_delta);
+}
+
+TEST_F(ObsIntegrationTest, QueueDepthGaugeTracksPendingWork) {
+  ASSERT_TRUE(
+      system_.fs().write_file("/sync/pending", to_bytes("queued")).is_ok());
+  obs::Snapshot before = system_.metrics_snapshot();
+  EXPECT_GT(before.gauge("queue.depth"), 0);
+  EXPECT_GT(before.gauge("queue.pending_bytes"), 0);
+  drain();
+  obs::Snapshot after = system_.metrics_snapshot();
+  EXPECT_EQ(after.gauge("queue.depth"), 0);
+  EXPECT_EQ(after.gauge("queue.pending_bytes"), 0);
+}
+
+TEST_F(ObsIntegrationTest, NullObsSystemStillWorks) {
+  // The opt-out path: no observability context, everything behind the
+  // single branch guard stays inert.
+  VirtualClock clock;
+  DeltaCfsSystem plain(clock, CostProfile::pc(), NetProfile::pc_wan());
+  plain.fs().mkdir("/sync");
+  ASSERT_TRUE(plain.fs().write_file("/sync/f", to_bytes("hello")).is_ok());
+  for (Duration t = 0; t < seconds(10); t += milliseconds(200)) {
+    clock.advance(milliseconds(200));
+    plain.tick(clock.now());
+  }
+  plain.finish(clock.now());
+  EXPECT_TRUE(plain.server().fetch("/sync/f").is_ok());
+  EXPECT_TRUE(plain.metrics_snapshot().counters.empty());
+}
+
+}  // namespace
+}  // namespace dcfs

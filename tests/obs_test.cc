@@ -1,0 +1,408 @@
+// Unit tests for dcfs::obs — metrics registry, tracer, logger and the
+// small JSON parser backing trace validation.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "obs/json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dcfs::obs {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+TEST(RegistryTest, RegistrationIsIdempotent) {
+  Registry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(&registry.gauge("g"), &registry.gauge("g"));
+  Histogram& h1 = registry.histogram("h", {10, 20});
+  Histogram& h2 = registry.histogram("h", {999});  // bounds of first win
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2u);
+}
+
+TEST(RegistryTest, CounterGaugeBasics) {
+  Registry registry;
+  Counter& counter = registry.counter("ops");
+  counter.inc();
+  counter.inc(41);
+  EXPECT_EQ(counter.value(), 42u);
+
+  Gauge& gauge = registry.gauge("depth");
+  gauge.set(7);
+  gauge.add(-3);
+  EXPECT_EQ(gauge.value(), 4);
+}
+
+TEST(RegistryTest, HistogramBucketPlacement) {
+  Registry registry;
+  Histogram& h = registry.histogram("lat", {10, 100, 1000});
+  h.observe(5);     // <= 10  -> bucket 0
+  h.observe(10);    // inclusive upper bound -> bucket 0
+  h.observe(11);    // bucket 1
+  h.observe(5000);  // overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 5u + 10 + 11 + 5000);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // overflow
+
+  const Snapshot snap = registry.snapshot();
+  const HistogramSnapshot* hs = snap.histogram("lat");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->min, 5u);
+  EXPECT_EQ(hs->max, 5000u);
+  EXPECT_DOUBLE_EQ(hs->mean(), (5.0 + 10 + 11 + 5000) / 4.0);
+  EXPECT_EQ(hs->percentile(50), 10u);   // 2 of 4 in bucket 0
+  EXPECT_EQ(hs->percentile(75), 100u);  // 3 of 4 by bucket 1
+}
+
+TEST(RegistryTest, SnapshotIsIsolatedFromLaterIncrements) {
+  Registry registry;
+  Counter& counter = registry.counter("c");
+  registry.gauge("g").set(1);
+  registry.histogram("h").observe(50);
+  counter.inc(10);
+
+  const Snapshot snap = registry.snapshot();
+  counter.inc(90);
+  registry.gauge("g").set(999);
+  registry.histogram("h").observe(50);
+
+  EXPECT_EQ(snap.counter("c"), 10u);
+  EXPECT_EQ(snap.gauge("g"), 1);
+  EXPECT_EQ(snap.histogram("h")->count, 1u);
+  EXPECT_TRUE(snap.has_counter("c"));
+  EXPECT_FALSE(snap.has_counter("absent"));
+  EXPECT_EQ(snap.counter("absent"), 0u);
+  EXPECT_EQ(snap.histogram("absent"), nullptr);
+}
+
+TEST(RegistryTest, ConcurrentIncrementsAreLossless) {
+  Registry registry;
+  Counter& counter = registry.counter("hot");
+  Histogram& histogram = registry.histogram("lat");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &histogram] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.inc();
+        histogram.observe(100);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(histogram.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(RegistryTest, NullSafeHelpersNoOp) {
+  inc(nullptr);
+  observe(nullptr, 5);
+  set(nullptr, 5);  // must not crash
+
+  Registry registry;
+  Counter& counter = registry.counter("c");
+  inc(&counter, 3);
+  EXPECT_EQ(counter.value(), 3u);
+}
+
+TEST(RegistryTest, SnapshotToStringMentionsEveryMetric) {
+  Registry registry;
+  registry.counter("the.counter").inc();
+  registry.gauge("the.gauge").set(-5);
+  registry.histogram("the.histogram").observe(42);
+  const std::string text = registry.snapshot().to_string();
+  EXPECT_NE(text.find("the.counter"), std::string::npos);
+  EXPECT_NE(text.find("the.gauge"), std::string::npos);
+  EXPECT_NE(text.find("the.histogram"), std::string::npos);
+}
+
+TEST(ExportTest, CostAndTrafficExports) {
+  Registry registry;
+  CostMeter meter(CostProfile::pc());
+  // 2x the pc profile's units_per_tick, so the ticks gauge lands on 2.
+  meter.charge(CostKind::rolling_hash, 6'000'000);
+  export_cost(meter, registry, "client.cpu");
+
+  TrafficMeter traffic;
+  traffic.add_up(100, proto::MessageType::sync_record);
+  traffic.add_down(40, proto::MessageType::ack);
+  export_traffic(traffic, registry, "net");
+
+  const Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.gauge("client.cpu.units"), 6'000'000);
+  EXPECT_EQ(snap.gauge("client.cpu.ticks"), 2);
+  EXPECT_EQ(snap.gauge("client.cpu.units.rolling_hash"), 6'000'000);
+  EXPECT_EQ(snap.gauge("net.up.bytes"), 100);
+  EXPECT_EQ(snap.gauge("net.up.bytes.sync_record"), 100);
+  EXPECT_EQ(snap.gauge("net.down.bytes.ack"), 40);
+  EXPECT_EQ(snap.gauge("net.down.msgs.ack"), 1);
+}
+
+// ----------------------------------------------------------------- tracer
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer tracer;
+  { Span span(&tracer, "a"); }
+  { Span span(nullptr, "b"); }
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(TracerTest, SpansNestAndTimestampFromClock) {
+  VirtualClock clock;
+  Tracer tracer;
+  tracer.enable(clock);
+  {
+    Span outer(&tracer, "outer");
+    clock.advance(100);
+    {
+      Span inner(&tracer, "inner", "cat");
+      clock.advance(50);
+    }
+    clock.advance(25);
+  }
+  tracer.disable();
+
+  const std::vector<TraceEvent>& events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_EQ(events[0].ts, 0);
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].ts, 100);
+  EXPECT_EQ(events[2].phase, 'E');
+  EXPECT_EQ(events[2].ts, 150);
+  EXPECT_EQ(events[3].name, "outer");
+  EXPECT_EQ(events[3].ts, 175);
+  EXPECT_TRUE(well_nested(events));
+  EXPECT_EQ(tracer.open_spans(), 0u);
+}
+
+TEST(TracerTest, DeterministicUnderManualClock) {
+  const auto record = [] {
+    VirtualClock clock;
+    Tracer tracer;
+    tracer.enable(clock);
+    tracer.set_process(7, "run");
+    for (int i = 0; i < 10; ++i) {
+      Span span(&tracer, "op");
+      clock.advance(13);
+      tracer.instant("mark");
+    }
+    tracer.disable();
+    return tracer.to_chrome_json();
+  };
+  EXPECT_EQ(record(), record());  // byte-identical across runs
+}
+
+TEST(TracerTest, EndAfterDisableStillUnwinds) {
+  VirtualClock clock;
+  Tracer tracer;
+  tracer.enable(clock);
+  tracer.begin("a");
+  tracer.disable();
+  tracer.end();  // must not crash; uses the begin timestamp
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  EXPECT_TRUE(well_nested(tracer.events()));
+}
+
+TEST(TracerTest, CapacityDropsButStaysBalanced) {
+  VirtualClock clock;
+  Tracer tracer;
+  tracer.set_capacity(6);
+  tracer.enable(clock);
+  for (int i = 0; i < 10; ++i) {
+    Span span(&tracer, "s");
+    clock.advance(1);
+  }
+  tracer.disable();
+  EXPECT_GT(tracer.dropped(), 0u);
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  EXPECT_LE(tracer.events().size(), 6u);
+  EXPECT_TRUE(well_nested(tracer.events()));
+}
+
+TEST(TracerTest, WellNestedRejectsMismatchedTracks) {
+  std::vector<TraceEvent> bad;
+  bad.push_back({"a", "", 'B', 0, 1, 1});
+  bad.push_back({"b", "", 'E', 1, 1, 1});  // closes "a" under the wrong name
+  EXPECT_FALSE(well_nested(bad));
+
+  std::vector<TraceEvent> unclosed;
+  unclosed.push_back({"a", "", 'B', 0, 1, 1});
+  EXPECT_FALSE(well_nested(unclosed));
+
+  // Same names on different (pid, tid) tracks don't interfere.
+  std::vector<TraceEvent> tracks;
+  tracks.push_back({"a", "", 'B', 0, 1, 1});
+  tracks.push_back({"a", "", 'B', 0, 2, 1});
+  tracks.push_back({"a", "", 'E', 1, 2, 1});
+  tracks.push_back({"a", "", 'E', 1, 1, 1});
+  EXPECT_TRUE(well_nested(tracks));
+}
+
+TEST(TracerTest, GoldenChromeJsonValidates) {
+  VirtualClock clock;
+  Tracer tracer;
+  tracer.enable(clock);
+  tracer.set_process(1, "proc \"one\"");  // name needing escapes
+  {
+    Span outer(&tracer, "outer");
+    clock.advance(10);
+    Span inner(&tracer, "in\\ner");
+    clock.advance(10);
+  }
+  tracer.disable();
+
+  const std::string json = tracer.to_chrome_json();
+  std::string error;
+  std::size_t count = 0;
+  EXPECT_TRUE(validate_chrome_trace(json, &error, &count)) << error;
+  EXPECT_EQ(count, 4u);
+
+  EXPECT_FALSE(validate_chrome_trace("not json"));
+  EXPECT_FALSE(validate_chrome_trace("{\"other\": 1}"));
+  // An E with no matching B must be rejected.
+  EXPECT_FALSE(validate_chrome_trace(
+      R"({"traceEvents":[{"name":"x","ph":"E","ts":0,"pid":1,"tid":1}]})"));
+}
+
+TEST(TracerTest, SummaryAggregatesPerName) {
+  VirtualClock clock;
+  Tracer tracer;
+  tracer.enable(clock);
+  for (int i = 0; i < 3; ++i) {
+    Span span(&tracer, "work");
+    clock.advance(100);
+  }
+  tracer.disable();
+  const std::string summary = tracer.summary();
+  EXPECT_NE(summary.find("work"), std::string::npos);
+  EXPECT_NE(summary.find("3"), std::string::npos);    // count
+  EXPECT_NE(summary.find("300"), std::string::npos);  // total µs
+}
+
+// ----------------------------------------------------------------- logger
+
+TEST(LoggerTest, LevelFromEnvPrecedence) {
+  EXPECT_EQ(level_from_env(nullptr, nullptr), LogLevel::warn);
+  EXPECT_EQ(level_from_env("debug", nullptr), LogLevel::debug);
+  EXPECT_EQ(level_from_env("TRACE", nullptr), LogLevel::trace);
+  EXPECT_EQ(level_from_env("warning", nullptr), LogLevel::warn);
+  EXPECT_EQ(level_from_env("off", "1"), LogLevel::off);
+  // DCFS_LOG wins over the legacy flag.
+  EXPECT_EQ(level_from_env("error", "1"), LogLevel::error);
+  // DCFS_DEBUG=1 is a legacy alias for debug; "0" means unset.
+  EXPECT_EQ(level_from_env(nullptr, "1"), LogLevel::debug);
+  EXPECT_EQ(level_from_env(nullptr, "0"), LogLevel::warn);
+  EXPECT_EQ(level_from_env("", "1"), LogLevel::debug);
+  EXPECT_EQ(level_from_env("bogus", nullptr), LogLevel::warn);
+}
+
+TEST(LoggerTest, FormatsComponentMessageAndFields) {
+  Logger logger(LogLevel::debug);
+  std::string captured;
+  logger.set_sink([&captured](std::string_view line) {
+    captured.assign(line.data(), line.size());
+  });
+  logger.log(LogLevel::debug, "client", "delta replace",
+             {{"path", "/sync/a b"}, {"bytes", 123}, {"ok", true}});
+  EXPECT_EQ(captured,
+            "[debug] client: delta replace path=\"/sync/a b\" bytes=123 "
+            "ok=true");
+}
+
+TEST(LoggerTest, ThresholdGatesEmission) {
+  Logger logger(LogLevel::warn);
+  int calls = 0;
+  logger.set_sink([&calls](std::string_view) { ++calls; });
+  EXPECT_FALSE(logger.enabled(LogLevel::debug));
+  logger.log(LogLevel::debug, "c", "suppressed");
+  EXPECT_EQ(calls, 0);
+  logger.log(LogLevel::error, "c", "emitted");
+  EXPECT_EQ(calls, 1);
+  logger.set_level(LogLevel::off);
+  logger.log(LogLevel::error, "c", "also suppressed");
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(LoggerTest, MacrosUseTheGlobalLogger) {
+  Logger& global = Logger::global();
+  const LogLevel saved = global.level();
+  std::string captured;
+  global.set_sink([&captured](std::string_view line) {
+    captured.assign(line.data(), line.size());
+  });
+  global.set_level(LogLevel::debug);
+  DCFS_LOG_DEBUG("test", "hello", {"k", "v"});
+  EXPECT_EQ(captured, "[debug] test: hello k=v");
+
+  captured.clear();
+  global.set_level(LogLevel::warn);
+  DCFS_LOG_DEBUG("test", "gone");
+  EXPECT_TRUE(captured.empty());
+
+  DCFS_LOG_WARN("test", "no fields variant");
+  EXPECT_EQ(captured, "[warn] test: no fields variant");
+
+  global.set_sink(nullptr);
+  global.set_level(saved);
+}
+
+// ------------------------------------------------------------------- json
+
+TEST(JsonTest, ParsesScalarsAndContainers) {
+  const auto value = json::parse(
+      R"({"a": [1, 2.5, -3], "b": {"nested": true}, "c": null, "d": "x"})");
+  ASSERT_TRUE(value.has_value());
+  ASSERT_TRUE(value->is_object());
+  const json::Value* a = value->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->as_array()[1].as_number(), 2.5);
+  EXPECT_DOUBLE_EQ(a->as_array()[2].as_number(), -3.0);
+  EXPECT_TRUE(value->find("b")->find("nested")->as_bool());
+  EXPECT_TRUE(value->find("c")->is_null());
+  EXPECT_EQ(value->find("d")->as_string(), "x");
+  EXPECT_EQ(value->find("absent"), nullptr);
+}
+
+TEST(JsonTest, ParsesStringEscapes) {
+  const auto value = json::parse(R"(["a\"b", "tab\there", "A\n"])");
+  ASSERT_TRUE(value.has_value());
+  const json::Array& array = value->as_array();
+  EXPECT_EQ(array[0].as_string(), "a\"b");
+  EXPECT_EQ(array[1].as_string(), "tab\there");
+  EXPECT_EQ(array[2].as_string(), "A\n");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(json::parse("", &error).has_value());
+  EXPECT_FALSE(json::parse("{", &error).has_value());
+  EXPECT_FALSE(json::parse("[1,]", &error).has_value());
+  EXPECT_FALSE(json::parse("{\"a\":1} trailing", &error).has_value());
+  EXPECT_FALSE(json::parse("nul", &error).has_value());
+  EXPECT_FALSE(error.empty());
+
+  // Depth guard: 100 nested arrays exceed kMaxDepth.
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(json::parse(deep).has_value());
+}
+
+}  // namespace
+}  // namespace dcfs::obs

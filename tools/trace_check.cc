@@ -1,0 +1,42 @@
+// trace_check: validates an exported Chrome trace_event JSON file.
+//
+// Exits 0 when the file parses, has the expected traceEvents structure and
+// every begin/end pair is well nested on its (pid, tid) track; exits 1 with
+// a diagnostic otherwise.  Used by the CI trace smoke step.
+//
+//   $ ./trace_check trace.json
+//   trace.json: OK (1234 events)
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/trace.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <trace.json>\n", argv[0]);
+    return 1;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+
+  std::string error;
+  std::size_t event_count = 0;
+  if (!dcfs::obs::validate_chrome_trace(json, &error, &event_count)) {
+    std::fprintf(stderr, "%s: INVALID: %s\n", argv[1], error.c_str());
+    return 1;
+  }
+  if (event_count == 0) {
+    std::fprintf(stderr, "%s: INVALID: trace contains no events\n", argv[1]);
+    return 1;
+  }
+  std::printf("%s: OK (%zu events)\n", argv[1], event_count);
+  return 0;
+}
