@@ -1,0 +1,175 @@
+// Wall-clock throughput of the dcfs::par kernels vs their serial
+// counterparts (the model's CostMeter units deliberately measure *work*,
+// not time — this bench measures time).
+//
+// For each thread count in {1, 2, 4, 8} and each kernel, runs a few
+// repetitions over the same deterministic input, keeps the best wall time,
+// and asserts the output is byte-identical to the serial kernel's.  Emits
+// a table on stdout and BENCH_throughput.json (array of
+// {kernel, threads, bytes, seconds, mb_per_s, speedup}) for CI upload.
+//
+// Usage: throughput_wall [--size-mb N] [--reps N] [--out FILE]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "par/parallel_delta.h"
+#include "par/worker_pool.h"
+#include "rsyncx/delta.h"
+
+namespace {
+
+using namespace dcfs;
+
+/// Base file plus an edited version: a 997-byte insertion in the middle and
+/// one rewritten block per 16 — enough literal/match alternation to exercise
+/// the region stitcher's jump, roll, and recompute paths.
+std::pair<Bytes, Bytes> make_pair(std::uint64_t size) {
+  Rng rng(42);
+  Bytes base = rng.bytes(size);
+  Bytes target = base;
+  const Bytes inserted = rng.bytes(997);
+  target.insert(target.begin() + static_cast<std::ptrdiff_t>(size / 2),
+                inserted.begin(), inserted.end());
+  const std::uint32_t bs = rsyncx::kDefaultBlockSize;
+  for (std::uint64_t offset = 0; offset + bs <= target.size();
+       offset += 16ull * bs) {
+    const Bytes noise = rng.bytes(bs);
+    std::memcpy(target.data() + offset, noise.data(), bs);
+  }
+  return {std::move(base), std::move(target)};
+}
+
+double time_best(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct Row {
+  std::string kernel;
+  std::size_t threads;
+  std::uint64_t bytes;
+  double seconds;
+};
+
+[[noreturn]] void die(const char* what) {
+  std::fprintf(stderr, "throughput_wall: %s\n", what);
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t size_mb = 64;
+  int reps = 3;
+  std::string out = "BENCH_throughput.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--size-mb" && i + 1 < argc) {
+      size_mb = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      die("usage: throughput_wall [--size-mb N] [--reps N] [--out FILE]");
+    }
+  }
+
+  const std::uint64_t size = size_mb << 20;
+  const std::uint32_t bs = rsyncx::kDefaultBlockSize;
+  const auto [base, target] = make_pair(size);
+
+  // Serial references everything is checked against.
+  const rsyncx::Signature ref_weak =
+      rsyncx::compute_signature(base, bs, /*with_strong=*/false, nullptr);
+  const rsyncx::Signature ref_strong =
+      rsyncx::compute_signature(base, bs, /*with_strong=*/true, nullptr);
+  const Bytes ref_local = rsyncx::encode_delta(
+      rsyncx::compute_delta_local(base, target, bs, nullptr));
+  const Bytes ref_remote = rsyncx::encode_delta(
+      rsyncx::compute_delta(ref_strong, target, nullptr));
+
+  std::vector<Row> rows;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    std::unique_ptr<par::WorkerPool> owned;
+    if (threads > 1) owned = std::make_unique<par::WorkerPool>(threads);
+    par::WorkerPool* pool = owned.get();
+
+    rows.push_back({"signature_weak", threads, base.size(),
+                    time_best(reps, [&] {
+                      const rsyncx::Signature sig = par::compute_signature(
+                          pool, base, bs, /*with_strong=*/false, nullptr);
+                      if (sig.weak != ref_weak.weak) die("weak sig mismatch");
+                    })});
+    rows.push_back({"signature_strong", threads, base.size(),
+                    time_best(reps, [&] {
+                      const rsyncx::Signature sig = par::compute_signature(
+                          pool, base, bs, /*with_strong=*/true, nullptr);
+                      if (sig.weak != ref_strong.weak ||
+                          sig.strong != ref_strong.strong) {
+                        die("strong sig mismatch");
+                      }
+                    })});
+    rows.push_back({"delta_local", threads, base.size() + target.size(),
+                    time_best(reps, [&] {
+                      const Bytes wire =
+                          rsyncx::encode_delta(par::compute_delta_local(
+                              pool, base, target, bs, nullptr));
+                      if (wire != ref_local) die("local delta mismatch");
+                    })});
+    rows.push_back({"delta_remote", threads, target.size(),
+                    time_best(reps, [&] {
+                      const Bytes wire = rsyncx::encode_delta(
+                          par::compute_delta(pool, ref_strong, target,
+                                             nullptr));
+                      if (wire != ref_remote) die("remote delta mismatch");
+                    })});
+  }
+
+  std::map<std::string, double> serial_seconds;
+  for (const Row& row : rows) {
+    if (row.threads == 1) serial_seconds[row.kernel] = row.seconds;
+  }
+
+  std::printf("# %llu MiB base, best of %d reps\n",
+              static_cast<unsigned long long>(size_mb), reps);
+  std::printf("%-18s %8s %12s %10s %8s\n", "kernel", "threads", "MB/s",
+              "seconds", "speedup");
+  FILE* json = std::fopen(out.c_str(), "w");
+  if (json == nullptr) die("cannot open output file");
+  std::fprintf(json, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    const double mbps =
+        static_cast<double>(row.bytes) / (1024.0 * 1024.0) / row.seconds;
+    const double speedup = serial_seconds[row.kernel] / row.seconds;
+    std::printf("%-18s %8zu %12.1f %10.4f %7.2fx\n", row.kernel.c_str(),
+                row.threads, mbps, row.seconds, speedup);
+    std::fprintf(json,
+                 "  {\"kernel\": \"%s\", \"threads\": %zu, \"bytes\": %llu, "
+                 "\"seconds\": %.6f, \"mb_per_s\": %.1f, \"speedup\": %.3f}%s\n",
+                 row.kernel.c_str(), row.threads,
+                 static_cast<unsigned long long>(row.bytes), row.seconds, mbps,
+                 speedup, i + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(json, "]\n");
+  std::fclose(json);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

@@ -56,7 +56,9 @@ int main() {
   VirtualClock clock;
   obs::Obs obs;
   obs.tracer.enable(clock);
-  DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan(), {},
+  ClientConfig config;
+  config.delta_threads = 2;  // exercise dcfs::par so par.* shows in `stats`
+  DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan(), config,
                         CostProfile::pc(), &obs);
   system.fs().mkdir("/sync");
   std::printf("DeltaCFS syncctl — sync root is /sync.  `help` for commands.\n");

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <array>
 #include <cstdio>
+#include <utility>
 
 #include "common/checksum.h"
+#include "par/parallel_delta.h"
 
 namespace dcfs {
 namespace {
@@ -230,6 +232,37 @@ Status ChecksumStore::index_file(FileSystem& fs, std::string_view path) {
   charge(CostKind::disk_read, content->size());
   const std::uint64_t blocks =
       (content->size() + block_size_ - 1) / block_size_;
+
+  if (pool_ != nullptr && pool_->parallelism() > 1 &&
+      blocks > par::kSignatureGrainBlocks) {
+    // Bulk path: checksums computed across the pool, charges replayed in
+    // block order (identical to the serial loop's), one WAL batch commit.
+    std::vector<std::uint32_t> sums(blocks);
+    pool_->parallel_for(blocks, par::kSignatureGrainBlocks,
+                        [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t block = lo; block < hi; ++block) {
+        const std::uint64_t offset = block * block_size_;
+        const std::uint64_t length =
+            std::min<std::uint64_t>(block_size_, content->size() - offset);
+        sums[block] = weak_checksum(ByteSpan{content->data() + offset, length});
+      }
+    });
+    std::vector<std::pair<std::string, Bytes>> entries;
+    entries.reserve(blocks + 1);
+    for (std::uint64_t block = 0; block < blocks; ++block) {
+      const std::uint64_t offset = block * block_size_;
+      const std::uint64_t length =
+          std::min<std::uint64_t>(block_size_, content->size() - offset);
+      charge(CostKind::rolling_hash, length);
+      charge(CostKind::kv_op, 4);
+      entries.emplace_back(block_key(path, block), encode_u32(sums[block]));
+    }
+    charge(CostKind::kv_op, 8);
+    entries.emplace_back(size_key(path), encode_u64(content->size()));
+    kv_->put_many(entries);
+    return Status::ok();
+  }
+
   for (std::uint64_t block = 0; block < blocks; ++block) {
     const std::uint64_t offset = block * block_size_;
     const std::uint64_t length =

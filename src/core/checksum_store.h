@@ -19,6 +19,7 @@
 #include "common/status.h"
 #include "kvstore/kvstore.h"
 #include "metrics/cost.h"
+#include "par/worker_pool.h"
 #include "vfs/fs.h"
 
 namespace dcfs {
@@ -27,6 +28,11 @@ class ChecksumStore {
  public:
   ChecksumStore(std::shared_ptr<KvStore> kv, std::uint32_t block_size = 4096,
                 CostMeter* meter = nullptr);
+
+  /// Optional worker pool: whole-file (re)indexing then computes block
+  /// checksums in parallel and commits them as one KV batch.  Charges and
+  /// stored state are identical to the serial path.  Null disables.
+  void set_pool(par::WorkerPool* pool) noexcept { pool_ = pool; }
 
   /// Recomputes checksums of every block touched by a write of `data_size`
   /// bytes at `offset`; block content is read back from `fs` (in memory —
@@ -84,6 +90,7 @@ class ChecksumStore {
   std::shared_ptr<KvStore> kv_;
   std::uint32_t block_size_;
   CostMeter* meter_;
+  par::WorkerPool* pool_ = nullptr;
 };
 
 }  // namespace dcfs

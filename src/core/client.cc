@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "compress/lz.h"
+#include "par/parallel_delta.h"
 #include "rsyncx/delta.h"
 #include "vfs/path.h"
 
@@ -46,8 +47,16 @@ DeltaCfsClient::DeltaCfsClient(FileSystem& local, Transport& transport,
     stats_.acks_conflict = &reg.counter("client.acks.conflict");
     stats_.acks_error = &reg.counter("client.acks.error");
     stats_.forwards = &reg.counter("client.forwards.applied");
+    stats_.sigcache_hits = &reg.counter("client.sigcache.hits");
+    stats_.sigcache_misses = &reg.counter("client.sigcache.misses");
     stats_.record_bytes =
         &reg.histogram("client.upload.record_bytes", obs::default_bytes_bounds());
+  }
+  if (config_.delta_threads > 1) {
+    pool_ = std::make_unique<par::WorkerPool>(config_.delta_threads, obs);
+  }
+  if (config_.enable_signature_cache && config_.signature_cache_entries > 0) {
+    sigcache_ = std::make_unique<SignatureCache>(config_.signature_cache_entries);
   }
   if (config_.enable_checksums) {
     if (!checksum_kv) {
@@ -56,6 +65,7 @@ DeltaCfsClient::DeltaCfsClient(FileSystem& local, Transport& transport,
     }
     checksums_ = std::make_unique<ChecksumStore>(
         std::move(checksum_kv), config_.delta_block_size, &meter_);
+    checksums_->set_pool(pool_.get());
   }
 }
 
@@ -197,6 +207,7 @@ void DeltaCfsClient::note_write(std::string_view raw_path,
   if (!in_scope(path)) return;
 
   meter_.charge(CostKind::byte_copy, data.size());  // copy into Sync Queue
+  if (sigcache_) sigcache_->invalidate(path);
   if (checksums_) {
     checksums_on_write(path, offset, data, overwritten, size_before);
   }
@@ -220,6 +231,7 @@ void DeltaCfsClient::note_write(std::string_view raw_path,
   // stores per-path copies, so the increment must ship for each name.
   for (const std::string& sibling : links_.siblings(path)) {
     meter_.charge(CostKind::byte_copy, data.size());
+    if (sigcache_) sigcache_->invalidate(sibling);
     if (checksums_) checksums_->on_write(local_, sibling, offset, data.size());
     SyncNode& twin = queue_.add_write(sibling, offset, data, clock_.now());
     if (twin.new_version.is_null()) assign_versions(twin, sibling);
@@ -237,11 +249,13 @@ void DeltaCfsClient::note_truncate(std::string_view raw_path,
   (void)old_size;
   (void)cut_tail;
   if (config_.enable_undo_log) undo_.drop(path);
+  if (sigcache_) sigcache_->invalidate(path);
   if (checksums_) checksums_->on_truncate(local_, path, new_size);
   enqueue_meta(proto::OpKind::truncate, path, "", new_size);
   recently_modified_.insert(path);
   for (const std::string& sibling : links_.siblings(path)) {
     queue_.pack(sibling);
+    if (sigcache_) sigcache_->invalidate(sibling);
     if (checksums_) checksums_->on_truncate(local_, sibling, new_size);
     enqueue_meta(proto::OpKind::truncate, sibling, "", new_size);
   }
@@ -322,6 +336,10 @@ void DeltaCfsClient::note_rename(std::string_view raw_from,
   queue_.pack(to);
   undo_.rename(from, to);
   if (checksums_) checksums_->on_rename(from, to);
+  // Cached signatures follow the content to its new name.  Entries already
+  // under `to` stay: they describe immutable <path, version> facts the
+  // transactional-update trigger below looks up (the stash's version).
+  if (sigcache_) sigcache_->on_rename(from, to);
 
   if (from_in && !to_in) {
     // Moved out of the sync folder: the cloud sees a deletion.
@@ -478,6 +496,7 @@ void DeltaCfsClient::note_unlink(std::string_view raw_path) {
 
   queue_.pack(path);
   links_.detach(path);
+  if (sigcache_) sigcache_->invalidate(path);
   if (checksums_) checksums_->on_unlink(path);
   enqueue_meta(proto::OpKind::unlink, path, "", 0);
   known_versions_.erase(path);
@@ -521,6 +540,40 @@ Status DeltaCfsClient::verify_read(std::string_view raw_path,
 // Delta encoding
 // ---------------------------------------------------------------------------
 
+rsyncx::Signature DeltaCfsClient::base_signature_for(
+    const std::string& path, const proto::VersionId& base_version,
+    ByteSpan base_content) {
+  if (sigcache_ && !base_version.is_null()) {
+    const rsyncx::Signature* hit = sigcache_->get(path, base_version);
+    // Guard against bookkeeping drift: a usable entry must describe exactly
+    // these base bytes at the configured block size (a stale weak-only hit
+    // would still be *safe* — bitwise confirmation rejects false matches —
+    // but pointless).
+    if (hit != nullptr && hit->file_size == base_content.size() &&
+        hit->block_size == config_.delta_block_size && !hit->has_strong) {
+      ++sigcache_hits_;
+      obs::inc(stats_.sigcache_hits);
+      return *hit;
+    }
+    ++sigcache_misses_;
+    obs::inc(stats_.sigcache_misses);
+  }
+  return par::compute_signature(pool_.get(), base_content,
+                                config_.delta_block_size,
+                                /*with_strong=*/false, &meter_);
+}
+
+void DeltaCfsClient::remember_signature(const std::string& path,
+                                        const proto::VersionId& version,
+                                        const rsyncx::Signature& base_signature,
+                                        const rsyncx::Delta& delta,
+                                        ByteSpan target) {
+  if (!sigcache_ || version.is_null()) return;
+  sigcache_->put(path, version,
+                 rsyncx::advance_signature(base_signature, delta, target,
+                                           &meter_));
+}
+
 void DeltaCfsClient::run_delta(const std::string& path,
                                const std::string& base_path,
                                ByteSpan base_content,
@@ -554,8 +607,10 @@ void DeltaCfsClient::run_delta(const std::string& path,
   meter_.charge(CostKind::disk_read, current->size());
 
   obs::Span span(tracer_, "client.delta");
-  const rsyncx::Delta delta = rsyncx::compute_delta_local(
-      base_content, *current, config_.delta_block_size, &meter_);
+  const rsyncx::Signature base_signature =
+      base_signature_for(path, base_version, base_content);
+  const rsyncx::Delta delta = par::compute_delta_local(
+      pool_.get(), base_signature, base_content, *current, &meter_);
 
   // Only replace the write node if the delta actually saves bytes.
   if (delta.wire_size() >= node->content_bytes()) {
@@ -577,11 +632,13 @@ void DeltaCfsClient::run_delta(const std::string& path,
   delta_node.base_deleted = base_deleted;
   delta_node.new_version = next_version();
   known_versions_[path] = delta_node.new_version;
+  const proto::VersionId new_version = delta_node.new_version;
   const std::uint64_t tail_seq =
       queue_.enqueue(std::move(delta_node), clock_.now());
 
   queue_.replace_with_span(*node, tail_seq);
   ++deltas_triggered_;
+  remember_signature(path, new_version, base_signature, delta, *current);
 }
 
 void DeltaCfsClient::maybe_inplace_delta(const std::string& path) {
@@ -610,8 +667,10 @@ void DeltaCfsClient::maybe_inplace_delta(const std::string& path) {
   if (!old_version) return;
 
   obs::Span span(tracer_, "client.delta");
-  const rsyncx::Delta delta = rsyncx::compute_delta_local(
-      *old_version, *current, config_.delta_block_size, &meter_);
+  const rsyncx::Signature base_signature =
+      base_signature_for(path, node->base_version, *old_version);
+  const rsyncx::Delta delta = par::compute_delta_local(
+      pool_.get(), base_signature, *old_version, *current, &meter_);
   if (delta.wire_size() >= written) {
     obs::inc(stats_.delta_kept_rpc);
     return;  // writes are tighter: keep them
@@ -628,10 +687,12 @@ void DeltaCfsClient::maybe_inplace_delta(const std::string& path) {
   // The delta replaces the write node: same lineage, same versions.
   delta_node.base_version = node->base_version;
   delta_node.new_version = node->new_version;
+  const proto::VersionId new_version = delta_node.new_version;
   const std::uint64_t tail_seq =
       queue_.enqueue(std::move(delta_node), clock_.now());
   queue_.replace_with_span(*node, tail_seq);
   ++deltas_triggered_;
+  remember_signature(path, new_version, base_signature, delta, *current);
 }
 
 // ---------------------------------------------------------------------------
@@ -805,6 +866,12 @@ void DeltaCfsClient::apply_forward(const proto::SyncRecord& raw_record) {
   obs::inc(stats_.forwards);
   ++forwards_applied_;
   proto::SyncRecord record = raw_record;
+  // A forward mutates local content outside the note_* hooks: drop any
+  // signatures cached for the touched names.
+  if (sigcache_) {
+    sigcache_->invalidate(record.path);
+    if (!record.path2.empty()) sigcache_->invalidate(record.path2);
+  }
   if (record.compressed) {
     meter_.charge(CostKind::decompress, record.payload.size());
     Result<Bytes> plain = lz::decompress(record.payload);
@@ -944,6 +1011,7 @@ Status DeltaCfsClient::recover_file(std::string_view path,
                                     ByteSpan cloud_content) {
   const Status written = local_.write_file(path, cloud_content);
   if (!written.is_ok()) return written;
+  if (sigcache_) sigcache_->invalidate(std::string(path));
   if (checksums_) checksums_->index_file(local_, path);
   quarantine_.erase(std::string(path));
   return Status::ok();

@@ -25,10 +25,12 @@
 
 #include "core/checksum_store.h"
 #include "core/relation_table.h"
+#include "core/signature_cache.h"
 #include "core/sync_queue.h"
 #include "core/undo_log.h"
 #include "metrics/cost.h"
 #include "net/transport.h"
+#include "par/worker_pool.h"
 #include "proto/messages.h"
 #include "vfs/intercept.h"
 
@@ -61,6 +63,14 @@ struct ClientConfig {
   /// Causality mechanism (ablation: backindex vs ViewBox-style snapshots).
   CausalityMode causality = CausalityMode::backindex;
   Duration snapshot_interval = seconds(3);
+  /// Worker lanes for the delta/signature kernels (dcfs::par); the caller
+  /// counts as one lane, so 1 means strictly serial — the pre-existing code
+  /// path.  Output bytes and CostMeter totals are identical at any setting.
+  std::uint32_t delta_threads = 1;
+  /// Cache weak signatures of synced versions, keyed <path, VersionId>, so
+  /// chains of transactional updates skip the base signature pass.
+  bool enable_signature_cache = true;
+  std::size_t signature_cache_entries = 64;
 };
 
 class DeltaCfsClient final : public OpSink {
@@ -147,6 +157,18 @@ class DeltaCfsClient final : public OpSink {
   [[nodiscard]] const ClientConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::optional<proto::VersionId> known_version(
       std::string_view path) const;
+  /// Null when `delta_threads` <= 1.
+  [[nodiscard]] par::WorkerPool* delta_pool() noexcept { return pool_.get(); }
+  /// Null when the signature cache is disabled.
+  [[nodiscard]] SignatureCache* signature_cache() noexcept {
+    return sigcache_.get();
+  }
+  [[nodiscard]] std::uint64_t signature_cache_hits() const noexcept {
+    return sigcache_hits_;
+  }
+  [[nodiscard]] std::uint64_t signature_cache_misses() const noexcept {
+    return sigcache_misses_;
+  }
 
  private:
   struct Stash {
@@ -178,6 +200,20 @@ class DeltaCfsClient final : public OpSink {
                  ByteSpan base_content, const proto::VersionId& base_version,
                  bool base_deleted, const std::string& write_node_path,
                  std::uint64_t trigger_rename_seq);
+
+  /// Base signature for a local delta: served from the SignatureCache when
+  /// a valid entry for <path, base_version> exists, computed (in parallel
+  /// when a pool is configured) otherwise.
+  rsyncx::Signature base_signature_for(const std::string& path,
+                                       const proto::VersionId& base_version,
+                                       ByteSpan base_content);
+
+  /// After a delta replaced a write node: caches the *target's* signature
+  /// under <path, version>, derived from the base signature + delta.
+  void remember_signature(const std::string& path,
+                          const proto::VersionId& version,
+                          const rsyncx::Signature& base_signature,
+                          const rsyncx::Delta& delta, ByteSpan target);
 
   /// Relation-table trigger processing for a name that just (re)appeared.
   void handle_created_name(const std::string& path);
@@ -219,12 +255,18 @@ class DeltaCfsClient final : public OpSink {
     obs::Counter* acks_conflict = nullptr;
     obs::Counter* acks_error = nullptr;
     obs::Counter* forwards = nullptr;
+    obs::Counter* sigcache_hits = nullptr;
+    obs::Counter* sigcache_misses = nullptr;
     obs::Histogram* record_bytes = nullptr;
   } stats_;
   ClientConfig config_;
   SyncQueue queue_;
   RelationTable relations_;
   UndoLog undo_;
+  std::unique_ptr<par::WorkerPool> pool_;
+  std::unique_ptr<SignatureCache> sigcache_;
+  std::uint64_t sigcache_hits_ = 0;
+  std::uint64_t sigcache_misses_ = 0;
   std::unique_ptr<ChecksumStore> checksums_;
 
   std::uint64_t version_counter_ = 0;

@@ -1,0 +1,65 @@
+#include "core/signature_cache.h"
+
+#include <utility>
+#include <vector>
+
+namespace dcfs {
+
+const rsyncx::Signature* SignatureCache::get(std::string_view path,
+                                             const proto::VersionId& version) {
+  if (capacity_ == 0) return nullptr;
+  const auto it = index_.find(
+      Key{std::string(path), version.client_id, version.counter});
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &it->second->signature;
+}
+
+void SignatureCache::put(std::string_view path,
+                         const proto::VersionId& version,
+                         rsyncx::Signature signature) {
+  if (capacity_ == 0) return;
+  Key key{std::string(path), version.client_id, version.counter};
+  if (const auto it = index_.find(key); it != index_.end()) erase(it);
+  lru_.push_front(Entry{std::move(key), std::move(signature)});
+  index_.emplace(lru_.front().key, lru_.begin());
+  while (index_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+void SignatureCache::invalidate(std::string_view path) {
+  auto it = index_.lower_bound(Key{std::string(path), 0, 0});
+  while (it != index_.end() && it->first.path == path) {
+    const auto victim = it++;
+    erase(victim);
+  }
+}
+
+void SignatureCache::on_rename(std::string_view from, std::string_view to) {
+  std::vector<Entry> moved;
+  auto it = index_.lower_bound(Key{std::string(from), 0, 0});
+  while (it != index_.end() && it->first.path == from) {
+    const auto victim = it++;
+    moved.push_back(std::move(*victim->second));
+    erase(victim);
+  }
+  for (Entry& entry : moved) {
+    put(to, proto::VersionId{entry.key.client_id, entry.key.counter},
+        std::move(entry.signature));
+  }
+}
+
+void SignatureCache::clear() {
+  index_.clear();
+  lru_.clear();
+}
+
+void SignatureCache::erase(
+    std::map<Key, std::list<Entry>::iterator>::iterator it) {
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+}  // namespace dcfs

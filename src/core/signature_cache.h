@@ -1,0 +1,83 @@
+// Client-side cache of weak block signatures, keyed <path, VersionId>.
+//
+// A transactional editor (vim, gedit) rewrites the same file over and over;
+// every rewrite triggers a local delta whose base is the content the cloud
+// already holds — the exact bytes a previous delta produced.  Versions are
+// immutable (each VersionId is assigned exactly once), so the signature of
+// "path at version v" can be cached and reused as the delta base signature,
+// skipping the whole-file weak-checksum pass.  Combined with
+// rsyncx::advance_signature (which derives the *target's* signature from
+// the base's plus the delta) a chain of transactional updates never
+// re-hashes the unchanged bulk of the file.
+//
+// Entries hold weak-only signatures; a stale hit can only cost missed
+// matches (bitwise confirmation rejects them), never a wrong delta —
+// invalidation is therefore about effectiveness, and stays conservative:
+// any write or truncate drops the path's entries, a rename re-keys them to
+// the new name.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "proto/messages.h"
+#include "rsyncx/delta.h"
+
+namespace dcfs {
+
+class SignatureCache {
+ public:
+  explicit SignatureCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached signature of `path` at `version`, or null.  A hit
+  /// becomes the most recently used entry.  The pointer is valid until the
+  /// next non-const call.
+  [[nodiscard]] const rsyncx::Signature* get(std::string_view path,
+                                             const proto::VersionId& version);
+
+  /// Inserts (or replaces) the signature of `path` at `version`, evicting
+  /// the least recently used entries beyond capacity.
+  void put(std::string_view path, const proto::VersionId& version,
+           rsyncx::Signature signature);
+
+  /// Drops every version cached for `path` (content mutation).
+  void invalidate(std::string_view path);
+
+  /// Re-keys `from`'s entries to `to`; entries already under `to` survive
+  /// (version keys are globally unique, the histories cannot collide).
+  void on_rename(std::string_view from, std::string_view to);
+
+  void clear();
+
+  [[nodiscard]] std::size_t size() const noexcept { return index_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct Key {
+    std::string path;
+    std::uint32_t client_id;
+    std::uint64_t counter;
+
+    friend bool operator<(const Key& a, const Key& b) noexcept {
+      if (const int c = a.path.compare(b.path); c != 0) return c < 0;
+      if (a.client_id != b.client_id) return a.client_id < b.client_id;
+      return a.counter < b.counter;
+    }
+  };
+
+  struct Entry {
+    Key key;
+    rsyncx::Signature signature;
+  };
+
+  void erase(std::map<Key, std::list<Entry>::iterator>::iterator it);
+
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::map<Key, std::list<Entry>::iterator> index_;
+  std::size_t capacity_;
+};
+
+}  // namespace dcfs

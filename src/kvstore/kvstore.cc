@@ -54,6 +54,25 @@ void KvStore::put(std::string_view key, ByteSpan value) {
   maybe_auto_compact();
 }
 
+void KvStore::put_many(
+    const std::vector<std::pair<std::string, Bytes>>& entries) {
+  if (entries.empty()) return;
+  Bytes combined;
+  for (const auto& [key, value] : entries) {
+    append(combined, encode_record(RecordOp::put, key, value));
+  }
+  storage_->append(combined);
+  wal_bytes_written_ += combined.size();
+  for (const auto& [key, value] : entries) {
+    wal_bytes_ += record_bytes(key, value);
+    auto [it, inserted] = table_.try_emplace(key);
+    if (!inserted) live_bytes_ -= record_bytes(key, it->second);
+    it->second.assign(value.begin(), value.end());
+    live_bytes_ += record_bytes(key, value);
+  }
+  maybe_auto_compact();
+}
+
 std::optional<Bytes> KvStore::get(std::string_view key) const {
   const auto it = table_.find(key);
   if (it == table_.end()) return std::nullopt;

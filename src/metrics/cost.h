@@ -108,6 +108,16 @@ class CostMeter {
     return snap;
   }
 
+  /// Folds another meter's raw accumulator into this one (parallel kernels
+  /// charge region-local meters and merge at join).  Charges are commutative
+  /// sums, so merge order never changes the totals; both meters must use the
+  /// same profile for the result to be meaningful.
+  void merge(const CostMeter& other) noexcept {
+    for (std::size_t i = 0; i < kCostKindCount; ++i) {
+      units_x16_[i] += other.units_x16_[i];
+    }
+  }
+
   void reset() noexcept { units_x16_.fill(0); }
 
   [[nodiscard]] const CostProfile& profile() const noexcept { return *profile_; }

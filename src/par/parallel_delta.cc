@@ -1,0 +1,183 @@
+#include "par/parallel_delta.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/checksum.h"
+#include "common/md5.h"
+#include "rsyncx/match.h"
+
+namespace dcfs::par {
+
+namespace det = rsyncx::detail;
+
+namespace {
+
+/// Region-sharded block matcher.  Equivalence with one serial scan:
+///
+/// Regions partition the match-start positions into [r_k, r_{k+1}) with
+/// r_k = k * kRegionBlocks * block_size.  Each region is scanned
+/// speculatively assuming the serial scan enters it at exactly r_k with a
+/// freshly reset window.  The stitch walks regions in order tracking
+/// `entry` — the position where the serial scan really enters region k:
+///
+///  - entry == r_k: the speculation was right.  The window digest depends
+///    only on the window *content*, so from identical (position, digest)
+///    state the greedy scan makes identical decisions — splice the region's
+///    commands verbatim.  Charges: merge the region's body meter always;
+///    merge its entry meter (the initial window reset) only when the serial
+///    scan would actually reset at r_k, i.e. when it *jumped* here (`fresh`).
+///    When it *rolled* here, the digest at r_k was already paid for
+///    byte-by-byte inside the predecessor, so the speculative reset charge
+///    is dropped.
+///  - entry > r_k: a predecessor match jumped past r_k (exit_pos lands in
+///    (r_k, r_k + block_size), always short of r_{k+1}).  The speculation is
+///    useless; re-scan [entry, r_{k+1}) sequentially, charging the caller's
+///    meter directly — exactly what serial would have charged.
+///
+/// Literal/copy merging across region seams is handled by splice_command,
+/// which applies the same merge rules the serial emitters use.
+template <typename Confirm>
+rsyncx::Delta parallel_match(WorkerPool* pool,
+                             const rsyncx::Signature& signature,
+                             ByteSpan target, CostMeter* meter,
+                             Confirm&& confirm) {
+  const std::uint32_t block_size = signature.block_size;
+  if (pool == nullptr || pool->parallelism() <= 1 ||
+      signature.block_count() == 0 || target.size() < block_size ||
+      target.size() / block_size < kMinParallelBlocks) {
+    return det::match_blocks(signature, target, meter,
+                             std::forward<Confirm>(confirm));
+  }
+
+  const std::size_t region =
+      kRegionBlocks * static_cast<std::size_t>(block_size);
+  // Match-start positions are [0, target.size() - block_size].
+  const std::size_t regions = (target.size() - block_size) / region + 1;
+  if (regions < 2) {
+    return det::match_blocks(signature, target, meter,
+                             std::forward<Confirm>(confirm));
+  }
+
+  rsyncx::Delta delta;
+  delta.base_size = signature.file_size;
+  delta.target_size = target.size();
+
+  const det::WeakIndex index = det::WeakIndex::build(signature);
+
+  struct RegionState {
+    det::RegionScanResult result;
+    std::optional<CostMeter> entry;  ///< initial window-reset charge only
+    std::optional<CostMeter> body;   ///< everything else
+  };
+  std::vector<RegionState> states(regions);
+  if (meter != nullptr) {
+    for (RegionState& state : states) {
+      state.entry.emplace(meter->profile());
+      state.body.emplace(meter->profile());
+    }
+  }
+
+  pool->parallel_for(regions, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t k = lo; k < hi; ++k) {
+      RegionState& state = states[k];
+      const std::size_t limit =
+          k + 1 == regions ? det::kNoLimit : (k + 1) * region;
+      state.result = det::scan_blocks(
+          signature, target, index, k * region, limit,
+          state.entry ? &*state.entry : nullptr,
+          state.body ? &*state.body : nullptr, confirm);
+    }
+  });
+
+  std::size_t entry = 0;  ///< where the serial scan enters the next region
+  bool fresh = true;      ///< serial would reset its window at `entry`
+  for (std::size_t k = 0; k < regions; ++k) {
+    const std::size_t limit =
+        k + 1 == regions ? det::kNoLimit : (k + 1) * region;
+    det::RegionScanResult* scan = &states[k].result;
+    det::RegionScanResult redo;
+    if (entry == k * region) {
+      if (meter != nullptr) {
+        if (fresh) meter->merge(*states[k].entry);
+        meter->merge(*states[k].body);
+      }
+    } else {
+      redo = det::scan_blocks(signature, target, index, entry, limit, meter,
+                              meter, confirm);
+      scan = &redo;
+    }
+    for (rsyncx::Command& cmd : scan->delta.commands) {
+      det::splice_command(delta, std::move(cmd));
+    }
+    entry = scan->exit_pos;
+    fresh = scan->exit == det::RegionExit::jump;
+    if (scan->exit == det::RegionExit::end) break;
+  }
+  return delta;
+}
+
+}  // namespace
+
+rsyncx::Signature compute_signature(WorkerPool* pool, ByteSpan base,
+                                    std::uint32_t block_size, bool with_strong,
+                                    CostMeter* meter) {
+  const std::size_t blocks =
+      base.size() / block_size + (base.size() % block_size != 0 ? 1 : 0);
+  if (pool == nullptr || pool->parallelism() <= 1 ||
+      blocks <= kSignatureGrainBlocks) {
+    return rsyncx::compute_signature(base, block_size, with_strong, meter);
+  }
+
+  rsyncx::Signature signature;
+  signature.block_size = block_size;
+  signature.file_size = base.size();
+  signature.has_strong = with_strong;
+  signature.weak.resize(blocks);
+  if (with_strong) signature.strong.resize(blocks);
+
+  // Same two whole-stream charges as the serial kernel: the charge pattern
+  // never depends on how the blocks are divided among workers.
+  det::charge(meter, CostKind::rolling_hash, base.size());
+  if (with_strong) det::charge(meter, CostKind::strong_hash, base.size());
+
+  pool->parallel_for(blocks, kSignatureGrainBlocks,
+                     [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t block = lo; block < hi; ++block) {
+      const std::size_t offset = block * block_size;
+      const std::size_t length =
+          std::min<std::size_t>(block_size, base.size() - offset);
+      const ByteSpan bytes = base.subspan(offset, length);
+      signature.weak[block] = weak_checksum(bytes);
+      if (with_strong) signature.strong[block] = Md5::hash(bytes);
+    }
+  });
+  return signature;
+}
+
+rsyncx::Delta compute_delta(WorkerPool* pool,
+                            const rsyncx::Signature& base_signature,
+                            ByteSpan target, CostMeter* meter) {
+  return parallel_match(pool, base_signature, target, meter,
+                        det::strong_confirm(base_signature));
+}
+
+rsyncx::Delta compute_delta_local(WorkerPool* pool, ByteSpan base,
+                                  ByteSpan target, std::uint32_t block_size,
+                                  CostMeter* meter) {
+  const rsyncx::Signature signature = compute_signature(
+      pool, base, block_size, /*with_strong=*/false, meter);
+  return compute_delta_local(pool, signature, base, target, meter);
+}
+
+rsyncx::Delta compute_delta_local(WorkerPool* pool,
+                                  const rsyncx::Signature& base_signature,
+                                  ByteSpan base, ByteSpan target,
+                                  CostMeter* meter) {
+  return parallel_match(pool, base_signature, target, meter,
+                        det::bitwise_confirm(base_signature, base));
+}
+
+}  // namespace dcfs::par

@@ -1,0 +1,179 @@
+#include "par/worker_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace dcfs::par {
+
+/// One parallel_for invocation.  Lives on the calling thread's stack;
+/// parallel_for does not return until `refs` (workers still attached) hits
+/// zero and every item is accounted in `done`.
+struct WorkerPool::Batch {
+  const RangeFn* fn = nullptr;
+  std::size_t n = 0;
+  std::size_t grain = 1;
+  std::size_t lanes = 1;
+
+  /// Per-lane claim cursor, cache-line separated: lanes hammer their own
+  /// cursor and only touch a foreign one when stealing.
+  struct alignas(64) Cursor {
+    std::atomic<std::size_t> next{0};
+  };
+  std::vector<Cursor> cursor;
+  std::vector<std::size_t> lane_begin;  ///< partition [lane_begin, lane_end)
+  std::vector<std::size_t> lane_end;
+
+  std::atomic<std::size_t> done{0};  ///< items executed (or skipped on failure)
+  std::atomic<std::size_t> refs{0};  ///< workers not yet detached
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;  ///< first failure; guarded by done_mu
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+};
+
+WorkerPool::WorkerPool(std::size_t parallelism, obs::Obs* obs) {
+  if (obs != nullptr) {
+    tasks_ = &obs->registry.counter("par.tasks");
+    steals_ = &obs->registry.counter("par.steals");
+    batches_ = &obs->registry.counter("par.batches");
+    depth_ = &obs->registry.gauge("par.queue_depth");
+    kernel_us_ = &obs->registry.histogram("par.kernel_us");
+    obs->registry.gauge("par.workers")
+        .set(parallelism > 1 ? static_cast<std::int64_t>(parallelism - 1) : 0);
+  }
+  const std::size_t worker_count = parallelism > 1 ? parallelism - 1 : 0;
+  workers_.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Spawn only after the vector is fully built: worker_loop indexes it.
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    workers_[i]->thread = std::thread([this, i] { worker_loop(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+void WorkerPool::worker_loop(std::size_t worker_index) {
+  Worker& self = *workers_[worker_index];
+  while (true) {
+    if (auto job = self.queue.pop()) {
+      Batch* batch = *job;
+      run_batch(*batch, worker_index);
+      if (batch->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last worker out: wake the caller (it also waits on done == n).
+        std::lock_guard<std::mutex> lock(batch->done_mu);
+        batch->done_cv.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) return;
+    if (!self.queue.empty()) continue;  // raced with a push: drain first
+    cv_.wait(lock);
+  }
+}
+
+void WorkerPool::run_batch(Batch& batch, std::size_t lane) {
+  const auto execute = [&](std::size_t begin, std::size_t end, bool stolen) {
+    if (!batch.failed.load(std::memory_order_relaxed)) {
+      try {
+        (*batch.fn)(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(batch.done_mu);
+        if (!batch.error) batch.error = std::current_exception();
+        batch.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    obs::inc(tasks_);
+    if (stolen) obs::inc(steals_);
+    if (batch.done.fetch_add(end - begin, std::memory_order_acq_rel) +
+            (end - begin) ==
+        batch.n) {
+      std::lock_guard<std::mutex> lock(batch.done_mu);
+      batch.done_cv.notify_all();
+    }
+  };
+
+  // Own partition first, then share the others' leftovers.
+  for (std::size_t offset = 0; offset < batch.lanes; ++offset) {
+    const std::size_t q = (lane + offset) % batch.lanes;
+    const std::size_t end = batch.lane_end[q];
+    while (true) {
+      const std::size_t begin =
+          batch.cursor[q].next.fetch_add(batch.grain,
+                                         std::memory_order_relaxed);
+      if (begin >= end) break;
+      execute(begin, std::min(begin + batch.grain, end), /*stolen=*/q != lane);
+    }
+  }
+}
+
+void WorkerPool::parallel_for(std::size_t n, std::size_t grain,
+                              const RangeFn& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  if (workers_.empty() || n <= grain) {
+    fn(0, n);
+    return;
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  obs::inc(batches_);
+  obs::set(depth_, static_cast<std::int64_t>(n));
+
+  Batch batch;
+  batch.fn = &fn;
+  batch.n = n;
+  batch.grain = grain;
+  batch.lanes = parallelism();
+  batch.cursor = std::vector<Batch::Cursor>(batch.lanes);
+  batch.lane_begin.resize(batch.lanes);
+  batch.lane_end.resize(batch.lanes);
+  for (std::size_t lane = 0; lane < batch.lanes; ++lane) {
+    batch.lane_begin[lane] = lane * n / batch.lanes;
+    batch.lane_end[lane] = (lane + 1) * n / batch.lanes;
+    batch.cursor[lane].next.store(batch.lane_begin[lane],
+                                  std::memory_order_relaxed);
+  }
+  batch.refs.store(workers_.size(), std::memory_order_relaxed);
+
+  for (auto& worker : workers_) {
+    worker->queue.push(&batch);
+  }
+  {
+    // Empty critical section: pairs with the worker's locked empty-check so
+    // a push cannot slip between that check and the wait.
+    std::lock_guard<std::mutex> lock(mu_);
+  }
+  cv_.notify_all();
+
+  run_batch(batch, batch.lanes - 1);  // the caller is the last lane
+
+  {
+    std::unique_lock<std::mutex> lock(batch.done_mu);
+    batch.done_cv.wait(lock, [&] {
+      return batch.done.load(std::memory_order_acquire) == batch.n &&
+             batch.refs.load(std::memory_order_acquire) == 0;
+    });
+  }
+  obs::set(depth_, 0);
+  if (kernel_us_ != nullptr) {
+    kernel_us_->observe(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count()));
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+}  // namespace dcfs::par

@@ -1,145 +1,13 @@
 #include "rsyncx/delta.h"
 
 #include <cstring>
-#include <functional>
-#include <unordered_map>
 
 #include "common/checksum.h"
+#include "rsyncx/match.h"
 
 namespace dcfs::rsyncx {
-namespace {
 
-void charge(CostMeter* meter, CostKind kind, std::uint64_t bytes) {
-  if (meter != nullptr) meter->charge(kind, bytes);
-}
-
-/// Appends a copy command, merging with a preceding contiguous copy.
-void emit_copy(Delta& delta, std::uint64_t src_offset, std::uint64_t length) {
-  if (!delta.commands.empty()) {
-    Command& last = delta.commands.back();
-    if (last.kind == Command::Kind::copy &&
-        last.src_offset + last.length == src_offset) {
-      last.length += length;
-      return;
-    }
-  }
-  Command cmd;
-  cmd.kind = Command::Kind::copy;
-  cmd.src_offset = src_offset;
-  cmd.length = length;
-  delta.commands.push_back(std::move(cmd));
-}
-
-void emit_literal(Delta& delta, ByteSpan bytes) {
-  if (bytes.empty()) return;
-  if (!delta.commands.empty() &&
-      delta.commands.back().kind == Command::Kind::literal) {
-    append(delta.commands.back().data, bytes);
-    return;
-  }
-  Command cmd;
-  cmd.kind = Command::Kind::literal;
-  cmd.data.assign(bytes.begin(), bytes.end());
-  delta.commands.push_back(std::move(cmd));
-}
-
-/// Block-matching core shared by the remote and local modes.
-/// `confirm(block_index, window)` performs the expensive verification.
-Delta match_blocks(
-    const Signature& signature, ByteSpan target, CostMeter* meter,
-    const std::function<bool(const BlockSignature&, ByteSpan)>& confirm) {
-  Delta delta;
-  delta.base_size = signature.file_size;
-  delta.target_size = target.size();
-
-  const std::uint32_t block_size = signature.block_size;
-  if (target.empty()) return delta;
-  if (signature.blocks.empty() || target.size() < block_size) {
-    // No full window fits (or empty base): check a possible whole-tail match
-    // below, otherwise everything is literal.
-    if (!signature.blocks.empty()) {
-      const BlockSignature& tail = signature.blocks.back();
-      if (tail.length == target.size()) {
-        charge(meter, CostKind::rolling_hash, target.size());
-        if (weak_checksum(target) == tail.weak && confirm(tail, target)) {
-          emit_copy(delta,
-                    static_cast<std::uint64_t>(tail.index) * block_size,
-                    tail.length);
-          return delta;
-        }
-      }
-    }
-    emit_literal(delta, target);
-    return delta;
-  }
-
-  // Index full-sized base blocks by weak checksum.
-  std::unordered_multimap<std::uint32_t, const BlockSignature*> index;
-  index.reserve(signature.blocks.size());
-  const BlockSignature* tail_block = nullptr;
-  for (const BlockSignature& block : signature.blocks) {
-    if (block.length == block_size) {
-      index.emplace(block.weak, &block);
-    } else {
-      tail_block = &block;
-    }
-  }
-
-  std::size_t pos = 0;
-  std::size_t literal_start = 0;
-  RollingChecksum rolling(target.subspan(0, block_size));
-  charge(meter, CostKind::rolling_hash, block_size);
-
-  while (pos + block_size <= target.size()) {
-    const std::uint32_t weak = rolling.digest();
-    const BlockSignature* matched = nullptr;
-    auto [it, end] = index.equal_range(weak);
-    for (; it != end; ++it) {
-      if (confirm(*it->second, target.subspan(pos, block_size))) {
-        matched = it->second;
-        break;
-      }
-    }
-
-    if (matched != nullptr) {
-      emit_literal(delta, target.subspan(literal_start, pos - literal_start));
-      emit_copy(delta,
-                static_cast<std::uint64_t>(matched->index) * block_size,
-                block_size);
-      pos += block_size;
-      literal_start = pos;
-      if (pos + block_size <= target.size()) {
-        rolling.reset(target.subspan(pos, block_size));
-        charge(meter, CostKind::rolling_hash, block_size);
-      }
-    } else {
-      rolling.roll(target[pos], pos + block_size < target.size()
-                                    ? target[pos + block_size]
-                                    : 0);
-      charge(meter, CostKind::rolling_hash, 1);
-      ++pos;
-    }
-  }
-
-  // Tail: try to match the base's short final block exactly.
-  const std::size_t remaining = target.size() - pos;
-  if (tail_block != nullptr && remaining == tail_block->length &&
-      remaining > 0) {
-    const ByteSpan tail = target.subspan(pos, remaining);
-    charge(meter, CostKind::rolling_hash, remaining);
-    if (weak_checksum(tail) == tail_block->weak && confirm(*tail_block, tail)) {
-      emit_literal(delta, target.subspan(literal_start, pos - literal_start));
-      emit_copy(delta,
-                static_cast<std::uint64_t>(tail_block->index) * block_size,
-                tail_block->length);
-      return delta;
-    }
-  }
-  emit_literal(delta, target.subspan(literal_start));
-  return delta;
-}
-
-}  // namespace
+using detail::charge;
 
 std::uint64_t Delta::literal_bytes() const noexcept {
   std::uint64_t total = 0;
@@ -171,35 +39,28 @@ Signature compute_signature(ByteSpan base, std::uint32_t block_size,
   signature.block_size = block_size;
   signature.file_size = base.size();
   signature.has_strong = with_strong;
-  signature.blocks.reserve(base.size() / block_size + 1);
+  const std::size_t blocks = base.size() / block_size +
+                             (base.size() % block_size != 0 ? 1 : 0);
+  signature.weak.reserve(blocks);
+  if (with_strong) signature.strong.reserve(blocks);
 
   charge(meter, CostKind::rolling_hash, base.size());
   if (with_strong) charge(meter, CostKind::strong_hash, base.size());
 
-  std::uint32_t index = 0;
-  for (std::size_t offset = 0; offset < base.size();
-       offset += block_size, ++index) {
+  for (std::size_t offset = 0; offset < base.size(); offset += block_size) {
     const std::size_t length =
         std::min<std::size_t>(block_size, base.size() - offset);
     const ByteSpan block = base.subspan(offset, length);
-    BlockSignature sig;
-    sig.weak = weak_checksum(block);
-    if (with_strong) sig.strong = Md5::hash(block);
-    sig.index = index;
-    sig.length = static_cast<std::uint32_t>(length);
-    signature.blocks.push_back(sig);
+    signature.weak.push_back(weak_checksum(block));
+    if (with_strong) signature.strong.push_back(Md5::hash(block));
   }
   return signature;
 }
 
 Delta compute_delta(const Signature& base_signature, ByteSpan target,
                     CostMeter* meter) {
-  return match_blocks(
-      base_signature, target, meter,
-      [meter](const BlockSignature& block, ByteSpan window) {
-        charge(meter, CostKind::strong_hash, window.size());
-        return Md5::hash(window) == block.strong;
-      });
+  return detail::match_blocks(base_signature, target, meter,
+                              detail::strong_confirm(base_signature));
 }
 
 Delta compute_delta_local(ByteSpan base, ByteSpan target,
@@ -207,17 +68,87 @@ Delta compute_delta_local(ByteSpan base, ByteSpan target,
   // Weak-only signature: the expensive MD5 pass over the base is skipped.
   const Signature signature =
       compute_signature(base, block_size, /*with_strong=*/false, meter);
-  return match_blocks(
-      signature, target, meter,
-      [base, block_size, meter](const BlockSignature& block, ByteSpan window) {
-        const std::uint64_t offset =
-            static_cast<std::uint64_t>(block.index) * block_size;
-        if (offset + window.size() > base.size()) return false;
-        if (block.length != window.size()) return false;
-        charge(meter, CostKind::byte_compare, window.size());
-        return std::memcmp(base.data() + offset, window.data(),
-                           window.size()) == 0;
-      });
+  return compute_delta_local(signature, base, target, meter);
+}
+
+Delta compute_delta_local(const Signature& base_signature, ByteSpan base,
+                          ByteSpan target, CostMeter* meter) {
+  return detail::match_blocks(base_signature, target, meter,
+                              detail::bitwise_confirm(base_signature, base));
+}
+
+Signature advance_signature(const Signature& base_signature,
+                            const Delta& delta, ByteSpan target,
+                            CostMeter* meter) {
+  Signature signature;
+  signature.block_size = base_signature.block_size;
+  signature.file_size = target.size();
+  signature.has_strong = base_signature.has_strong;
+  const std::uint32_t block_size = signature.block_size;
+  const std::size_t blocks = target.size() / block_size +
+                             (target.size() % block_size != 0 ? 1 : 0);
+  signature.weak.reserve(blocks);
+  if (signature.has_strong) signature.strong.reserve(blocks);
+
+  // Copy segments in target-offset order (commands reconstruct the target
+  // front to back, so target offsets are monotone).
+  struct Segment {
+    std::uint64_t target_offset;
+    std::uint64_t src_offset;
+    std::uint64_t length;
+  };
+  std::vector<Segment> segments;
+  segments.reserve(delta.commands.size());
+  std::uint64_t offset = 0;
+  for (const Command& cmd : delta.commands) {
+    if (cmd.kind == Command::Kind::copy) {
+      segments.push_back({offset, cmd.src_offset, cmd.length});
+      offset += cmd.length;
+    } else {
+      offset += cmd.data.size();
+    }
+  }
+
+  std::size_t seg = 0;
+  for (std::size_t block = 0; block < blocks; ++block) {
+    const std::uint64_t start =
+        static_cast<std::uint64_t>(block) * block_size;
+    const std::uint32_t length = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(block_size, target.size() - start));
+    while (seg < segments.size() &&
+           segments[seg].target_offset + segments[seg].length <= start) {
+      ++seg;
+    }
+    bool reused = false;
+    if (seg < segments.size() && segments[seg].target_offset <= start &&
+        start + length <= segments[seg].target_offset + segments[seg].length) {
+      // The whole block comes from one copy; reuse the base block's
+      // checksums when the copy is block-aligned and the lengths agree
+      // (the copy guarantees the bytes are identical).
+      const std::uint64_t src =
+          segments[seg].src_offset + (start - segments[seg].target_offset);
+      const std::uint64_t src_block = src / block_size;
+      if (src % block_size == 0 &&
+          src_block < base_signature.block_count() &&
+          base_signature.block_length(src_block) == length) {
+        signature.weak.push_back(base_signature.weak[src_block]);
+        if (signature.has_strong) {
+          signature.strong.push_back(base_signature.strong[src_block]);
+        }
+        reused = true;
+      }
+    }
+    if (!reused) {
+      const ByteSpan bytes = target.subspan(start, length);
+      charge(meter, CostKind::rolling_hash, length);
+      signature.weak.push_back(weak_checksum(bytes));
+      if (signature.has_strong) {
+        charge(meter, CostKind::strong_hash, length);
+        signature.strong.push_back(Md5::hash(bytes));
+      }
+    }
+  }
+  return signature;
 }
 
 Result<Bytes> apply_delta(ByteSpan base, const Delta& delta) {

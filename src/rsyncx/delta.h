@@ -11,6 +11,7 @@
 // Table II's CPU numbers are produced.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -23,24 +24,34 @@ namespace dcfs::rsyncx {
 
 inline constexpr std::uint32_t kDefaultBlockSize = 4096;  // librsync default
 
-struct BlockSignature {
-  std::uint32_t weak = 0;
-  Md5::Digest strong{};  // unused (zero) in local mode
-  std::uint32_t index = 0;
-  std::uint32_t length = 0;
-};
-
-/// Per-file signature: one entry per block, final block may be short.
+/// Per-file signature, stored column-wise: one weak checksum per block and —
+/// only in remote mode — one strong digest per block.  Local mode carries no
+/// strong column at all (`strong` stays empty), so a weak-only signature
+/// neither allocates nor accounts for MD5 bytes anywhere.
+/// Block lengths are derived from file_size: every block is `block_size`
+/// long except a possibly short final one.
 struct Signature {
   std::uint32_t block_size = kDefaultBlockSize;
   std::uint64_t file_size = 0;
   bool has_strong = true;
-  std::vector<BlockSignature> blocks;
+  std::vector<std::uint32_t> weak;   ///< one per block
+  std::vector<Md5::Digest> strong;   ///< one per block, empty in local mode
+
+  [[nodiscard]] std::size_t block_count() const noexcept {
+    return weak.size();
+  }
+
+  [[nodiscard]] std::uint32_t block_length(std::size_t block) const noexcept {
+    const std::uint64_t offset =
+        static_cast<std::uint64_t>(block) * block_size;
+    return static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(block_size, file_size - offset));
+  }
 
   /// Bytes this signature would occupy on the wire (weak 4B + strong 16B
   /// when present, per block, plus a small header).
   [[nodiscard]] std::uint64_t wire_size() const noexcept {
-    return 16 + blocks.size() * (has_strong ? 20u : 4u);
+    return 16 + weak.size() * (has_strong ? 20u : 4u);
   }
 };
 
@@ -78,6 +89,22 @@ Delta compute_delta(const Signature& base_signature, ByteSpan target,
 /// bitwise confirmation against the actual base bytes.
 Delta compute_delta_local(ByteSpan base, ByteSpan target,
                           std::uint32_t block_size, CostMeter* meter);
+
+/// Local mode with the base's (weak) signature already in hand — e.g. from
+/// a SignatureCache hit; only the matching pass is charged.
+Delta compute_delta_local(const Signature& base_signature, ByteSpan base,
+                          ByteSpan target, CostMeter* meter);
+
+/// Rolls a signature forward across a delta: target blocks that a
+/// block-aligned copy maps verbatim onto a base block inherit that block's
+/// checksums; only the remaining blocks are recomputed (and charged).  Lets
+/// a SignatureCache follow a chain of versions without ever re-hashing the
+/// unchanged bulk of the file.
+/// Precondition: `delta` was computed against the base that
+/// `base_signature` describes, and `target` is apply_delta(base, delta).
+Signature advance_signature(const Signature& base_signature,
+                            const Delta& delta, ByteSpan target,
+                            CostMeter* meter);
 
 /// Reconstructs the target from `base` + `delta`.
 /// Fails with corruption if a copy range exceeds the base.

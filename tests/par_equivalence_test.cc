@@ -1,0 +1,305 @@
+// Property tests: the dcfs::par kernels must be *observationally identical*
+// to their serial rsyncx counterparts at every thread count — same signature
+// contents, same delta wire bytes, same CostMeter totals — so flipping
+// `delta_threads` can never change what a client uploads or what it reports
+// having spent.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "baselines/deltacfs_system.h"
+#include "common/rng.h"
+#include "core/checksum_store.h"
+#include "metrics/cost.h"
+#include "par/parallel_delta.h"
+#include "par/worker_pool.h"
+#include "rsyncx/delta.h"
+#include "vfs/memfs.h"
+
+namespace dcfs {
+namespace {
+
+using par::WorkerPool;
+
+/// Every test asserts on all of these thread counts; 1 means no pool at all.
+const std::size_t kThreadCounts[] = {1, 2, 4, 8};
+
+std::unique_ptr<WorkerPool> make_pool(std::size_t threads) {
+  return threads > 1 ? std::make_unique<WorkerPool>(threads) : nullptr;
+}
+
+void expect_same_meter(const CostMeter& got, const CostMeter& want,
+                       const std::string& label) {
+  const CostSnapshot g = got.snapshot();
+  const CostSnapshot w = want.snapshot();
+  for (std::size_t i = 0; i < kCostKindCount; ++i) {
+    EXPECT_EQ(g.units_by_kind[i], w.units_by_kind[i])
+        << label << ": kind " << to_string(static_cast<CostKind>(i));
+  }
+  EXPECT_EQ(g.total_units, w.total_units) << label;
+}
+
+/// A base/target pair exercising one editing pattern.
+struct Case {
+  std::string name;
+  Bytes base;
+  Bytes target;
+};
+
+std::vector<Case> make_cases(std::uint32_t block_size) {
+  Rng rng(7);
+  std::vector<Case> cases;
+  // Enough blocks that the parallel kernels actually engage
+  // (kMinParallelBlocks regions of kRegionBlocks blocks each).
+  const std::size_t bulk = (par::kMinParallelBlocks + 70) * block_size + 123;
+
+  {
+    Bytes base = rng.bytes(bulk);
+    cases.push_back({"identical", base, base});
+  }
+  {
+    Bytes base = rng.bytes(bulk);
+    Bytes target = base;
+    const Bytes inserted = rng.bytes(block_size / 2 + 17);
+    target.insert(target.begin() + static_cast<std::ptrdiff_t>(bulk / 3),
+                  inserted.begin(), inserted.end());
+    cases.push_back({"insertion", std::move(base), std::move(target)});
+  }
+  {
+    Bytes base = rng.bytes(bulk);
+    Bytes target = base;
+    // Rewrite scattered single bytes: lots of short literals between
+    // matches, so regions see jump and roll exits alike.
+    for (std::size_t offset = block_size / 2; offset < target.size();
+         offset += 11 * block_size + 3) {
+      target[offset] ^= 0x5a;
+    }
+    cases.push_back({"scattered_edits", std::move(base), std::move(target)});
+  }
+  {
+    Bytes base = rng.bytes(bulk);
+    Bytes target = rng.bytes(bulk + 4 * block_size);
+    cases.push_back({"unrelated", std::move(base), std::move(target)});
+  }
+  {
+    Bytes base = rng.bytes(bulk);
+    Bytes target = base;
+    const Bytes tail = rng.bytes(3 * block_size + 1);
+    target.insert(target.end(), tail.begin(), tail.end());
+    cases.push_back({"append", std::move(base), std::move(target)});
+  }
+  {
+    // Deliberately below the parallel threshold: must hit the serial
+    // fallback and still agree.
+    Bytes base = rng.bytes(5 * block_size + 1);
+    Bytes target = base;
+    target[block_size + 2] ^= 0xff;
+    cases.push_back({"small", std::move(base), std::move(target)});
+  }
+  return cases;
+}
+
+class ParEquivalenceTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ParEquivalenceTest, SignatureMatchesSerial) {
+  const std::uint32_t bs = GetParam();
+  for (const Case& c : make_cases(bs)) {
+    for (const bool with_strong : {false, true}) {
+      CostMeter serial_meter(CostProfile::pc());
+      const rsyncx::Signature want =
+          rsyncx::compute_signature(c.base, bs, with_strong, &serial_meter);
+      for (const std::size_t threads : kThreadCounts) {
+        const auto pool = make_pool(threads);
+        CostMeter meter(CostProfile::pc());
+        const rsyncx::Signature got = par::compute_signature(
+            pool.get(), c.base, bs, with_strong, &meter);
+        const std::string label = c.name + " strong=" +
+                                  std::to_string(with_strong) + " threads=" +
+                                  std::to_string(threads);
+        EXPECT_EQ(got.file_size, want.file_size) << label;
+        EXPECT_EQ(got.block_size, want.block_size) << label;
+        EXPECT_EQ(got.weak, want.weak) << label;
+        EXPECT_EQ(got.strong, want.strong) << label;
+        expect_same_meter(meter, serial_meter, label);
+      }
+    }
+  }
+}
+
+TEST_P(ParEquivalenceTest, LocalDeltaMatchesSerialByteForByte) {
+  const std::uint32_t bs = GetParam();
+  for (const Case& c : make_cases(bs)) {
+    CostMeter serial_meter(CostProfile::pc());
+    const Bytes want = rsyncx::encode_delta(
+        rsyncx::compute_delta_local(c.base, c.target, bs, &serial_meter));
+    for (const std::size_t threads : kThreadCounts) {
+      const auto pool = make_pool(threads);
+      CostMeter meter(CostProfile::pc());
+      const Bytes got = rsyncx::encode_delta(par::compute_delta_local(
+          pool.get(), c.base, c.target, bs, &meter));
+      const std::string label = c.name + " threads=" + std::to_string(threads);
+      EXPECT_EQ(got, want) << label;
+      expect_same_meter(meter, serial_meter, label);
+    }
+  }
+}
+
+TEST_P(ParEquivalenceTest, RemoteDeltaMatchesSerialByteForByte) {
+  const std::uint32_t bs = GetParam();
+  for (const Case& c : make_cases(bs)) {
+    const rsyncx::Signature signature =
+        rsyncx::compute_signature(c.base, bs, /*with_strong=*/true, nullptr);
+    CostMeter serial_meter(CostProfile::pc());
+    const Bytes want = rsyncx::encode_delta(
+        rsyncx::compute_delta(signature, c.target, &serial_meter));
+    for (const std::size_t threads : kThreadCounts) {
+      const auto pool = make_pool(threads);
+      CostMeter meter(CostProfile::pc());
+      const Bytes got = rsyncx::encode_delta(
+          par::compute_delta(pool.get(), signature, c.target, &meter));
+      const std::string label = c.name + " threads=" + std::to_string(threads);
+      EXPECT_EQ(got, want) << label;
+      expect_same_meter(meter, serial_meter, label);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, ParEquivalenceTest,
+                         ::testing::Values(512u, 1024u, 4096u));
+
+TEST(AdvanceSignatureTest, MatchesRecomputedSignatureOfTarget) {
+  const std::uint32_t bs = 512;
+  for (const Case& c : make_cases(bs)) {
+    for (const bool with_strong : {false, true}) {
+      const rsyncx::Signature base_sig =
+          rsyncx::compute_signature(c.base, bs, with_strong, nullptr);
+      const rsyncx::Delta delta = with_strong
+          ? rsyncx::compute_delta(base_sig, c.target, nullptr)
+          : rsyncx::compute_delta_local(c.base, c.target, bs, nullptr);
+      CostMeter meter(CostProfile::pc());
+      const rsyncx::Signature advanced =
+          rsyncx::advance_signature(base_sig, delta, c.target, &meter);
+      const rsyncx::Signature want =
+          rsyncx::compute_signature(c.target, bs, with_strong, nullptr);
+      const std::string label = c.name + " strong=" +
+                                std::to_string(with_strong);
+      EXPECT_EQ(advanced.file_size, want.file_size) << label;
+      EXPECT_EQ(advanced.weak, want.weak) << label;
+      EXPECT_EQ(advanced.strong, want.strong) << label;
+    }
+  }
+}
+
+TEST(AdvanceSignatureTest, ReusedBlocksAreNotRecharged) {
+  const std::uint32_t bs = 512;
+  Rng rng(9);
+  const Bytes base = rng.bytes(400 * bs);
+  Bytes target = base;
+  target[17] ^= 1;  // only the first block changes
+
+  const rsyncx::Signature base_sig =
+      rsyncx::compute_signature(base, bs, /*with_strong=*/false, nullptr);
+  const rsyncx::Delta delta =
+      rsyncx::compute_delta_local(base, target, bs, nullptr);
+
+  CostMeter advance_meter(CostProfile::pc());
+  rsyncx::advance_signature(base_sig, delta, target, &advance_meter);
+  CostMeter full_meter(CostProfile::pc());
+  rsyncx::compute_signature(target, bs, /*with_strong=*/false, &full_meter);
+  // Advancing re-hashes only the rewritten prefix, a small fraction of the
+  // full pass.
+  EXPECT_LT(advance_meter.units() * 10, full_meter.units());
+}
+
+TEST(ChecksumStoreBulkTest, BulkIndexMatchesSerialStateAndCharges) {
+  VirtualClock clock;
+  MemFs fs(clock);
+  Rng rng(11);
+  const Bytes data = rng.bytes(300'000);  // 74 blocks at 4096: bulk engages
+  ASSERT_TRUE(fs.write_file("/f", data).is_ok());
+
+  const auto dump = [](KvStore& kv) {
+    std::map<std::string, Bytes> out;
+    kv.scan_prefix("", [&](std::string_view key, ByteSpan value) {
+      out.emplace(std::string(key), Bytes(value.begin(), value.end()));
+    });
+    return out;
+  };
+
+  CostMeter serial_meter(CostProfile::pc());
+  auto serial_kv = std::make_shared<KvStore>(
+      std::make_shared<MemoryWalStorage>());
+  ChecksumStore serial_store(serial_kv, 4096, &serial_meter);
+  ASSERT_TRUE(serial_store.index_file(fs, "/f").is_ok());
+
+  for (const std::size_t threads : kThreadCounts) {
+    const auto pool = make_pool(threads);
+    CostMeter meter(CostProfile::pc());
+    auto kv = std::make_shared<KvStore>(std::make_shared<MemoryWalStorage>());
+    ChecksumStore store(kv, 4096, &meter);
+    store.set_pool(pool.get());
+    ASSERT_TRUE(store.index_file(fs, "/f").is_ok());
+
+    const std::string label = "threads=" + std::to_string(threads);
+    EXPECT_EQ(dump(*kv), dump(*serial_kv)) << label;
+    expect_same_meter(meter, serial_meter, label);
+  }
+}
+
+/// End-to-end determinism: two full DeltaCFS stacks differing only in
+/// `delta_threads` must produce identical cloud state, traffic and client
+/// CPU accounting.
+TEST(ClientParallelEquivalenceTest, ThreadCountDoesNotChangeObservables) {
+  const auto run = [](std::uint32_t threads) {
+    VirtualClock clock;
+    ClientConfig config;
+    config.delta_block_size = 512;
+    config.delta_threads = threads;
+    DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan(),
+                          config);
+    system.fs().mkdir("/sync");
+
+    Rng rng(13);
+    Bytes content = rng.bytes(400'000);
+    EXPECT_TRUE(system.fs().write_file("/sync/doc", content).is_ok());
+    const auto drain = [&] {
+      for (int i = 0; i < 50; ++i) {
+        clock.advance(milliseconds(200));
+        system.tick(clock.now());
+      }
+      system.finish(clock.now());
+    };
+    drain();
+
+    // Transactional rewrite (vim flow): delta against the synced version.
+    content.insert(content.begin() + 200'000, 42);
+    EXPECT_TRUE(system.fs().rename("/sync/doc", "/sync/doc~").is_ok());
+    EXPECT_TRUE(system.fs().write_file("/sync/doc", content).is_ok());
+    EXPECT_TRUE(system.fs().unlink("/sync/doc~").is_ok());
+    drain();
+
+    Result<Bytes> cloud = system.server().fetch("/sync/doc");
+    EXPECT_TRUE(cloud.is_ok());
+    return std::tuple{cloud.is_ok() ? *cloud : Bytes{},
+                      system.traffic().up_bytes(),
+                      system.client().meter().snapshot().total_units};
+  };
+
+  const auto [cloud1, up1, units1] = run(1);
+  for (const std::uint32_t threads : {2u, 4u, 8u}) {
+    const auto [cloud, up, units] = run(threads);
+    const std::string label = "threads=" + std::to_string(threads);
+    EXPECT_EQ(cloud, cloud1) << label;
+    EXPECT_EQ(up, up1) << label;
+    EXPECT_EQ(units, units1) << label;
+  }
+}
+
+}  // namespace
+}  // namespace dcfs

@@ -122,6 +122,37 @@ TEST(DeltaTest, LocalModeSkipsStrongHashing) {
   EXPECT_LT(local_meter.units(), remote_meter.units());
 }
 
+TEST(DeltaTest, WeakOnlySignatureSkipsStrongStorageAndWireBytes) {
+  Rng rng(80);
+  const Bytes base = rng.bytes(100'000);  // 25 blocks at 4096
+  const Signature weak_only =
+      compute_signature(base, 4096, /*with_strong=*/false, nullptr);
+  EXPECT_FALSE(weak_only.has_strong);
+  EXPECT_EQ(weak_only.block_count(), 25u);
+  EXPECT_TRUE(weak_only.strong.empty());
+  EXPECT_EQ(weak_only.wire_size(), 16u + 25u * 4u);
+
+  const Signature with_strong =
+      compute_signature(base, 4096, /*with_strong=*/true, nullptr);
+  EXPECT_EQ(with_strong.strong.size(), 25u);
+  EXPECT_EQ(with_strong.wire_size(), 16u + 25u * 20u);
+  EXPECT_EQ(weak_only.weak, with_strong.weak);
+}
+
+TEST(DeltaTest, RemoteDeltaAgainstWeakOnlySignatureNeverMatches) {
+  // Remote mode must confirm matches with the strong digest; a weak-only
+  // signature offers none, so every candidate is rejected and the delta
+  // degenerates to one big literal (correct, just not compact).
+  Rng rng(81);
+  const Bytes base = rng.bytes(100'000);
+  const Signature weak_only =
+      compute_signature(base, 4096, /*with_strong=*/false, nullptr);
+  const Delta delta = compute_delta(weak_only, base, nullptr);
+  EXPECT_EQ(delta.copied_bytes(), 0u);
+  EXPECT_EQ(delta.literal_bytes(), base.size());
+  EXPECT_EQ(apply_delta(base, delta).value(), base);
+}
+
 TEST(DeltaTest, WireRoundTrip) {
   Rng rng(9);
   const Bytes base = rng.bytes(100'000);

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "baselines/deltacfs_system.h"
+#include "common/rng.h"
+#include "core/signature_cache.h"
+#include "proto/messages.h"
+#include "rsyncx/delta.h"
+
+namespace dcfs {
+namespace {
+
+proto::VersionId version(std::uint64_t counter) { return {1, counter}; }
+
+/// A distinguishable weak-only signature (the cache stores weak-only ones).
+rsyncx::Signature make_signature(std::uint64_t tag) {
+  rsyncx::Signature signature;
+  signature.block_size = 4096;
+  signature.file_size = tag;
+  signature.has_strong = false;
+  signature.weak = {static_cast<std::uint32_t>(tag)};
+  return signature;
+}
+
+TEST(SignatureCacheTest, MissThenHit) {
+  SignatureCache cache(4);
+  EXPECT_EQ(cache.get("/f", version(1)), nullptr);
+
+  cache.put("/f", version(1), make_signature(11));
+  const rsyncx::Signature* hit = cache.get("/f", version(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->file_size, 11u);
+
+  // Same path, different version: distinct entry.
+  EXPECT_EQ(cache.get("/f", version(2)), nullptr);
+  // Different path, same version numbers: distinct entry.
+  EXPECT_EQ(cache.get("/g", version(1)), nullptr);
+}
+
+TEST(SignatureCacheTest, PutReplacesExistingVersion) {
+  SignatureCache cache(4);
+  cache.put("/f", version(1), make_signature(11));
+  cache.put("/f", version(1), make_signature(22));
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_NE(cache.get("/f", version(1)), nullptr);
+  EXPECT_EQ(cache.get("/f", version(1))->file_size, 22u);
+}
+
+TEST(SignatureCacheTest, EvictsLeastRecentlyUsed) {
+  SignatureCache cache(2);
+  cache.put("/a", version(1), make_signature(1));
+  cache.put("/b", version(2), make_signature(2));
+  cache.put("/c", version(3), make_signature(3));  // evicts /a
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.get("/a", version(1)), nullptr);
+  EXPECT_NE(cache.get("/b", version(2)), nullptr);
+  EXPECT_NE(cache.get("/c", version(3)), nullptr);
+}
+
+TEST(SignatureCacheTest, GetRefreshesRecency) {
+  SignatureCache cache(2);
+  cache.put("/a", version(1), make_signature(1));
+  cache.put("/b", version(2), make_signature(2));
+  ASSERT_NE(cache.get("/a", version(1)), nullptr);  // /a becomes MRU
+  cache.put("/c", version(3), make_signature(3));   // evicts /b, not /a
+  EXPECT_NE(cache.get("/a", version(1)), nullptr);
+  EXPECT_EQ(cache.get("/b", version(2)), nullptr);
+}
+
+TEST(SignatureCacheTest, InvalidateDropsAllVersionsOfPath) {
+  SignatureCache cache(8);
+  cache.put("/f", version(1), make_signature(1));
+  cache.put("/f", version(2), make_signature(2));
+  cache.put("/g", version(3), make_signature(3));
+  cache.invalidate("/f");
+  EXPECT_EQ(cache.get("/f", version(1)), nullptr);
+  EXPECT_EQ(cache.get("/f", version(2)), nullptr);
+  EXPECT_NE(cache.get("/g", version(3)), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SignatureCacheTest, RenameMovesEntriesToNewPath) {
+  SignatureCache cache(8);
+  cache.put("/from", version(1), make_signature(1));
+  cache.put("/from", version(2), make_signature(2));
+  cache.on_rename("/from", "/to");
+  EXPECT_EQ(cache.get("/from", version(1)), nullptr);
+  EXPECT_NE(cache.get("/to", version(1)), nullptr);
+  EXPECT_NE(cache.get("/to", version(2)), nullptr);
+}
+
+TEST(SignatureCacheTest, RenameKeepsExistingDestinationEntries) {
+  // The vim flow renames a temp file over the real name; signatures already
+  // cached under the destination (keyed by their own versions) must stay —
+  // version keys are globally unique so the histories cannot collide.
+  SignatureCache cache(8);
+  cache.put("/to", version(1), make_signature(1));
+  cache.put("/from", version(2), make_signature(2));
+  cache.on_rename("/from", "/to");
+  EXPECT_NE(cache.get("/to", version(1)), nullptr);
+  EXPECT_NE(cache.get("/to", version(2)), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SignatureCacheTest, ZeroCapacityStoresNothing) {
+  SignatureCache cache(0);
+  cache.put("/f", version(1), make_signature(1));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.get("/f", version(1)), nullptr);
+}
+
+TEST(SignatureCacheTest, ClearEmptiesTheCache) {
+  SignatureCache cache(8);
+  cache.put("/f", version(1), make_signature(1));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.get("/f", version(1)), nullptr);
+}
+
+/// End-to-end: a chain of transactional rewrites must hit the cache from
+/// the second delta on, and hits must not change what reaches the cloud.
+class SignatureCacheClientTest : public ::testing::Test {
+ protected:
+  SignatureCacheClientTest() { system_.fs().mkdir("/sync"); }
+
+  void drain() {
+    for (int i = 0; i < 50; ++i) {
+      clock_.advance(milliseconds(200));
+      system_.tick(clock_.now());
+    }
+    system_.finish(clock_.now());
+  }
+
+  /// The vim save flow: write a temp file, rename it over the target.
+  void transactional_write(const std::string& path, ByteSpan content) {
+    const std::string tmp = path + ".swp";
+    ASSERT_TRUE(system_.fs().write_file(tmp, content).is_ok());
+    ASSERT_TRUE(system_.fs().rename(tmp, path).is_ok());
+  }
+
+  static ClientConfig config() {
+    ClientConfig cfg;
+    cfg.delta_block_size = 512;
+    return cfg;
+  }
+
+  VirtualClock clock_;
+  DeltaCfsSystem system_{clock_, CostProfile::pc(), NetProfile::pc_wan(),
+                         config()};
+};
+
+TEST_F(SignatureCacheClientTest, TransactionalRewriteChainHitsCache) {
+  Rng rng(21);
+  Bytes content = rng.bytes(100'000);
+  ASSERT_TRUE(system_.fs().write_file("/sync/doc", content).is_ok());
+  drain();
+  EXPECT_EQ(system_.client().signature_cache_hits(), 0u);
+
+  for (int round = 0; round < 3; ++round) {
+    content.insert(content.begin() + 50'000,
+                   static_cast<std::uint8_t>(42 + round));
+    transactional_write("/sync/doc", content);
+    drain();
+  }
+  // Every delta after the first can reuse the signature advanced from the
+  // previous round.
+  EXPECT_GT(system_.client().signature_cache_hits(), 0u);
+  Result<Bytes> cloud = system_.server().fetch("/sync/doc");
+  ASSERT_TRUE(cloud.is_ok());
+  EXPECT_EQ(*cloud, content);
+}
+
+TEST_F(SignatureCacheClientTest, WritesInvalidateCachedSignatures) {
+  Rng rng(22);
+  Bytes content = rng.bytes(100'000);
+  ASSERT_TRUE(system_.fs().write_file("/sync/doc", content).is_ok());
+  drain();
+
+  // An in-place write mutates the synced content, so the cached signature
+  // for the old version must be dropped: the next transactional rewrite
+  // starts from a fresh signature pass (a miss, not a stale hit).
+  const std::uint64_t hits_before = system_.client().signature_cache_hits();
+  Result<FileHandle> handle = system_.fs().open("/sync/doc");
+  ASSERT_TRUE(handle.is_ok());
+  const Bytes patch = rng.bytes(1000);
+  system_.fs().write(*handle, 10'000, patch);
+  system_.fs().close(*handle);
+  drain();
+
+  content.insert(content.begin() + 50'000, 42);
+  std::copy(patch.begin(), patch.end(), content.begin() + 10'000);
+  transactional_write("/sync/doc", content);
+  drain();
+  EXPECT_EQ(system_.client().signature_cache_hits(), hits_before);
+  EXPECT_GT(system_.client().signature_cache_misses(), 0u);
+  Result<Bytes> cloud = system_.server().fetch("/sync/doc");
+  ASSERT_TRUE(cloud.is_ok());
+  EXPECT_EQ(*cloud, content);
+}
+
+}  // namespace
+}  // namespace dcfs
