@@ -1,0 +1,264 @@
+// Wall-clock scaling of the CloudServer's sharded apply pipeline
+// (ServerConfig::apply_shards) plus block-store dedup accounting.
+//
+// Builds one deterministic multi-client workload — versioned rewrites of a
+// spread of files (near-identical versions, so history dedups), plus
+// transactional groups and a sprinkle of cross-client conflicts — then
+// replays the identical frame stream into servers configured with 1, 2, 4
+// and 8 apply shards.  Every run is self-checked against the serial
+// server's observable state (file contents, counters, meter units, ack
+// bytes); a mismatch aborts the bench.  Emits a table on stdout and
+// BENCH_server.json (array of {shards, records, seconds, records_per_sec,
+// speedup, dedup_ratio, unique_bytes, logical_bytes}) for CI upload.
+//
+// Usage: server_scale [--clients N] [--rounds N] [--file-kb N] [--reps N]
+//                     [--out FILE]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/transport.h"
+#include "proto/messages.h"
+#include "rsyncx/delta.h"
+#include "server/cloud_server.h"
+
+namespace {
+
+using namespace dcfs;
+
+[[noreturn]] void die(const char* what) {
+  std::fprintf(stderr, "server_scale: %s\n", what);
+  std::exit(1);
+}
+
+struct Options {
+  std::uint32_t clients = 4;
+  std::size_t rounds = 8;
+  std::uint64_t file_kb = 256;
+  int reps = 3;
+  std::string out = "BENCH_server.json";
+};
+
+/// The full workload, pre-encoded: per round, per client, the wire frames
+/// that client sends before the pump.  Identical bytes for every shard
+/// count, so the replay measures only the server.
+using Workload = std::vector<std::vector<std::vector<Bytes>>>;
+
+Workload make_workload(const Options& opt) {
+  Rng rng(271828);
+  const std::size_t files_per_client = 6;
+  // Per (client, file): the content and version the client last uploaded.
+  std::vector<std::vector<Bytes>> contents(opt.clients);
+  std::vector<std::vector<proto::VersionId>> last_version(opt.clients);
+  std::vector<std::uint64_t> version_counter(opt.clients, 0);
+  std::vector<std::uint64_t> sequence(opt.clients, 0);
+
+  Workload workload(opt.rounds);
+  for (std::size_t round = 0; round < opt.rounds; ++round) {
+    workload[round].resize(opt.clients);
+    for (std::uint32_t c = 0; c < opt.clients; ++c) {
+      const std::uint32_t client_id = c + 1;
+      auto& mine = contents[c];
+      std::vector<Bytes>& frames = workload[round][c];
+      for (std::size_t f = 0; f < files_per_client; ++f) {
+        proto::SyncRecord record;
+        record.sequence = ++sequence[c];
+        record.path = "/sync/c" + std::to_string(client_id) + "_f" +
+                      std::to_string(f);
+        if (mine.size() <= f) {
+          // First round: full upload of a fresh file.
+          record.kind = proto::OpKind::full_file;
+          record.payload = rng.bytes(opt.file_kb << 10);
+          mine.push_back(record.payload);
+          last_version[c].push_back({});
+        } else {
+          // Rewrite: flip a few bytes, ship the delta.  The superseded
+          // version lands in block-backed history nearly identical to its
+          // neighbors — the dedup food.
+          Bytes next = mine[f];
+          for (int e = 0; e < 8; ++e) {
+            next[rng.next_below(next.size())] ^= 0x5A;
+          }
+          record.kind = proto::OpKind::file_delta;
+          record.base_version = last_version[c][f];
+          record.payload = rsyncx::encode_delta(
+              rsyncx::compute_delta_local(mine[f], next, 4096, nullptr));
+          mine[f] = std::move(next);
+        }
+        record.new_version = {client_id, ++version_counter[c]};
+        last_version[c][f] = record.new_version;
+        record.txn_group = (f % 3 == 0) ? round * 100 + f / 3 + 1 : 0;
+        record.txn_last = record.txn_group != 0;
+        frames.push_back(proto::encode(record));
+      }
+      // One shared path all clients fight over: exercises conflict
+      // handling and keeps at least one work unit cross-client.
+      proto::SyncRecord shared;
+      shared.sequence = ++sequence[c];
+      shared.kind = proto::OpKind::full_file;
+      shared.path = "/sync/shared";
+      shared.payload = rng.bytes(2048);
+      shared.new_version = {client_id, ++version_counter[c]};
+      frames.push_back(proto::encode(shared));
+    }
+  }
+  return workload;
+}
+
+struct RunResult {
+  std::size_t records = 0;
+  double seconds = 0;
+  double dedup_ratio = 0;
+  std::uint64_t unique_bytes = 0;
+  std::uint64_t logical_bytes = 0;
+  std::string check;  ///< digest of observable state, compared across runs
+};
+
+RunResult run_once(const Workload& workload, std::uint32_t clients,
+                   std::size_t shards) {
+  ServerConfig config;
+  config.apply_shards = shards;
+  CloudServer server(CostProfile::pc(), config);
+  std::vector<Transport> transports;
+  transports.reserve(clients);
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    transports.emplace_back(NetProfile::pc_wan());
+  }
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    server.attach(c + 1, transports[c]);
+  }
+
+  RunResult result;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& round : workload) {
+    for (std::uint32_t c = 0; c < clients; ++c) {
+      for (const Bytes& frame : round[c]) {
+        transports[c].client_send(Bytes(frame));
+      }
+    }
+    result.records += server.pump();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+
+  // Digest every observable output so shard counts can be compared.
+  std::uint64_t down_bytes = 0, down_frames = 0;
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    while (auto frame = transports[c].client_poll()) {
+      down_bytes += frame->size();
+      ++down_frames;
+    }
+  }
+  std::uint64_t content_sum = 0;
+  for (const std::string& path : server.paths()) {
+    const Result<Bytes> content = server.fetch(path);
+    if (!content) die("fetch failed");
+    for (const std::uint8_t b : *content) content_sum = content_sum * 131 + b;
+  }
+  char digest[256];
+  std::snprintf(digest, sizeof digest,
+                "files=%zu content=%llu units=%llu applied=%llu "
+                "conflicts=%llu groups=%llu down=%llu/%llu",
+                server.paths().size(),
+                static_cast<unsigned long long>(content_sum),
+                static_cast<unsigned long long>(server.meter().units()),
+                static_cast<unsigned long long>(server.records_applied()),
+                static_cast<unsigned long long>(server.conflicts_seen()),
+                static_cast<unsigned long long>(server.txn_groups_applied()),
+                static_cast<unsigned long long>(down_frames),
+                static_cast<unsigned long long>(down_bytes));
+  result.check = digest;
+  result.dedup_ratio = server.store().dedup_ratio();
+  result.unique_bytes = server.store().unique_bytes();
+  result.logical_bytes = server.store().logical_bytes();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--clients" && i + 1 < argc) {
+      opt.clients = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--rounds" && i + 1 < argc) {
+      opt.rounds = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--file-kb" && i + 1 < argc) {
+      opt.file_kb = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--reps" && i + 1 < argc) {
+      opt.reps = std::atoi(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      opt.out = argv[++i];
+    } else {
+      die("usage: server_scale [--clients N] [--rounds N] [--file-kb N] "
+          "[--reps N] [--out FILE]");
+    }
+  }
+
+  const Workload workload = make_workload(opt);
+
+  struct Row {
+    std::size_t shards;
+    RunResult best;
+  };
+  std::vector<Row> rows;
+  std::string reference_check;
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    RunResult best;
+    for (int rep = 0; rep < opt.reps; ++rep) {
+      RunResult run = run_once(workload, opt.clients, shards);
+      if (reference_check.empty()) reference_check = run.check;
+      if (run.check != reference_check) {
+        std::fprintf(stderr, "serial   : %s\n", reference_check.c_str());
+        std::fprintf(stderr, "shards=%zu: %s\n", shards, run.check.c_str());
+        die("parallel state diverged from the serial reference");
+      }
+      if (best.seconds == 0 || run.seconds < best.seconds) best = std::move(run);
+    }
+    rows.push_back({shards, std::move(best)});
+  }
+
+  const double serial_seconds = rows.front().best.seconds;
+  std::printf("# %u clients x %zu rounds, %llu KiB files, best of %d reps\n",
+              opt.clients, opt.rounds,
+              static_cast<unsigned long long>(opt.file_kb), opt.reps);
+  std::printf("%8s %10s %10s %14s %8s %8s\n", "shards", "records", "seconds",
+              "records/s", "speedup", "dedup");
+  FILE* json = std::fopen(opt.out.c_str(), "w");
+  if (json == nullptr) die("cannot open output file");
+  std::fprintf(json, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    const double rps = static_cast<double>(row.best.records) /
+                       row.best.seconds;
+    const double speedup = serial_seconds / row.best.seconds;
+    std::printf("%8zu %10zu %10.4f %14.1f %7.2fx %7.2fx\n", row.shards,
+                row.best.records, row.best.seconds, rps, speedup,
+                row.best.dedup_ratio);
+    std::fprintf(
+        json,
+        "  {\"shards\": %zu, \"records\": %zu, \"seconds\": %.6f, "
+        "\"records_per_sec\": %.1f, \"speedup\": %.3f, "
+        "\"dedup_ratio\": %.3f, \"unique_bytes\": %llu, "
+        "\"logical_bytes\": %llu}%s\n",
+        row.shards, row.best.records, row.best.seconds, rps, speedup,
+        row.best.dedup_ratio,
+        static_cast<unsigned long long>(row.best.unique_bytes),
+        static_cast<unsigned long long>(row.best.logical_bytes),
+        i + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(json, "]\n");
+  std::fclose(json);
+  std::printf("wrote %s\n", opt.out.c_str());
+  if (rows.front().best.dedup_ratio <= 1.5) {
+    die("dedup ratio did not exceed 1.5 — block-store history broken?");
+  }
+  return 0;
+}

@@ -58,8 +58,10 @@ int main() {
   obs.tracer.enable(clock);
   ClientConfig config;
   config.delta_threads = 2;  // exercise dcfs::par so par.* shows in `stats`
+  ServerConfig server_config;
+  server_config.apply_shards = 2;  // exercise the sharded apply pipeline
   DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan(), config,
-                        CostProfile::pc(), &obs);
+                        CostProfile::pc(), &obs, server_config);
   system.fs().mkdir("/sync");
   std::printf("DeltaCFS syncctl — sync root is /sync.  `help` for commands.\n");
 
@@ -168,6 +170,19 @@ int main() {
                   system.client().queue().size(),
                   static_cast<unsigned long long>(
                       system.client().queue().pending_bytes()));
+      const CloudServer& server = system.server();
+      std::printf("server     : %llu records applied, %llu txn groups, "
+                  "%zu shard(s)\n",
+                  static_cast<unsigned long long>(server.records_applied()),
+                  static_cast<unsigned long long>(server.txn_groups_applied()),
+                  server.config().apply_shards);
+      std::printf("store      : %llu unique / %llu logical bytes "
+                  "(dedup %.2fx, block store %s)\n",
+                  static_cast<unsigned long long>(server.store().unique_bytes()),
+                  static_cast<unsigned long long>(
+                      server.store().logical_bytes()),
+                  server.store().dedup_ratio(),
+                  server.config().use_block_store ? "on" : "off");
       std::printf("--- metric registry ---\n%s",
                   system.metrics_snapshot().to_string().c_str());
     } else if (cmd == "trace") {

@@ -6,12 +6,12 @@ DeltaCfsSystem::DeltaCfsSystem(const Clock& clock,
                                const CostProfile& client_profile,
                                const NetProfile& net, ClientConfig config,
                                const CostProfile& server_profile,
-                               obs::Obs* obs)
+                               obs::Obs* obs, ServerConfig server_config)
     : clock_(clock),
       obs_(obs),
       local_(clock),
       transport_(net, obs),
-      server_(server_profile, 16, obs),
+      server_(server_profile, server_config, obs),
       client_(local_, transport_, clock, client_profile, std::move(config),
               nullptr, obs),
       intercepting_(local_, client_, obs) {

@@ -19,7 +19,8 @@ class DeltaCfsSystem final : public SyncSystem {
   DeltaCfsSystem(const Clock& clock, const CostProfile& client_profile,
                  const NetProfile& net, ClientConfig config = {},
                  const CostProfile& server_profile = CostProfile::pc(),
-                 obs::Obs* obs = nullptr);
+                 obs::Obs* obs = nullptr,
+                 ServerConfig server_config = {});
 
   [[nodiscard]] std::string_view name() const override { return "DeltaCFS"; }
   FileSystem& fs() override { return intercepting_; }

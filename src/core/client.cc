@@ -49,6 +49,8 @@ DeltaCfsClient::DeltaCfsClient(FileSystem& local, Transport& transport,
     stats_.forwards = &reg.counter("client.forwards.applied");
     stats_.sigcache_hits = &reg.counter("client.sigcache.hits");
     stats_.sigcache_misses = &reg.counter("client.sigcache.misses");
+    stats_.bundle_frames = &reg.counter("net.bundle.frames");
+    stats_.bundle_records = &reg.counter("net.bundle.records");
     stats_.record_bytes =
         &reg.histogram("client.upload.record_bytes", obs::default_bytes_bounds());
   }
@@ -764,6 +766,7 @@ void DeltaCfsClient::tick(TimePoint now) {
     for (SyncNode& node : ready) {
       upload_node(std::move(node));
     }
+    flush_bundle();
   }
 
   while (auto frame = transport_.client_poll()) {
@@ -797,6 +800,7 @@ void DeltaCfsClient::flush(TimePoint now) {
     for (SyncNode& node : ready) {
       upload_node(std::move(node));
     }
+    flush_bundle();
   }
 }
 
@@ -838,12 +842,48 @@ void DeltaCfsClient::upload_node(SyncNode node) {
   }
 
   Bytes frame = proto::encode(record);
-  meter_.charge(CostKind::encrypt, frame.size());
-  meter_.charge(CostKind::net_frame, frame.size());
   obs::inc(stats_.uploads);
   obs::observe(stats_.record_bytes, frame.size());
-  transport_.client_send(std::move(frame), proto::MessageType::sync_record);
   ++records_uploaded_;
+
+  if (config_.bundle_uploads &&
+      frame.size() <= config_.bundle_record_max_bytes) {
+    // 4-byte member length prefix, per encode_bundle.
+    bundle_pending_bytes_ += frame.size() + 4;
+    bundle_pending_.push_back(std::move(record));
+    if (bundle_pending_bytes_ >= config_.bundle_max_bytes) flush_bundle();
+    return;
+  }
+  // A non-bundleable record must not overtake pending members on the wire:
+  // the server applies frames in arrival order.
+  flush_bundle();
+  send_record_frame(std::move(frame));
+}
+
+void DeltaCfsClient::send_record_frame(Bytes frame) {
+  meter_.charge(CostKind::encrypt, frame.size());
+  meter_.charge(CostKind::net_frame, frame.size());
+  transport_.client_send(std::move(frame), proto::MessageType::sync_record);
+}
+
+void DeltaCfsClient::flush_bundle() {
+  if (bundle_pending_.empty()) return;
+  if (bundle_pending_.size() == 1) {
+    // A lone member gains nothing from the bundle envelope.
+    send_record_frame(proto::encode(bundle_pending_.front()));
+  } else {
+    proto::SyncRecord bundle;
+    bundle.kind = proto::OpKind::record_bundle;
+    bundle.sequence = bundle_pending_.front().sequence;
+    bundle.payload = proto::encode_bundle(bundle_pending_);
+    ++bundle_frames_sent_;
+    bundle_records_sent_ += bundle_pending_.size();
+    obs::inc(stats_.bundle_frames);
+    obs::inc(stats_.bundle_records, bundle_pending_.size());
+    send_record_frame(proto::encode(bundle));
+  }
+  bundle_pending_.clear();
+  bundle_pending_bytes_ = 0;
 }
 
 void DeltaCfsClient::process_ack(const proto::Ack& ack) {
@@ -949,6 +989,9 @@ void DeltaCfsClient::apply_forward(const proto::SyncRecord& raw_record) {
       local_.write_file(record.path, record.payload);
       known_versions_[record.path] = record.new_version;
       if (checksums_) checksums_->index_file(local_, record.path);
+      break;
+    case proto::OpKind::record_bundle:
+      // The server forwards individual member records, never bundles.
       break;
   }
 }

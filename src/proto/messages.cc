@@ -102,6 +102,7 @@ std::string_view to_string(OpKind kind) {
     case OpKind::write: return "write";
     case OpKind::file_delta: return "file_delta";
     case OpKind::full_file: return "full_file";
+    case OpKind::record_bundle: return "record_bundle";
   }
   return "unknown";
 }
@@ -182,6 +183,48 @@ Result<Ack> decode_ack(ByteSpan wire) {
     return Status{Errc::corruption, "ack path truncated"};
   }
   return ack;
+}
+
+Bytes encode_bundle(const std::vector<SyncRecord>& records) {
+  Bytes wire;
+  put_u32(wire, static_cast<std::uint32_t>(records.size()));
+  for (const SyncRecord& record : records) {
+    const Bytes encoded = encode(record);
+    put_u32(wire, static_cast<std::uint32_t>(encoded.size()));
+    append(wire, encoded);
+  }
+  return wire;
+}
+
+Result<std::vector<SyncRecord>> decode_bundle(ByteSpan wire) {
+  if (wire.size() < 4) return Status{Errc::corruption, "bundle too short"};
+  const std::uint32_t count = get_u32(wire, 0);
+  std::size_t pos = 4;
+  // Every member record encodes to >= 60 bytes plus its length prefix.
+  if (count > wire.size() / 64 + 1) {
+    return Status{Errc::corruption, "bundle count implausible"};
+  }
+  std::vector<SyncRecord> records;
+  records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (pos + 4 > wire.size()) {
+      return Status{Errc::corruption, "bundle member header truncated"};
+    }
+    const std::uint32_t length = get_u32(wire, pos);
+    pos += 4;
+    if (pos + length > wire.size()) {
+      return Status{Errc::corruption, "bundle member truncated"};
+    }
+    Result<SyncRecord> record =
+        decode_record(ByteSpan{wire.data() + pos, length});
+    if (!record) return record.status();
+    if (record->kind == OpKind::record_bundle) {
+      return Status{Errc::corruption, "nested bundle"};
+    }
+    records.push_back(std::move(*record));
+    pos += length;
+  }
+  return records;
 }
 
 }  // namespace dcfs::proto

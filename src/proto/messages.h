@@ -66,6 +66,10 @@ enum class OpKind : std::uint8_t {
   write,        ///< payload at `offset` (NFS-like file RPC)
   file_delta,   ///< payload = encoded rsyncx::Delta against base_version
   full_file,    ///< payload = entire content (bootstrap / recovery)
+  /// Payload = several encoded SyncRecords (encode_bundle).  Amortizes the
+  /// per-frame overhead on chatty uploads of small records; the server
+  /// unpacks and acks every member individually.  Bundles never nest.
+  record_bundle,
 };
 
 std::string_view to_string(OpKind kind);
@@ -121,5 +125,11 @@ Result<SyncRecord> decode_record(ByteSpan wire);
 
 Bytes encode(const Ack& ack);
 Result<Ack> decode_ack(ByteSpan wire);
+
+/// Payload of an OpKind::record_bundle record: count + length-prefixed
+/// encoded member records.  Members keep their own sequence numbers (each
+/// is acked individually) and their own compression flags.
+Bytes encode_bundle(const std::vector<SyncRecord>& records);
+Result<std::vector<SyncRecord>> decode_bundle(ByteSpan wire);
 
 }  // namespace dcfs::proto

@@ -3,12 +3,18 @@
 namespace dcfs {
 
 BlockHandle BlockStore::put(ByteSpan content) {
+  // Boundary scan + chunk hashing are the expensive part; keep them out of
+  // the critical section so parallel apply units overlap their CPU work.
+  const std::vector<rsyncx::Chunk> chunks =
+      rsyncx::chunk_cdc(content, chunking_, nullptr);
+
   BlockHandle handle;
   handle.size = content.size();
-  logical_bytes_ += content.size();
+  handle.chunks.reserve(chunks.size());
 
-  for (const rsyncx::Chunk& chunk :
-       rsyncx::chunk_cdc(content, chunking_, nullptr)) {
+  std::lock_guard<std::mutex> lock(mu_);
+  logical_bytes_ += content.size();
+  for (const rsyncx::Chunk& chunk : chunks) {
     handle.chunks.push_back(chunk.id);
     const auto [it, inserted] = chunks_.try_emplace(chunk.id);
     if (inserted) {
@@ -23,9 +29,17 @@ BlockHandle BlockStore::put(ByteSpan content) {
   return handle;
 }
 
+std::shared_ptr<const BlockHandle> BlockStore::put_shared(ByteSpan content) {
+  return {new BlockHandle(put(content)), [this](const BlockHandle* handle) {
+            release(*handle);
+            delete handle;
+          }};
+}
+
 Result<Bytes> BlockStore::get(const BlockHandle& handle) const {
   Bytes out;
   out.reserve(handle.size);
+  std::lock_guard<std::mutex> lock(mu_);
   for (const Md5::Digest& id : handle.chunks) {
     const auto it = chunks_.find(id);
     if (it == chunks_.end()) {
@@ -40,6 +54,7 @@ Result<Bytes> BlockStore::get(const BlockHandle& handle) const {
 }
 
 void BlockStore::release(const BlockHandle& handle) {
+  std::lock_guard<std::mutex> lock(mu_);
   logical_bytes_ -= std::min<std::uint64_t>(logical_bytes_, handle.size);
   for (const Md5::Digest& id : handle.chunks) {
     const auto it = chunks_.find(id);
@@ -49,6 +64,28 @@ void BlockStore::release(const BlockHandle& handle) {
       chunks_.erase(it);
     }
   }
+}
+
+std::uint64_t BlockStore::unique_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return unique_bytes_;
+}
+
+std::uint64_t BlockStore::logical_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return logical_bytes_;
+}
+
+std::size_t BlockStore::chunk_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chunks_.size();
+}
+
+double BlockStore::dedup_ratio() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (unique_bytes_ == 0) return 1.0;
+  return static_cast<double>(logical_bytes_) /
+         static_cast<double>(unique_bytes_);
 }
 
 }  // namespace dcfs

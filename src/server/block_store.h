@@ -10,11 +10,23 @@
 //
 // The store keeps refcounted CDC chunks; `put` returns a handle (chunk id
 // list), `release` decrements refcounts and garbage-collects chunks that
-// reach zero.
+// reach zero.  `put_shared` wraps the handle in a shared_ptr whose deleter
+// releases the chunks, so copies of server-side entries (group staging,
+// tombstone revival, rename history splices) share one store reference and
+// GC exactly once.
+//
+// Since PR 3 this is the CloudServer's default history storage engine
+// (ServerConfig::use_block_store), so the map mutations are guarded by a
+// mutex: parallel apply units put/release concurrently.  Chunk scanning and
+// hashing — the CPU-heavy part — run outside the lock.  All operations are
+// commutative (refcount adds/subtracts of content-addressed chunks), so the
+// final store state is independent of interleaving.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/bytes.h"
@@ -41,6 +53,12 @@ class BlockStore {
   /// Chunks shared with existing objects only gain a reference.
   BlockHandle put(ByteSpan content);
 
+  /// `put` wrapped so the store reference follows the handle's lifetime:
+  /// the last copy of the returned pointer releases the chunks.  The store
+  /// must outlive every handle.
+  [[nodiscard]] std::shared_ptr<const BlockHandle> put_shared(
+      ByteSpan content);
+
   /// Reassembles an object.  Fails with corruption if a chunk is missing
   /// (a release/GC bug or an invalid handle).
   [[nodiscard]] Result<Bytes> get(const BlockHandle& handle) const;
@@ -52,23 +70,13 @@ class BlockStore {
   // ---- accounting ----
 
   /// Bytes of unique chunk data currently held.
-  [[nodiscard]] std::uint64_t unique_bytes() const noexcept {
-    return unique_bytes_;
-  }
+  [[nodiscard]] std::uint64_t unique_bytes() const;
   /// Logical bytes across all live handles (sum of put sizes minus
   /// releases).
-  [[nodiscard]] std::uint64_t logical_bytes() const noexcept {
-    return logical_bytes_;
-  }
-  [[nodiscard]] std::size_t chunk_count() const noexcept {
-    return chunks_.size();
-  }
+  [[nodiscard]] std::uint64_t logical_bytes() const;
+  [[nodiscard]] std::size_t chunk_count() const;
   /// logical / unique — 1.0 means no sharing, higher means dedup wins.
-  [[nodiscard]] double dedup_ratio() const noexcept {
-    if (unique_bytes_ == 0) return 1.0;
-    return static_cast<double>(logical_bytes_) /
-           static_cast<double>(unique_bytes_);
-  }
+  [[nodiscard]] double dedup_ratio() const;
 
  private:
   struct Chunk {
@@ -77,6 +85,7 @@ class BlockStore {
   };
 
   rsyncx::CdcParams chunking_;
+  mutable std::mutex mu_;  ///< guards chunks_ and the byte counters
   std::map<Md5::Digest, Chunk> chunks_;
   std::uint64_t unique_bytes_ = 0;
   std::uint64_t logical_bytes_ = 0;

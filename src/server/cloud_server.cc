@@ -1,32 +1,38 @@
 #include "server/cloud_server.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "compress/lz.h"
 #include "rsyncx/delta.h"
 
 namespace dcfs {
-namespace {
 
-std::uint64_t group_key(std::uint32_t client, std::uint64_t group) {
-  return (static_cast<std::uint64_t>(client) << 48) ^ group;
-}
-
-}  // namespace
-
-CloudServer::CloudServer(const CostProfile& profile, std::size_t history_depth,
+CloudServer::CloudServer(const CostProfile& profile, ServerConfig config,
                          obs::Obs* obs)
-    : meter_(profile), history_depth_(history_depth) {
+    : meter_(profile), config_(config), store_(config.chunking) {
+  if (config_.apply_shards > 1) {
+    pool_ = std::make_unique<par::WorkerPool>(config_.apply_shards, obs);
+  }
   if (obs != nullptr) {
     tracer_ = &obs->tracer;
     applied_counter_ = &obs->registry.counter("server.records_applied");
     conflict_counter_ = &obs->registry.counter("server.conflicts");
     txn_buffered_ = &obs->registry.counter("server.txn.buffered_records");
-    txn_groups_applied_ = &obs->registry.counter("server.txn.groups_applied");
+    txn_groups_counter_ = &obs->registry.counter("server.txn.groups_applied");
     apply_latency_us_ = &obs->registry.histogram("server.apply_latency_us");
+    store_unique_gauge_ = &obs->registry.gauge("server.store.unique_bytes");
+    store_logical_gauge_ = &obs->registry.gauge("server.store.logical_bytes");
+    // Ratio scaled by 1000 (gauges are integral): 1500 = 1.5x dedup.
+    store_dedup_gauge_ = &obs->registry.gauge("server.store.dedup_ratio");
   }
 }
+
+CloudServer::CloudServer(const CostProfile& profile, std::size_t history_depth,
+                         obs::Obs* obs)
+    : CloudServer(profile, ServerConfig{.history_depth = history_depth},
+                  obs) {}
 
 void CloudServer::attach(std::uint32_t client_id, Transport& transport) {
   clients_[client_id] = &transport;
@@ -36,7 +42,31 @@ void CloudServer::detach(std::uint32_t client_id) {
   clients_.erase(client_id);
 }
 
+void CloudServer::update_store_gauges() {
+  if (store_unique_gauge_ == nullptr) return;
+  store_unique_gauge_->set(static_cast<std::int64_t>(store_.unique_bytes()));
+  store_logical_gauge_->set(static_cast<std::int64_t>(store_.logical_bytes()));
+  store_dedup_gauge_->set(
+      static_cast<std::int64_t>(std::llround(store_.dedup_ratio() * 1000.0)));
+}
+
+Result<std::vector<proto::SyncRecord>> CloudServer::unpack_bundle(
+    const proto::SyncRecord& record) {
+  if (!record.compressed) return proto::decode_bundle(record.payload);
+  meter_.charge(CostKind::decompress, record.payload.size());
+  Result<Bytes> plain = lz::decompress(record.payload);
+  if (!plain) return plain.status();
+  return proto::decode_bundle(*plain);
+}
+
 std::size_t CloudServer::pump() {
+  const std::size_t processed =
+      pool_ != nullptr ? pump_parallel() : pump_serial();
+  update_store_gauges();
+  return processed;
+}
+
+std::size_t CloudServer::pump_serial() {
   std::size_t processed = 0;
   for (auto& [client_id, transport] : clients_) {
     while (auto frame = transport->server_poll()) {
@@ -49,10 +79,308 @@ std::size_t CloudServer::pump() {
         send_ack(client_id, ack);
         continue;
       }
+      if (record->kind == proto::OpKind::record_bundle) {
+        Result<std::vector<proto::SyncRecord>> members = unpack_bundle(*record);
+        if (!members) {
+          proto::Ack ack;
+          ack.sequence = record->sequence;
+          ack.result = Errc::corruption;
+          send_ack(client_id, ack);
+          continue;
+        }
+        for (proto::SyncRecord& member : *members) {
+          const proto::Ack ack = apply_record(client_id, member);
+          send_ack(client_id, ack);
+          ++processed;
+        }
+        continue;
+      }
       const proto::Ack ack = apply_record(client_id, *record);
       send_ack(client_id, ack);
       ++processed;
     }
+  }
+  return processed;
+}
+
+std::size_t CloudServer::pump_parallel() {
+  // One item per serial position: every item owns exactly the outputs the
+  // serial pump would have produced at that position (ack, forwards,
+  // arrivals, rejections, conflict and latency accounting), so emitting
+  // them in item order reproduces the serial output streams exactly.
+  struct PumpItem {
+    enum class Kind { emit, single, group };
+    Kind kind = Kind::emit;
+    std::uint32_t client = 0;
+    proto::OpKind op = proto::OpKind::write;
+    /// False only for undecodable frames (the serial path acks those
+    /// without entering apply_record — no span, no latency sample).
+    bool applied = false;
+    proto::SyncRecord record;                      ///< Kind::single
+    std::vector<proto::SyncRecord> group_records;  ///< Kind::group
+    proto::Ack ack;
+    std::uint64_t pre_units = 0;    ///< intake charges (decompress)
+    std::uint64_t apply_units = 0;  ///< shard-meter charges of the apply
+    std::vector<proto::SyncRecord> forwards;
+    std::vector<std::string> arrivals;
+    std::vector<Rejection> rejections;
+    std::uint64_t conflicts = 0;
+  };
+
+  // ---- Phase A: drain + decode + triage, serially, in serial-pump order.
+  std::vector<PumpItem> items;
+  std::size_t processed = 0;
+  auto intake = [&](std::uint32_t client_id, proto::SyncRecord record) {
+    ++processed;
+    ++records_applied_;
+    obs::inc(applied_counter_);
+    PumpItem item;
+    item.client = client_id;
+    item.op = record.kind;
+    item.applied = true;
+    const std::uint64_t units_before = meter_.units();
+    if (record.kind == proto::OpKind::record_bundle) {
+      // Nested bundle smuggled through intake: protocol violation.
+      item.ack.sequence = record.sequence;
+      item.ack.result = Errc::corruption;
+      items.push_back(std::move(item));
+      return;
+    }
+    if (record.compressed) {
+      meter_.charge(CostKind::decompress, record.payload.size());
+      Result<Bytes> plain = lz::decompress(record.payload);
+      if (!plain) {
+        item.pre_units = meter_.units() - units_before;
+        item.ack.sequence = record.sequence;
+        item.ack.result = Errc::corruption;
+        items.push_back(std::move(item));
+        return;
+      }
+      record.payload = std::move(*plain);
+      record.compressed = false;
+    }
+    if (record.txn_group != 0) {
+      const GroupKey key{client_id, record.txn_group};
+      PendingGroup& group = groups_[key];
+      group.records.push_back(record);
+      if (!record.txn_last) {
+        obs::inc(txn_buffered_);
+        item.pre_units = meter_.units() - units_before;
+        item.ack.sequence = record.sequence;
+        item.ack.result = Errc::ok;  // buffered; final verdict with the group
+        items.push_back(std::move(item));
+        return;
+      }
+      PendingGroup complete = std::move(group);
+      groups_.erase(key);
+      ++txn_groups_applied_;
+      obs::inc(txn_groups_counter_);
+      item.kind = PumpItem::Kind::group;
+      item.group_records = std::move(complete.records);
+      item.pre_units = meter_.units() - units_before;
+      items.push_back(std::move(item));
+      return;
+    }
+    item.kind = PumpItem::Kind::single;
+    item.pre_units = meter_.units() - units_before;
+    item.record = std::move(record);
+    items.push_back(std::move(item));
+  };
+
+  for (auto& [client_id, transport] : clients_) {
+    while (auto frame = transport->server_poll()) {
+      meter_.charge(CostKind::net_frame, frame->size());
+      meter_.charge(CostKind::encrypt, frame->size());
+      Result<proto::SyncRecord> record = proto::decode_record(*frame);
+      if (!record) {
+        PumpItem item;
+        item.client = client_id;
+        item.ack.result = Errc::corruption;
+        items.push_back(std::move(item));
+        continue;
+      }
+      if (record->kind == proto::OpKind::record_bundle) {
+        Result<std::vector<proto::SyncRecord>> members = unpack_bundle(*record);
+        if (!members) {
+          PumpItem item;
+          item.client = client_id;
+          item.ack.sequence = record->sequence;
+          item.ack.result = Errc::corruption;
+          items.push_back(std::move(item));
+          continue;
+        }
+        for (proto::SyncRecord& member : *members) {
+          intake(client_id, std::move(member));
+        }
+        continue;
+      }
+      intake(client_id, std::move(*record));
+    }
+  }
+
+  // ---- Phase B: partition into independent units by touched-path sets.
+  // The closure of paths one record can read or write is {path, path2,
+  // conflict_name(path, from_client)}; a transactional group is the union
+  // over its records (it applies atomically, so it is one unit).
+  std::vector<int> dsu;
+  auto find = [&](int x) {
+    while (dsu[static_cast<std::size_t>(x)] != x) {
+      dsu[static_cast<std::size_t>(x)] =
+          dsu[static_cast<std::size_t>(dsu[static_cast<std::size_t>(x)])];
+      x = dsu[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  auto unite = [&](int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) dsu[static_cast<std::size_t>(b)] = a;
+  };
+  std::map<std::string, int, std::less<>> path_ids;
+  auto touch = [&](const std::string& path) {
+    const auto [it, inserted] =
+        path_ids.try_emplace(path, static_cast<int>(dsu.size()));
+    if (inserted) dsu.push_back(it->second);
+    return it->second;
+  };
+  std::vector<int> item_root(items.size(), -1);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const PumpItem& item = items[i];
+    if (item.kind == PumpItem::Kind::emit) continue;
+    int root = -1;
+    auto touch_record = [&](const proto::SyncRecord& record) {
+      for (const std::string& path :
+           {record.path, record.path2,
+            conflict_name(record.path, item.client)}) {
+        if (path.empty()) continue;
+        const int id = touch(path);
+        if (root == -1) {
+          root = id;
+        } else {
+          unite(root, id);
+        }
+      }
+    };
+    if (item.kind == PumpItem::Kind::single) {
+      touch_record(item.record);
+    } else {
+      for (const proto::SyncRecord& record : item.group_records) {
+        touch_record(record);
+      }
+    }
+    item_root[i] = root;
+  }
+
+  struct Unit {
+    std::vector<std::size_t> item_indices;  ///< ascending = arrival order
+    std::vector<std::string> paths;
+  };
+  std::map<int, std::size_t> root_to_unit;
+  std::vector<Unit> units;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (item_root[i] < 0) continue;
+    const int root = find(item_root[i]);
+    const auto [it, inserted] = root_to_unit.try_emplace(root, units.size());
+    if (inserted) units.emplace_back();
+    units[it->second].item_indices.push_back(i);
+  }
+  for (const auto& [path, id] : path_ids) {
+    const auto it = root_to_unit.find(find(id));
+    if (it != root_to_unit.end()) units[it->second].paths.push_back(path);
+  }
+
+  // ---- Phase C: extract each unit's shard of the server state.  Units
+  // touch disjoint path sets, so the extraction fully isolates them.
+  struct Shard {
+    EntryMap files;
+    EntryMap tombstones;
+    std::set<std::string, std::less<>> dirs;
+    CostMeter meter;
+    explicit Shard(const CostProfile& profile) : meter(profile) {}
+  };
+  std::vector<Shard> shards;
+  shards.reserve(units.size());
+  for (const Unit& unit : units) {
+    Shard& shard = shards.emplace_back(meter_.profile());
+    for (const std::string& path : unit.paths) {
+      if (auto node = files_.extract(path)) shard.files.insert(std::move(node));
+      if (auto node = tombstones_.extract(path)) {
+        shard.tombstones.insert(std::move(node));
+      }
+      if (dirs_.erase(path) > 0) shard.dirs.insert(path);
+    }
+  }
+
+  // ---- Phase D: apply the units concurrently.  Items within a unit run
+  // sequentially in arrival order; the BlockStore is internally locked and
+  // its refcount operations commute, so history puts from different units
+  // interleave safely.
+  if (!units.empty()) {
+    pool_->parallel_for(units.size(), 1, [&](std::size_t begin,
+                                             std::size_t end) {
+      for (std::size_t ui = begin; ui < end; ++ui) {
+        Shard& shard = shards[ui];
+        for (const std::size_t idx : units[ui].item_indices) {
+          PumpItem& item = items[idx];
+          ApplyCtx ctx{shard.files, shard.tombstones, shard.dirs, shard.meter,
+                       /*tracer=*/nullptr};
+          const std::uint64_t units_before = shard.meter.units();
+          if (item.kind == PumpItem::Kind::single) {
+            item.ack = apply_one(item.client, item.record, shard.files,
+                                 nullptr, nullptr, ctx);
+            if (item.ack.result == Errc::ok) {
+              item.forwards.push_back(item.record);
+            }
+          } else {
+            PendingGroup group;
+            group.records = std::move(item.group_records);
+            const std::vector<proto::Ack> acks =
+                apply_group(item.client, std::move(group), ctx, item.forwards);
+            item.ack = acks.empty() ? proto::Ack{} : acks.back();
+          }
+          item.apply_units = shard.meter.units() - units_before;
+          item.conflicts = ctx.conflicts;
+          item.rejections = std::move(ctx.rejections);
+          item.arrivals = std::move(ctx.arrivals);
+        }
+      }
+    });
+  }
+
+  // ---- Phase E: merge shard state back and emit every item's outputs in
+  // arrival order — the exact streams the serial pump would have produced.
+  for (Shard& shard : shards) {
+    meter_.merge(shard.meter);
+    files_.merge(shard.files);
+    tombstones_.merge(shard.tombstones);
+    dirs_.merge(shard.dirs);
+  }
+  for (PumpItem& item : items) {
+    if (!item.applied) {
+      send_ack(item.client, item.ack);
+      continue;
+    }
+    obs::Span span(tracer_, "server.apply", proto::to_string(item.op));
+    if (item.kind == PumpItem::Kind::group) {
+      obs::Span group_span(tracer_, "server.apply_group");
+    }
+    conflicts_seen_ += item.conflicts;
+    if (item.conflicts > 0) obs::inc(conflict_counter_, item.conflicts);
+    for (Rejection& rejection : item.rejections) {
+      rejections_.push_back(std::move(rejection));
+    }
+    for (const std::string& path : item.arrivals) record_arrival(path);
+    const std::uint64_t forward_before = meter_.units();
+    for (const proto::SyncRecord& record : item.forwards) {
+      forward(item.client, record);
+    }
+    if (apply_latency_us_ != nullptr) {
+      const std::uint64_t delta_units =
+          item.pre_units + item.apply_units + meter_.units() - forward_before;
+      apply_latency_us_->observe(delta_units * 10'000 /
+                                 meter_.profile().units_per_tick);
+    }
+    send_ack(item.client, item.ack);
   }
   return processed;
 }
@@ -81,6 +409,14 @@ proto::Ack CloudServer::apply_record_impl(std::uint32_t from_client,
                                           const proto::SyncRecord& raw_record) {
   ++records_applied_;
   proto::SyncRecord record = raw_record;
+  if (record.kind == proto::OpKind::record_bundle) {
+    // Bundles are unpacked by pump(); one reaching the apply path directly
+    // (or nested in another bundle) is a protocol violation.
+    proto::Ack ack;
+    ack.sequence = record.sequence;
+    ack.result = Errc::corruption;
+    return ack;
+  }
   if (record.compressed) {
     meter_.charge(CostKind::decompress, record.payload.size());
     Result<Bytes> plain = lz::decompress(record.payload);
@@ -95,7 +431,8 @@ proto::Ack CloudServer::apply_record_impl(std::uint32_t from_client,
   }
 
   if (record.txn_group != 0) {
-    PendingGroup& group = groups_[group_key(from_client, record.txn_group)];
+    const GroupKey key{from_client, record.txn_group};
+    PendingGroup& group = groups_[key];
     group.records.push_back(record);
     if (!record.txn_last) {
       obs::inc(txn_buffered_);
@@ -105,20 +442,41 @@ proto::Ack CloudServer::apply_record_impl(std::uint32_t from_client,
       return ack;
     }
     PendingGroup complete = std::move(group);
-    groups_.erase(group_key(from_client, record.txn_group));
-    std::vector<proto::Ack> acks = apply_group(from_client, complete);
+    groups_.erase(key);
+    ++txn_groups_applied_;
+    obs::inc(txn_groups_counter_);
+    obs::Span span(tracer_, "server.apply_group");
+    ApplyCtx ctx{files_, tombstones_, dirs_, meter_, tracer_};
+    std::vector<proto::SyncRecord> forwards;
+    std::vector<proto::Ack> acks =
+        apply_group(from_client, std::move(complete), ctx, forwards);
+    commit_ctx(ctx);
+    for (const proto::SyncRecord& fwd : forwards) forward(from_client, fwd);
     return acks.empty() ? proto::Ack{} : acks.back();
   }
 
-  proto::Ack ack = apply_one(from_client, record, files_, nullptr, nullptr);
+  ApplyCtx ctx{files_, tombstones_, dirs_, meter_, tracer_};
+  proto::Ack ack = apply_one(from_client, record, files_, nullptr, nullptr,
+                             ctx);
+  commit_ctx(ctx);
   if (ack.result == Errc::ok) forward(from_client, record);
   return ack;
 }
 
-std::vector<proto::Ack> CloudServer::apply_group(std::uint32_t from_client,
-                                                 PendingGroup group) {
-  obs::Span span(tracer_, "server.apply_group");
-  obs::inc(txn_groups_applied_);
+void CloudServer::commit_ctx(ApplyCtx& ctx) {
+  conflicts_seen_ += ctx.conflicts;
+  for (Rejection& rejection : ctx.rejections) {
+    rejections_.push_back(std::move(rejection));
+  }
+  for (const std::string& path : ctx.arrivals) record_arrival(path);
+  ctx.conflicts = 0;
+  ctx.rejections.clear();
+  ctx.arrivals.clear();
+}
+
+std::vector<proto::Ack> CloudServer::apply_group(
+    std::uint32_t from_client, PendingGroup group, ApplyCtx& ctx,
+    std::vector<proto::SyncRecord>& forwards) {
   // Transactional apply (§III-E): stage every record against a scratch
   // copy of the touched entries; commit only if all succeed.  On any
   // conflict the whole group becomes conflicted.
@@ -126,18 +484,18 @@ std::vector<proto::Ack> CloudServer::apply_group(std::uint32_t from_client,
   for (const proto::SyncRecord& record : group.records) {
     for (const std::string* path : {&record.path, &record.path2}) {
       if (path->empty() || snapshot.contains(*path)) continue;
-      const auto it = files_.find(*path);
-      if (it != files_.end()) snapshot.emplace(*path, it->second);
+      const auto it = ctx.files.find(*path);
+      if (it != ctx.files.end()) snapshot.emplace(*path, it->second);
     }
   }
 
-  EntryMap staged = files_;
+  EntryMap staged = ctx.files;
   std::vector<proto::Ack> acks;
   bool conflicted = false;
   VersionSet group_versions;
   for (const proto::SyncRecord& record : group.records) {
-    proto::Ack ack =
-        apply_one(from_client, record, staged, &snapshot, &group_versions);
+    proto::Ack ack = apply_one(from_client, record, staged, &snapshot,
+                               &group_versions, ctx);
     if (ack.result == Errc::conflict) conflicted = true;
     group_versions.insert(
         {record.new_version.client_id, record.new_version.counter});
@@ -145,12 +503,12 @@ std::vector<proto::Ack> CloudServer::apply_group(std::uint32_t from_client,
   }
 
   if (!conflicted) {
-    files_ = std::move(staged);
+    ctx.files = std::move(staged);
     for (const proto::SyncRecord& record : group.records) {
-      if (const auto it = files_.find(record.path); it != files_.end()) {
-        record_arrival(record.path, it->second);
+      if (ctx.files.contains(record.path)) {
+        ctx.arrivals.push_back(record.path);
       }
-      forward(from_client, record);
+      forwards.push_back(record);
     }
     return acks;
   }
@@ -158,15 +516,15 @@ std::vector<proto::Ack> CloudServer::apply_group(std::uint32_t from_client,
   // Conflict: the whole group is labeled conflicted (§III-E) and the main
   // files stay untouched.  apply_one already materialized conflict copies
   // into the staged map while processing the group; harvest just those.
-  ++conflicts_seen_;
+  ++ctx.conflicts;
   for (proto::Ack& ack : acks) ack.result = Errc::conflict;
   const std::string marker = ".conflict-" + std::to_string(from_client);
   for (auto& [path, entry] : staged) {
     if (path.find(marker) == std::string::npos) continue;
-    if (files_.contains(path)) continue;  // pre-existing conflict copy
-    meter_.charge(CostKind::byte_copy, entry.content.size());
-    meter_.charge(CostKind::disk_write, entry.content.size());
-    files_[path] = std::move(entry);
+    if (ctx.files.contains(path)) continue;  // pre-existing conflict copy
+    ctx.meter.charge(CostKind::byte_copy, entry.content.size());
+    ctx.meter.charge(CostKind::disk_write, entry.content.size());
+    ctx.files[path] = std::move(entry);
   }
   return acks;
 }
@@ -174,7 +532,8 @@ std::vector<proto::Ack> CloudServer::apply_group(std::uint32_t from_client,
 proto::Ack CloudServer::apply_one(std::uint32_t from_client,
                                   const proto::SyncRecord& record,
                                   EntryMap& files, const EntryMap* snapshot,
-                                  const VersionSet* group_versions) {
+                                  const VersionSet* group_versions,
+                                  ApplyCtx& ctx) {
   proto::Ack ack;
   ack.sequence = record.sequence;
   ack.result = Errc::ok;
@@ -182,12 +541,16 @@ proto::Ack CloudServer::apply_one(std::uint32_t from_client,
   const bool staged = snapshot != nullptr;
 
   switch (record.kind) {
+    case proto::OpKind::record_bundle:
+      ack.result = Errc::corruption;  // bundles never reach the apply layer
+      break;
+
     case proto::OpKind::mkdir:
-      dirs_.insert(record.path);
+      ctx.dirs.insert(record.path);
       break;
 
     case proto::OpKind::rmdir:
-      dirs_.erase(std::string(record.path));
+      ctx.dirs.erase(std::string(record.path));
       break;
 
     case proto::OpKind::create: {
@@ -202,11 +565,12 @@ proto::Ack CloudServer::apply_one(std::uint32_t from_client,
         FileEntry entry;
         entry.version = record.new_version;
         // Revive history from a tombstone (delete-then-recreate pattern).
-        if (const auto tomb = tombstones_.find(record.path);
-            tomb != tombstones_.end()) {
+        // The tombstone's history handles are shared, not re-stored.
+        if (const auto tomb = ctx.tombstones.find(record.path);
+            tomb != ctx.tombstones.end()) {
           entry.history = tomb->second.history;
           entry.history.push_front(
-              {tomb->second.version, tomb->second.content});
+              make_version(tomb->second.version, tomb->second.content));
         }
         files.emplace(record.path, std::move(entry));
       }
@@ -219,7 +583,7 @@ proto::Ack CloudServer::apply_one(std::uint32_t from_client,
         ack.result = Errc::not_found;
         break;
       }
-      tombstones_[record.path] = std::move(it->second);
+      ctx.tombstones[record.path] = std::move(it->second);
       files.erase(it);
       break;
     }
@@ -236,11 +600,14 @@ proto::Ack CloudServer::apply_one(std::uint32_t from_client,
       if (dst != files.end()) {
         // POSIX rename-over-existing: the replaced content stays reachable
         // in the new entry's history for delta bases and conflict copies.
-        moved.history.push_front({dst->second.version, dst->second.content});
+        moved.history.push_front(
+            make_version(dst->second.version, dst->second.content));
         for (const FileVersion& v : dst->second.history) {
           moved.history.push_back(v);
         }
-        while (moved.history.size() > history_depth_) moved.history.pop_back();
+        while (moved.history.size() > config_.history_depth) {
+          moved.history.pop_back();
+        }
         files.erase(dst);
       }
       moved.version = record.new_version;
@@ -257,7 +624,7 @@ proto::Ack CloudServer::apply_one(std::uint32_t from_client,
       FileEntry entry;
       entry.content = src->second.content;
       entry.version = record.new_version;
-      meter_.charge(CostKind::byte_copy, entry.content.size());
+      ctx.meter.charge(CostKind::byte_copy, entry.content.size());
       files[record.path2] = std::move(entry);
       break;
     }
@@ -270,14 +637,14 @@ proto::Ack CloudServer::apply_one(std::uint32_t from_client,
       }
       FileEntry& entry = it->second;
       if (entry.version != record.base_version && !staged) {
-        ++conflicts_seen_;
+        ++ctx.conflicts;
         ack.result = Errc::conflict;
         break;
       }
       push_history(entry);
       entry.content.resize(record.size, 0);
       entry.version = record.new_version;
-      if (!staged) record_arrival(record.path, entry);
+      if (!staged) ctx.arrivals.push_back(record.path);
       break;
     }
 
@@ -303,9 +670,11 @@ proto::Ack CloudServer::apply_one(std::uint32_t from_client,
         // First write wins: the arriving increment conflicts.  Apply it to
         // its proper base to materialize the conflict version (§III-C).
         bool from_history = false;
-        const Bytes* base = resolve_base(record.path, record.base_version,
-                                         files, snapshot, from_history);
-        ++conflicts_seen_;
+        Bytes scratch;
+        const Bytes* base =
+            resolve_base(record.path, record.base_version, files, snapshot,
+                         ctx.tombstones, from_history, scratch);
+        ++ctx.conflicts;
         ack.result = Errc::conflict;
         if (base != nullptr) {
           Bytes content = *base;
@@ -334,10 +703,10 @@ proto::Ack CloudServer::apply_one(std::uint32_t from_client,
                       static_cast<std::ptrdiff_t>(segment.offset));
         written += segment.data.size();
       }
-      meter_.charge(CostKind::byte_copy, written);
-      meter_.charge(CostKind::disk_write, written);
+      ctx.meter.charge(CostKind::byte_copy, written);
+      ctx.meter.charge(CostKind::disk_write, written);
       entry.version = record.new_version;
-      if (!staged) record_arrival(record.path, entry);
+      if (!staged) ctx.arrivals.push_back(record.path);
       break;
     }
 
@@ -350,18 +719,19 @@ proto::Ack CloudServer::apply_one(std::uint32_t from_client,
       const std::string& ref =
           record.path2.empty() ? record.path : record.path2;
       bool from_history = false;
+      Bytes scratch;
       const Bytes* base = nullptr;
       if (record.base_deleted) {
         // Delete-then-recreate: the base lives in the tombstones and using
         // it is the expected path, not a conflict.
-        if (const auto tomb = tombstones_.find(ref);
-            tomb != tombstones_.end()) {
+        if (const auto tomb = ctx.tombstones.find(ref);
+            tomb != ctx.tombstones.end()) {
           if (tomb->second.version == record.base_version) {
             base = &tomb->second.content;
           } else {
             for (const FileVersion& v : tomb->second.history) {
               if (v.version == record.base_version) {
-                base = &v.content;
+                base = version_bytes(v, scratch);
                 break;
               }
             }
@@ -369,24 +739,24 @@ proto::Ack CloudServer::apply_one(std::uint32_t from_client,
         }
       } else {
         base = resolve_base(ref, record.base_version, files, snapshot,
-                            from_history);
+                            ctx.tombstones, from_history, scratch);
       }
       if (base == nullptr) {
         if (obs::Logger::global().enabled(obs::LogLevel::debug)) {
-          const auto t = tombstones_.find(ref);
+          const auto t = ctx.tombstones.find(ref);
           const auto f = files.find(ref);
           DCFS_LOG_DEBUG(
               "server", "delta base unresolved", {"path", record.path},
               {"ref", ref}, {"base_version", proto::to_string(record.base_version)},
               {"base_deleted", record.base_deleted},
-              {"tombstone", t == tombstones_.end()
+              {"tombstone", t == ctx.tombstones.end()
                                 ? std::string("none")
                                 : proto::to_string(t->second.version)},
               {"current", f == files.end()
                               ? std::string("none")
                               : proto::to_string(f->second.version)});
         }
-        ++conflicts_seen_;
+        ++ctx.conflicts;
         ack.result = Errc::conflict;
         break;
       }
@@ -401,8 +771,8 @@ proto::Ack CloudServer::apply_one(std::uint32_t from_client,
         ack.result = Errc::corruption;
         break;
       }
-      meter_.charge(CostKind::byte_copy, rebuilt->size());
-      meter_.charge(CostKind::disk_write, rebuilt->size());
+      ctx.meter.charge(CostKind::byte_copy, rebuilt->size());
+      ctx.meter.charge(CostKind::disk_write, rebuilt->size());
       if (from_history && group_versions != nullptr &&
           group_versions->contains(
               {record.base_version.client_id, record.base_version.counter})) {
@@ -416,7 +786,7 @@ proto::Ack CloudServer::apply_one(std::uint32_t from_client,
                        {"path", record.path}, {"ref", ref},
                        {"base_version", proto::to_string(record.base_version)});
         // The base was superseded by another lineage: conflict copy.
-        ++conflicts_seen_;
+        ++ctx.conflicts;
         ack.result = Errc::conflict;
         const std::string name = conflict_name(record.path, from_client);
         FileEntry& conflict = files[name];
@@ -429,7 +799,7 @@ proto::Ack CloudServer::apply_one(std::uint32_t from_client,
       push_history(entry);
       entry.content = std::move(*rebuilt);
       entry.version = record.new_version;
-      if (!staged) record_arrival(record.path, entry);
+      if (!staged) ctx.arrivals.push_back(record.path);
       break;
     }
 
@@ -438,15 +808,15 @@ proto::Ack CloudServer::apply_one(std::uint32_t from_client,
       push_history(entry);
       entry.content = record.payload;
       entry.version = record.new_version;
-      meter_.charge(CostKind::byte_copy, entry.content.size());
-      meter_.charge(CostKind::disk_write, entry.content.size());
-      if (!staged) record_arrival(record.path, entry);
+      ctx.meter.charge(CostKind::byte_copy, entry.content.size());
+      ctx.meter.charge(CostKind::disk_write, entry.content.size());
+      if (!staged) ctx.arrivals.push_back(record.path);
       break;
     }
   }
   if (ack.result != Errc::ok) {
-    rejections_.push_back({record.kind, record.path, record.path2,
-                           ack.result, record.base_version});
+    ctx.rejections.push_back({record.kind, record.path, record.path2,
+                              ack.result, record.base_version});
   }
   return ack;
 }
@@ -455,7 +825,9 @@ const Bytes* CloudServer::resolve_base(std::string_view ref,
                                        const proto::VersionId& version,
                                        const EntryMap& files,
                                        const EntryMap* snapshot,
-                                       bool& from_history) const {
+                                       const EntryMap& tombstones,
+                                       bool& from_history,
+                                       Bytes& scratch) const {
   from_history = false;
 
   if (const auto it = files.find(ref); it != files.end()) {
@@ -467,7 +839,7 @@ const Bytes* CloudServer::resolve_base(std::string_view ref,
       for (const FileVersion& v : it->second.history) {
         if (v.version == version) {
           from_history = true;
-          return &v.content;
+          return version_bytes(v, scratch);
         }
       }
     }
@@ -476,11 +848,11 @@ const Bytes* CloudServer::resolve_base(std::string_view ref,
     for (const FileVersion& v : it->second.history) {
       if (v.version == version) {
         from_history = true;
-        return &v.content;
+        return version_bytes(v, scratch);
       }
     }
   }
-  if (const auto it = tombstones_.find(ref); it != tombstones_.end()) {
+  if (const auto it = tombstones.find(ref); it != tombstones.end()) {
     if (it->second.version == version) {
       from_history = true;
       return &it->second.content;
@@ -488,22 +860,43 @@ const Bytes* CloudServer::resolve_base(std::string_view ref,
     for (const FileVersion& v : it->second.history) {
       if (v.version == version) {
         from_history = true;
-        return &v.content;
+        return version_bytes(v, scratch);
       }
     }
   }
   return nullptr;
 }
 
-void CloudServer::push_history(FileEntry& entry) {
-  if (entry.content.empty() && entry.version.is_null()) return;
-  entry.history.push_front({entry.version, entry.content});
-  while (entry.history.size() > history_depth_) entry.history.pop_back();
+CloudServer::FileVersion CloudServer::make_version(
+    const proto::VersionId& version, const Bytes& content) {
+  FileVersion v;
+  v.version = version;
+  if (config_.use_block_store && !content.empty()) {
+    v.blocks = store_.put_shared(content);
+  } else {
+    v.content = content;
+  }
+  return v;
 }
 
-void CloudServer::record_arrival(const std::string& path,
-                                 const FileEntry& entry) {
-  (void)entry;
+const Bytes* CloudServer::version_bytes(const FileVersion& v,
+                                        Bytes& scratch) const {
+  if (!v.blocks) return &v.content;
+  Result<Bytes> content = store_.get(*v.blocks);
+  if (!content) return nullptr;  // lost chunk: treat the version as gone
+  scratch = std::move(*content);
+  return &scratch;
+}
+
+void CloudServer::push_history(FileEntry& entry) {
+  if (entry.content.empty() && entry.version.is_null()) return;
+  entry.history.push_front(make_version(entry.version, entry.content));
+  while (entry.history.size() > config_.history_depth) {
+    entry.history.pop_back();
+  }
+}
+
+void CloudServer::record_arrival(const std::string& path) {
   if (arrived_.insert(path).second) arrival_order_.push_back(path);
 }
 
@@ -537,6 +930,13 @@ std::string CloudServer::conflict_name(std::string_view path,
   return std::string(path) + ".conflict-" + std::to_string(client);
 }
 
+std::size_t CloudServer::gc_tombstones() {
+  const std::size_t collected = tombstones_.size();
+  tombstones_.clear();  // version handles release their chunks on the way out
+  update_store_gauges();
+  return collected;
+}
+
 Result<Bytes> CloudServer::fetch(std::string_view path) const {
   const auto it = files_.find(path);
   if (it == files_.end()) return Errc::not_found;
@@ -559,7 +959,9 @@ Result<Bytes> CloudServer::fetch_version(
   if (it == files_.end()) return Errc::not_found;
   if (it->second.version == version) return it->second.content;
   for (const FileVersion& v : it->second.history) {
-    if (v.version == version) return v.content;
+    if (v.version != version) continue;
+    if (v.blocks) return store_.get(*v.blocks);
+    return v.content;
   }
   return Errc::not_found;
 }

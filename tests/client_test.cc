@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <tuple>
+
 #include "baselines/deltacfs_system.h"
 #include "common/rng.h"
 
@@ -240,6 +243,51 @@ TEST_F(ClientTest, VersionsAdvancePerUpdate) {
   EXPECT_NE(*v1, *v2);
   EXPECT_EQ(v2->client_id, 1u);
   EXPECT_GT(v2->counter, v1->counter);
+}
+
+TEST(ClientBundleTest, BundlingCutsFramesWithoutChangingState) {
+  // Two identical chatty workloads; one client bundles small records.
+  // The bundled run must ship strictly fewer upstream frames and leave
+  // the cloud in the identical state.
+  auto run = [](bool bundle) {
+    VirtualClock clock;
+    ClientConfig config;
+    config.bundle_uploads = bundle;
+    DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan(),
+                          config);
+    system.fs().mkdir("/sync");
+    for (int i = 0; i < 20; ++i) {
+      const std::string path = "/sync/small" + std::to_string(i);
+      EXPECT_TRUE(
+          system.fs()
+              .write_file(path, to_bytes("note " + std::to_string(i)))
+              .is_ok());
+    }
+    for (Duration t = 0; t < seconds(15); t += milliseconds(200)) {
+      clock.advance(milliseconds(200));
+      system.tick(clock.now());
+    }
+    system.finish(clock.now());
+    std::string state;
+    for (const std::string& path : system.server().paths()) {
+      Result<Bytes> content = system.server().fetch(path);
+      state += path + "=" + std::string(as_text(*content)) + ";";
+    }
+    return std::tuple(state, system.traffic().up_messages(),
+                      system.client().bundle_frames_sent(),
+                      system.client().bundle_records_sent());
+  };
+
+  const auto [plain_state, plain_frames, plain_bundles, plain_members] =
+      run(false);
+  const auto [bundled_state, bundled_frames, bundled_bundles,
+              bundled_members] = run(true);
+  EXPECT_EQ(bundled_state, plain_state);
+  EXPECT_LT(bundled_frames, plain_frames);
+  EXPECT_EQ(plain_bundles, 0u);
+  EXPECT_GE(bundled_bundles, 1u);
+  // Every bundle carried at least two members (singletons go out plain).
+  EXPECT_GE(bundled_members, 2 * bundled_bundles);
 }
 
 TEST_F(ClientTest, CausalOrderPreservedDespiteDeletion) {

@@ -121,6 +121,47 @@ TEST(ProtoTest, OpKindNames) {
   EXPECT_EQ(to_string(OpKind::write), "write");
   EXPECT_EQ(to_string(OpKind::file_delta), "file_delta");
   EXPECT_EQ(to_string(OpKind::rename), "rename");
+  EXPECT_EQ(to_string(OpKind::record_bundle), "record_bundle");
+}
+
+TEST(ProtoTest, BundleRoundTrip) {
+  std::vector<SyncRecord> members;
+  members.push_back(sample_record());
+  SyncRecord small;
+  small.sequence = 43;
+  small.kind = OpKind::create;
+  small.path = "/sync/new";
+  small.new_version = {2, 1};
+  members.push_back(small);
+  Result<std::vector<SyncRecord>> decoded =
+      decode_bundle(encode_bundle(members));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(*decoded, members);
+}
+
+TEST(ProtoTest, EmptyBundleRoundTrips) {
+  Result<std::vector<SyncRecord>> decoded = decode_bundle(encode_bundle({}));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(ProtoTest, NestedBundleRejected) {
+  SyncRecord inner;
+  inner.kind = OpKind::create;
+  inner.path = "/f";
+  SyncRecord nested;
+  nested.kind = OpKind::record_bundle;
+  nested.path = "/bundle";
+  nested.payload = encode_bundle({inner});
+  EXPECT_FALSE(decode_bundle(encode_bundle({nested})).is_ok());
+}
+
+TEST(ProtoTest, TruncatedBundleFails) {
+  const Bytes wire = encode_bundle({sample_record(), sample_record()});
+  for (std::size_t cut = 0; cut < wire.size(); cut += 7) {
+    EXPECT_FALSE(decode_bundle(ByteSpan{wire.data(), cut}).is_ok())
+        << "prefix length " << cut;
+  }
 }
 
 }  // namespace

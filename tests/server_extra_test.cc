@@ -1,6 +1,9 @@
 // Additional CloudServer coverage: history depth, tombstone revival,
-// malformed compressed payloads, detach, and group-version bookkeeping.
+// malformed compressed payloads, detach, group-version bookkeeping, and
+// block-store refcounting under trimming, revival and tombstone GC.
 #include <gtest/gtest.h>
+
+#include <algorithm>
 
 #include "common/rng.h"
 #include "rsyncx/delta.h"
@@ -114,6 +117,133 @@ TEST(ServerGroupTest, GroupsFromDifferentClientsAreIndependent) {
   ASSERT_EQ(server.apply_record(2, b).result, Errc::ok);
   EXPECT_TRUE(server.fetch("/b").is_ok());
   EXPECT_FALSE(server.fetch("/a").is_ok());  // still buffered
+}
+
+TEST(ServerGroupTest, GroupIdsNeverAliasAcrossClients) {
+  // Regression: groups used to be keyed by (client << 48) ^ group, so
+  // client 2's group id (3 << 48) | 3 hashed to the same key as client 1's
+  // group 3 — client 2's closer would release (and corrupt) client 1's
+  // buffered group.  Groups are now keyed by the real (client, group) pair.
+  CloudServer server(CostProfile::pc());
+  SyncRecord a = full_file("/a", to_bytes("A"), {1, 1});
+  a.txn_group = 3;
+  a.txn_last = false;
+  ASSERT_EQ(server.apply_record(1, a).result, Errc::ok);  // buffered
+
+  SyncRecord b = full_file("/b", to_bytes("B"), {2, 1});
+  b.txn_group = (3ull << 48) | 3;  // collides with (1, 3) under the old key
+  b.txn_last = true;
+  ASSERT_EQ(server.apply_record(2, b).result, Errc::ok);
+  EXPECT_TRUE(server.fetch("/b").is_ok());
+  EXPECT_FALSE(server.fetch("/a").is_ok());  // client 1's group still open
+
+  SyncRecord closer = full_file("/a2", to_bytes("A2"), {1, 2});
+  closer.txn_group = 3;
+  closer.txn_last = true;
+  ASSERT_EQ(server.apply_record(1, closer).result, Errc::ok);
+  EXPECT_EQ(as_text(*server.fetch("/a")), "A");
+  EXPECT_EQ(as_text(*server.fetch("/a2")), "A2");
+}
+
+TEST(ServerStoreTest, NearIdenticalHistoryDedups) {
+  CloudServer server(CostProfile::pc());
+  ASSERT_TRUE(server.config().use_block_store);
+  Rng rng(3);
+  Bytes content = rng.bytes(200'000);
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    server.apply_record(1, full_file("/f", content, {1, i}));
+    content[rng.next_below(content.size())] ^= 0xFF;  // tiny edit per version
+  }
+  // Nine near-identical versions live in history; chunk-level dedup should
+  // store them in far less than nine copies' worth of unique bytes.
+  EXPECT_GT(server.store().logical_bytes(), 8u * 200'000u);
+  EXPECT_GT(server.store().dedup_ratio(), 1.5);
+  for (std::uint64_t i = 1; i < 10; ++i) {
+    EXPECT_TRUE(server.fetch_version("/f", {1, i}).is_ok()) << i;
+  }
+}
+
+TEST(ServerStoreTest, HistoryTrimmingReleasesChunks) {
+  ServerConfig config;
+  config.history_depth = 2;
+  CloudServer server(CostProfile::pc(), config);
+  Rng rng(4);
+  std::uint64_t peak = 0;
+  for (std::uint64_t i = 1; i <= 12; ++i) {
+    // Fully random content: no dedup, so live chunks track history size.
+    server.apply_record(1, full_file("/f", rng.bytes(50'000), {1, i}));
+    peak = std::max(peak, server.store().unique_bytes());
+  }
+  // Only history_depth versions may hold chunks (current content is
+  // inline); trimmed versions must have released theirs.
+  EXPECT_LE(peak, 3u * 50'000u + 4096u);
+  EXPECT_EQ(server.store().unique_bytes(), server.store().logical_bytes());
+}
+
+TEST(ServerStoreTest, TombstoneGcReleasesEverything) {
+  CloudServer server(CostProfile::pc());
+  Rng rng(5);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    server.apply_record(1, full_file("/f", rng.bytes(20'000), {1, i}));
+  }
+  EXPECT_GT(server.store().unique_bytes(), 0u);
+
+  SyncRecord unlink;
+  unlink.kind = OpKind::unlink;
+  unlink.path = "/f";
+  unlink.base_version = {1, 5};
+  unlink.new_version = {1, 6};
+  ASSERT_EQ(server.apply_record(1, unlink).result, Errc::ok);
+  // The tombstone still pins the history chunks (revival needs them).
+  EXPECT_GT(server.store().unique_bytes(), 0u);
+
+  EXPECT_EQ(server.gc_tombstones(), 1u);
+  EXPECT_EQ(server.store().unique_bytes(), 0u);
+  EXPECT_EQ(server.store().logical_bytes(), 0u);
+}
+
+TEST(ServerStoreTest, RevivedHistorySharesChunksWithTombstone) {
+  CloudServer server(CostProfile::pc());
+  Rng rng(6);
+  const Bytes generation1 = rng.bytes(30'000);
+  server.apply_record(1, full_file("/f", generation1, {1, 1}));
+  server.apply_record(1, full_file("/f", rng.bytes(30'000), {1, 2}));
+
+  SyncRecord unlink;
+  unlink.kind = OpKind::unlink;
+  unlink.path = "/f";
+  unlink.base_version = {1, 2};
+  unlink.new_version = {1, 3};
+  ASSERT_EQ(server.apply_record(1, unlink).result, Errc::ok);
+
+  SyncRecord create;
+  create.kind = OpKind::create;
+  create.path = "/f";
+  create.new_version = {1, 4};
+  ASSERT_EQ(server.apply_record(1, create).result, Errc::ok);
+
+  // Revival copied the tombstone's history handles: same chunks, two
+  // owners.  Dropping the tombstone must release one reference only —
+  // the revived file's history stays readable.
+  const std::uint64_t unique_before = server.store().unique_bytes();
+  EXPECT_EQ(server.gc_tombstones(), 1u);
+  EXPECT_GT(server.store().unique_bytes(), 0u);
+  EXPECT_LE(server.store().unique_bytes(), unique_before);
+  Result<Bytes> old_content = server.fetch_version("/f", {1, 1});
+  ASSERT_TRUE(old_content.is_ok());
+  EXPECT_EQ(*old_content, generation1);
+}
+
+TEST(ServerStoreTest, DisablingBlockStoreKeepsHistoryInline) {
+  ServerConfig config;
+  config.use_block_store = false;
+  CloudServer server(CostProfile::pc(), config);
+  Rng rng(7);
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    server.apply_record(1, full_file("/f", rng.bytes(10'000), {1, i}));
+  }
+  EXPECT_EQ(server.store().unique_bytes(), 0u);
+  EXPECT_TRUE(server.fetch_version("/f", {1, 1}).is_ok());
 }
 
 TEST(ServerDeltaTest, DeltaAgainstCurrentVersionAppliesInPlace) {
