@@ -1,0 +1,224 @@
+// Adaptive wire compression (dcfs::wire) on the fig8/fig9 workload shapes.
+//
+// Replays the canonical traces with compressible (text) payloads — the
+// regime the wire layer targets; the paper's binary traces ship raw via
+// the entropy probe — through DeltaCFS twice per network profile: wire
+// compression off, then on.  Every pair is self-checked: server file
+// contents, version counters and client ack outcomes must be
+// byte-identical (the codec is a transparent framing layer), and a
+// mismatch aborts the bench.  Emits a table on stdout and BENCH_wire.json
+// (array of {trace, profile, up_bytes_plain, up_bytes_wire, saved_bytes,
+// reduction, mb_per_sec, pool_hit_rate, skipped_frames}) for CI upload,
+// then gates: the PC-profile (fig8) aggregate must save >= 20% of wire
+// bytes.
+//
+// Usage: wire_compression [--paper] [--out FILE]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+
+namespace {
+
+using namespace dcfs;
+
+[[noreturn]] void die(const char* what) {
+  std::fprintf(stderr, "wire_compression: %s\n", what);
+  std::exit(1);
+}
+
+/// The canonical traces with compressible payloads (text_payload opts the
+/// content generators into Zipf-ish log-line bytes; trace shapes — sizes,
+/// offsets, rename dances — are unchanged).
+std::vector<bench::TraceSet> text_traces(bool paper_scale) {
+  auto append = paper_scale ? AppendParams::paper() : AppendParams::scaled();
+  auto random = paper_scale ? RandomWriteParams::paper()
+                            : RandomWriteParams::scaled();
+  auto word = paper_scale ? WordParams::paper() : WordParams::scaled();
+  auto wechat = paper_scale ? WeChatParams::paper() : WeChatParams::scaled();
+  append.text_payload = true;
+  random.text_payload = true;
+  word.text_payload = true;
+  wechat.text_payload = true;
+  return {
+      {"Append write",
+       [append] { return std::make_unique<AppendWorkload>(append); }},
+      {"Random write",
+       [random] { return std::make_unique<RandomWriteWorkload>(random); }},
+      {"Word trace",
+       [word] { return std::make_unique<WordWorkload>(word); }},
+      {"WeChat trace",
+       [wechat] { return std::make_unique<WeChatWorkload>(wechat); }},
+  };
+}
+
+struct Profile {
+  const char* name;
+  NetProfile net;
+  CostProfile client_cost;
+};
+
+struct RunOutcome {
+  std::uint64_t up_bytes = 0;
+  std::uint64_t update_bytes = 0;
+  double seconds = 0;         ///< real wall time of the replay
+  double pool_hit_rate = 0;   ///< net.wire buffer pool (wire runs only)
+  std::uint64_t skipped_frames = 0;
+  std::string check;          ///< observable-state digest, compared off vs on
+};
+
+RunOutcome replay(const bench::TraceSet& trace, const Profile& profile,
+                  bool wire_on) {
+  VirtualClock clock;
+  obs::Obs obs;
+  ClientConfig client_config;
+  client_config.wire_compression = wire_on;
+  ServerConfig server_config;
+  server_config.wire_compression = wire_on;
+  DeltaCfsSystem system(clock, profile.client_cost, profile.net,
+                        client_config, CostProfile::pc(), &obs,
+                        server_config);
+  system.fs().mkdir("/sync");
+
+  std::unique_ptr<Workload> workload = trace.factory();
+  const auto t0 = std::chrono::steady_clock::now();
+  const RunStats stats = run_workload(*workload, system, clock);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunOutcome outcome;
+  outcome.seconds = std::chrono::duration<double>(t1 - t0).count();
+  outcome.up_bytes = system.traffic().up_bytes();
+  outcome.update_bytes = stats.update_bytes;
+
+  const obs::Snapshot snap = obs.registry.snapshot();
+  const std::uint64_t hits = snap.counter("net.wire.pool_hits");
+  const std::uint64_t misses = snap.counter("net.wire.pool_misses");
+  if (hits + misses > 0) {
+    outcome.pool_hit_rate =
+        static_cast<double>(hits) / static_cast<double>(hits + misses);
+  }
+  outcome.skipped_frames = snap.counter("net.wire.skipped_frames");
+
+  // Digest everything the wire layer must leave untouched.
+  std::ostringstream check;
+  CloudServer& server = system.server();
+  for (const std::string& path : server.paths()) {
+    const Result<Bytes> content = server.fetch(path);
+    if (!content) die("server fetch failed");
+    check << path << "#" << fnv1a(*content) << " ";
+    if (auto v = server.version(path)) {
+      check << v->client_id << ":" << v->counter << " ";
+    }
+  }
+  check << "applied=" << server.records_applied()
+        << " conflicts=" << server.conflicts_seen()
+        << " rejected=" << server.rejections().size()
+        << " uploaded=" << system.client().records_uploaded()
+        << " deltas=" << system.client().deltas_triggered()
+        << " errors=" << system.client().errors_acked();
+  outcome.check = check.str();
+  if (system.client().errors_acked() != 0) die("client saw error acks");
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool paper_scale = bench::paper_scale_requested(argc, argv);
+  std::string out = "BENCH_wire.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) out = argv[++i];
+  }
+  bench::print_scale_banner(paper_scale);
+
+  const Profile profiles[] = {
+      {"pc_wan", NetProfile::pc_wan(), CostProfile::pc()},
+      {"mobile_wan", NetProfile::mobile_wan(), CostProfile::mobile()},
+  };
+
+  struct Row {
+    std::string trace;
+    const char* profile;
+    RunOutcome plain;
+    RunOutcome wired;
+  };
+  std::vector<Row> rows;
+  for (const Profile& profile : profiles) {
+    for (const bench::TraceSet& trace : text_traces(paper_scale)) {
+      Row row{trace.name, profile.name, replay(trace, profile, false),
+              replay(trace, profile, true)};
+      if (row.plain.check != row.wired.check) {
+        std::fprintf(stderr, "plain: %s\n", row.plain.check.c_str());
+        std::fprintf(stderr, "wire : %s\n", row.wired.check.c_str());
+        die("wire compression changed observable state");
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+
+  std::printf("%-14s %-10s %12s %12s %9s %8s %8s\n", "trace", "profile",
+              "plain MB", "wire MB", "saved", "MB/s", "pool");
+  FILE* json = std::fopen(out.c_str(), "w");
+  if (json == nullptr) die("cannot open output file");
+  std::fprintf(json, "[\n");
+  std::uint64_t pc_plain = 0, pc_wired = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    const std::uint64_t saved = row.plain.up_bytes > row.wired.up_bytes
+                                    ? row.plain.up_bytes - row.wired.up_bytes
+                                    : 0;
+    const double reduction =
+        row.plain.up_bytes > 0
+            ? static_cast<double>(saved) /
+                  static_cast<double>(row.plain.up_bytes)
+            : 0;
+    const double mbps =
+        row.wired.seconds > 0
+            ? static_cast<double>(row.wired.update_bytes) /
+                  (1024.0 * 1024.0) / row.wired.seconds
+            : 0;
+    if (row.profile == profiles[0].name) {
+      pc_plain += row.plain.up_bytes;
+      pc_wired += row.wired.up_bytes;
+    }
+    std::printf("%-14s %-10s %12s %12s %8.1f%% %8.1f %7.0f%%\n",
+                row.trace.c_str(), row.profile,
+                bench::fmt_mb(row.plain.up_bytes).c_str(),
+                bench::fmt_mb(row.wired.up_bytes).c_str(), reduction * 100,
+                mbps, row.wired.pool_hit_rate * 100);
+    std::fprintf(
+        json,
+        "  {\"trace\": \"%s\", \"profile\": \"%s\", "
+        "\"up_bytes_plain\": %llu, \"up_bytes_wire\": %llu, "
+        "\"saved_bytes\": %llu, \"reduction\": %.4f, "
+        "\"mb_per_sec\": %.2f, \"pool_hit_rate\": %.4f, "
+        "\"skipped_frames\": %llu}%s\n",
+        row.trace.c_str(), row.profile,
+        static_cast<unsigned long long>(row.plain.up_bytes),
+        static_cast<unsigned long long>(row.wired.up_bytes),
+        static_cast<unsigned long long>(saved), reduction, mbps,
+        row.wired.pool_hit_rate,
+        static_cast<unsigned long long>(row.wired.skipped_frames),
+        i + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(json, "]\n");
+  std::fclose(json);
+  std::printf("wrote %s\n", out.c_str());
+
+  const double pc_reduction =
+      pc_plain > 0 ? 1.0 - static_cast<double>(pc_wired) /
+                               static_cast<double>(pc_plain)
+                   : 0;
+  std::printf("fig8 (pc_wan) aggregate wire-byte reduction: %.1f%%\n",
+              pc_reduction * 100);
+  if (pc_reduction < 0.20) {
+    die("pc_wan wire-byte reduction below the 20% gate");
+  }
+  return 0;
+}

@@ -180,6 +180,8 @@ std::uint64_t DropboxSim::incremental_upload(const Bytes& base,
                            new_block.begin() + sub + sub_length);
           }
         }
+        // Ratio accounting only — compressed_size streams into a counting
+        // sink, so no output buffer is ever materialized.
         wire = lz::compressed_size(changed);
       }
       uploaded += wire + chunk_count * 8 + kBlockMetadata;

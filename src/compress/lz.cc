@@ -15,13 +15,30 @@ std::uint32_t hash4(const std::uint8_t* p) noexcept {
   return (v * 2654435761u) >> (32 - kHashBits);
 }
 
-void put_varint_run(Bytes& out, std::size_t n) {
+/// Sink writing compressed bytes into a Bytes buffer.
+struct BytesSink {
+  Bytes& out;
+  void put(std::uint8_t byte) { out.push_back(byte); }
+  void put_run(const std::uint8_t* data, std::size_t n) {
+    out.insert(out.end(), data, data + n);
+  }
+};
+
+/// Sink that only counts — compressed_size() without the allocation.
+struct CountingSink {
+  std::size_t size = 0;
+  void put(std::uint8_t) { ++size; }
+  void put_run(const std::uint8_t*, std::size_t n) { size += n; }
+};
+
+template <typename Sink>
+void put_varint_run(Sink& out, std::size_t n) {
   // LZ4-style: repeated 255 bytes, terminated by a byte < 255.
   while (n >= 255) {
-    out.push_back(255);
+    out.put(255);
     n -= 255;
   }
-  out.push_back(static_cast<std::uint8_t>(n));
+  out.put(static_cast<std::uint8_t>(n));
 }
 
 /// Reads an LZ4-style extension run; returns false on truncation.
@@ -34,7 +51,8 @@ bool get_varint_run(ByteSpan in, std::size_t& pos, std::size_t& n) {
   }
 }
 
-void emit_sequence(Bytes& out, const std::uint8_t* literals,
+template <typename Sink>
+void emit_sequence(Sink& out, const std::uint8_t* literals,
                    std::size_t literal_count, std::size_t offset,
                    std::size_t match_length) {
   const std::size_t lit_nibble = literal_count < 15 ? literal_count : 15;
@@ -44,27 +62,23 @@ void emit_sequence(Bytes& out, const std::uint8_t* literals,
     const std::size_t encoded = match_length - kMinMatch;
     match_nibble = encoded < 15 ? encoded : 15;
   }
-  out.push_back(static_cast<std::uint8_t>((lit_nibble << 4) | match_nibble));
+  out.put(static_cast<std::uint8_t>((lit_nibble << 4) | match_nibble));
   if (lit_nibble == 15) put_varint_run(out, literal_count - 15);
-  out.insert(out.end(), literals, literals + literal_count);
+  out.put_run(literals, literal_count);
   if (!has_match) return;
-  out.push_back(static_cast<std::uint8_t>(offset));
-  out.push_back(static_cast<std::uint8_t>(offset >> 8));
+  out.put(static_cast<std::uint8_t>(offset));
+  out.put(static_cast<std::uint8_t>(offset >> 8));
   if (match_nibble == 15) put_varint_run(out, match_length - kMinMatch - 15);
 }
 
-}  // namespace
-
-Bytes compress(ByteSpan input) {
-  Bytes out;
-  out.reserve(input.size() / 2 + 16);
-
+template <typename Sink>
+void compress_to(ByteSpan input, Sink& out) {
   const std::uint8_t* base = input.data();
   const std::size_t size = input.size();
 
   if (size < kMinMatch + 1) {
     emit_sequence(out, base, size, 0, 0);
-    return out;
+    return;
   }
 
   std::array<std::uint32_t, kHashSize> table{};  // position + 1; 0 = empty
@@ -105,11 +119,27 @@ Bytes compress(ByteSpan input) {
   } else if (size == 0) {
     emit_sequence(out, base, 0, 0, 0);
   }
+}
+
+}  // namespace
+
+Bytes compress(ByteSpan input) {
+  Bytes out;
+  out.reserve(input.size() / 2 + 16);
+  BytesSink sink{out};
+  compress_to(input, sink);
   return out;
 }
 
-Result<Bytes> decompress(ByteSpan input) {
-  Bytes out;
+void compress_into(ByteSpan input, Bytes& out) {
+  out.clear();
+  out.reserve(max_compressed_size(input.size()));
+  BytesSink sink{out};
+  compress_to(input, sink);
+}
+
+Status decompress_into(ByteSpan input, Bytes& out, std::size_t max_bytes) {
+  out.clear();
   std::size_t pos = 0;
   while (pos < input.size()) {
     const std::uint8_t token = input[pos++];
@@ -120,7 +150,7 @@ Result<Bytes> decompress(ByteSpan input) {
     if (pos + literal_count > input.size()) {
       return Status{Errc::corruption, "literal run past end"};
     }
-    if (out.size() + literal_count > kMaxDecompressedBytes) {
+    if (out.size() + literal_count > max_bytes) {
       return Status{Errc::corruption, "decompressed size implausible"};
     }
     out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(pos),
@@ -144,7 +174,7 @@ Result<Bytes> decompress(ByteSpan input) {
     }
     match_length += kMinMatch;
 
-    if (out.size() + match_length > kMaxDecompressedBytes) {
+    if (out.size() + match_length > max_bytes) {
       return Status{Errc::corruption, "decompressed size implausible"};
     }
     // Byte-by-byte copy: overlapping matches (offset < length) are legal.
@@ -153,9 +183,21 @@ Result<Bytes> decompress(ByteSpan input) {
       out.push_back(out[src + i]);
     }
   }
+  return Status::ok();
+}
+
+Result<Bytes> decompress(ByteSpan input) {
+  Bytes out;
+  if (Status status = decompress_into(input, out); !status.is_ok()) {
+    return status;
+  }
   return out;
 }
 
-std::size_t compressed_size(ByteSpan input) { return compress(input).size(); }
+std::size_t compressed_size(ByteSpan input) {
+  CountingSink sink;
+  compress_to(input, sink);
+  return sink.size;
+}
 
 }  // namespace dcfs::lz

@@ -3,7 +3,8 @@
 // The Dropbox baseline compresses sync payloads (the paper suspects Snappy,
 // §IV-C); this module provides a real, deterministic compressor so the
 // baseline's traffic and CPU numbers reflect genuine compressibility of the
-// workload rather than a hard-coded ratio.
+// workload rather than a hard-coded ratio.  The wire pipeline (src/wire)
+// reuses the same codec for adaptive per-frame compression.
 //
 // Format (per sequence):
 //   token: high nibble = literal count (15 => varint extension bytes follow),
@@ -24,8 +25,19 @@ namespace dcfs::lz {
 inline constexpr std::size_t kMinMatch = 4;
 inline constexpr std::size_t kMaxOffset = 65535;
 
-/// Compresses `input`; always succeeds (worst case ~ input + input/255 + 16).
+/// Worst-case compressed size for `input_size` bytes: one giant literal run
+/// (token + varint extensions + the literals themselves) plus slack.
+constexpr std::size_t max_compressed_size(std::size_t input_size) noexcept {
+  return input_size + input_size / 255 + 16;
+}
+
+/// Compresses `input`; always succeeds (worst case max_compressed_size()).
 Bytes compress(ByteSpan input);
+
+/// Compresses `input` into `out`, reusing `out`'s existing allocation when
+/// large enough.  `out` is cleared first and reserved to the worst-case
+/// bound up front so the hot path never reallocates mid-stream.
+void compress_into(ByteSpan input, Bytes& out);
 
 /// Upper bound on accepted decompressed size — malformed or adversarial
 /// streams demanding more are rejected instead of exhausting memory.
@@ -36,7 +48,16 @@ inline constexpr std::size_t kMaxDecompressedBytes = std::size_t{1} << 31;
 /// kMaxDecompressedBytes.
 Result<Bytes> decompress(ByteSpan input);
 
-/// Convenience: compressed size only (for ratio accounting).
+/// Decompresses into `out`, reusing its allocation.  `out` is cleared first.
+/// Streams whose output would exceed `max_bytes` are rejected with
+/// Errc::corruption before any oversized allocation happens, which makes
+/// this the right entry point for untrusted wire frames.
+Status decompress_into(ByteSpan input, Bytes& out,
+                       std::size_t max_bytes = kMaxDecompressedBytes);
+
+/// Compressed size only, computed with a counting sink — no output buffer
+/// is allocated, so ratio accounting (e.g. the Dropbox baseline) costs the
+/// match-finding pass and nothing else.
 std::size_t compressed_size(ByteSpan input);
 
 }  // namespace dcfs::lz

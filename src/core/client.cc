@@ -57,6 +57,9 @@ DeltaCfsClient::DeltaCfsClient(FileSystem& local, Transport& transport,
   if (config_.delta_threads > 1) {
     pool_ = std::make_unique<par::WorkerPool>(config_.delta_threads, obs);
   }
+  if (config_.wire_compression) {
+    wire_ = std::make_unique<wire::Codec>(config_.wire_config, obs);
+  }
   if (config_.enable_signature_cache && config_.signature_cache_entries > 0) {
     sigcache_ = std::make_unique<SignatureCache>(config_.signature_cache_entries);
   }
@@ -767,14 +770,28 @@ void DeltaCfsClient::tick(TimePoint now) {
       upload_node(std::move(node));
     }
     flush_bundle();
+    ship_outbox();
   }
 
   while (auto frame = transport_.client_poll()) {
     meter_.charge(CostKind::net_frame, frame->size());
     meter_.charge(CostKind::encrypt, frame->size());
     if (frame->empty()) continue;
-    const std::uint8_t tag = (*frame)[0];
-    const ByteSpan body{frame->data() + 1, frame->size() - 1};
+    Bytes inner;
+    if (wire_ != nullptr) {
+      wire::DecodeInfo info;
+      Result<Bytes> decoded = wire_->decode(std::move(*frame), &info);
+      if (!decoded) continue;  // a corrupt wire frame carries nothing to ack
+      if (info.was_compressed) {
+        meter_.charge(CostKind::decompress, info.wire_body_size);
+      }
+      inner = std::move(*decoded);
+    } else {
+      inner = std::move(*frame);
+    }
+    if (inner.empty()) continue;
+    const std::uint8_t tag = inner[0];
+    const ByteSpan body{inner.data() + 1, inner.size() - 1};
     if (tag == kFrameAck) {
       if (Result<proto::Ack> ack = proto::decode_ack(body)) {
         process_ack(*ack);
@@ -784,6 +801,7 @@ void DeltaCfsClient::tick(TimePoint now) {
         apply_forward(*record);
       }
     }
+    if (wire_ != nullptr) wire_->recycle(std::move(inner));
   }
 }
 
@@ -801,6 +819,7 @@ void DeltaCfsClient::flush(TimePoint now) {
       upload_node(std::move(node));
     }
     flush_bundle();
+    ship_outbox();
   }
 }
 
@@ -841,7 +860,9 @@ void DeltaCfsClient::upload_node(SyncNode node) {
     }
   }
 
-  Bytes frame = proto::encode(record);
+  Bytes frame = frame_buffer(record.payload.size() + record.path.size() +
+                             record.path2.size() + 80);
+  proto::encode_into(record, frame);
   obs::inc(stats_.uploads);
   obs::observe(stats_.record_bytes, frame.size());
   ++records_uploaded_;
@@ -850,6 +871,7 @@ void DeltaCfsClient::upload_node(SyncNode node) {
       frame.size() <= config_.bundle_record_max_bytes) {
     // 4-byte member length prefix, per encode_bundle.
     bundle_pending_bytes_ += frame.size() + 4;
+    if (wire_ != nullptr) wire_->recycle(std::move(frame));
     bundle_pending_.push_back(std::move(record));
     if (bundle_pending_bytes_ >= config_.bundle_max_bytes) flush_bundle();
     return;
@@ -860,17 +882,50 @@ void DeltaCfsClient::upload_node(SyncNode node) {
   send_record_frame(std::move(frame));
 }
 
+Bytes DeltaCfsClient::frame_buffer(std::size_t size_hint) const {
+  if (wire_ != nullptr) return wire_->buffer(size_hint);
+  return Bytes{};
+}
+
 void DeltaCfsClient::send_record_frame(Bytes frame) {
+  if (wire_ != nullptr) {
+    // Wire encoding (and its meter charges) happens in ship_outbox, after
+    // the whole upload batch staged its frames — large frames compress on
+    // the delta pool while the batch keeps producing.
+    outbox_.push_back(std::move(frame));
+    return;
+  }
   meter_.charge(CostKind::encrypt, frame.size());
   meter_.charge(CostKind::net_frame, frame.size());
   transport_.client_send(std::move(frame), proto::MessageType::sync_record);
+}
+
+void DeltaCfsClient::ship_outbox() {
+  if (wire_ == nullptr || outbox_.empty()) return;
+  obs::Span span(tracer_, "client.wire_encode");
+  std::vector<wire::EncodedFrame> encoded =
+      wire_->encode_batch(std::move(outbox_), pool_.get());
+  outbox_.clear();
+  // Charge and send in staging order: the meter sees the same totals in
+  // the same sequence regardless of how many lanes encoded the batch.
+  for (wire::EncodedFrame& frame : encoded) {
+    if (frame.attempted) meter_.charge(CostKind::compress, frame.raw_size);
+    meter_.charge(CostKind::encrypt, frame.wire.size());
+    meter_.charge(CostKind::net_frame, frame.wire.size());
+    transport_.client_send(std::move(frame.wire),
+                           proto::MessageType::sync_record);
+  }
 }
 
 void DeltaCfsClient::flush_bundle() {
   if (bundle_pending_.empty()) return;
   if (bundle_pending_.size() == 1) {
     // A lone member gains nothing from the bundle envelope.
-    send_record_frame(proto::encode(bundle_pending_.front()));
+    const proto::SyncRecord& record = bundle_pending_.front();
+    Bytes frame = frame_buffer(record.payload.size() + record.path.size() +
+                               record.path2.size() + 80);
+    proto::encode_into(record, frame);
+    send_record_frame(std::move(frame));
   } else {
     proto::SyncRecord bundle;
     bundle.kind = proto::OpKind::record_bundle;
@@ -880,7 +935,9 @@ void DeltaCfsClient::flush_bundle() {
     bundle_records_sent_ += bundle_pending_.size();
     obs::inc(stats_.bundle_frames);
     obs::inc(stats_.bundle_records, bundle_pending_.size());
-    send_record_frame(proto::encode(bundle));
+    Bytes frame = frame_buffer(bundle.payload.size() + 80);
+    proto::encode_into(bundle, frame);
+    send_record_frame(std::move(frame));
   }
   bundle_pending_.clear();
   bundle_pending_bytes_ = 0;

@@ -33,6 +33,7 @@
 #include "par/worker_pool.h"
 #include "proto/messages.h"
 #include "vfs/intercept.h"
+#include "wire/wire.h"
 
 namespace dcfs {
 
@@ -82,6 +83,17 @@ struct ClientConfig {
   /// Records encoding larger than this ship as their own frame (bundling
   /// only pays for small records).
   std::uint64_t bundle_record_max_bytes = 4096;
+  /// Adaptive wire compression (dcfs::wire): every frame gains a 1-byte
+  /// raw|lz header; compressible frames ship as lz streams, incompressible
+  /// or tiny frames ship raw (detected by a sampled-entropy probe and a
+  /// size floor).  Traffic meters and NetProfile wire time then see
+  /// post-compression bytes.  Must match the server's
+  /// ServerConfig::wire_compression (a framing contract, like bundling).
+  /// Off by default so existing byte-exact accounting is unchanged.
+  bool wire_compression = false;
+  /// Tuning for the wire codec (floor / probe), used when
+  /// wire_compression is on.
+  wire::CodecConfig wire_config = {};
 };
 
 class DeltaCfsClient final : public OpSink {
@@ -170,6 +182,8 @@ class DeltaCfsClient final : public OpSink {
       std::string_view path) const;
   /// Null when `delta_threads` <= 1.
   [[nodiscard]] par::WorkerPool* delta_pool() noexcept { return pool_.get(); }
+  /// Null unless ClientConfig::wire_compression.
+  [[nodiscard]] wire::Codec* wire_codec() noexcept { return wire_.get(); }
   /// Null when the signature cache is disabled.
   [[nodiscard]] SignatureCache* signature_cache() noexcept {
     return sigcache_.get();
@@ -248,10 +262,18 @@ class DeltaCfsClient final : public OpSink {
 
   void upload_node(SyncNode node);
   /// Charges frame costs and ships one encoded record (or bundle) frame.
+  /// With wire compression on, the frame is staged in the outbox instead
+  /// and ships (batch-encoded) in ship_outbox().
   void send_record_frame(Bytes frame);
   /// Ships the pending bundle: one member goes out as a plain record
   /// frame, several as a record_bundle frame.
   void flush_bundle();
+  /// Wire-encodes staged frames (on the delta pool when configured — the
+  /// codec slots results by index, so output bytes are identical at any
+  /// thread count), charges the meter in frame order, and sends.
+  void ship_outbox();
+  /// A frame buffer for proto encoding: pooled when the wire codec is on.
+  [[nodiscard]] Bytes frame_buffer(std::size_t size_hint) const;
   void process_ack(const proto::Ack& ack);
   void apply_forward(const proto::SyncRecord& record);
 
@@ -290,6 +312,10 @@ class DeltaCfsClient final : public OpSink {
   RelationTable relations_;
   UndoLog undo_;
   std::unique_ptr<par::WorkerPool> pool_;
+  std::unique_ptr<wire::Codec> wire_;  ///< null unless wire_compression
+  /// Frames staged for the wire codec within the current upload batch;
+  /// always drained by ship_outbox() before the batch returns.
+  std::vector<Bytes> outbox_;
   std::unique_ptr<SignatureCache> sigcache_;
   std::uint64_t sigcache_hits_ = 0;
   std::uint64_t sigcache_misses_ = 0;

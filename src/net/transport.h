@@ -2,8 +2,12 @@
 //
 // Stand-in for the paper's EC2/WAN testbed: an in-process duplex frame
 // queue with byte-exact traffic accounting and a bandwidth/latency profile.
-// Frames are opaque byte vectors (encoded proto messages); every frame pays
-// a fixed framing overhead (TCP/TLS headers) like the real deployment.
+// Frames are opaque byte vectors (encoded proto messages — or, with wire
+// compression enabled, dcfs::wire frames); every frame pays a fixed framing
+// overhead (TCP/TLS headers) like the real deployment.  Because endpoints
+// hand the transport their post-compression bytes, the traffic meter and
+// the NetProfile's wire-time model automatically see what would actually
+// cross the network.
 #pragma once
 
 #include <cstdint>

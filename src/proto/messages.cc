@@ -109,7 +109,12 @@ std::string_view to_string(OpKind kind) {
 
 Bytes encode(const SyncRecord& record) {
   Bytes wire;
-  wire.reserve(64 + record.path.size() + record.path2.size() +
+  encode_into(record, wire);
+  return wire;
+}
+
+void encode_into(const SyncRecord& record, Bytes& wire) {
+  wire.reserve(wire.size() + 64 + record.path.size() + record.path2.size() +
                record.payload.size());
   put_u64(wire, record.sequence);
   wire.push_back(static_cast<std::uint8_t>(record.kind));
@@ -125,7 +130,6 @@ Bytes encode(const SyncRecord& record) {
   wire.push_back(record.txn_last ? 1 : 0);
   wire.push_back(record.base_deleted ? 1 : 0);
   wire.push_back(record.compressed ? 1 : 0);
-  return wire;
 }
 
 Result<SyncRecord> decode_record(ByteSpan wire) {
@@ -162,11 +166,15 @@ Result<SyncRecord> decode_record(ByteSpan wire) {
 
 Bytes encode(const Ack& ack) {
   Bytes wire;
+  encode_into(ack, wire);
+  return wire;
+}
+
+void encode_into(const Ack& ack, Bytes& wire) {
   put_u64(wire, ack.sequence);
   wire.push_back(static_cast<std::uint8_t>(ack.result));
   put_version(wire, ack.server_version);
   put_string(wire, ack.conflict_path);
-  return wire;
 }
 
 Result<Ack> decode_ack(ByteSpan wire) {

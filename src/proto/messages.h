@@ -119,12 +119,20 @@ struct Segment {
 Bytes encode_segments(const std::vector<Segment>& segments);
 Result<std::vector<Segment>> decode_segments(ByteSpan wire);
 
-/// Byte-exact serialization (these frames are what the traffic meters see).
+/// Byte-exact serialization (these frames are what the traffic meters see,
+/// after the optional wire-compression layer in dcfs::wire).
 Bytes encode(const SyncRecord& record);
 Result<SyncRecord> decode_record(ByteSpan wire);
 
 Bytes encode(const Ack& ack);
 Result<Ack> decode_ack(ByteSpan wire);
+
+/// Appending variants: serialize onto the end of `out` (not cleared),
+/// reserving the full encoded size up front.  Used with pooled buffers
+/// (wire::BufferPool) so frame encoding reuses transport-recycled storage
+/// instead of allocating; encode() wraps these.
+void encode_into(const SyncRecord& record, Bytes& out);
+void encode_into(const Ack& ack, Bytes& out);
 
 /// Payload of an OpKind::record_bundle record: count + length-prefixed
 /// encoded member records.  Members keep their own sequence numbers (each

@@ -15,6 +15,9 @@ CloudServer::CloudServer(const CostProfile& profile, ServerConfig config,
   if (config_.apply_shards > 1) {
     pool_ = std::make_unique<par::WorkerPool>(config_.apply_shards, obs);
   }
+  if (config_.wire_compression) {
+    wire_ = std::make_unique<wire::Codec>(config_.wire_config, obs);
+  }
   if (obs != nullptr) {
     tracer_ = &obs->tracer;
     applied_counter_ = &obs->registry.counter("server.records_applied");
@@ -50,6 +53,17 @@ void CloudServer::update_store_gauges() {
       static_cast<std::int64_t>(std::llround(store_.dedup_ratio() * 1000.0)));
 }
 
+Result<Bytes> CloudServer::unwire(Bytes frame) {
+  if (wire_ == nullptr) return frame;
+  wire::DecodeInfo info;
+  Result<Bytes> inner = wire_->decode(std::move(frame), &info);
+  if (!inner) return inner;
+  if (info.was_compressed) {
+    meter_.charge(CostKind::decompress, info.wire_body_size);
+  }
+  return inner;
+}
+
 Result<std::vector<proto::SyncRecord>> CloudServer::unpack_bundle(
     const proto::SyncRecord& record) {
   if (!record.compressed) return proto::decode_bundle(record.payload);
@@ -72,7 +86,15 @@ std::size_t CloudServer::pump_serial() {
     while (auto frame = transport->server_poll()) {
       meter_.charge(CostKind::net_frame, frame->size());
       meter_.charge(CostKind::encrypt, frame->size());  // TLS decrypt
-      Result<proto::SyncRecord> record = proto::decode_record(*frame);
+      Result<Bytes> inner = unwire(std::move(*frame));
+      if (!inner) {
+        proto::Ack ack;
+        ack.result = Errc::corruption;
+        send_ack(client_id, ack);
+        continue;
+      }
+      Result<proto::SyncRecord> record = proto::decode_record(*inner);
+      if (wire_ != nullptr) wire_->recycle(std::move(*inner));
       if (!record) {
         proto::Ack ack;
         ack.result = Errc::corruption;
@@ -191,7 +213,16 @@ std::size_t CloudServer::pump_parallel() {
     while (auto frame = transport->server_poll()) {
       meter_.charge(CostKind::net_frame, frame->size());
       meter_.charge(CostKind::encrypt, frame->size());
-      Result<proto::SyncRecord> record = proto::decode_record(*frame);
+      Result<Bytes> inner = unwire(std::move(*frame));
+      if (!inner) {
+        PumpItem item;
+        item.client = client_id;
+        item.ack.result = Errc::corruption;
+        items.push_back(std::move(item));
+        continue;
+      }
+      Result<proto::SyncRecord> record = proto::decode_record(*inner);
+      if (wire_ != nullptr) wire_->recycle(std::move(*inner));
       if (!record) {
         PumpItem item;
         item.client = client_id;
@@ -903,9 +934,20 @@ void CloudServer::record_arrival(const std::string& path) {
 void CloudServer::send_ack(std::uint32_t client_id, const proto::Ack& ack) {
   const auto it = clients_.find(client_id);
   if (it == clients_.end()) return;
-  Bytes frame;
+  Bytes frame = wire_ != nullptr ? wire_->buffer(64) : Bytes{};
   frame.push_back(1);  // server-to-client tag: ack
-  append(frame, proto::encode(ack));
+  proto::encode_into(ack, frame);
+  if (wire_ != nullptr) {
+    // Acks sit under the codec's size floor, so they ship raw — the wire
+    // layer only adds its 1-byte header (and byte-exact accounting).
+    wire::EncodedFrame encoded = wire_->encode(std::move(frame));
+    if (encoded.attempted) {
+      meter_.charge(CostKind::compress, encoded.raw_size);
+    }
+    meter_.charge(CostKind::net_frame, encoded.wire.size());
+    it->second->server_send(std::move(encoded.wire), proto::MessageType::ack);
+    return;
+  }
   meter_.charge(CostKind::net_frame, frame.size());
   it->second->server_send(std::move(frame), proto::MessageType::ack);
 }
@@ -915,9 +957,25 @@ void CloudServer::forward(std::uint32_t from_client,
   if (clients_.size() < 2) return;
   // §III-D: "besides storing the data it also forwards the data to other
   // shared clients" — no recomputation, the same record goes out.
-  Bytes frame;
+  Bytes frame = wire_ != nullptr
+                    ? wire_->buffer(record.payload.size() + 80)
+                    : Bytes{};
   frame.push_back(2);  // server-to-client tag: forwarded record
-  append(frame, proto::encode(record));
+  proto::encode_into(record, frame);
+  if (wire_ != nullptr) {
+    // Compress once; every peer receives a copy of the same wire bytes.
+    wire::EncodedFrame encoded = wire_->encode(std::move(frame));
+    if (encoded.attempted) {
+      meter_.charge(CostKind::compress, encoded.raw_size);
+    }
+    for (auto& [client_id, transport] : clients_) {
+      if (client_id == from_client) continue;
+      meter_.charge(CostKind::net_frame, encoded.wire.size());
+      transport->server_send(encoded.wire, proto::MessageType::forward);
+    }
+    wire_->recycle(std::move(encoded.wire));
+    return;
+  }
   for (auto& [client_id, transport] : clients_) {
     if (client_id == from_client) continue;
     meter_.charge(CostKind::net_frame, frame.size());

@@ -5,6 +5,12 @@
 namespace dcfs {
 namespace {
 
+/// Workload content: incompressible bytes or compressible text, per the
+/// params' text_payload knob.
+Bytes gen(Rng& rng, std::uint64_t n, bool text) {
+  return text ? rng.text(n) : rng.bytes(n);
+}
+
 /// Writes `data` through the FS in `chunk`-sized application writes.
 void write_chunked(FileSystem& fs, FileHandle handle, std::uint64_t offset,
                    ByteSpan data, std::uint64_t chunk) {
@@ -64,7 +70,7 @@ void RandomWriteWorkload::setup(FileSystem& fs) {
   while (offset < params_.file_bytes) {
     const std::uint64_t n =
         std::min<std::uint64_t>(kChunk, params_.file_bytes - offset);
-    fs.write(*handle, offset, content_rng.bytes(n));
+    fs.write(*handle, offset, gen(content_rng, n, params_.text_payload));
     offset += n;
   }
   fs.close(*handle);
@@ -76,7 +82,7 @@ bool RandomWriteWorkload::step(FileSystem& fs) {
 
   const std::uint64_t max_offset = params_.file_bytes - params_.write_bytes;
   const std::uint64_t offset = rng_.next_below(max_offset);
-  const Bytes data = rng_.bytes(params_.write_bytes);
+  const Bytes data = gen(rng_, params_.write_bytes, params_.text_payload);
   fs.write(*handle, offset, data);
   fs.close(*handle);
   update_bytes_ += data.size();
@@ -94,9 +100,11 @@ WordWorkload::WordWorkload(WordParams params)
     : params_(std::move(params)), rng_(params_.seed) {}
 
 void WordWorkload::setup(FileSystem& fs) {
-  // .doc/.docx payloads are containers: model as incompressible bytes so
-  // compression-based baselines do not get an unrealistic advantage.
-  content_ = rng_.bytes(params_.initial_bytes);
+  // .doc/.docx payloads are containers: model as incompressible bytes by
+  // default so compression-based baselines do not get an unrealistic
+  // advantage (text_payload opts into compressible content for the
+  // compression/wire studies).
+  content_ = gen(rng_, params_.initial_bytes, params_.text_payload);
   Result<FileHandle> handle = fs.create(params_.doc);
   if (!handle) return;
   write_chunked(fs, *handle, 0, content_, params_.write_chunk);
@@ -115,7 +123,7 @@ void WordWorkload::edit_content() {
           : 0;
   const std::uint64_t insert_at =
       content_.size() / 2 + rng_.next_below(content_.size() / 2 + 1);
-  const Bytes inserted = rng_.bytes(grow);
+  const Bytes inserted = gen(rng_, grow, params_.text_payload);
   content_.insert(content_.begin() + static_cast<std::ptrdiff_t>(insert_at),
                   inserted.begin(), inserted.end());
   update_bytes_ += grow;
@@ -125,7 +133,7 @@ void WordWorkload::edit_content() {
     const std::uint64_t len = params_.edit_bytes / 4;
     if (content_.size() <= len) break;
     const std::uint64_t at = rng_.next_below(content_.size() - len);
-    const Bytes patch = rng_.bytes(len);
+    const Bytes patch = gen(rng_, len, params_.text_payload);
     std::copy(patch.begin(), patch.end(),
               content_.begin() + static_cast<std::ptrdiff_t>(at));
     update_bytes_ += len;
@@ -186,7 +194,7 @@ void WeChatWorkload::setup(FileSystem& fs) {
   std::uint64_t offset = 0;
   while (offset < total) {
     const std::uint64_t n = std::min<std::uint64_t>(kChunk, total - offset);
-    fs.write(*handle, offset, content_rng.bytes(n));
+    fs.write(*handle, offset, gen(content_rng, n, params_.text_payload));
     offset += n;
   }
   fs.close(*handle);
@@ -240,7 +248,7 @@ bool WeChatWorkload::step(FileSystem& fs) {
           page_content ? std::move(*page_content) : Bytes(ps, 0);
       new_page.resize(ps, 0);
       const std::uint64_t at = rng_.next_below(ps - 256);
-      const Bytes record = rng_.bytes(200);
+      const Bytes record = gen(rng_, 200, params_.text_payload);
       std::copy(record.begin(), record.end(),
                 new_page.begin() + static_cast<std::ptrdiff_t>(at));
       fs.write(*db, page * ps, new_page);
@@ -249,7 +257,7 @@ bool WeChatWorkload::step(FileSystem& fs) {
 
     // Appended pages: the new messages' leaf pages.
     for (std::uint64_t i = 0; i < grow_per_update_; ++i) {
-      const Bytes fresh = rng_.bytes(ps);
+      const Bytes fresh = gen(rng_, ps, params_.text_payload);
       fs.write(*db, pages_ * ps, fresh);
       ++pages_;
       update_bytes_ += ps;

@@ -77,6 +77,9 @@ struct RandomWriteParams {
   std::uint32_t write_bytes = 1010;
   Duration interval = seconds(15);
   std::uint64_t seed = 2;
+  /// Content style: binary (incompressible, the paper's trace) or text
+  /// (compressible; used by the compression ablations and the wire bench).
+  bool text_payload = false;
 
   static RandomWriteParams paper() { return {}; }
   static RandomWriteParams scaled() {
@@ -118,6 +121,9 @@ struct WordParams {
   Duration interval = seconds(5);
   std::uint64_t write_chunk = 256 * 1024;     ///< writer's IO size
   std::uint64_t seed = 3;
+  /// Document content style: binary container (default — .doc/.docx are
+  /// opaque, see WordWorkload::setup) or text (compression studies).
+  bool text_payload = false;
 
   static WordParams paper() { return {}; }
   static WordParams scaled() {
@@ -166,6 +172,9 @@ struct WeChatParams {
   std::uint32_t inplace_pages = 2;  ///< B-tree pages rewritten per update
   Duration interval = seconds(1);
   std::uint64_t seed = 4;
+  /// Page content style: binary (the paper's opaque SQLite pages) or text
+  /// (message-like rows; compression studies).
+  bool text_payload = false;
 
   static WeChatParams paper() { return {}; }
   static WeChatParams scaled() {

@@ -1,0 +1,75 @@
+#include "wire/buffer_pool.h"
+
+#include <utility>
+
+namespace dcfs::wire {
+
+std::size_t BufferPool::class_for(std::size_t n) noexcept {
+  for (std::size_t cls = 0; cls < kClasses; ++cls) {
+    if (n <= class_bytes(cls)) return cls;
+  }
+  return kClasses;
+}
+
+Bytes BufferPool::acquire(std::size_t min_capacity, bool* hit) {
+  const std::size_t cls = class_for(min_capacity);
+  if (cls < kClasses) {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Any class >= the requested one can serve the request; prefer the
+    // tightest fit so big buffers stay available for big frames.
+    for (std::size_t c = cls; c < kClasses; ++c) {
+      if (!free_[c].empty()) {
+        Bytes buffer = std::move(free_[c].back());
+        free_[c].pop_back();
+        buffer.clear();
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        if (hit != nullptr) *hit = true;
+        return buffer;
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (hit != nullptr) *hit = false;
+  Bytes buffer;
+  buffer.reserve(cls < kClasses ? class_bytes(cls) : min_capacity);
+  return buffer;
+}
+
+void BufferPool::release(Bytes&& buffer) {
+  const std::size_t capacity = buffer.capacity();
+  if (capacity < kMinClassBytes) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // File under the largest class the capacity fully covers, so a future
+  // acquire for that class is guaranteed to fit without reallocating.
+  std::size_t cls = 0;
+  while (cls + 1 < kClasses && capacity >= class_bytes(cls + 1)) ++cls;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_[cls].size() >= kMaxPerClass) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer.clear();
+  free_[cls].push_back(std::move(buffer));
+}
+
+BufferPool::Stats BufferPool::stats() const noexcept {
+  return {hits_.load(std::memory_order_relaxed),
+          misses_.load(std::memory_order_relaxed),
+          dropped_.load(std::memory_order_relaxed)};
+}
+
+std::size_t BufferPool::idle_buffers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const std::vector<Bytes>& list : free_) n += list.size();
+  return n;
+}
+
+BufferPool& BufferPool::shared() {
+  static BufferPool pool;
+  return pool;
+}
+
+}  // namespace dcfs::wire

@@ -1,0 +1,122 @@
+// dcfs::wire — a thread-safe, size-classed pool of Bytes buffers.
+//
+// The frame pipeline (proto encode → adaptive compression → transport →
+// decode) churns through short-lived buffers of a handful of recurring
+// sizes.  The pool keeps released buffers on per-size-class free lists so
+// steady-state sync performs zero heap allocation on the frame path: a
+// buffer acquired by the client's encoder travels through the in-process
+// transport, is consumed by the server's decoder and released back into
+// the same pool, ready for the next frame.
+//
+// Classes are powers of four from 1 KiB to 16 MiB; acquire() hands out a
+// buffer whose *capacity* is at least the requested minimum (contents are
+// cleared), release() files a buffer under the largest class it can serve.
+// Each class keeps at most kMaxPerClass buffers — beyond that, release()
+// simply lets the buffer die, bounding idle memory.
+//
+// All operations are mutex-protected; hit/miss counters are atomics so the
+// frame codec can export them without taking the lock.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace dcfs::wire {
+
+class BufferPool {
+ public:
+  static constexpr std::size_t kMinClassBytes = 1024;        // 1 KiB
+  static constexpr std::size_t kClasses = 8;                 // ... 16 MiB
+  static constexpr std::size_t kMaxPerClass = 32;
+
+  BufferPool() = default;
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// A buffer with capacity >= max(min_capacity, kMinClassBytes) and size
+  /// 0.  Served from the free list when possible (a *hit*), freshly
+  /// allocated otherwise.  Requests above the largest class are always
+  /// misses and never return to the pool.  `hit`, when non-null, reports
+  /// which case this call was (so callers can attribute hits/misses to
+  /// their own instruments without racing on the shared totals).
+  Bytes acquire(std::size_t min_capacity, bool* hit = nullptr);
+
+  /// Returns a buffer to the pool.  Buffers too small or too numerous for
+  /// their class are dropped (freed) instead.
+  void release(Bytes&& buffer);
+
+  struct Stats {
+    std::uint64_t hits = 0;      ///< acquires served from a free list
+    std::uint64_t misses = 0;    ///< acquires that had to allocate
+    std::uint64_t dropped = 0;   ///< releases the pool declined to keep
+  };
+  [[nodiscard]] Stats stats() const noexcept;
+
+  /// Buffers currently parked on free lists (tests / introspection).
+  [[nodiscard]] std::size_t idle_buffers() const;
+
+  /// The process-wide pool.  Client and server codecs default to it, so
+  /// in-process simulations recycle each other's frames.
+  static BufferPool& shared();
+
+ private:
+  /// Smallest class whose capacity covers `n`; kClasses if none does.
+  static std::size_t class_for(std::size_t n) noexcept;
+  static constexpr std::size_t class_bytes(std::size_t cls) noexcept {
+    return kMinClassBytes << (2 * cls);
+  }
+
+  mutable std::mutex mu_;
+  std::vector<Bytes> free_[kClasses];
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// RAII lease: releases the held buffer back to its pool on destruction
+/// unless take() detached it.  Move-only; null pool means plain ownership.
+class Lease {
+ public:
+  Lease() = default;
+  Lease(BufferPool* pool, Bytes buffer)
+      : pool_(pool), buffer_(std::move(buffer)) {}
+  Lease(Lease&& other) noexcept
+      : pool_(other.pool_), buffer_(std::move(other.buffer_)) {
+    other.pool_ = nullptr;
+  }
+  Lease& operator=(Lease&& other) noexcept {
+    if (this != &other) {
+      settle();
+      pool_ = other.pool_;
+      buffer_ = std::move(other.buffer_);
+      other.pool_ = nullptr;
+    }
+    return *this;
+  }
+  ~Lease() { settle(); }
+
+  Bytes& operator*() noexcept { return buffer_; }
+  Bytes* operator->() noexcept { return &buffer_; }
+
+  /// Detaches the buffer — the caller now owns it and the pool forgets it.
+  [[nodiscard]] Bytes take() && {
+    pool_ = nullptr;
+    return std::move(buffer_);
+  }
+
+ private:
+  void settle() {
+    if (pool_ != nullptr) pool_->release(std::move(buffer_));
+    pool_ = nullptr;
+  }
+
+  BufferPool* pool_ = nullptr;
+  Bytes buffer_;
+};
+
+}  // namespace dcfs::wire

@@ -1,0 +1,140 @@
+#include "wire/wire.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <utility>
+
+#include "compress/lz.h"
+
+namespace dcfs::wire {
+
+double sampled_entropy_bits(ByteSpan data, std::size_t sample_bytes) {
+  if (data.empty()) return 0.0;
+  const std::size_t limit =
+      sample_bytes == 0 ? data.size() : std::min(sample_bytes, data.size());
+  const std::size_t stride = data.size() / limit;  // >= 1
+  std::array<std::uint32_t, 256> histogram{};
+  std::size_t counted = 0;
+  for (std::size_t i = 0; counted < limit && i < data.size(); i += stride) {
+    ++histogram[data[i]];
+    ++counted;
+  }
+  double bits = 0.0;
+  const double n = static_cast<double>(counted);
+  for (const std::uint32_t count : histogram) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / n;
+    bits -= p * std::log2(p);
+  }
+  return bits;
+}
+
+Codec::Codec(CodecConfig config, obs::Obs* obs, BufferPool* pool)
+    : config_(config),
+      pool_(pool != nullptr ? pool : &BufferPool::shared()) {
+  if (obs != nullptr) {
+    obs::Registry& reg = obs->registry;
+    raw_bytes_ = &reg.counter("net.wire.raw_bytes");
+    wire_bytes_ = &reg.counter("net.wire.wire_bytes");
+    skipped_frames_ = &reg.counter("net.wire.skipped_frames");
+    pool_hits_ = &reg.counter("net.wire.pool_hits");
+    pool_misses_ = &reg.counter("net.wire.pool_misses");
+  }
+}
+
+Bytes Codec::acquire_counted(std::size_t min_capacity) const {
+  bool hit = false;
+  Bytes buffer = pool_->acquire(min_capacity, &hit);
+  obs::inc(hit ? pool_hits_ : pool_misses_);
+  return buffer;
+}
+
+Bytes Codec::buffer(std::size_t min_capacity) const {
+  return acquire_counted(min_capacity);
+}
+
+void Codec::recycle(Bytes&& buffer) const { pool_->release(std::move(buffer)); }
+
+EncodedFrame Codec::encode(Bytes body) const {
+  EncodedFrame out;
+  out.raw_size = body.size();
+  obs::inc(raw_bytes_, body.size());
+
+  bool try_compress = body.size() >= config_.min_bytes;
+  if (try_compress &&
+      sampled_entropy_bits(body, config_.probe_bytes) >
+          config_.max_entropy_bits) {
+    try_compress = false;  // presumed incompressible: skip the match loop
+  }
+
+  if (try_compress) {
+    out.attempted = true;
+    Bytes packed = acquire_counted(lz::max_compressed_size(body.size()) + 1);
+    lz::compress_into(body, packed);
+    if (packed.size() + 1 < body.size()) {
+      // Header prepend is a memmove within reserved capacity, not an
+      // allocation (max_compressed_size carries slack for the extra byte).
+      packed.insert(packed.begin(), kTagLz);
+      out.compressed = true;
+      out.wire = std::move(packed);
+      pool_->release(std::move(body));
+      obs::inc(wire_bytes_, out.wire.size());
+      return out;
+    }
+    pool_->release(std::move(packed));
+  }
+
+  // Raw path: the body itself becomes the wire frame (zero-copy move).
+  body.insert(body.begin(), kTagRaw);
+  out.wire = std::move(body);
+  obs::inc(skipped_frames_);
+  obs::inc(wire_bytes_, out.wire.size());
+  return out;
+}
+
+std::vector<EncodedFrame> Codec::encode_batch(std::vector<Bytes> bodies,
+                                              par::WorkerPool* workers) const {
+  std::vector<EncodedFrame> out(bodies.size());
+  const auto run = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      out[i] = encode(std::move(bodies[i]));
+    }
+  };
+  if (workers != nullptr && bodies.size() > 1) {
+    workers->parallel_for(bodies.size(), 1, run);
+  } else {
+    run(0, bodies.size());
+  }
+  return out;
+}
+
+Result<Bytes> Codec::decode(Bytes frame, DecodeInfo* info) const {
+  if (frame.empty()) {
+    return Status{Errc::corruption, "empty wire frame"};
+  }
+  const std::uint8_t tag = frame[0];
+  if (tag == kTagRaw) {
+    frame.erase(frame.begin());  // memmove, no allocation
+    if (info != nullptr) {
+      *info = {false, 0, frame.size()};
+    }
+    return frame;
+  }
+  if (tag != kTagLz) {
+    return Status{Errc::corruption, "unknown wire frame tag"};
+  }
+  const ByteSpan packed{frame.data() + 1, frame.size() - 1};
+  Bytes plain = acquire_counted(packed.size() * 4 + 64);
+  if (Status status = lz::decompress_into(packed, plain); !status.is_ok()) {
+    pool_->release(std::move(plain));
+    return status;
+  }
+  if (info != nullptr) {
+    *info = {true, packed.size(), plain.size()};
+  }
+  pool_->release(std::move(frame));
+  return plain;
+}
+
+}  // namespace dcfs::wire

@@ -1,0 +1,131 @@
+// dcfs::wire — adaptive per-frame compression between proto and transport.
+//
+// Every frame leaving an endpoint with wire compression enabled carries a
+// 1-byte header: kTagRaw (the body follows verbatim) or kTagLz (the body
+// is an lz stream).  The header keeps accounting byte-exact: traffic
+// meters and the NetProfile's wire-time model see exactly the bytes that
+// would cross the network, and the receiver reconstructs the original
+// frame bit-for-bit from the header alone — no out-of-band negotiation.
+//
+// Compression is *adaptive*: a size floor skips tiny control frames (acks,
+// metadata records) where the header + CPU would cost more than the win,
+// and a sampled-entropy probe skips payloads that will not compress
+// (random blocks, already-compressed deltas) without running the full
+// match loop over them.  A frame that compresses to >= its original size
+// also ships raw.  Skipping is a per-frame decision recorded in the frame
+// header, so mixed streams decode unambiguously.
+//
+// Compression of a frame is a pure function of its bytes, and encode_batch
+// writes results into index-ordered slots — so offloading onto a
+// dcfs::par::WorkerPool never changes what goes on the wire, only how fast
+// it gets there.  Decoded bytes are byte-identical to the sender's
+// pre-encode frames at every thread count (tests/wire_test.cc holds the
+// whole client/server pipeline to that).
+//
+// Buffers come from a wire::BufferPool (shared across client and server by
+// default), so steady-state encode/decode allocates nothing: raw frames
+// are moved, not copied (the header is a 1-byte memmove), compressed
+// frames reuse pooled scratch space reserved to the worst-case bound.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "obs/obs.h"
+#include "par/worker_pool.h"
+#include "wire/buffer_pool.h"
+
+namespace dcfs::wire {
+
+/// Frame header values (first byte of every wire frame).
+inline constexpr std::uint8_t kTagRaw = 0x00;
+inline constexpr std::uint8_t kTagLz = 0x01;
+
+struct CodecConfig {
+  /// Frames smaller than this ship raw without probing (the floor —
+  /// compressing an ack saves a handful of bytes at full token cost).
+  std::size_t min_bytes = 128;
+  /// Bytes sampled (evenly strided) by the entropy probe.
+  std::size_t probe_bytes = 1024;
+  /// Sampled byte-entropy (bits/byte) above which the frame is presumed
+  /// incompressible and ships raw.  Random or already-compressed data
+  /// measures ~7.8 bits/byte on a 1 KiB sample; text ~4–5.
+  double max_entropy_bits = 7.0;
+};
+
+/// Shannon entropy (bits/byte) of an evenly-strided sample of `data`.
+/// `sample_bytes` caps how many bytes are histogrammed; 0 means all.
+double sampled_entropy_bits(ByteSpan data, std::size_t sample_bytes);
+
+/// One encoded frame plus the accounting the sender's meter needs.
+struct EncodedFrame {
+  Bytes wire;               ///< header byte + (raw | lz) body
+  std::size_t raw_size = 0; ///< body size before the wire layer
+  bool compressed = false;  ///< body went out as an lz stream
+  bool attempted = false;   ///< the compressor ran (charge CostKind::compress)
+};
+
+/// What decode() found; lets the receiver charge decompression costs the
+/// same way payload-level compression does.
+struct DecodeInfo {
+  bool was_compressed = false;
+  std::size_t wire_body_size = 0;  ///< compressed bytes fed to lz
+  std::size_t raw_size = 0;        ///< decoded frame size
+};
+
+class Codec {
+ public:
+  /// `pool` defaults to BufferPool::shared(); `obs` registers the
+  /// net.wire.* instruments (null disables them at one-branch cost).
+  explicit Codec(CodecConfig config = {}, obs::Obs* obs = nullptr,
+                 BufferPool* pool = nullptr);
+
+  /// Encodes one frame, consuming `body` (raw frames are moved, not
+  /// copied).  Thread-safe: instruments are atomic and the pool is locked.
+  EncodedFrame encode(Bytes body) const;
+
+  /// Encodes a batch, optionally on `workers` (one frame per task, results
+  /// slotted by index — output is identical for any worker count).
+  std::vector<EncodedFrame> encode_batch(std::vector<Bytes> bodies,
+                                         par::WorkerPool* workers) const;
+
+  /// Decodes one wire frame, consuming it (raw bodies are moved back out;
+  /// compressed bodies are inflated into a pooled buffer and the inbound
+  /// frame is recycled).  Returns Errc::corruption on an empty frame, an
+  /// unknown header or a malformed lz stream.
+  Result<Bytes> decode(Bytes frame, DecodeInfo* info = nullptr) const;
+
+  /// A pooled buffer (capacity >= `min_capacity`), with the codec's
+  /// pool_hits/pool_misses counters updated — use for proto encode so the
+  /// whole frame path draws from one pool.
+  [[nodiscard]] Bytes buffer(std::size_t min_capacity) const;
+
+  /// Hands a consumed frame's storage back to the pool.
+  void recycle(Bytes&& buffer) const;
+
+  [[nodiscard]] const CodecConfig& config() const noexcept { return config_; }
+  [[nodiscard]] BufferPool& pool() const noexcept { return *pool_; }
+
+ private:
+  /// Counts an acquire against pool_hits/pool_misses.
+  Bytes acquire_counted(std::size_t min_capacity) const;
+
+  CodecConfig config_;
+  BufferPool* pool_;
+
+  // net.wire.* instruments; null when observability is disabled.  Mutable
+  // instrument pointers keep encode()/decode() const (they are logically
+  // read-only transforms); Counter::inc is atomic, so concurrent batch
+  // workers may share them.
+  obs::Counter* raw_bytes_ = nullptr;       ///< body bytes entering encode
+  obs::Counter* wire_bytes_ = nullptr;      ///< frame bytes leaving encode
+  obs::Counter* skipped_frames_ = nullptr;  ///< frames shipped raw
+  obs::Counter* pool_hits_ = nullptr;
+  obs::Counter* pool_misses_ = nullptr;
+};
+
+}  // namespace dcfs::wire

@@ -80,6 +80,53 @@ TEST(LzTest, BadOffsetReportsCorruption) {
   EXPECT_FALSE(lz::decompress(bogus).is_ok());
 }
 
+TEST(LzTest, CompressIntoMatchesCompressAndReusesCapacity) {
+  Rng rng(21);
+  Bytes scratch;
+  for (const std::size_t size : {0u, 100u, 5000u, 200'000u}) {
+    const Bytes text = rng.text(size);
+    lz::compress_into(text, scratch);
+    EXPECT_EQ(scratch, lz::compress(text)) << size;
+  }
+
+  // A buffer big enough for the worst case is never reallocated.
+  const Bytes data = rng.text(64 * 1024);
+  scratch.clear();
+  scratch.reserve(lz::max_compressed_size(data.size()));
+  const std::uint8_t* storage = scratch.data();
+  lz::compress_into(data, scratch);
+  EXPECT_EQ(scratch.data(), storage);
+}
+
+TEST(LzTest, DecompressIntoMatchesDecompressAndReusesCapacity) {
+  Rng rng(22);
+  const Bytes data = rng.text(64 * 1024);
+  const Bytes compressed = lz::compress(data);
+
+  Bytes out;
+  out.reserve(data.size());
+  const std::uint8_t* storage = out.data();
+  ASSERT_TRUE(lz::decompress_into(compressed, out).is_ok());
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(out.data(), storage);
+
+  // The caller's cap is honored: a too-small budget is a corruption error.
+  Bytes capped;
+  EXPECT_EQ(lz::decompress_into(compressed, capped, 1024).code(),
+            Errc::corruption);
+}
+
+TEST(LzTest, CompressedSizeCountsWithoutMaterializing) {
+  Rng rng(23);
+  for (const std::size_t size : {0u, 1u, 500u, 40'000u}) {
+    const Bytes text = rng.text(size);
+    EXPECT_EQ(lz::compressed_size(text), lz::compress(text).size()) << size;
+    const Bytes random = rng.bytes(size);
+    EXPECT_EQ(lz::compressed_size(random), lz::compress(random).size())
+        << size;
+  }
+}
+
 class LzSizesTest : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(LzSizesTest, RoundTripAtSize) {

@@ -9,6 +9,7 @@
 #include "proto/messages.h"
 #include "rsyncx/delta.h"
 #include "server/cloud_server.h"
+#include "wire/wire.h"
 
 namespace dcfs {
 namespace {
@@ -17,6 +18,7 @@ class FuzzSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(FuzzSeedTest, RandomBytesNeverCrashDecoders) {
   Rng rng(GetParam());
+  wire::Codec codec;
   for (int round = 0; round < 200; ++round) {
     const Bytes junk = rng.bytes(rng.next_below(512));
     (void)proto::decode_record(junk);
@@ -24,7 +26,86 @@ TEST_P(FuzzSeedTest, RandomBytesNeverCrashDecoders) {
     (void)proto::decode_segments(junk);
     (void)rsyncx::decode_delta(junk);
     (void)lz::decompress(junk);
+    (void)codec.decode(Bytes(junk));
   }
+}
+
+TEST_P(FuzzSeedTest, LzRoundTripProperty) {
+  Rng rng(GetParam() + 4000);
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t size = rng.next_below(64 * 1024);
+    const Bytes input =
+        rng.next_below(2) == 0 ? rng.text(size) : rng.bytes(size);
+
+    // compress / compress_into / compressed_size agree byte-for-byte.
+    const Bytes compressed = lz::compress(input);
+    Bytes into;
+    lz::compress_into(input, into);
+    ASSERT_EQ(into, compressed);
+    ASSERT_EQ(lz::compressed_size(input), compressed.size());
+    ASSERT_LE(compressed.size(), lz::max_compressed_size(input.size()));
+
+    Result<Bytes> out = lz::decompress(compressed);
+    ASSERT_TRUE(out.is_ok());
+    ASSERT_EQ(*out, input);
+  }
+}
+
+TEST_P(FuzzSeedTest, MutatedLzStreamsNeverCrash) {
+  Rng rng(GetParam() + 5000);
+  const Bytes input = rng.text(8192);
+  const Bytes valid = lz::compress(input);
+
+  for (int round = 0; round < 300; ++round) {
+    Bytes mutated = valid;
+    const int flips = 1 + static_cast<int>(rng.next_below(4));
+    for (int i = 0; i < flips; ++i) {
+      mutated[rng.next_below(mutated.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.next_below(255));
+    }
+    if (rng.next_below(3) == 0) {
+      mutated.resize(rng.next_below(mutated.size() + 1));
+    }
+    // Either a clean corruption error or a decode bounded by the cap —
+    // never a crash, never unbounded output.
+    Bytes out;
+    const Status status = lz::decompress_into(mutated, out, 1 << 20);
+    if (!status.is_ok()) EXPECT_EQ(status.code(), Errc::corruption);
+  }
+}
+
+TEST(LzCorruptionTest, HandCraftedStreamsAreRejected) {
+  // Truncated header: a token byte promising literals that never arrive.
+  EXPECT_EQ(lz::decompress(Bytes{0xF0}).code(), Errc::corruption);
+  // Literal run length extension cut off mid-varint.
+  EXPECT_EQ(lz::decompress(Bytes{0xF0, 0xFF}).code(), Errc::corruption);
+  // Match with a zero offset (points before the output start).
+  EXPECT_EQ(lz::decompress(Bytes{0x04, 0x00, 0x00}).code(),
+            Errc::corruption);
+  // Match offset past everything decoded so far.
+  EXPECT_EQ(lz::decompress(Bytes{0x14, 'x', 0xFF, 0xFF}).code(),
+            Errc::corruption);
+  // Match length truncated before its extension bytes.
+  EXPECT_EQ(lz::decompress(Bytes{0x1F, 'x', 0x01, 0x00}).code(),
+            Errc::corruption);
+}
+
+TEST(LzCorruptionTest, OversizedLengthClaimIsRejectedBeforeAllocating) {
+  // A valid stream for 1 MiB of 'a'; a receiver capping output at 4 KiB
+  // must reject it with a corruption error instead of inflating it.
+  const Bytes big(1 << 20, 'a');
+  const Bytes compressed = lz::compress(big);
+  Bytes out;
+  const Status capped = lz::decompress_into(compressed, out, 4096);
+  ASSERT_FALSE(capped.is_ok());
+  EXPECT_EQ(capped.code(), Errc::corruption);
+  EXPECT_LE(out.capacity(), 1u << 16);  // the claim never drove allocation
+
+  // A literal-run claim far past the actual input dies cleanly too.
+  Bytes absurd{0xF0};
+  for (int i = 0; i < 64; ++i) absurd.push_back(0xFF);
+  absurd.push_back(0x00);
+  EXPECT_EQ(lz::decompress(absurd).code(), Errc::corruption);
 }
 
 TEST_P(FuzzSeedTest, MutatedValidRecordsNeverCrash) {
