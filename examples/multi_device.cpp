@@ -70,7 +70,7 @@ int main() {
   laptop.fs.write_file("/sync/notes.txt", to_bytes("groceries: milk\n"));
   settle(clock, cloud, laptop, phone);
   std::printf("phone sees: %s",
-              as_text(*phone.local.read_file("/sync/notes.txt")).data());
+              to_string(*phone.local.read_file("/sync/notes.txt")).c_str());
 
   // --- 2. phone appends, laptop receives ---
   std::printf("\n== phone appends a line ==\n");
@@ -81,7 +81,7 @@ int main() {
   }
   settle(clock, cloud, laptop, phone);
   std::printf("laptop sees:\n%s",
-              as_text(*laptop.local.read_file("/sync/notes.txt")).data());
+              to_string(*laptop.local.read_file("/sync/notes.txt")).c_str());
 
   // --- 3. concurrent edits: first write wins, loser gets a conflict copy ---
   std::printf("\n== both devices edit the same file while offline-ish ==\n");
@@ -96,10 +96,10 @@ int main() {
   settle(clock, cloud, laptop, phone);
 
   std::printf("cloud main copy : %.16s...\n",
-              as_text(*cloud.fetch("/sync/notes.txt")).data());
+              to_string(*cloud.fetch("/sync/notes.txt")).c_str());
   for (const std::string& conflict : cloud.conflict_paths()) {
     std::printf("conflict copy   : %s (%.16s...)\n", conflict.c_str(),
-                as_text(*cloud.fetch(conflict)).data());
+                to_string(*cloud.fetch(conflict)).c_str());
   }
   std::printf("conflicts acked : laptop=%llu phone=%llu\n",
               static_cast<unsigned long long>(laptop.client.conflicts_acked()),

@@ -40,8 +40,9 @@ int main() {
   std::printf("== creating /sync/hello.txt ==\n");
   fs.write_file("/sync/hello.txt", to_bytes("hello, cloud storage!\n"));
   let_sync_run(system, clock, seconds(5));
-  std::printf("cloud now has: %s",
-              as_text(*system.server().fetch("/sync/hello.txt")).data());
+  const std::string cloud_now =
+      to_string(*system.server().fetch("/sync/hello.txt"));
+  std::printf("cloud now has: %s", cloud_now.c_str());
 
   // 3. Append to it — only the appended bytes travel (NFS-like file RPC).
   const std::uint64_t traffic_before = system.traffic().up_bytes();

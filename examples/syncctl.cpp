@@ -18,6 +18,7 @@
 #include <string>
 
 #include "baselines/deltacfs_system.h"
+#include "chk/lockdep.h"
 #include "obs/obs.h"
 
 using namespace dcfs;
@@ -40,6 +41,7 @@ void print_help() {
       "  tick <seconds>             advance virtual time (sync runs)\n"
       "  stats                      meters, counters and metric registry\n"
       "  trace [file]               span summary, or Chrome JSON to <file>\n"
+      "  chk [file]                 lock-order graph as Graphviz DOT\n"
       "  help | quit\n");
 }
 
@@ -216,6 +218,28 @@ int main() {
         } else {
           out << obs.tracer.to_chrome_json();
           std::printf("wrote %zu events to %s\n", obs.tracer.events().size(),
+                      path.c_str());
+        }
+      }
+    } else if (cmd == "chk") {
+      // The lock-order graph observed so far: every chk::Mutex class this
+      // process acquired, with the nesting edges lockdep recorded.  Empty
+      // (two-line digraph) when built with -DDCFS_CHK=OFF.
+      std::string path;
+      in >> path;
+      const std::string dot = chk::lockdep_dot();
+      if (path.empty()) {
+        std::printf("%s", dot.c_str());
+        if (!chk::enabled()) {
+          std::printf("(lockdep not compiled in: rebuild with -DDCFS_CHK=ON)\n");
+        }
+      } else {
+        std::ofstream out(path);
+        if (!out) {
+          std::printf("cannot open %s\n", path.c_str());
+        } else {
+          out << dot;
+          std::printf("wrote lock-order graph to %s (render: dot -Tsvg)\n",
                       path.c_str());
         }
       }

@@ -1,0 +1,303 @@
+// dcfs::chk — runtime lock-order analysis (a userspace "lockdep").
+//
+// Every long-lived mutex in the project is a chk::Mutex or chk::SharedMutex
+// tagged with a *lock class* name ("subsystem.resource", see
+// docs/ANALYSIS.md).  Acquisitions record, per thread, the stack of classes
+// currently held; the first time class B is requested while class A is held,
+// the edge A→B enters a global lock-order graph and a cycle check runs.  A
+// cycle means two code paths disagree about acquisition order — a potential
+// deadlock — and is reported *before* the acquisition blocks, with both
+// offending acquisition stacks (the current one and the one recorded when
+// the conflicting edge was first seen).  Re-acquiring an instance the
+// thread already holds, or nesting two instances of the same class, is
+// reported the same way.
+//
+// The check is O(held locks) per acquisition with a per-thread cache of
+// already-recorded edges, so the global graph mutex is only touched the
+// first time a thread sees a given ordered pair.
+//
+// With -DDCFS_CHK=OFF every type here collapses to a plain std::mutex /
+// std::shared_mutex wrapper with inline forwarding — no class ids, no
+// thread-local state, no graph (tests/chk_test.cc pins the zero-overhead
+// layout with static_asserts).
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+#if defined(DCFS_CHK_ENABLED)
+#include <cstdint>
+#include <functional>
+#include <source_location>
+#endif
+
+namespace dcfs::chk {
+
+/// True when lockdep instrumentation is compiled in (-DDCFS_CHK=ON).
+[[nodiscard]] constexpr bool enabled() noexcept {
+#if defined(DCFS_CHK_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(DCFS_CHK_ENABLED)
+
+/// Where an acquisition happened; captured by the RAII guards via
+/// std::source_location, so reports point at the guard construction site.
+struct Site {
+  const char* file = "?";
+  unsigned line = 0;
+
+  static Site current(
+      std::source_location loc = std::source_location::current()) noexcept {
+    return Site{loc.file_name(), static_cast<unsigned>(loc.line())};
+  }
+};
+
+/// One detected lock-discipline violation.
+struct Violation {
+  enum class Kind {
+    cycle,       ///< new edge closes a cycle in the lock-order graph
+    recursion,   ///< thread re-acquired an instance it already holds
+    same_class,  ///< thread nested two distinct instances of one class
+  };
+  Kind kind;
+  std::string report;  ///< full human-readable report, both stacks included
+};
+
+/// Installs the violation handler and returns the previous one.  The
+/// default (or a null handler) prints the report to stderr and aborts —
+/// fail fast in debug/CI builds.  Tests install a capturing handler; a
+/// handler may throw, in which case the offending lock is NOT acquired
+/// (the check runs before blocking on the underlying mutex).
+using ViolationHandler = std::function<void(const Violation&)>;
+ViolationHandler set_violation_handler(ViolationHandler handler);
+
+/// Violations reported since process start.
+[[nodiscard]] std::uint64_t violation_count() noexcept;
+
+/// The observed lock-order graph as Graphviz DOT: one node per lock class
+/// (labeled with its acquisition count), one edge per observed ordered
+/// pair, labeled with the site that first recorded it.
+[[nodiscard]] std::string lockdep_dot();
+
+namespace detail {
+/// Interns a lock-class name; same name returns the same id.
+std::uint32_t intern_class(const char* name);
+/// Pre-acquisition check: recursion / same-class / new-edge cycle
+/// detection.  Runs before the underlying lock blocks; may invoke the
+/// violation handler.
+void check_acquire(std::uint32_t cls, const void* instance, Site site);
+/// Pushes the acquisition onto the thread's held stack (post-lock).
+void note_acquired(std::uint32_t cls, const void* instance, Site site,
+                   bool shared);
+/// Pops the instance from the thread's held stack.
+void note_released(const void* instance) noexcept;
+}  // namespace detail
+
+/// Lockdep-tracked exclusive mutex.  Construct with a lock-class name;
+/// every instance of a class shares ordering constraints.
+class Mutex {
+ public:
+  explicit Mutex(const char* lock_class)
+      : cls_(detail::intern_class(lock_class)) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock(Site site = Site{}) {
+    detail::check_acquire(cls_, this, site);
+    mu_.lock();
+    detail::note_acquired(cls_, this, site, /*shared=*/false);
+  }
+  void unlock() {
+    detail::note_released(this);
+    mu_.unlock();
+  }
+
+  /// Underlying mutex, for std::condition_variable via UniqueLock::raw().
+  [[nodiscard]] std::mutex& native() noexcept { return mu_; }
+  [[nodiscard]] std::uint32_t lock_class() const noexcept { return cls_; }
+
+ private:
+  std::mutex mu_;
+  std::uint32_t cls_;
+};
+
+/// Lockdep-tracked reader/writer mutex.  Shared acquisitions participate
+/// in ordering exactly like exclusive ones (a reader blocked behind a
+/// writer deadlocks the same way), so both feed the same graph.
+class SharedMutex {
+ public:
+  explicit SharedMutex(const char* lock_class)
+      : cls_(detail::intern_class(lock_class)) {}
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock(Site site = Site{}) {
+    detail::check_acquire(cls_, this, site);
+    mu_.lock();
+    detail::note_acquired(cls_, this, site, /*shared=*/false);
+  }
+  void unlock() {
+    detail::note_released(this);
+    mu_.unlock();
+  }
+  void lock_shared(Site site = Site{}) {
+    detail::check_acquire(cls_, this, site);
+    mu_.lock_shared();
+    detail::note_acquired(cls_, this, site, /*shared=*/true);
+  }
+  void unlock_shared() {
+    detail::note_released(this);
+    mu_.unlock_shared();
+  }
+
+  [[nodiscard]] std::uint32_t lock_class() const noexcept { return cls_; }
+
+ private:
+  std::shared_mutex mu_;
+  std::uint32_t cls_;
+};
+
+/// Scoped exclusive lock over Mutex or SharedMutex; the drop-in
+/// replacement for std::lock_guard.
+template <typename MutexT>
+class LockGuard {
+ public:
+  explicit LockGuard(MutexT& mutex,
+                     std::source_location loc = std::source_location::current())
+      : mutex_(mutex) {
+    mutex_.lock(Site{loc.file_name(), static_cast<unsigned>(loc.line())});
+  }
+  ~LockGuard() { mutex_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  MutexT& mutex_;
+};
+
+/// Scoped shared (reader) lock over SharedMutex.
+class SharedLock {
+ public:
+  explicit SharedLock(SharedMutex& mutex,
+                      std::source_location loc = std::source_location::current())
+      : mutex_(mutex) {
+    mutex_.lock_shared(Site{loc.file_name(), static_cast<unsigned>(loc.line())});
+  }
+  ~SharedLock() { mutex_.unlock_shared(); }
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// Scoped lock exposing the underlying std::unique_lock so callers can
+/// wait on a std::condition_variable.  While wait() has the native mutex
+/// released the lockdep held-record conservatively stays in place — a
+/// waiting thread acquires nothing, so no false edges arise.
+class UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mutex,
+                      std::source_location loc = std::source_location::current())
+      : mutex_(&mutex) {
+    const Site site{loc.file_name(), static_cast<unsigned>(loc.line())};
+    detail::check_acquire(mutex.lock_class(), mutex_, site);
+    lock_ = std::unique_lock<std::mutex>(mutex.native());
+    detail::note_acquired(mutex.lock_class(), mutex_, site, /*shared=*/false);
+  }
+  ~UniqueLock() {
+    if (lock_.owns_lock()) detail::note_released(mutex_);
+  }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  /// For std::condition_variable::wait and friends.
+  [[nodiscard]] std::unique_lock<std::mutex>& raw() noexcept { return lock_; }
+
+ private:
+  Mutex* mutex_;
+  std::unique_lock<std::mutex> lock_;
+};
+
+#else  // !DCFS_CHK_ENABLED — zero-overhead passthrough.
+
+class Mutex {
+ public:
+  explicit Mutex(const char* /*lock_class*/) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() { mu_.lock(); }
+  void unlock() { mu_.unlock(); }
+  [[nodiscard]] std::mutex& native() noexcept { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+class SharedMutex {
+ public:
+  explicit SharedMutex(const char* /*lock_class*/) {}
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() { mu_.lock(); }
+  void unlock() { mu_.unlock(); }
+  void lock_shared() { mu_.lock_shared(); }
+  void unlock_shared() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+template <typename MutexT>
+class LockGuard {
+ public:
+  explicit LockGuard(MutexT& mutex) : mutex_(mutex) { mutex_.lock(); }
+  ~LockGuard() { mutex_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  MutexT& mutex_;
+};
+
+class SharedLock {
+ public:
+  explicit SharedLock(SharedMutex& mutex) : mutex_(mutex) {
+    mutex_.lock_shared();
+  }
+  ~SharedLock() { mutex_.unlock_shared(); }
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+class UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mutex) : lock_(mutex.native()) {}
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  [[nodiscard]] std::unique_lock<std::mutex>& raw() noexcept { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Without instrumentation there is no graph; an empty digraph keeps
+/// consumers (syncctl chk) compiling in both configurations.
+[[nodiscard]] inline std::string lockdep_dot() {
+  return "digraph lockdep {\n}\n";
+}
+
+#endif  // DCFS_CHK_ENABLED
+
+}  // namespace dcfs::chk

@@ -1,0 +1,167 @@
+#include "chk/sched.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace dcfs::chk {
+
+namespace {
+
+#if defined(DCFS_CHK_ENABLED)
+/// Identity of the logical thread executing on this OS thread, if any.
+thread_local Scheduler* t_scheduler = nullptr;  // NOLINT
+thread_local std::size_t t_lane = 0;            // NOLINT
+#endif
+
+/// splitmix64 — tiny, seedable, and good enough to spread schedule choices.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void yield_point_dispatch(Scheduler* scheduler, std::size_t lane) noexcept {
+  scheduler->yield(lane);
+}
+
+#if defined(DCFS_CHK_ENABLED)
+void yield_point() noexcept {
+  if (t_scheduler != nullptr) yield_point_dispatch(t_scheduler, t_lane);
+}
+#endif
+
+Scheduler::~Scheduler() {
+  for (const auto& lane : lanes_) {
+    if (lane->thread.joinable()) lane->thread.join();
+  }
+}
+
+void Scheduler::add_thread(std::function<void()> body) {
+  auto lane = std::make_unique<Lane>();
+  lane->body = std::move(body);
+  lanes_.push_back(std::move(lane));
+}
+
+Scheduler::Trace Scheduler::run(const ChoiceFn& choose) {
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    lanes_[i]->thread = std::thread([this, i] { lane_main(i); });
+  }
+
+  Trace trace;
+  std::vector<std::size_t> runnable;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      runnable.clear();
+      for (std::size_t i = 0; i < lanes_.size(); ++i) {
+        const Lane::State state = lanes_[i]->state;
+        if (state == Lane::State::ready || state == Lane::State::yielded) {
+          runnable.push_back(i);
+        }
+      }
+      if (runnable.empty()) break;
+      std::size_t pick = 0;
+      if (runnable.size() > 1) {
+        pick = std::min(choose(runnable.size()), runnable.size() - 1);
+        trace.choices.push_back(static_cast<std::uint8_t>(pick));
+        trace.runnable.push_back(static_cast<std::uint8_t>(runnable.size()));
+      }
+      active_ = runnable[pick];
+      lanes_[active_]->state = Lane::State::running;
+      cv_.notify_all();
+      // The granted thread runs until its next yield point (or the end of
+      // its body), then hands control back — strict alternation, so the
+      // choice sequence fully determines the interleaving.
+      cv_.wait(lock, [&] { return active_ == kNone; });
+    }
+  }
+  for (const auto& lane : lanes_) {
+    if (lane->thread.joinable()) lane->thread.join();
+  }
+  if (error_ != nullptr) std::rethrow_exception(error_);
+  return trace;
+}
+
+void Scheduler::lane_main(std::size_t lane) {
+  Lane& self = *lanes_[lane];
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return active_ == lane; });
+  }
+#if defined(DCFS_CHK_ENABLED)
+  t_scheduler = this;
+  t_lane = lane;
+#endif
+  try {
+    self.body();
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (error_ == nullptr) error_ = std::current_exception();
+  }
+#if defined(DCFS_CHK_ENABLED)
+  t_scheduler = nullptr;
+#endif
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    self.state = Lane::State::finished;
+    active_ = kNone;
+  }
+  cv_.notify_all();
+}
+
+void Scheduler::yield(std::size_t lane) {
+  std::unique_lock<std::mutex> lock(mu_);
+  lanes_[lane]->state = Lane::State::yielded;
+  active_ = kNone;
+  cv_.notify_all();
+  cv_.wait(lock, [&] { return active_ == lane; });
+}
+
+std::size_t Explorer::enumerate(const RunFn& run_one, std::size_t max_runs) {
+  std::vector<std::uint8_t> prefix;
+  std::size_t runs = 0;
+  while (runs < max_runs) {
+    std::size_t step = 0;
+    const Scheduler::ChoiceFn choose = [&](std::size_t n) -> std::size_t {
+      const std::size_t choice =
+          step < prefix.size() ? std::min<std::size_t>(prefix[step], n - 1)
+                               : 0;
+      ++step;
+      return choice;
+    };
+    const Scheduler::Trace trace = run_one(choose);
+    ++runs;
+    // Backtrack: deepest decision with an unexplored sibling becomes the
+    // next prefix; when none remains the tree is exhausted.
+    std::size_t depth = trace.choices.size();
+    while (depth > 0 &&
+           trace.choices[depth - 1] + 1 >= trace.runnable[depth - 1]) {
+      --depth;
+    }
+    if (depth == 0) return runs;
+    prefix.assign(trace.choices.begin(),
+                  trace.choices.begin() + static_cast<std::ptrdiff_t>(depth));
+    ++prefix.back();
+  }
+  return runs;
+}
+
+std::size_t Explorer::sample_distinct(const RunFn& run_one, std::uint64_t seed,
+                                      std::size_t runs) {
+  std::set<std::string> seen;
+  for (std::size_t r = 0; r < runs; ++r) {
+    std::uint64_t state = seed ^ (0x5851f42d4c957f2dull * (r + 1));
+    const Scheduler::ChoiceFn choose = [&](std::size_t n) -> std::size_t {
+      return static_cast<std::size_t>(splitmix64(state) % n);
+    };
+    seen.insert(run_one(choose).key());
+  }
+  return seen.size();
+}
+
+}  // namespace dcfs::chk

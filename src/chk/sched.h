@@ -1,0 +1,122 @@
+// dcfs::chk — deterministic schedule exploration for lock-free code.
+//
+// TSan only inspects the interleavings a run happens to produce; the
+// Scheduler *chooses* them.  Concurrency-sensitive code is instrumented
+// with chk::yield_point() at the racy steps (the lock-free queue's
+// publication window, the WorkerPool cursor-steal claims).  Outside a
+// scheduled run a yield point is one thread-local load; under a Scheduler
+// it becomes a preemption point: logical threads run one at a time and at
+// every yield the conductor picks who runs next, so a choice sequence
+// *is* an interleaving — replayable, enumerable, and seed-reproducible.
+//
+// With -DDCFS_CHK=OFF, yield_point() compiles to nothing.  The Scheduler
+// itself always compiles (it is a test harness, not a hot path), but
+// without instrumented yield points each logical thread runs atomically,
+// so the schedule tests skip themselves in that configuration.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dcfs::chk {
+
+#if defined(DCFS_CHK_ENABLED)
+/// Cooperative preemption point; no-op unless the calling thread is a
+/// logical thread of a running Scheduler.
+void yield_point() noexcept;
+#else
+inline void yield_point() noexcept {}
+#endif
+
+/// Runs N logical threads under cooperative control.  Single-run object:
+/// construct, add_thread() the bodies, run() once.
+class Scheduler {
+ public:
+  /// Decision source: given the number of runnable threads (>= 2), returns
+  /// the index of the one to run next.
+  using ChoiceFn = std::function<std::size_t(std::size_t runnable)>;
+
+  /// The identity of one interleaving: the decision sequence, plus how
+  /// many threads were runnable at each decision (the tree arity, needed
+  /// by the enumerator).  Forced steps (one runnable thread) are not
+  /// decisions and are not recorded.
+  struct Trace {
+    std::vector<std::uint8_t> choices;
+    std::vector<std::uint8_t> runnable;
+
+    /// Compact identity string (distinct traces <=> distinct keys).
+    [[nodiscard]] std::string key() const {
+      return std::string(choices.begin(), choices.end());
+    }
+  };
+
+  Scheduler() = default;
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Registers a logical thread; call before run().
+  void add_thread(std::function<void()> body);
+
+  /// Runs every logical thread to completion under `choose`, returning the
+  /// trace.  The first exception thrown by a body is rethrown here (after
+  /// all threads finished).  Bodies must not block on anything but their
+  /// own yield points — a body blocked elsewhere deadlocks the run.
+  Trace run(const ChoiceFn& choose);
+
+ private:
+  friend void yield_point_dispatch(Scheduler* scheduler,
+                                   std::size_t lane) noexcept;
+
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  struct Lane {
+    std::function<void()> body;
+    std::thread thread;
+    enum class State : std::uint8_t {
+      ready,
+      running,
+      yielded,
+      finished
+    } state = State::ready;
+  };
+
+  void lane_main(std::size_t lane);
+  void yield(std::size_t lane);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::size_t active_ = kNone;
+  std::exception_ptr error_;
+};
+
+/// Drivers over Scheduler runs.  `RunFn` performs ONE complete run: build
+/// fresh state, build a Scheduler, run it with the given ChoiceFn, check
+/// invariants, and return the trace.
+class Explorer {
+ public:
+  using RunFn = std::function<Scheduler::Trace(const Scheduler::ChoiceFn&)>;
+
+  /// Depth-first enumeration of the decision tree, lexicographically from
+  /// the all-zeros schedule.  Every run is a distinct interleaving by
+  /// construction.  Stops after `max_runs` runs or when the tree is
+  /// exhausted; returns the number of runs executed.  Fully deterministic.
+  static std::size_t enumerate(const RunFn& run_one, std::size_t max_runs);
+
+  /// Seeded random walk: `runs` runs whose decisions come from a splitmix
+  /// stream of (seed, run index).  Returns the number of DISTINCT
+  /// interleavings visited.  Same seed => same schedules, same result.
+  static std::size_t sample_distinct(const RunFn& run_one, std::uint64_t seed,
+                                     std::size_t runs);
+};
+
+}  // namespace dcfs::chk

@@ -6,6 +6,8 @@
 // dequeue-side ABA problem: only the consumer ever touches `head_`.
 // Producers CAS on the tail; a produced node is visible to the consumer
 // once its predecessor's `next` pointer is published with release ordering.
+// The racy steps carry chk::yield_point() hooks so the deterministic
+// schedule explorer can enumerate interleavings (tests/schedule_test.cc).
 #pragma once
 
 #include <atomic>
@@ -13,13 +15,15 @@
 #include <optional>
 #include <utility>
 
+#include "chk/sched.h"
+
 namespace dcfs {
 
 template <typename T>
 class LockFreeQueue {
  public:
   LockFreeQueue() {
-    Node* stub = new Node();
+    Node* stub = new Node();  // dcfs-lint: allow(naked-new)
     head_ = stub;
     tail_.store(stub, std::memory_order_relaxed);
   }
@@ -38,16 +42,19 @@ class LockFreeQueue {
 
   /// Enqueues a value; callable from any thread.
   void push(T value) {
-    Node* node = new Node(std::move(value));
+    Node* node = new Node(std::move(value));  // dcfs-lint: allow(naked-new)
+    chk::yield_point();  // racy step: about to contend on the tail swap
     Node* prev = tail_.exchange(node, std::memory_order_acq_rel);
     // Publication point: once prev->next is set, the consumer can reach
     // `node`.  Between the exchange and this store, the queue is briefly
     // "split"; the consumer simply observes an empty next and retries.
+    chk::yield_point();  // racy step: the split-queue window
     prev->next.store(node, std::memory_order_release);
   }
 
   /// Dequeues the oldest value; single-consumer only.
   std::optional<T> pop() {
+    chk::yield_point();  // racy step: may observe a not-yet-published node
     Node* next = head_->next.load(std::memory_order_acquire);
     if (next == nullptr) return std::nullopt;
     std::optional<T> value(std::move(*next->value));

@@ -18,6 +18,32 @@ KvStore::KvStore(std::shared_ptr<WalStorage> storage)
   recover();
 }
 
+void KvStore::set_auto_compaction(double factor, std::size_t min_bytes) {
+  const chk::LockGuard<chk::Mutex> lock(mu_);
+  auto_compact_factor_ = factor;
+  auto_compact_min_bytes_ = min_bytes;
+}
+
+std::size_t KvStore::live_bytes() const {
+  const chk::LockGuard<chk::Mutex> lock(mu_);
+  return live_bytes_;
+}
+
+std::size_t KvStore::wal_bytes() const {
+  const chk::LockGuard<chk::Mutex> lock(mu_);
+  return wal_bytes_;
+}
+
+std::size_t KvStore::size() const {
+  const chk::LockGuard<chk::Mutex> lock(mu_);
+  return table_.size();
+}
+
+std::uint64_t KvStore::wal_bytes_written() const {
+  const chk::LockGuard<chk::Mutex> lock(mu_);
+  return wal_bytes_written_;
+}
+
 Bytes KvStore::encode_record(RecordOp op, std::string_view key,
                              ByteSpan value) {
   Bytes payload;
@@ -45,18 +71,20 @@ void KvStore::append_record(RecordOp op, std::string_view key,
 }
 
 void KvStore::put(std::string_view key, ByteSpan value) {
+  const chk::LockGuard<chk::Mutex> lock(mu_);
   append_record(RecordOp::put, key, value);
   wal_bytes_ += record_bytes(key, value);
   auto [it, inserted] = table_.try_emplace(std::string(key));
   if (!inserted) live_bytes_ -= record_bytes(key, it->second);
   it->second.assign(value.begin(), value.end());
   live_bytes_ += record_bytes(key, value);
-  maybe_auto_compact();
+  maybe_auto_compact_locked();
 }
 
 void KvStore::put_many(
     const std::vector<std::pair<std::string, Bytes>>& entries) {
   if (entries.empty()) return;
+  const chk::LockGuard<chk::Mutex> lock(mu_);
   Bytes combined;
   for (const auto& [key, value] : entries) {
     append(combined, encode_record(RecordOp::put, key, value));
@@ -70,29 +98,39 @@ void KvStore::put_many(
     it->second.assign(value.begin(), value.end());
     live_bytes_ += record_bytes(key, value);
   }
-  maybe_auto_compact();
+  maybe_auto_compact_locked();
 }
 
 std::optional<Bytes> KvStore::get(std::string_view key) const {
+  const chk::LockGuard<chk::Mutex> lock(mu_);
   const auto it = table_.find(key);
   if (it == table_.end()) return std::nullopt;
   return it->second;
 }
 
 bool KvStore::erase(std::string_view key) {
+  const chk::LockGuard<chk::Mutex> lock(mu_);
   const auto it = table_.find(key);
   if (it == table_.end()) return false;
   append_record(RecordOp::erase, key, {});
   wal_bytes_ += record_bytes(key, {});
   live_bytes_ -= record_bytes(key, it->second);
   table_.erase(it);
-  maybe_auto_compact();
+  maybe_auto_compact_locked();
   return true;
 }
 
-void KvStore::sync() { storage_->sync(); }
+void KvStore::sync() {
+  const chk::LockGuard<chk::Mutex> lock(mu_);
+  storage_->sync();
+}
 
 void KvStore::compact() {
+  const chk::LockGuard<chk::Mutex> lock(mu_);
+  compact_locked();
+}
+
+void KvStore::compact_locked() {
   Bytes snapshot;
   for (const auto& [key, value] : table_) {
     const Bytes frame = encode_record(RecordOp::put, key, value);
@@ -102,16 +140,24 @@ void KvStore::compact() {
   wal_bytes_ = snapshot.size();
 }
 
-void KvStore::maybe_auto_compact() {
+void KvStore::maybe_auto_compact_locked() {
   if (auto_compact_factor_ <= 0.0) return;
   if (wal_bytes_ < auto_compact_min_bytes_) return;
   if (static_cast<double>(wal_bytes_) >
       auto_compact_factor_ * static_cast<double>(live_bytes_ + 1)) {
-    compact();
+    // Deliberately compact_locked(): calling the public compact() here
+    // would re-acquire mu_ — exactly the self-deadlock lockdep reports as
+    // a recursion violation (see tests/chk_test.cc).
+    compact_locked();
   }
 }
 
 std::size_t KvStore::recover() {
+  const chk::LockGuard<chk::Mutex> lock(mu_);
+  return recover_locked();
+}
+
+std::size_t KvStore::recover_locked() {
   table_.clear();
   live_bytes_ = 0;
   const Bytes log = storage_->read_all();
@@ -165,6 +211,7 @@ std::size_t KvStore::recover() {
 void KvStore::scan_prefix(
     std::string_view prefix,
     const std::function<void(std::string_view, ByteSpan)>& fn) const {
+  const chk::LockGuard<chk::Mutex> lock(mu_);
   for (auto it = table_.lower_bound(prefix); it != table_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
     fn(it->first, it->second);

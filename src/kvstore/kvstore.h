@@ -7,6 +7,13 @@
 // follows the backing storage's sync semantics, which lets the reliability
 // experiments crash the store at arbitrary points and observe LevelDB-like
 // behaviour (synced prefix survives, torn tail record is discarded).
+//
+// Thread safety: every public method takes the store's lockdep-tracked
+// mutex ("kvstore.table"), so concurrent readers and writers are safe.
+// Auto-compaction runs inside the mutation that crossed the threshold
+// (compact_locked — the lock is NOT re-acquired; lockdep would flag the
+// recursion).  scan_prefix holds the lock across the callback: callbacks
+// must not call back into the same store.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "chk/lockdep.h"
 #include "common/bytes.h"
 #include "common/status.h"
 
@@ -111,15 +119,12 @@ class KvStore {
   /// Enables automatic compaction: whenever the WAL grows beyond
   /// `factor` x the live snapshot size (and past `min_bytes`), the store
   /// compacts itself after the mutation that crossed the threshold.
-  void set_auto_compaction(double factor, std::size_t min_bytes = 64 * 1024) {
-    auto_compact_factor_ = factor;
-    auto_compact_min_bytes_ = min_bytes;
-  }
+  void set_auto_compaction(double factor, std::size_t min_bytes = 64 * 1024);
 
   /// Approximate live snapshot size (keys + values + framing).
-  [[nodiscard]] std::size_t live_bytes() const noexcept { return live_bytes_; }
+  [[nodiscard]] std::size_t live_bytes() const;
   /// Bytes currently occupying the WAL (live + garbage).
-  [[nodiscard]] std::size_t wal_bytes() const noexcept { return wal_bytes_; }
+  [[nodiscard]] std::size_t wal_bytes() const;
 
   /// Rebuilds the in-memory table by replaying the WAL.  Records with bad
   /// CRCs or a torn tail end the replay (LevelDB-style: the log is valid up
@@ -131,10 +136,8 @@ class KvStore {
                    const std::function<void(std::string_view, ByteSpan)>& fn)
       const;
 
-  [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
-  [[nodiscard]] std::uint64_t wal_bytes_written() const noexcept {
-    return wal_bytes_written_;
-  }
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t wal_bytes_written() const;
 
  private:
   enum class RecordOp : std::uint8_t { put = 1, erase = 2 };
@@ -142,11 +145,16 @@ class KvStore {
   void append_record(RecordOp op, std::string_view key, ByteSpan value);
   static Bytes encode_record(RecordOp op, std::string_view key,
                              ByteSpan value);
-  void maybe_auto_compact();
+  /// compact() body; caller must hold mu_.  Mutations call this directly
+  /// so auto-compaction never re-enters the lock.
+  void compact_locked();
+  void maybe_auto_compact_locked();
+  std::size_t recover_locked();
   static std::size_t record_bytes(std::string_view key, ByteSpan value) {
     return 8 + 9 + key.size() + value.size();
   }
 
+  mutable chk::Mutex mu_{"kvstore.table"};
   std::shared_ptr<WalStorage> storage_;
   std::map<std::string, Bytes, std::less<>> table_;
   std::uint64_t wal_bytes_written_ = 0;

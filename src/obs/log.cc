@@ -88,7 +88,7 @@ Logger& Logger::global() {
 }
 
 void Logger::set_sink(std::function<void(std::string_view)> sink) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const chk::LockGuard<chk::Mutex> lock(mu_);
   sink_ = std::move(sink);
 }
 
@@ -112,7 +112,7 @@ void Logger::log(LogLevel level, std::string_view component,
     line.push_back('=');
     append_value(line, field.value);
   }
-  const std::lock_guard<std::mutex> lock(mu_);
+  const chk::LockGuard<chk::Mutex> lock(mu_);
   if (sink_) {
     sink_(line);
   } else {

@@ -11,10 +11,11 @@
 #include <cstdint>
 #include <functional>
 #include <initializer_list>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <type_traits>
+
+#include "chk/lockdep.h"
 
 namespace dcfs::obs {
 
@@ -77,7 +78,7 @@ class Logger {
 
  private:
   std::atomic<std::uint8_t> level_;
-  std::mutex mu_;  ///< serializes sink access and line emission
+  chk::Mutex mu_{"obs.logger"};  ///< serializes sink access and line emission
   std::function<void(std::string_view)> sink_;
 };
 

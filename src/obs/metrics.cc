@@ -137,7 +137,7 @@ std::string Snapshot::to_string() const {
 }
 
 Counter& Registry::counter(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const chk::LockGuard<chk::Mutex> lock(mu_);
   const auto it = counters_.find(name);
   if (it != counters_.end()) return *it->second;
   return *counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -145,7 +145,7 @@ Counter& Registry::counter(std::string_view name) {
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const chk::LockGuard<chk::Mutex> lock(mu_);
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) return *it->second;
   return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
@@ -154,7 +154,7 @@ Gauge& Registry::gauge(std::string_view name) {
 
 Histogram& Registry::histogram(std::string_view name,
                                const std::vector<std::uint64_t>& bounds) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const chk::LockGuard<chk::Mutex> lock(mu_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return *it->second;
   return *histograms_
@@ -163,7 +163,7 @@ Histogram& Registry::histogram(std::string_view name,
 }
 
 Snapshot Registry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const chk::LockGuard<chk::Mutex> lock(mu_);
   Snapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {

@@ -13,12 +13,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "chk/lockdep.h"
 #include "metrics/cost.h"
 #include "metrics/traffic.h"
 
@@ -140,7 +140,7 @@ class Registry {
   [[nodiscard]] Snapshot snapshot() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable chk::Mutex mu_{"obs.metrics_registry"};
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;

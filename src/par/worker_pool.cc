@@ -1,33 +1,23 @@
 #include "par/worker_pool.h"
 
-#include <algorithm>
 #include <chrono>
+
+#include "par/claim.h"
 
 namespace dcfs::par {
 
 /// One parallel_for invocation.  Lives on the calling thread's stack;
 /// parallel_for does not return until `refs` (workers still attached) hits
-/// zero and every item is accounted in `done`.
+/// zero and every item is accounted by `acct`.  The claim protocol and the
+/// completion/error accounting live in par/claim.h so the deterministic
+/// schedule explorer can exercise them (tests/schedule_test.cc).
 struct WorkerPool::Batch {
   const RangeFn* fn = nullptr;
-  std::size_t n = 0;
-  std::size_t grain = 1;
-  std::size_t lanes = 1;
+  ClaimPlan plan;
+  BatchAccounting acct;
 
-  /// Per-lane claim cursor, cache-line separated: lanes hammer their own
-  /// cursor and only touch a foreign one when stealing.
-  struct alignas(64) Cursor {
-    std::atomic<std::size_t> next{0};
-  };
-  std::vector<Cursor> cursor;
-  std::vector<std::size_t> lane_begin;  ///< partition [lane_begin, lane_end)
-  std::vector<std::size_t> lane_end;
-
-  std::atomic<std::size_t> done{0};  ///< items executed (or skipped on failure)
   std::atomic<std::size_t> refs{0};  ///< workers not yet detached
-  std::atomic<bool> failed{false};
-  std::exception_ptr error;  ///< first failure; guarded by done_mu
-  std::mutex done_mu;
+  chk::Mutex done_mu{"par.batch"};   ///< pairs with done_cv only
   std::condition_variable done_cv;
 };
 
@@ -54,7 +44,7 @@ WorkerPool::WorkerPool(std::size_t parallelism, obs::Obs* obs) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const chk::LockGuard<chk::Mutex> lock(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -70,52 +60,30 @@ void WorkerPool::worker_loop(std::size_t worker_index) {
       Batch* batch = *job;
       run_batch(*batch, worker_index);
       if (batch->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        // Last worker out: wake the caller (it also waits on done == n).
-        std::lock_guard<std::mutex> lock(batch->done_mu);
+        // Last worker out: wake the caller (it also waits on completion).
+        const chk::LockGuard<chk::Mutex> lock(batch->done_mu);
         batch->done_cv.notify_all();
       }
       continue;
     }
-    std::unique_lock<std::mutex> lock(mu_);
+    chk::UniqueLock lock(mu_);
     if (stopping_) return;
     if (!self.queue.empty()) continue;  // raced with a push: drain first
-    cv_.wait(lock);
+    cv_.wait(lock.raw());
   }
 }
 
 void WorkerPool::run_batch(Batch& batch, std::size_t lane) {
-  const auto execute = [&](std::size_t begin, std::size_t end, bool stolen) {
-    if (!batch.failed.load(std::memory_order_relaxed)) {
-      try {
-        (*batch.fn)(begin, end);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(batch.done_mu);
-        if (!batch.error) batch.error = std::current_exception();
-        batch.failed.store(true, std::memory_order_relaxed);
-      }
-    }
+  claim_ranges(batch.plan, lane,
+               [&](std::size_t begin, std::size_t end, bool stolen) {
+    const bool completed = batch.acct.execute(begin, end, *batch.fn);
     obs::inc(tasks_);
     if (stolen) obs::inc(steals_);
-    if (batch.done.fetch_add(end - begin, std::memory_order_acq_rel) +
-            (end - begin) ==
-        batch.n) {
-      std::lock_guard<std::mutex> lock(batch.done_mu);
+    if (completed) {
+      const chk::LockGuard<chk::Mutex> lock(batch.done_mu);
       batch.done_cv.notify_all();
     }
-  };
-
-  // Own partition first, then share the others' leftovers.
-  for (std::size_t offset = 0; offset < batch.lanes; ++offset) {
-    const std::size_t q = (lane + offset) % batch.lanes;
-    const std::size_t end = batch.lane_end[q];
-    while (true) {
-      const std::size_t begin =
-          batch.cursor[q].next.fetch_add(batch.grain,
-                                         std::memory_order_relaxed);
-      if (begin >= end) break;
-      execute(begin, std::min(begin + batch.grain, end), /*stolen=*/q != lane);
-    }
-  }
+  });
 }
 
 void WorkerPool::parallel_for(std::size_t n, std::size_t grain,
@@ -133,18 +101,8 @@ void WorkerPool::parallel_for(std::size_t n, std::size_t grain,
 
   Batch batch;
   batch.fn = &fn;
-  batch.n = n;
-  batch.grain = grain;
-  batch.lanes = parallelism();
-  batch.cursor = std::vector<Batch::Cursor>(batch.lanes);
-  batch.lane_begin.resize(batch.lanes);
-  batch.lane_end.resize(batch.lanes);
-  for (std::size_t lane = 0; lane < batch.lanes; ++lane) {
-    batch.lane_begin[lane] = lane * n / batch.lanes;
-    batch.lane_end[lane] = (lane + 1) * n / batch.lanes;
-    batch.cursor[lane].next.store(batch.lane_begin[lane],
-                                  std::memory_order_relaxed);
-  }
+  batch.plan.reset(n, grain, parallelism());
+  batch.acct.reset(n);
   batch.refs.store(workers_.size(), std::memory_order_relaxed);
 
   for (auto& worker : workers_) {
@@ -153,16 +111,16 @@ void WorkerPool::parallel_for(std::size_t n, std::size_t grain,
   {
     // Empty critical section: pairs with the worker's locked empty-check so
     // a push cannot slip between that check and the wait.
-    std::lock_guard<std::mutex> lock(mu_);
+    const chk::LockGuard<chk::Mutex> lock(mu_);
   }
   cv_.notify_all();
 
-  run_batch(batch, batch.lanes - 1);  // the caller is the last lane
+  run_batch(batch, batch.plan.lanes - 1);  // the caller is the last lane
 
   {
-    std::unique_lock<std::mutex> lock(batch.done_mu);
-    batch.done_cv.wait(lock, [&] {
-      return batch.done.load(std::memory_order_acquire) == batch.n &&
+    chk::UniqueLock lock(batch.done_mu);
+    batch.done_cv.wait(lock.raw(), [&] {
+      return batch.acct.complete() &&
              batch.refs.load(std::memory_order_acquire) == 0;
     });
   }
@@ -173,7 +131,7 @@ void WorkerPool::parallel_for(std::size_t n, std::size_t grain,
             std::chrono::steady_clock::now() - started)
             .count()));
   }
-  if (batch.error) std::rethrow_exception(batch.error);
+  batch.acct.rethrow_if_failed();
 }
 
 }  // namespace dcfs::par

@@ -7,7 +7,9 @@
 // plus the calling thread) first drains its own contiguous partition of the
 // index space, then steals ranges from the other partitions — so an uneven
 // load (one region full of literals, another full of matches) balances
-// itself without any task pre-assignment.
+// itself without any task pre-assignment.  The claim protocol itself lives
+// in par/claim.h, instrumented with chk::yield_point() so the deterministic
+// schedule explorer can enumerate its interleavings (docs/ANALYSIS.md).
 //
 // parallel_for is synchronous: it returns only when every item has run and
 // every worker has detached from the batch, so batches can live on the
@@ -19,16 +21,14 @@
 // bit-for-bit deterministic for any worker count (see docs/PERFORMANCE.md).
 #pragma once
 
-#include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "chk/lockdep.h"
 #include "core/lockfree_queue.h"
 #include "obs/obs.h"
 
@@ -77,7 +77,7 @@ class WorkerPool {
   void run_batch(Batch& batch, std::size_t lane);
 
   std::vector<std::unique_ptr<Worker>> workers_;
-  std::mutex mu_;               ///< parking lot for idle workers
+  chk::Mutex mu_{"par.pool"};   ///< parking lot for idle workers
   std::condition_variable cv_;
   bool stopping_ = false;
 

@@ -12,7 +12,7 @@ BlockHandle BlockStore::put(ByteSpan content) {
   handle.size = content.size();
   handle.chunks.reserve(chunks.size());
 
-  std::lock_guard<std::mutex> lock(mu_);
+  const chk::LockGuard<chk::SharedMutex> lock(mu_);
   logical_bytes_ += content.size();
   for (const rsyncx::Chunk& chunk : chunks) {
     handle.chunks.push_back(chunk.id);
@@ -30,16 +30,17 @@ BlockHandle BlockStore::put(ByteSpan content) {
 }
 
 std::shared_ptr<const BlockHandle> BlockStore::put_shared(ByteSpan content) {
-  return {new BlockHandle(put(content)), [this](const BlockHandle* handle) {
-            release(*handle);
-            delete handle;
+  auto handle = std::make_unique<BlockHandle>(put(content));
+  return {handle.release(), [this](const BlockHandle* released) {
+            release(*released);
+            delete released;
           }};
 }
 
 Result<Bytes> BlockStore::get(const BlockHandle& handle) const {
   Bytes out;
   out.reserve(handle.size);
-  std::lock_guard<std::mutex> lock(mu_);
+  const chk::SharedLock lock(mu_);
   for (const Md5::Digest& id : handle.chunks) {
     const auto it = chunks_.find(id);
     if (it == chunks_.end()) {
@@ -54,7 +55,7 @@ Result<Bytes> BlockStore::get(const BlockHandle& handle) const {
 }
 
 void BlockStore::release(const BlockHandle& handle) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const chk::LockGuard<chk::SharedMutex> lock(mu_);
   logical_bytes_ -= std::min<std::uint64_t>(logical_bytes_, handle.size);
   for (const Md5::Digest& id : handle.chunks) {
     const auto it = chunks_.find(id);
@@ -67,22 +68,22 @@ void BlockStore::release(const BlockHandle& handle) {
 }
 
 std::uint64_t BlockStore::unique_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const chk::SharedLock lock(mu_);
   return unique_bytes_;
 }
 
 std::uint64_t BlockStore::logical_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const chk::SharedLock lock(mu_);
   return logical_bytes_;
 }
 
 std::size_t BlockStore::chunk_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const chk::SharedLock lock(mu_);
   return chunks_.size();
 }
 
 double BlockStore::dedup_ratio() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const chk::SharedLock lock(mu_);
   if (unique_bytes_ == 0) return 1.0;
   return static_cast<double>(logical_bytes_) /
          static_cast<double>(unique_bytes_);

@@ -17,18 +17,20 @@
 //
 // Since PR 3 this is the CloudServer's default history storage engine
 // (ServerConfig::use_block_store), so the map mutations are guarded by a
-// mutex: parallel apply units put/release concurrently.  Chunk scanning and
-// hashing — the CPU-heavy part — run outside the lock.  All operations are
-// commutative (refcount adds/subtracts of content-addressed chunks), so the
-// final store state is independent of interleaving.
+// reader/writer lock (a lockdep-tracked chk::SharedMutex since PR 5):
+// parallel apply units put/release under the exclusive side while reads
+// and accounting share.  Chunk scanning and hashing — the CPU-heavy part —
+// run outside the lock.  All operations are commutative (refcount
+// adds/subtracts of content-addressed chunks), so the final store state is
+// independent of interleaving.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "chk/lockdep.h"
 #include "common/bytes.h"
 #include "common/md5.h"
 #include "common/status.h"
@@ -85,7 +87,10 @@ class BlockStore {
   };
 
   rsyncx::CdcParams chunking_;
-  mutable std::mutex mu_;  ///< guards chunks_ and the byte counters
+  /// Guards chunks_ and the byte counters: put/release take it exclusive,
+  /// get() and the accounting getters share it, so parallel apply units
+  /// can reassemble objects concurrently.
+  mutable chk::SharedMutex mu_{"server.block_store"};
   std::map<Md5::Digest, Chunk> chunks_;
   std::uint64_t unique_bytes_ = 0;
   std::uint64_t logical_bytes_ = 0;

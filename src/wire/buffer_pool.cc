@@ -14,7 +14,7 @@ std::size_t BufferPool::class_for(std::size_t n) noexcept {
 Bytes BufferPool::acquire(std::size_t min_capacity, bool* hit) {
   const std::size_t cls = class_for(min_capacity);
   if (cls < kClasses) {
-    std::lock_guard<std::mutex> lock(mu_);
+    const chk::LockGuard<chk::Mutex> lock(mu_);
     // Any class >= the requested one can serve the request; prefer the
     // tightest fit so big buffers stay available for big frames.
     for (std::size_t c = cls; c < kClasses; ++c) {
@@ -45,7 +45,7 @@ void BufferPool::release(Bytes&& buffer) {
   // acquire for that class is guaranteed to fit without reallocating.
   std::size_t cls = 0;
   while (cls + 1 < kClasses && capacity >= class_bytes(cls + 1)) ++cls;
-  std::lock_guard<std::mutex> lock(mu_);
+  const chk::LockGuard<chk::Mutex> lock(mu_);
   if (free_[cls].size() >= kMaxPerClass) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -61,7 +61,7 @@ BufferPool::Stats BufferPool::stats() const noexcept {
 }
 
 std::size_t BufferPool::idle_buffers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const chk::LockGuard<chk::Mutex> lock(mu_);
   std::size_t n = 0;
   for (const std::vector<Bytes>& list : free_) n += list.size();
   return n;

@@ -21,9 +21,9 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "chk/lockdep.h"
 #include "common/bytes.h"
 
 namespace dcfs::wire {
@@ -71,7 +71,7 @@ class BufferPool {
     return kMinClassBytes << (2 * cls);
   }
 
-  mutable std::mutex mu_;
+  mutable chk::Mutex mu_{"wire.buffer_pool"};
   std::vector<Bytes> free_[kClasses];
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};

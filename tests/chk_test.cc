@@ -1,0 +1,264 @@
+// Tests for dcfs::chk lockdep: cycle / recursion / same-class detection,
+// guard behaviour, handler semantics, DOT export, and the zero-overhead
+// passthrough contract when DCFS_CHK=OFF.
+//
+// Lock classes here use a "test." prefix so deliberately poisoned edges
+// never collide with the production graph ("par.*", "wire.*", ...) that
+// other code in this binary may populate.
+
+#include "chk/lockdep.h"
+
+#include <mutex>
+#include <shared_mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kvstore/kvstore.h"
+
+namespace dcfs::chk {
+namespace {
+
+#if defined(DCFS_CHK_ENABLED)
+
+/// Installs a capturing (optionally throwing) handler for one test and
+/// restores the previous handler afterwards.
+class HandlerScope {
+ public:
+  explicit HandlerScope(bool rethrow = false) {
+    previous_ = set_violation_handler([this, rethrow](const Violation& v) {
+      violations_.push_back(v);
+      if (rethrow) throw std::runtime_error(v.report);
+    });
+  }
+  ~HandlerScope() { set_violation_handler(std::move(previous_)); }
+
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return violations_;
+  }
+
+ private:
+  ViolationHandler previous_;
+  std::vector<Violation> violations_;
+};
+
+TEST(LockdepTest, CleanNestingReportsNothing) {
+  HandlerScope scope;
+  Mutex outer("test.clean_outer");
+  Mutex inner("test.clean_inner");
+  for (int i = 0; i < 3; ++i) {
+    const LockGuard<Mutex> a(outer);
+    const LockGuard<Mutex> b(inner);
+  }
+  EXPECT_TRUE(scope.violations().empty());
+}
+
+TEST(LockdepTest, DetectsTwoLockInversion) {
+  HandlerScope scope;
+  Mutex a("test.inv_a");
+  Mutex b("test.inv_b");
+  {
+    const LockGuard<Mutex> la(a);
+    const LockGuard<Mutex> lb(b);  // records test.inv_a -> test.inv_b
+  }
+  ASSERT_TRUE(scope.violations().empty());
+  {
+    const LockGuard<Mutex> lb(b);
+    const LockGuard<Mutex> la(a);  // closes the cycle
+  }
+  ASSERT_EQ(scope.violations().size(), 1u);
+  const Violation& v = scope.violations().front();
+  EXPECT_EQ(v.kind, Violation::Kind::cycle);
+  // The report carries both sides of the disagreement: the class being
+  // acquired, the classes held, and the stack recorded with the first edge.
+  EXPECT_NE(v.report.find("test.inv_a"), std::string::npos);
+  EXPECT_NE(v.report.find("test.inv_b"), std::string::npos);
+  EXPECT_NE(v.report.find("chk_test.cc"), std::string::npos);
+}
+
+TEST(LockdepTest, DetectsThreeLockCycle) {
+  HandlerScope scope;
+  Mutex a("test.tri_a");
+  Mutex b("test.tri_b");
+  Mutex c("test.tri_c");
+  {
+    const LockGuard<Mutex> la(a);
+    const LockGuard<Mutex> lb(b);  // a -> b
+  }
+  {
+    const LockGuard<Mutex> lb(b);
+    const LockGuard<Mutex> lc(c);  // b -> c
+  }
+  ASSERT_TRUE(scope.violations().empty());
+  {
+    const LockGuard<Mutex> lc(c);
+    const LockGuard<Mutex> la(a);  // c -> a closes a -> b -> c -> a
+  }
+  ASSERT_EQ(scope.violations().size(), 1u);
+  EXPECT_EQ(scope.violations().front().kind, Violation::Kind::cycle);
+}
+
+TEST(LockdepTest, ThrowingHandlerLeavesLockUnacquired) {
+  Mutex mu("test.recursion");
+  HandlerScope scope(/*rethrow=*/true);
+  mu.lock();
+  // Re-acquiring the held instance is reported before the underlying
+  // std::mutex would self-deadlock; the throwing handler aborts the
+  // acquisition entirely.
+  EXPECT_THROW(mu.lock(), std::runtime_error);
+  ASSERT_EQ(scope.violations().size(), 1u);
+  EXPECT_EQ(scope.violations().front().kind, Violation::Kind::recursion);
+  // Still exactly once locked: a plain unlock/relock round-trip works.
+  mu.unlock();
+  mu.lock(Site::current());
+  mu.unlock();
+}
+
+TEST(LockdepTest, DetectsSameClassNesting) {
+  HandlerScope scope;
+  Mutex first("test.same_class");
+  Mutex second("test.same_class");
+  {
+    const LockGuard<Mutex> a(first);
+    const LockGuard<Mutex> b(second);
+  }
+  ASSERT_EQ(scope.violations().size(), 1u);
+  EXPECT_EQ(scope.violations().front().kind, Violation::Kind::same_class);
+}
+
+TEST(LockdepTest, SharedAcquisitionsFeedTheGraph) {
+  HandlerScope scope;
+  SharedMutex rw("test.shared_rw");
+  Mutex plain("test.shared_plain");
+  {
+    const SharedLock r(rw);
+    const LockGuard<Mutex> g(plain);  // shared_rw -> shared_plain
+  }
+  ASSERT_TRUE(scope.violations().empty());
+  {
+    const LockGuard<Mutex> g(plain);
+    const SharedLock r(rw);  // reader side still closes the cycle
+  }
+  ASSERT_EQ(scope.violations().size(), 1u);
+  EXPECT_EQ(scope.violations().front().kind, Violation::Kind::cycle);
+}
+
+TEST(LockdepTest, UniqueLockParticipates) {
+  HandlerScope scope(/*rethrow=*/true);
+  Mutex mu("test.unique");
+  UniqueLock lock(mu);
+  EXPECT_TRUE(lock.raw().owns_lock());
+  EXPECT_THROW(UniqueLock{mu}, std::runtime_error);  // recursion caught
+  ASSERT_EQ(scope.violations().size(), 1u);
+  EXPECT_EQ(scope.violations().front().kind, Violation::Kind::recursion);
+}
+
+TEST(LockdepTest, ViolationCountIsMonotonic) {
+  const std::uint64_t before = violation_count();
+  HandlerScope scope;
+  Mutex a("test.count_a");
+  Mutex b("test.count_b");
+  {
+    const LockGuard<Mutex> la(a);
+    const LockGuard<Mutex> lb(b);
+  }
+  {
+    const LockGuard<Mutex> lb(b);
+    const LockGuard<Mutex> la(a);
+  }
+  EXPECT_EQ(violation_count(), before + 1);
+}
+
+TEST(LockdepTest, DotExportShowsClassesAndEdges) {
+  HandlerScope scope;
+  Mutex outer("test.dot_outer");
+  Mutex inner("test.dot_inner");
+  {
+    const LockGuard<Mutex> a(outer);
+    const LockGuard<Mutex> b(inner);
+  }
+  const std::string dot = lockdep_dot();
+  EXPECT_NE(dot.find("digraph lockdep"), std::string::npos);
+  EXPECT_NE(dot.find("test.dot_outer"), std::string::npos);
+  EXPECT_NE(dot.find("\"test.dot_outer\" -> \"test.dot_inner\""),
+            std::string::npos);
+}
+
+// Regression note (PR 5, satellite a): when KvStore gained its
+// "kvstore.table" mutex, the pre-existing call chain
+// put() -> maybe_auto_compact() -> compact() would have re-acquired the
+// lock the mutation already held — a guaranteed self-deadlock on
+// std::mutex that lockdep reports as a recursion violation.  The store
+// was restructured around compact_locked() (mutations never re-enter the
+// public locking surface).  This test pins both halves: the bad pattern
+// is detected, and the real store no longer exhibits it.
+TEST(LockdepTest, KvStoreAutoCompactionDoesNotRecurse) {
+  {  // The pattern the restructure removed, in miniature.
+    HandlerScope scope(/*rethrow=*/true);
+    Mutex table("test.kvstore_regression");
+    const auto mutation = [&] {
+      const LockGuard<Mutex> lock(table);
+      const auto compact = [&] { const LockGuard<Mutex> again(table); };
+      compact();  // "auto-compaction" re-entering the public surface
+    };
+    EXPECT_THROW(mutation(), std::runtime_error);
+    ASSERT_EQ(scope.violations().size(), 1u);
+    EXPECT_EQ(scope.violations().front().kind, Violation::Kind::recursion);
+  }
+  {  // The real store under an aggressive auto-compaction threshold:
+     // every put crosses it, so compaction runs inside the mutation.  Any
+     // recursion would abort (default handler) or throw (this handler).
+    HandlerScope scope(/*rethrow=*/true);
+    KvStore store(std::make_shared<MemoryWalStorage>());
+    store.set_auto_compaction(1.0, /*min_bytes=*/1);
+    const Bytes value(512, std::uint8_t{0xab});
+    for (int i = 0; i < 64; ++i) {
+      store.put("key" + std::to_string(i % 4), value);
+    }
+    EXPECT_TRUE(scope.violations().empty());
+    EXPECT_EQ(store.size(), 4u);
+  }
+}
+
+#else  // !DCFS_CHK_ENABLED — the passthrough contract.
+
+// The OFF-mode wrappers must add nothing to the std primitives they wrap:
+// same size (no class id, no bookkeeping) and the same call shapes.
+static_assert(sizeof(Mutex) == sizeof(std::mutex));
+static_assert(sizeof(SharedMutex) == sizeof(std::shared_mutex));
+static_assert(sizeof(LockGuard<Mutex>) ==
+              sizeof(std::lock_guard<std::mutex>));
+static_assert(sizeof(UniqueLock) == sizeof(std::unique_lock<std::mutex>));
+static_assert(!enabled());
+
+TEST(LockdepTest, PassthroughLocksWork) {
+  Mutex mu("test.passthrough");
+  {
+    const LockGuard<Mutex> lock(mu);
+  }
+  SharedMutex rw("test.passthrough_rw");
+  {
+    const SharedLock r(rw);
+  }
+  {
+    const LockGuard<SharedMutex> w(rw);
+  }
+  UniqueLock lock(mu);
+  EXPECT_TRUE(lock.raw().owns_lock());
+  EXPECT_EQ(lockdep_dot(), "digraph lockdep {\n}\n");
+}
+
+#endif  // DCFS_CHK_ENABLED
+
+TEST(LockdepTest, EnabledMatchesBuildConfig) {
+#if defined(DCFS_CHK_ENABLED)
+  EXPECT_TRUE(enabled());
+#else
+  EXPECT_FALSE(enabled());
+#endif
+}
+
+}  // namespace
+}  // namespace dcfs::chk

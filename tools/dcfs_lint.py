@@ -1,0 +1,244 @@
+#!/usr/bin/env python3
+"""dcfs_lint — project-specific lint wall for the DeltaCFS tree.
+
+Checks (all on src/ unless noted):
+
+  raw-mutex     std::mutex / std::shared_mutex / std::lock_guard /
+                std::scoped_lock / std::unique_lock / std::recursive_mutex
+                anywhere outside src/chk.  Long-lived locks must be the
+                lockdep-tracked chk::Mutex / chk::SharedMutex so their
+                acquisition order is verified at runtime (docs/ANALYSIS.md).
+  naked-new     `new` outside a smart-pointer factory.  Ownership must be
+                expressed with std::make_unique/std::make_shared or a
+                container; the rare intentional leak carries a suppression.
+  metric-name   String literals passed to .counter("...") / .gauge("...") /
+                .histogram("...") must match ^[a-z]+(\\.[a-z_]+)+$ — the
+                dotted subsystem.name scheme every exporter assumes.
+  header-check  Every header under src/ must compile on its own
+                (g++ -fsyntax-only) — no hidden include-order dependencies.
+
+Suppress a finding by putting `dcfs-lint: allow(<check>)` in a comment on
+the offending line (or the line directly above it).
+
+Exit status: 0 clean, 1 findings, 2 usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+
+CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"lock_guard|scoped_lock|unique_lock|shared_lock)\b"
+)
+NAKED_NEW_RE = re.compile(r"\bnew\b\s*(?:\(|[A-Za-z_:<])")
+METRIC_CALL_RE = re.compile(r"\.(counter|gauge|histogram)\(\s*\"([^\"]*)\"")
+METRIC_NAME_RE = re.compile(r"^[a-z]+(\.[a-z_]+)+$")
+ALLOW_RE = re.compile(r"dcfs-lint:\s*allow\(([a-z-]+)\)")
+
+
+def find_sources(root: str) -> list[str]:
+    out = []
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for name in sorted(filenames):
+            if name.endswith(CXX_EXTENSIONS):
+                out.append(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def strip_code(line: str, in_block_comment: bool) -> tuple[str, bool]:
+    """Removes string/char literals and comments from one line, preserving
+    column positions with spaces, and tracks /* ... */ state."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        ch = line[i]
+        if in_block_comment:
+            if line.startswith("*/", i):
+                in_block_comment = False
+                out.append("  ")
+                i += 2
+            else:
+                out.append(" ")
+                i += 1
+        elif line.startswith("//", i):
+            out.append(" " * (n - i))
+            break
+        elif line.startswith("/*", i):
+            in_block_comment = True
+            out.append("  ")
+            i += 2
+        elif ch in "\"'":
+            quote = ch
+            out.append(" ")
+            i += 1
+            while i < n:
+                if line[i] == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                elif line[i] == quote:
+                    out.append(" ")
+                    i += 1
+                    break
+                else:
+                    out.append(" ")
+                    i += 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out), in_block_comment
+
+
+def allowed(check: str, lines: list[str], idx: int) -> bool:
+    for probe in (idx, idx - 1):
+        if 0 <= probe < len(lines):
+            m = ALLOW_RE.search(lines[probe])
+            if m and m.group(1) == check:
+                return True
+    return False
+
+
+def lint_file(path: str) -> list[str]:
+    rel = os.path.relpath(path, REPO)
+    in_chk = rel.startswith(os.path.join("src", "chk") + os.sep)
+    try:
+        with open(path, encoding="utf-8") as f:
+            raw_lines = f.read().splitlines()
+    except OSError as e:
+        return [f"{rel}: unreadable: {e}"]
+
+    findings = []
+    in_block = False
+    for idx, raw in enumerate(raw_lines):
+        code, in_block = strip_code(raw, in_block)
+
+        if not in_chk and RAW_MUTEX_RE.search(code):
+            if not allowed("raw-mutex", raw_lines, idx):
+                findings.append(
+                    f"{rel}:{idx + 1}: [raw-mutex] use chk::Mutex / "
+                    f"chk::LockGuard (std primitives live in src/chk only)"
+                )
+
+        m = NAKED_NEW_RE.search(code)
+        if m and not allowed("naked-new", raw_lines, idx):
+            findings.append(
+                f"{rel}:{idx + 1}: [naked-new] express ownership with "
+                f"std::make_unique/std::make_shared or a container"
+            )
+
+        # Metric names: literals only — computed names are the exporters'
+        # business and already tested.
+        for m in METRIC_CALL_RE.finditer(raw):
+            name = m.group(2)
+            if not METRIC_NAME_RE.match(name):
+                if not allowed("metric-name", raw_lines, idx):
+                    findings.append(
+                        f"{rel}:{idx + 1}: [metric-name] '{name}' does not "
+                        f"match ^[a-z]+(\\.[a-z_]+)+$ (subsystem.name scheme)"
+                    )
+    return findings
+
+
+def check_header(header: str, cxx: str) -> list[str]:
+    rel = os.path.relpath(header, SRC)
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".cc", prefix="dcfs_lint_", delete=False
+    ) as tu:
+        tu.write(f'#include "{rel}"\n')
+        tu_path = tu.name
+    try:
+        proc = subprocess.run(
+            [
+                cxx,
+                "-std=c++20",
+                "-fsyntax-only",
+                "-I",
+                SRC,
+                "-DDCFS_CHK_ENABLED=1",
+                tu_path,
+            ],
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            first = proc.stderr.strip().splitlines()
+            detail = first[0] if first else "compiler error"
+            return [
+                f"src/{rel}: [header-check] not self-contained: {detail}"
+            ]
+        return []
+    finally:
+        os.unlink(tu_path)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/)",
+    )
+    parser.add_argument(
+        "--no-header-check",
+        action="store_true",
+        help="skip the self-containment compile of every header",
+    )
+    parser.add_argument(
+        "--cxx",
+        default=os.environ.get("CXX", "g++"),
+        help="compiler for the header check (default: $CXX or g++)",
+    )
+    parser.add_argument(
+        "-j",
+        type=int,
+        default=os.cpu_count() or 1,
+        help="parallel header-check compiles",
+    )
+    args = parser.parse_args()
+
+    roots = args.paths or [SRC]
+    files: list[str] = []
+    for root in roots:
+        root = os.path.abspath(root)
+        if os.path.isdir(root):
+            files.extend(find_sources(root))
+        elif os.path.isfile(root):
+            files.append(root)
+        else:
+            print(f"dcfs_lint: no such path: {root}", file=sys.stderr)
+            return 2
+
+    findings: list[str] = []
+    for path in files:
+        findings.extend(lint_file(path))
+
+    if not args.no_header_check:
+        headers = [f for f in files if f.endswith((".h", ".hpp"))]
+        with concurrent.futures.ThreadPoolExecutor(args.j) as pool:
+            for result in pool.map(
+                lambda h: check_header(h, args.cxx), headers
+            ):
+                findings.extend(result)
+
+    for finding in sorted(findings):
+        print(finding)
+    if findings:
+        print(f"dcfs_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"dcfs_lint: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
