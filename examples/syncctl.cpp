@@ -19,6 +19,7 @@
 
 #include "baselines/deltacfs_system.h"
 #include "chk/lockdep.h"
+#include "obs/critpath.h"
 #include "obs/obs.h"
 
 using namespace dcfs;
@@ -41,6 +42,7 @@ void print_help() {
       "  tick <seconds>             advance virtual time (sync runs)\n"
       "  stats                      meters, counters and metric registry\n"
       "  trace [file]               span summary, or Chrome JSON to <file>\n"
+      "  critpath                   per-sync stage breakdown (p50/p95/p99)\n"
       "  chk [file]                 lock-order graph as Graphviz DOT\n"
       "  help | quit\n");
 }
@@ -221,6 +223,22 @@ int main() {
                       path.c_str());
         }
       }
+    } else if (cmd == "critpath") {
+      // Where did each sync's wall time go?  The tracer's flow events pair
+      // the client upload with the server apply and the ack round trip;
+      // the stage ledger adds the CPU-side stages (signature/delta/...).
+      std::string error;
+      obs::ParsedTrace parsed;
+      if (!obs::parse_chrome_trace(obs.tracer.to_chrome_json(), parsed,
+                                   &error)) {
+        std::printf("trace unparsable: %s\n", error.c_str());
+      } else {
+        std::printf("%s", obs::analyze_critical_path(parsed)
+                              .to_string()
+                              .c_str());
+      }
+      std::printf("--- stage ledger (CPU + queue, per record) ---\n%s",
+                  obs.stages.to_string().c_str());
     } else if (cmd == "chk") {
       // The lock-order graph observed so far: every chk::Mutex class this
       // process acquired, with the nesting edges lockdep recorded.  Empty

@@ -39,8 +39,27 @@ constexpr std::uint64_t edge_key(std::uint32_t from, std::uint32_t to) {
 
 // The per-thread state costs one vector scan per acquisition; the global
 // graph below is only consulted the first time this thread sees an edge.
-thread_local std::vector<HeldLock> t_held;                    // NOLINT
-thread_local std::unordered_set<std::uint64_t> t_edge_cache;  // NOLINT
+//
+// Accessed through tls() because locks can be taken after this thread's
+// TLS destructors ran (an atexit handler locking a chk::Mutex on the main
+// thread).  The trivially-destructible `dead` flag outlives the state and
+// turns such late acquisitions into no-ops instead of use-after-free.
+struct TlsState {
+  std::vector<HeldLock> held;
+  std::unordered_set<std::uint64_t> edge_cache;
+};
+
+TlsState* tls() noexcept {
+  thread_local bool dead = false;  // trivial: readable after TLS dtors
+  struct Holder {
+    TlsState state;
+    bool* dead_flag;
+    explicit Holder(bool* flag) : dead_flag(flag) {}
+    ~Holder() { *dead_flag = true; }
+  };
+  thread_local Holder holder(&dead);
+  return dead ? nullptr : &holder.state;
+}
 
 std::atomic<std::uint64_t> g_violations{0};
 
@@ -256,50 +275,56 @@ void check_acquire(std::uint32_t cls, const void* instance, Site site) {
   if (cls < kMaxClasses) {
     g_acquisitions[cls].fetch_add(1, std::memory_order_relaxed);
   }
-  for (const HeldLock& held : t_held) {
+  TlsState* state = tls();
+  if (state == nullptr) return;  // thread is past TLS destruction
+  for (const HeldLock& held : state->held) {
     if (held.instance == instance) {
       report(Violation::Kind::recursion,
              "lockdep: recursive acquisition of " +
                  Graph::get().class_name(cls) + " at " +
                  std::string(site.file) + ":" + std::to_string(site.line) +
                  "\n  current acquisition stack:\n" +
-                 format_held_stack(t_held));
+                 format_held_stack(state->held));
       return;
     }
   }
-  for (const HeldLock& held : t_held) {
+  for (const HeldLock& held : state->held) {
     if (held.cls == cls) {
       report(Violation::Kind::same_class,
              "lockdep: nested acquisition of two " +
                  Graph::get().class_name(cls) + " instances at " +
                  std::string(site.file) + ":" + std::to_string(site.line) +
                  "\n  current acquisition stack:\n" +
-                 format_held_stack(t_held));
+                 format_held_stack(state->held));
       return;
     }
   }
-  for (const HeldLock& held : t_held) {
+  for (const HeldLock& held : state->held) {
     const std::uint64_t key = edge_key(held.cls, cls);
-    if (t_edge_cache.contains(key)) continue;
+    if (state->edge_cache.contains(key)) continue;
     EdgeInfo info;
     info.from_site = held.site;
     info.to_site = site;
-    info.holder_stack = format_held_stack(t_held);
+    info.holder_stack = format_held_stack(state->held);
     std::string cycle = Graph::get().add_edge(held.cls, cls, std::move(info));
-    t_edge_cache.insert(key);
+    state->edge_cache.insert(key);
     if (!cycle.empty()) report(Violation::Kind::cycle, std::move(cycle));
   }
 }
 
 void note_acquired(std::uint32_t cls, const void* instance, Site site,
                    bool shared) {
-  t_held.push_back(HeldLock{cls, instance, site, shared});
+  if (TlsState* state = tls()) {
+    state->held.push_back(HeldLock{cls, instance, site, shared});
+  }
 }
 
 void note_released(const void* instance) noexcept {
-  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+  TlsState* state = tls();
+  if (state == nullptr) return;
+  for (auto it = state->held.rbegin(); it != state->held.rend(); ++it) {
     if (it->instance == instance) {
-      t_held.erase(std::next(it).base());
+      state->held.erase(std::next(it).base());
       return;
     }
   }

@@ -34,6 +34,19 @@ DeltaCfsClient::DeltaCfsClient(FileSystem& local, Transport& transport,
   config_.tmp_dir = path::normalize(config_.tmp_dir);
   if (obs != nullptr) {
     tracer_ = &obs->tracer;
+    stages_ = &obs->stages;
+    tn_.enqueue = tracer_->intern("client.enqueue");
+    tn_.delta = tracer_->intern("client.delta");
+    tn_.upload_batch = tracer_->intern("client.upload_batch");
+    tn_.upload = tracer_->intern("client.upload");
+    tn_.wire_encode = tracer_->intern("client.wire_encode");
+    tn_.apply_forward = tracer_->intern("client.apply_forward");
+    tn_.ack = tracer_->intern("client.ack");
+    for (std::size_t k = static_cast<std::size_t>(proto::OpKind::create);
+         k <= static_cast<std::size_t>(proto::OpKind::record_bundle); ++k) {
+      tn_.kind[k] =
+          tracer_->intern(proto::to_string(static_cast<proto::OpKind>(k)));
+    }
     queue_.set_obs(obs);
     obs::Registry& reg = obs->registry;
     stats_.relation_hits = &reg.counter("client.relation.hit");
@@ -217,7 +230,7 @@ void DeltaCfsClient::note_write(std::string_view raw_path,
     checksums_on_write(path, offset, data, overwritten, size_before);
   }
 
-  obs::Span span(tracer_, "client.enqueue");
+  obs::Span span(tracer_, tn_.enqueue);
   SyncNode& node = queue_.add_write(path, offset, data, clock_.now());
   if (node.new_version.is_null()) {
     assign_versions(node, path);
@@ -563,9 +576,17 @@ rsyncx::Signature DeltaCfsClient::base_signature_for(
     ++sigcache_misses_;
     obs::inc(stats_.sigcache_misses);
   }
-  return par::compute_signature(pool_.get(), base_content,
-                                config_.delta_block_size,
-                                /*with_strong=*/false, &meter_);
+  const std::uint64_t units_before = meter_.units();
+  rsyncx::Signature signature =
+      par::compute_signature(pool_.get(), base_content,
+                             config_.delta_block_size,
+                             /*with_strong=*/false, &meter_);
+  if (stages_ != nullptr) {
+    stages_->record(obs::Stage::signature,
+                    obs::units_to_us(meter_.units() - units_before,
+                                     meter_.profile()));
+  }
+  return signature;
 }
 
 void DeltaCfsClient::remember_signature(const std::string& path,
@@ -611,11 +632,17 @@ void DeltaCfsClient::run_delta(const std::string& path,
   if (!current) return;
   meter_.charge(CostKind::disk_read, current->size());
 
-  obs::Span span(tracer_, "client.delta");
+  obs::Span span(tracer_, tn_.delta);
   const rsyncx::Signature base_signature =
       base_signature_for(path, base_version, base_content);
+  const std::uint64_t delta_units_before = meter_.units();
   const rsyncx::Delta delta = par::compute_delta_local(
       pool_.get(), base_signature, base_content, *current, &meter_);
+  if (stages_ != nullptr) {
+    stages_->record(obs::Stage::delta,
+                    obs::units_to_us(meter_.units() - delta_units_before,
+                                     meter_.profile()));
+  }
 
   // Only replace the write node if the delta actually saves bytes.
   if (delta.wire_size() >= node->content_bytes()) {
@@ -671,11 +698,17 @@ void DeltaCfsClient::maybe_inplace_delta(const std::string& path) {
   Result<Bytes> old_version = undo_.reconstruct(path, *current);
   if (!old_version) return;
 
-  obs::Span span(tracer_, "client.delta");
+  obs::Span span(tracer_, tn_.delta);
   const rsyncx::Signature base_signature =
       base_signature_for(path, node->base_version, *old_version);
+  const std::uint64_t delta_units_before = meter_.units();
   const rsyncx::Delta delta = par::compute_delta_local(
       pool_.get(), base_signature, *old_version, *current, &meter_);
+  if (stages_ != nullptr) {
+    stages_->record(obs::Stage::delta,
+                    obs::units_to_us(meter_.units() - delta_units_before,
+                                     meter_.profile()));
+  }
   if (delta.wire_size() >= written) {
     obs::inc(stats_.delta_kept_rpc);
     return;  // writes are tighter: keep them
@@ -765,7 +798,7 @@ void DeltaCfsClient::tick(TimePoint now) {
 
   std::vector<SyncNode> ready = queue_.pop_ready(now);
   if (!ready.empty()) {
-    obs::Span batch(tracer_, "client.upload_batch");
+    obs::Span batch(tracer_, tn_.upload_batch);
     for (SyncNode& node : ready) {
       upload_node(std::move(node));
     }
@@ -814,7 +847,7 @@ void DeltaCfsClient::flush(TimePoint now) {
   });
   std::vector<SyncNode> ready = queue_.pop_ready(now, /*flush_all=*/true);
   if (!ready.empty()) {
-    obs::Span batch(tracer_, "client.upload_batch");
+    obs::Span batch(tracer_, tn_.upload_batch);
     for (SyncNode& node : ready) {
       upload_node(std::move(node));
     }
@@ -826,7 +859,12 @@ void DeltaCfsClient::flush(TimePoint now) {
 void DeltaCfsClient::upload_node(SyncNode node) {
   if (quarantine_.contains(node.path)) return;  // never upload damaged data
 
-  obs::Span span(tracer_, "client.upload", proto::to_string(node.kind));
+  obs::Span span(tracer_, tn_.upload, kind_cat(node.kind));
+  if (stages_ != nullptr) {
+    stages_->record(obs::Stage::queue_wait,
+                    static_cast<std::uint64_t>(
+                        clock_.now() - node.enqueue_time));
+  }
   proto::SyncRecord record;
   record.sequence = node.seq;
   record.kind = node.kind;
@@ -838,6 +876,9 @@ void DeltaCfsClient::upload_node(SyncNode node) {
   record.txn_group = node.txn_group;
   record.txn_last = node.txn_last;
   record.base_deleted = node.base_deleted;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    record.trace_id = next_trace_id();
+  }
 
   if (node.kind == proto::OpKind::write) {
     std::vector<proto::Segment> segments;
@@ -852,11 +893,17 @@ void DeltaCfsClient::upload_node(SyncNode node) {
 
   if (config_.compress_uploads &&
       record.payload.size() >= config_.compress_min_bytes) {
+    const std::uint64_t units_before = meter_.units();
     meter_.charge(CostKind::compress, record.payload.size());
     Bytes packed = lz::compress(record.payload);
     if (packed.size() < record.payload.size()) {
       record.payload = std::move(packed);
       record.compressed = true;
+    }
+    if (stages_ != nullptr) {
+      stages_->record(obs::Stage::compress,
+                      obs::units_to_us(meter_.units() - units_before,
+                                       meter_.profile()));
     }
   }
 
@@ -866,6 +913,8 @@ void DeltaCfsClient::upload_node(SyncNode node) {
   obs::inc(stats_.uploads);
   obs::observe(stats_.record_bytes, frame.size());
   ++records_uploaded_;
+  if (record.trace_id != 0) tracer_->flow_start(record.trace_id);
+  if (stages_ != nullptr) inflight_sent_[record.sequence] = clock_.now();
 
   if (config_.bundle_uploads &&
       frame.size() <= config_.bundle_record_max_bytes) {
@@ -897,23 +946,40 @@ void DeltaCfsClient::send_record_frame(Bytes frame) {
   }
   meter_.charge(CostKind::encrypt, frame.size());
   meter_.charge(CostKind::net_frame, frame.size());
-  transport_.client_send(std::move(frame), proto::MessageType::sync_record);
+  const Duration wire_time =
+      transport_.client_send(std::move(frame), proto::MessageType::sync_record);
+  if (stages_ != nullptr) {
+    stages_->record(obs::Stage::transport,
+                    static_cast<std::uint64_t>(wire_time));
+  }
 }
 
 void DeltaCfsClient::ship_outbox() {
   if (wire_ == nullptr || outbox_.empty()) return;
-  obs::Span span(tracer_, "client.wire_encode");
+  obs::Span span(tracer_, tn_.wire_encode);
   std::vector<wire::EncodedFrame> encoded =
       wire_->encode_batch(std::move(outbox_), pool_.get());
   outbox_.clear();
   // Charge and send in staging order: the meter sees the same totals in
   // the same sequence regardless of how many lanes encoded the batch.
   for (wire::EncodedFrame& frame : encoded) {
-    if (frame.attempted) meter_.charge(CostKind::compress, frame.raw_size);
+    if (frame.attempted) {
+      const std::uint64_t units_before = meter_.units();
+      meter_.charge(CostKind::compress, frame.raw_size);
+      if (stages_ != nullptr) {
+        stages_->record(obs::Stage::compress,
+                        obs::units_to_us(meter_.units() - units_before,
+                                         meter_.profile()));
+      }
+    }
     meter_.charge(CostKind::encrypt, frame.wire.size());
     meter_.charge(CostKind::net_frame, frame.wire.size());
-    transport_.client_send(std::move(frame.wire),
-                           proto::MessageType::sync_record);
+    const Duration wire_time = transport_.client_send(
+        std::move(frame.wire), proto::MessageType::sync_record);
+    if (stages_ != nullptr) {
+      stages_->record(obs::Stage::transport,
+                      static_cast<std::uint64_t>(wire_time));
+    }
   }
 }
 
@@ -943,7 +1009,25 @@ void DeltaCfsClient::flush_bundle() {
   bundle_pending_bytes_ = 0;
 }
 
+std::uint64_t DeltaCfsClient::next_trace_id() noexcept {
+  const std::uint64_t id =
+      (static_cast<std::uint64_t>(config_.client_id) << 40) | ++trace_counter_;
+  return proto::base_trace_id(id);  // keep clear of the flow-edge tag bits
+}
+
 void DeltaCfsClient::process_ack(const proto::Ack& ack) {
+  obs::Span span(tracer_, tn_.ack);
+  if (ack.trace_id != 0 && tracer_ != nullptr) {
+    tracer_->flow_end(proto::ack_flow_id(ack.trace_id));
+  }
+  if (stages_ != nullptr) {
+    if (const auto it = inflight_sent_.find(ack.sequence);
+        it != inflight_sent_.end()) {
+      stages_->record(obs::Stage::ack,
+                      static_cast<std::uint64_t>(clock_.now() - it->second));
+      inflight_sent_.erase(it);
+    }
+  }
   if (ack.result == Errc::conflict) {
     obs::inc(stats_.acks_conflict);
     DCFS_LOG_DEBUG("client", "conflict acked", {"sequence", ack.sequence},
@@ -958,8 +1042,10 @@ void DeltaCfsClient::process_ack(const proto::Ack& ack) {
 }
 
 void DeltaCfsClient::apply_forward(const proto::SyncRecord& raw_record) {
-  obs::Span span(tracer_, "client.apply_forward",
-                 proto::to_string(raw_record.kind));
+  obs::Span span(tracer_, tn_.apply_forward, kind_cat(raw_record.kind));
+  if (raw_record.trace_id != 0 && tracer_ != nullptr) {
+    tracer_->flow_end(proto::forward_flow_id(raw_record.trace_id));
+  }
   obs::inc(stats_.forwards);
   ++forwards_applied_;
   proto::SyncRecord record = raw_record;

@@ -15,6 +15,7 @@
 //     via backindex spans applied transactionally by the server.
 #pragma once
 
+#include <array>
 #include <map>
 #include <memory>
 #include <optional>
@@ -30,6 +31,8 @@
 #include "core/undo_log.h"
 #include "metrics/cost.h"
 #include "net/transport.h"
+#include "obs/stage_ledger.h"
+#include "obs/trace.h"
 #include "par/worker_pool.h"
 #include "proto/messages.h"
 #include "vfs/intercept.h"
@@ -283,11 +286,39 @@ class DeltaCfsClient final : public OpSink {
                           ByteSpan data, ByteSpan overwritten,
                           std::uint64_t size_before);
 
+  /// Trace id for the next uploaded record: unique per client (the client
+  /// id occupies the high bits), never colliding with the flow-edge tag
+  /// bits (proto::kAckFlowBit / kForwardFlowBit).
+  [[nodiscard]] std::uint64_t next_trace_id() noexcept;
+
   FileSystem& local_;
   Transport& transport_;
   const Clock& clock_;
   CostMeter meter_;
   obs::Tracer* tracer_ = nullptr;
+  obs::StageLedger* stages_ = nullptr;
+  /// Span names interned at wiring time (allocation-free hot path); all 0
+  /// when observability is disabled.
+  struct TraceNames {
+    obs::NameId enqueue = 0;
+    obs::NameId delta = 0;
+    obs::NameId upload_batch = 0;
+    obs::NameId upload = 0;
+    obs::NameId wire_encode = 0;
+    obs::NameId apply_forward = 0;
+    obs::NameId ack = 0;
+    /// Category per OpKind (indexed by the enum's numeric value).
+    std::array<obs::NameId, 12> kind{};
+  } tn_;
+  /// Bounds-safe kind category (forwarded kinds come off the network).
+  [[nodiscard]] obs::NameId kind_cat(proto::OpKind kind) const noexcept {
+    const auto i = static_cast<std::size_t>(kind);
+    return i < tn_.kind.size() ? tn_.kind[i] : obs::NameId{0};
+  }
+  std::uint64_t trace_counter_ = 0;
+  /// Upload time by record sequence, for the ack round-trip stage; only
+  /// populated while a stage ledger is attached (entries erased on ack).
+  std::map<std::uint64_t, TimePoint> inflight_sent_;
   /// Registered instruments; all null when observability is disabled.
   struct Stats {
     obs::Counter* relation_hits = nullptr;

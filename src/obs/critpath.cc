@@ -1,0 +1,150 @@
+#include "obs/critpath.h"
+
+#include <cstdio>
+#include <map>
+#include <optional>
+
+#include "proto/messages.h"
+
+namespace dcfs::obs {
+namespace {
+
+/// The four flow endpoints of one transaction, keyed (pid, base trace id).
+struct TxnFlows {
+  std::optional<TimePoint> upload_start;
+  std::optional<TimePoint> upload_end;
+  std::optional<TimePoint> ack_start;
+  std::optional<TimePoint> ack_end;
+
+  [[nodiscard]] bool complete() const noexcept {
+    return upload_start && upload_end && ack_start && ack_end &&
+           *upload_start <= *upload_end && *upload_end <= *ack_start &&
+           *ack_start <= *ack_end;
+  }
+};
+
+void print_group(std::string& out, const CritPathGroup& group,
+                 std::string_view title) {
+  char line[200];
+  std::snprintf(line, sizeof(line),
+                "== %s ==\ntxns %llu  incomplete %llu  forwards %llu\n",
+                std::string(title).c_str(),
+                static_cast<unsigned long long>(group.txns),
+                static_cast<unsigned long long>(group.incomplete),
+                static_cast<unsigned long long>(group.forwards));
+  out += line;
+  if (group.txns == 0) return;
+  std::snprintf(line, sizeof(line), "%-10s %10s %10s %10s %14s %7s\n", "stage",
+                "p50_us", "p95_us", "p99_us", "total_us", "share");
+  out += line;
+  const double wall = static_cast<double>(group.total.sum());
+  const auto row = [&](std::string_view name, const QuantileSketch& sketch) {
+    const double share =
+        wall > 0 ? static_cast<double>(sketch.sum()) / wall : 0.0;
+    std::snprintf(line, sizeof(line), "%-10s %10llu %10llu %10llu %14llu %6.1f%%\n",
+                  std::string(name).c_str(),
+                  static_cast<unsigned long long>(sketch.quantile(0.50)),
+                  static_cast<unsigned long long>(sketch.quantile(0.95)),
+                  static_cast<unsigned long long>(sketch.quantile(0.99)),
+                  static_cast<unsigned long long>(sketch.sum()), share * 100.0);
+    out += line;
+  };
+  row("transport", group.transport);
+  row("apply", group.apply);
+  row("ack", group.ack);
+  row("total", group.total);
+}
+
+}  // namespace
+
+void CritPathGroup::merge(const CritPathGroup& other) noexcept {
+  txns += other.txns;
+  incomplete += other.incomplete;
+  forwards += other.forwards;
+  transport.merge(other.transport);
+  apply.merge(other.apply);
+  ack.merge(other.ack);
+  total.merge(other.total);
+}
+
+CritPathReport analyze_critical_path(const ParsedTrace& trace) {
+  std::map<std::pair<std::uint32_t, std::uint64_t>, TxnFlows> txns;
+  std::map<std::uint32_t, std::uint64_t> forwards_by_pid;
+  for (const TraceEvent& event : trace.events) {
+    if (event.phase != 's' && event.phase != 'f') continue;
+    if ((event.id & proto::kForwardFlowBit) != 0) {
+      ++forwards_by_pid[event.pid];
+      continue;
+    }
+    const bool is_ack = (event.id & proto::kAckFlowBit) != 0;
+    TxnFlows& txn = txns[{event.pid, proto::base_trace_id(event.id)}];
+    // Keep the first occurrence of each endpoint (re-sent frames after a
+    // conflict keep the original timing).
+    auto keep_first = [&](std::optional<TimePoint>& slot) {
+      if (!slot) slot = event.ts;
+    };
+    if (event.phase == 's') {
+      keep_first(is_ack ? txn.ack_start : txn.upload_start);
+    } else {
+      keep_first(is_ack ? txn.ack_end : txn.upload_end);
+    }
+  }
+
+  std::map<std::uint32_t, CritPathGroup> groups;
+  for (const auto& [key, txn] : txns) {
+    CritPathGroup& group = groups[key.first];
+    group.pid = key.first;
+    if (!txn.complete()) {
+      ++group.incomplete;
+      continue;
+    }
+    const std::uint64_t transport =
+        static_cast<std::uint64_t>(*txn.upload_end - *txn.upload_start);
+    const std::uint64_t apply =
+        static_cast<std::uint64_t>(*txn.ack_start - *txn.upload_end);
+    const std::uint64_t ack =
+        static_cast<std::uint64_t>(*txn.ack_end - *txn.ack_start);
+    ++group.txns;
+    group.transport.record(transport);
+    group.apply.record(apply);
+    group.ack.record(ack);
+    group.total.record(transport + apply + ack);
+  }
+  for (const auto& [pid, count] : forwards_by_pid) {
+    CritPathGroup& group = groups[pid];
+    group.pid = pid;
+    group.forwards += count;
+  }
+
+  CritPathReport report;
+  for (auto& [pid, group] : groups) {
+    for (const auto& [name_pid, name] : trace.process_names) {
+      if (name_pid == pid) {
+        group.name = name;
+        break;
+      }
+    }
+    report.overall.merge(group);
+    report.groups.push_back(std::move(group));
+  }
+  return report;
+}
+
+std::string CritPathReport::to_string() const {
+  std::string out;
+  char title[96];
+  for (const CritPathGroup& group : groups) {
+    std::snprintf(title, sizeof(title), "pid %u%s%s", group.pid,
+                  group.name.empty() ? "" : " ",
+                  group.name.c_str());
+    print_group(out, group, title);
+    out.push_back('\n');
+  }
+  if (groups.size() != 1) {
+    print_group(out, overall, "overall");
+  }
+  if (groups.empty()) out = "(no traced transactions)\n";
+  return out;
+}
+
+}  // namespace dcfs::obs

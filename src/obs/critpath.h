@@ -1,0 +1,62 @@
+// Critical-path analysis of an exported cross-wire trace.
+//
+// A traced sync transaction leaves four flow endpoints in the trace
+// (obs/trace.h, proto::SyncRecord::trace_id):
+//
+//   s(id)      client.upload     — frame handed to the transport
+//   f(id)      server.apply      — frame arrived, apply starting
+//   s(id|ack)  server.apply      — ack handed to the transport
+//   f(id|ack)  client.ack        — ack processed back on the client
+//
+// Those timestamps partition the transaction's traced wall time exactly:
+//
+//   transport = f(id)     - s(id)
+//   apply     = s(id|ack) - f(id)       (server residency incl. queueing)
+//   ack       = f(id|ack) - s(id|ack)   (return trip + client pickup)
+//   total     = f(id|ack) - s(id)       == transport + apply + ack
+//
+// so per-stage sums always add up to the total — the invariant the CI
+// acceptance check leans on.  Transactions are grouped by pid: benches
+// give every run/NetProfile its own pid (Tracer::set_process), and trace
+// ids restart per run, so the pid is part of the transaction key.  The
+// overall report is the sketch-merge of the per-pid groups (QuantileSketch
+// merge associativity at work).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/quantile.h"
+#include "obs/trace.h"
+
+namespace dcfs::obs {
+
+/// Per-pid (per bench run / NetProfile) critical-path aggregates.
+struct CritPathGroup {
+  std::uint32_t pid = 0;
+  std::string name;               ///< process_name metadata, if present
+  std::uint64_t txns = 0;         ///< transactions with all four endpoints
+  std::uint64_t incomplete = 0;   ///< flows missing an endpoint
+  std::uint64_t forwards = 0;     ///< forward fan-out edges seen
+  QuantileSketch transport;
+  QuantileSketch apply;
+  QuantileSketch ack;
+  QuantileSketch total;
+
+  void merge(const CritPathGroup& other) noexcept;
+};
+
+struct CritPathReport {
+  std::vector<CritPathGroup> groups;  ///< per pid, ascending
+  CritPathGroup overall;              ///< merge of all groups
+
+  /// Per-group stage table (p50/p95/p99, totals, share of wall time) plus
+  /// the overall rollup.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Walks a parsed trace's flow events and builds the per-stage breakdown.
+CritPathReport analyze_critical_path(const ParsedTrace& trace);
+
+}  // namespace dcfs::obs

@@ -12,8 +12,10 @@ Histogram::Histogram(std::vector<std::uint64_t> bounds)
 void Histogram::observe(std::uint64_t value) noexcept {
   std::size_t i = 0;
   while (i < bounds_.size() && value > bounds_[i]) ++i;
+  // Seqlock bracket: begins_ first, count_ last (both full barriers), the
+  // payload fields in between.  read_consistent() relies on this order.
+  begins_.fetch_add(1, std::memory_order_seq_cst);
   counts_[i].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
   std::uint64_t seen = min_.load(std::memory_order_relaxed);
   while (value < seen &&
@@ -23,6 +25,34 @@ void Histogram::observe(std::uint64_t value) noexcept {
   while (value > seen &&
          !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
   }
+  count_.fetch_add(1, std::memory_order_seq_cst);
+}
+
+bool Histogram::read_consistent(std::vector<std::uint64_t>& counts,
+                                std::uint64_t& count, std::uint64_t& sum,
+                                std::uint64_t& min,
+                                std::uint64_t& max) const noexcept {
+  // Accept a copy only when the completions seen *before* it equal the
+  // begins seen *after* it: every observe that had started by the end of
+  // the copy was already finished before it started, so nothing mutated
+  // the payload fields inside the window.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const std::uint64_t before = count_.load(std::memory_order_seq_cst);
+    counts.clear();
+    for (const auto& c : counts_) {
+      counts.push_back(c.load(std::memory_order_relaxed));
+    }
+    sum = sum_.load(std::memory_order_relaxed);
+    min = min_.load(std::memory_order_relaxed);
+    max = max_.load(std::memory_order_relaxed);
+    const std::uint64_t after = begins_.load(std::memory_order_seq_cst);
+    if (after == before) {
+      count = before;
+      return true;
+    }
+    count = count_.load(std::memory_order_relaxed);
+  }
+  return false;
 }
 
 const std::vector<std::uint64_t>& default_latency_bounds_us() {
@@ -178,14 +208,9 @@ Snapshot Registry::snapshot() const {
     HistogramSnapshot h;
     h.name = name;
     h.bounds = histogram->bounds_;
-    h.counts.reserve(histogram->counts_.size());
-    for (const auto& c : histogram->counts_) {
-      h.counts.push_back(c.load(std::memory_order_relaxed));
-    }
-    h.count = histogram->count();
-    h.sum = histogram->sum();
-    h.max = histogram->max_.load(std::memory_order_relaxed);
-    const std::uint64_t min = histogram->min_.load(std::memory_order_relaxed);
+    std::uint64_t min = 0;
+    h.consistent =
+        histogram->read_consistent(h.counts, h.count, h.sum, min, h.max);
     h.min = h.count == 0 ? 0 : min;
     snap.histograms.push_back(std::move(h));
   }

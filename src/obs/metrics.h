@@ -58,11 +58,26 @@ class Gauge {
 /// Fixed-bucket histogram.  `bounds` are strictly increasing inclusive
 /// upper bounds; one implicit overflow bucket catches everything above the
 /// last bound.  Tracks count/sum/min/max alongside the buckets.
+///
+/// The fields are independent atomics, so a naive field-by-field read taken
+/// mid-observe can tear (e.g. a sum that includes a value whose count has
+/// not landed yet — an impossible mean).  observe() therefore brackets its
+/// updates seqlock-style: `begins_` is bumped first and `count_` last, and
+/// read_consistent() retries its copy until the count it read *before*
+/// copying equals the begins it read *after* — which proves no writer was
+/// active anywhere inside the copy window.
 class Histogram {
  public:
   explicit Histogram(std::vector<std::uint64_t> bounds);
 
   void observe(std::uint64_t value) noexcept;
+
+  /// Copies counts/count/sum/min/max as one consistent cut.  Returns false
+  /// when writers were so hot that no clean window appeared within the
+  /// retry budget; the out-params then hold the last (possibly torn) copy.
+  bool read_consistent(std::vector<std::uint64_t>& counts,
+                       std::uint64_t& count, std::uint64_t& sum,
+                       std::uint64_t& min, std::uint64_t& max) const noexcept;
 
   [[nodiscard]] const std::vector<std::uint64_t>& bounds() const noexcept {
     return bounds_;
@@ -81,7 +96,8 @@ class Histogram {
   friend class Registry;
   std::vector<std::uint64_t> bounds_;
   std::vector<std::atomic<std::uint64_t>> counts_;  ///< bounds + overflow
-  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> begins_{0};  ///< observes started (seqlock hi)
+  std::atomic<std::uint64_t> count_{0};   ///< observes finished (seqlock lo)
   std::atomic<std::uint64_t> sum_{0};
   std::atomic<std::uint64_t> min_{~0ull};
   std::atomic<std::uint64_t> max_{0};
@@ -100,6 +116,9 @@ struct HistogramSnapshot {
   std::uint64_t sum = 0;
   std::uint64_t min = 0;
   std::uint64_t max = 0;
+  /// False when the copy had to be taken while writers were continuously
+  /// active (retry budget exhausted) — fields may then disagree.
+  bool consistent = true;
 
   [[nodiscard]] double mean() const noexcept {
     return count == 0 ? 0.0

@@ -5,6 +5,7 @@
 
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/stage_ledger.h"
 #include "obs/trace.h"
 
 namespace dcfs::obs {
@@ -12,6 +13,9 @@ namespace dcfs::obs {
 struct Obs {
   Registry registry;
   Tracer tracer;
+  /// Per-sync stage timings (client + server record into the same ledger;
+  /// both run on the driving thread, worker lanes merge at join).
+  StageLedger stages;
   Logger* logger = &Logger::global();
 };
 

@@ -1,0 +1,48 @@
+#include "obs/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcfs::obs {
+
+void QuantileSketch::record(std::uint64_t value) noexcept {
+  ++counts_[bucket_index(value)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t QuantileSketch::quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) {
+      return std::clamp(bucket_representative(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void QuantileSketch::clear() noexcept {
+  counts_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+}
+
+}  // namespace dcfs::obs

@@ -1,0 +1,73 @@
+// Mergeable log-bucket quantile sketch (HDR-histogram style).
+//
+// Values 0..7 land in exact buckets; larger values are bucketed by their
+// top four significant bits (8 sub-buckets per power of two), bounding the
+// relative error of any reported quantile at 1/16 of the value.  Buckets
+// are plain counters, so merging two sketches is elementwise addition —
+// associative and commutative — which is what lets par::WorkerPool lanes
+// record into private sketches and fold them at join without contention.
+//
+// A sketch instance is NOT internally synchronized: one writer at a time
+// (the thread-mergeable pattern), reads after the writes they observe.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace dcfs::obs {
+
+class QuantileSketch {
+ public:
+  /// 8 exact buckets + 8 sub-buckets per exponent 3..63.
+  static constexpr std::size_t kBuckets = 8 + 61 * 8;
+
+  void record(std::uint64_t value) noexcept;
+
+  /// Elementwise fold of `other` into this sketch.
+  void merge(const QuantileSketch& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t min() const noexcept {
+    return count_ == 0 ? 0 : min_;
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+
+  /// Value at quantile `q` in [0, 1]: the representative (bucket midpoint)
+  /// of the bucket holding the ceil(q * count)-th smallest recording,
+  /// clamped to the observed [min, max].  0 when empty.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+
+  void clear() noexcept;
+
+  /// Maps a value to its bucket index (exposed for tests).
+  static constexpr std::size_t bucket_index(std::uint64_t value) noexcept {
+    if (value < 8) return static_cast<std::size_t>(value);
+    int exponent = 63;
+    while ((value >> exponent) == 0) --exponent;  // bit_width - 1
+    const std::uint64_t sub = (value >> (exponent - 3)) & 7;
+    return static_cast<std::size_t>(exponent - 2) * 8 +
+           static_cast<std::size_t>(sub);
+  }
+
+  /// Midpoint of bucket `index`'s value range (exposed for tests).
+  static constexpr std::uint64_t bucket_representative(
+      std::size_t index) noexcept {
+    if (index < 8) return static_cast<std::uint64_t>(index);
+    const int exponent = static_cast<int>(index / 8) + 2;
+    const std::uint64_t sub = index % 8;
+    const std::uint64_t lower = (8 + sub) << (exponent - 3);
+    const std::uint64_t width = 1ull << (exponent - 3);
+    return lower + width / 2;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace dcfs::obs

@@ -13,6 +13,17 @@ namespace {
 // end() still unwinds the stack without emitting an event.
 constexpr std::size_t kDroppedSpan = ~static_cast<std::size_t>(0);
 
+// Interned up front in every tracer: flow events share one name/category
+// so viewers join the arrows ("txn" arrows in the "flow" category).
+constexpr NameId kFlowName = 1;
+constexpr NameId kFlowCat = 2;
+
+// Which tracer (if any) the calling thread registered a track with.  A
+// thread belongs to at most one tracer — pool workers are wired to their
+// pool's obs context — so a single slot suffices.
+thread_local const void* tls_owner = nullptr;
+thread_local void* tls_track = nullptr;
+
 void append_json_string(std::string& out, std::string_view s) {
   out.push_back('"');
   for (const char c : s) {
@@ -49,75 +60,196 @@ void append_json_string(std::string& out, std::string_view s) {
 }  // namespace
 
 void Tracer::set_process(std::uint32_t pid, std::string name) {
-  pid_ = pid;
+  const chk::LockGuard<chk::Mutex> lock(mu_);
+  pid_.store(pid, std::memory_order_relaxed);
   process_names_.emplace_back(pid, std::move(name));
 }
 
-void Tracer::begin(std::string_view name, std::string_view cat) {
-  if (!enabled_ || clock_ == nullptr) return;
-  if (events_.size() >= max_events_) {
-    ++dropped_;
-    stack_.push_back(kDroppedSpan);
+NameId Tracer::intern(std::string_view name) {
+  const chk::LockGuard<chk::Mutex> lock(mu_);
+  if (names_.empty()) names_ = {"", "txn", "flow"};
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<NameId>(i);
+  }
+  names_.emplace_back(name);
+  return static_cast<NameId>(names_.size() - 1);
+}
+
+std::uint32_t Tracer::register_thread(std::string name) {
+  const chk::LockGuard<chk::Mutex> lock(mu_);
+  auto track = std::make_unique<Track>();
+  track->tid = next_tid_++;
+  track->reg_pid = pid_.load(std::memory_order_relaxed);
+  track->name = std::move(name);
+  tls_owner = this;
+  tls_track = track.get();
+  threads_.push_back(std::move(track));
+  return threads_.back()->tid;
+}
+
+Tracer::Track& Tracer::track() noexcept {
+  if (tls_owner == this && tls_track != nullptr) {
+    return *static_cast<Track*>(tls_track);
+  }
+  return main_;
+}
+
+void Tracer::begin(NameId name, NameId cat) {
+  if (!enabled() || clock_ == nullptr) return;
+  Track& t = track();
+  if (t.recs.size() >= max_events_) {
+    ++t.dropped;
+    t.stack.push_back(kDroppedSpan);
     return;
   }
-  TraceEvent event;
-  event.name = std::string(name);
-  event.cat = std::string(cat);
-  event.phase = 'B';
-  event.ts = clock_->now();
-  event.pid = pid_;
-  stack_.push_back(events_.size());
-  events_.push_back(std::move(event));
+  Rec rec;
+  rec.name = name;
+  rec.cat = cat;
+  rec.phase = 'B';
+  rec.ts = clock_->now();
+  rec.pid = pid_.load(std::memory_order_relaxed);
+  t.stack.push_back(t.recs.size());
+  t.recs.push_back(rec);
 }
 
 void Tracer::end() {
-  if (stack_.empty()) return;
-  const std::size_t begin_index = stack_.back();
-  stack_.pop_back();
+  Track& t = track();
+  if (t.stack.empty()) return;
+  const std::size_t begin_index = t.stack.back();
+  t.stack.pop_back();
   if (begin_index == kDroppedSpan) return;
-  // Copy before push_back: growing events_ may invalidate the reference.
-  const TraceEvent begin_event = events_[begin_index];
-  TraceEvent event;
-  event.name = begin_event.name;
-  event.cat = begin_event.cat;
-  event.phase = 'E';
-  event.ts = clock_ != nullptr ? clock_->now() : begin_event.ts;
-  event.pid = begin_event.pid;
-  event.tid = begin_event.tid;
-  events_.push_back(std::move(event));
+  const Rec begin_rec = t.recs[begin_index];
+  Rec rec;
+  rec.name = begin_rec.name;
+  rec.cat = begin_rec.cat;
+  rec.phase = 'E';
+  rec.ts = clock_ != nullptr ? clock_->now() : begin_rec.ts;
+  rec.pid = begin_rec.pid;
+  t.recs.push_back(rec);
+}
+
+void Tracer::instant(NameId name, NameId cat) {
+  if (!enabled() || clock_ == nullptr) return;
+  Track& t = track();
+  if (t.recs.size() >= max_events_) {
+    ++t.dropped;
+    return;
+  }
+  Rec rec;
+  rec.name = name;
+  rec.cat = cat;
+  rec.phase = 'i';
+  rec.ts = clock_->now();
+  rec.pid = pid_.load(std::memory_order_relaxed);
+  t.recs.push_back(rec);
+}
+
+void Tracer::emit_flow(char phase, std::uint64_t id) {
+  if (!enabled() || clock_ == nullptr) return;
+  Track& t = track();
+  // Flow events bind to the innermost enclosing slice; with no open span
+  // (or a dropped one) the edge would dangle, so it is dropped instead.
+  if (t.stack.empty() || t.stack.back() == kDroppedSpan) return;
+  if (t.recs.size() >= max_events_) {
+    ++t.dropped;
+    return;
+  }
+  Rec rec;
+  rec.name = kFlowName;
+  rec.cat = kFlowCat;
+  rec.phase = phase;
+  rec.ts = clock_->now();
+  rec.pid = pid_.load(std::memory_order_relaxed);
+  rec.id = id;
+  t.recs.push_back(rec);
+}
+
+void Tracer::flow_start(std::uint64_t id) { emit_flow('s', id); }
+
+void Tracer::flow_end(std::uint64_t id) { emit_flow('f', id); }
+
+void Tracer::begin(std::string_view name, std::string_view cat) {
+  if (!enabled() || clock_ == nullptr) return;
+  begin(intern(name), cat.empty() ? NameId{0} : intern(cat));
 }
 
 void Tracer::instant(std::string_view name, std::string_view cat) {
-  if (!enabled_ || clock_ == nullptr) return;
-  if (events_.size() >= max_events_) {
-    ++dropped_;
-    return;
+  if (!enabled() || clock_ == nullptr) return;
+  instant(intern(name), cat.empty() ? NameId{0} : intern(cat));
+}
+
+void Tracer::append_track(const Track& t, std::vector<TraceEvent>& out) const {
+  for (const Rec& rec : t.recs) {
+    TraceEvent event;
+    event.name = rec.name < names_.size() ? names_[rec.name] : std::string();
+    event.cat = rec.cat < names_.size() ? names_[rec.cat] : std::string();
+    event.phase = rec.phase;
+    event.ts = rec.ts;
+    event.pid = rec.pid;
+    event.tid = t.tid;
+    event.id = rec.id;
+    out.push_back(std::move(event));
   }
-  TraceEvent event;
-  event.name = std::string(name);
-  event.cat = std::string(cat);
-  event.phase = 'i';
-  event.ts = clock_->now();
-  event.pid = pid_;
-  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  const chk::LockGuard<chk::Mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  std::size_t total = main_.recs.size();
+  for (const auto& t : threads_) total += t->recs.size();
+  out.reserve(total);
+  append_track(main_, out);
+  for (const auto& t : threads_) append_track(*t, out);
+  return out;
+}
+
+std::size_t Tracer::open_spans() const noexcept {
+  // const_cast-free: replicate track() for the const path.
+  if (tls_owner == this && tls_track != nullptr) {
+    return static_cast<const Track*>(tls_track)->stack.size();
+  }
+  return main_.stack.size();
+}
+
+std::uint64_t Tracer::dropped() const {
+  const chk::LockGuard<chk::Mutex> lock(mu_);
+  std::uint64_t total = main_.dropped;
+  for (const auto& t : threads_) total += t->dropped;
+  return total;
 }
 
 std::string Tracer::to_chrome_json() const {
+  const std::vector<TraceEvent> merged = events();
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   char buf[128];
-  for (const auto& [pid, name] : process_names_) {
-    if (!first) out.push_back(',');
-    first = false;
-    std::snprintf(buf, sizeof(buf),
-                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
-                  "\"tid\":0,\"args\":{\"name\":",
-                  pid);
-    out += buf;
-    append_json_string(out, name);
-    out += "}}";
+  {
+    const chk::LockGuard<chk::Mutex> lock(mu_);
+    for (const auto& [pid, name] : process_names_) {
+      if (!first) out.push_back(',');
+      first = false;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                    "\"tid\":0,\"args\":{\"name\":",
+                    pid);
+      out += buf;
+      append_json_string(out, name);
+      out += "}}";
+    }
+    for (const auto& t : threads_) {
+      if (t->name.empty() || t->recs.empty()) continue;
+      if (!first) out.push_back(',');
+      first = false;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,"
+                    "\"tid\":%u,\"args\":{\"name\":",
+                    t->reg_pid, t->tid);
+      out += buf;
+      append_json_string(out, t->name);
+      out += "}}";
+    }
   }
-  for (const TraceEvent& event : events_) {
+  for (const TraceEvent& event : merged) {
     if (!first) out.push_back(',');
     first = false;
     out += "{\"name\":";
@@ -127,10 +259,17 @@ std::string Tracer::to_chrome_json() const {
       append_json_string(out, event.cat);
     }
     std::snprintf(buf, sizeof(buf),
-                  ",\"ph\":\"%c\",\"ts\":%lld,\"pid\":%u,\"tid\":%u}",
+                  ",\"ph\":\"%c\",\"ts\":%lld,\"pid\":%u,\"tid\":%u",
                   event.phase, static_cast<long long>(event.ts), event.pid,
                   event.tid);
     out += buf;
+    if (event.phase == 's' || event.phase == 'f') {
+      std::snprintf(buf, sizeof(buf), ",\"id\":\"0x%llx\"",
+                    static_cast<unsigned long long>(event.id));
+      out += buf;
+      if (event.phase == 'f') out += ",\"bp\":\"e\"";
+    }
+    out += "}";
   }
   out += "]}";
   return out;
@@ -143,12 +282,13 @@ std::string Tracer::summary() const {
     std::int64_t min_us = 0;
     std::int64_t max_us = 0;
   };
+  const std::vector<TraceEvent> merged = events();
   std::map<std::string, Stats> by_name;
   // Replay the per-track begin stacks to pair up durations.
   std::map<std::pair<std::uint32_t, std::uint32_t>,
            std::vector<const TraceEvent*>>
       open;
-  for (const TraceEvent& event : events_) {
+  for (const TraceEvent& event : merged) {
     auto& stack = open[{event.pid, event.tid}];
     if (event.phase == 'B') {
       stack.push_back(&event);
@@ -178,19 +318,26 @@ std::string Tracer::summary() const {
                   static_cast<long long>(stats.max_us));
     out += line;
   }
-  if (dropped_ > 0) {
+  const std::uint64_t total_dropped = dropped();
+  if (total_dropped > 0) {
     std::snprintf(line, sizeof(line), "(%llu spans dropped at capacity)\n",
-                  static_cast<unsigned long long>(dropped_));
+                  static_cast<unsigned long long>(total_dropped));
     out += line;
   }
   return out;
 }
 
 void Tracer::clear() {
-  events_.clear();
-  stack_.clear();
+  const chk::LockGuard<chk::Mutex> lock(mu_);
+  main_.recs.clear();
+  main_.stack.clear();
+  main_.dropped = 0;
+  for (const auto& t : threads_) {
+    t->recs.clear();
+    t->stack.clear();
+    t->dropped = 0;
+  }
   process_names_.clear();
-  dropped_ = 0;
 }
 
 bool well_nested(const std::vector<TraceEvent>& events) {
@@ -198,7 +345,10 @@ bool well_nested(const std::vector<TraceEvent>& events) {
            std::vector<const TraceEvent*>>
       open;
   for (const TraceEvent& event : events) {
-    if (event.phase == 'M' || event.phase == 'i') continue;
+    if (event.phase == 'M' || event.phase == 'i' || event.phase == 's' ||
+        event.phase == 'f') {
+      continue;
+    }
     auto& stack = open[{event.pid, event.tid}];
     if (event.phase == 'B') {
       stack.push_back(&event);
@@ -218,8 +368,8 @@ bool well_nested(const std::vector<TraceEvent>& events) {
   return true;
 }
 
-bool validate_chrome_trace(std::string_view json, std::string* error,
-                           std::size_t* event_count) {
+bool parse_chrome_trace(std::string_view json, ParsedTrace& out,
+                        std::string* error) {
   auto set_error = [error](std::string_view message) {
     if (error != nullptr) *error = std::string(message);
     return false;
@@ -232,7 +382,6 @@ bool validate_chrome_trace(std::string_view json, std::string* error,
   if (trace_events == nullptr || !trace_events->is_array()) {
     return set_error("missing traceEvents array");
   }
-  std::vector<TraceEvent> events;
   for (const json::Value& entry : trace_events->as_array()) {
     if (!entry.is_object()) return set_error("trace event is not an object");
     const json::Value* name = entry.find("name");
@@ -242,7 +391,21 @@ bool validate_chrome_trace(std::string_view json, std::string* error,
       return set_error("trace event missing name/ph");
     }
     const char ph = phase->as_string()[0];
-    if (ph == 'M') continue;  // metadata records carry no ts
+    if (ph == 'M') {  // metadata records carry no ts
+      if (name->as_string() == "process_name") {
+        const json::Value* pid = entry.find("pid");
+        const json::Value* args = entry.find("args");
+        const json::Value* proc =
+            args != nullptr ? args->find("name") : nullptr;
+        if (pid != nullptr && pid->is_number() && proc != nullptr &&
+            proc->is_string()) {
+          out.process_names.emplace_back(
+              static_cast<std::uint32_t>(pid->as_number()),
+              proc->as_string());
+        }
+      }
+      continue;
+    }
     const json::Value* ts = entry.find("ts");
     const json::Value* pid = entry.find("pid");
     const json::Value* tid = entry.find("tid");
@@ -252,14 +415,93 @@ bool validate_chrome_trace(std::string_view json, std::string* error,
     }
     TraceEvent event;
     event.name = name->as_string();
+    if (const json::Value* cat = entry.find("cat");
+        cat != nullptr && cat->is_string()) {
+      event.cat = cat->as_string();
+    }
     event.phase = ph;
     event.ts = static_cast<TimePoint>(ts->as_number());
     event.pid = static_cast<std::uint32_t>(pid->as_number());
     event.tid = static_cast<std::uint32_t>(tid->as_number());
-    events.push_back(std::move(event));
+    if (ph == 's' || ph == 'f') {
+      const json::Value* id = entry.find("id");
+      if (id == nullptr) return set_error("flow event missing id");
+      if (id->is_number()) {
+        event.id = static_cast<std::uint64_t>(id->as_number());
+      } else if (id->is_string()) {
+        const std::string& text = id->as_string();
+        std::uint64_t value = 0;
+        std::size_t start = text.rfind("0x", 0) == 0 ? 2 : 0;
+        if (start >= text.size()) return set_error("flow event id malformed");
+        for (std::size_t i = start; i < text.size(); ++i) {
+          const char c = text[i];
+          std::uint64_t digit = 0;
+          if (c >= '0' && c <= '9') {
+            digit = static_cast<std::uint64_t>(c - '0');
+          } else if (c >= 'a' && c <= 'f') {
+            digit = static_cast<std::uint64_t>(c - 'a' + 10);
+          } else if (c >= 'A' && c <= 'F') {
+            digit = static_cast<std::uint64_t>(c - 'A' + 10);
+          } else {
+            return set_error("flow event id malformed");
+          }
+          value = value * 16 + digit;
+        }
+        event.id = value;
+      } else {
+        return set_error("flow event id malformed");
+      }
+    }
+    out.events.push_back(std::move(event));
   }
-  if (event_count != nullptr) *event_count = events.size();
-  if (!well_nested(events)) return set_error("spans are not well-nested");
+  return true;
+}
+
+bool validate_chrome_trace(std::string_view json, std::string* error,
+                           std::size_t* event_count) {
+  auto set_error = [error](std::string_view message) {
+    if (error != nullptr) *error = std::string(message);
+    return false;
+  };
+  ParsedTrace parsed;
+  if (!parse_chrome_trace(json, parsed, error)) return false;
+  if (event_count != nullptr) *event_count = parsed.events.size();
+  if (!well_nested(parsed.events)) return set_error("spans are not well-nested");
+
+  // Flow discipline: every 's'/'f' must sit inside an open span on its own
+  // track (the slice it binds to), and every finish must have a start no
+  // later than itself.  Multiple finishes per start are legal (a forwarded
+  // record fans out to several peers).
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> open_depth;
+  std::map<std::uint64_t, TimePoint> flow_starts;
+  for (const TraceEvent& event : parsed.events) {
+    const auto track = std::make_pair(event.pid, event.tid);
+    if (event.phase == 'B') {
+      ++open_depth[track];
+    } else if (event.phase == 'E') {
+      --open_depth[track];
+    } else if (event.phase == 's' || event.phase == 'f') {
+      if (open_depth[track] == 0) {
+        return set_error("flow event outside any open span");
+      }
+      if (event.phase == 's') {
+        const auto it = flow_starts.find(event.id);
+        if (it == flow_starts.end() || event.ts < it->second) {
+          flow_starts[event.id] = event.ts;
+        }
+      }
+    }
+  }
+  for (const TraceEvent& event : parsed.events) {
+    if (event.phase != 'f') continue;
+    const auto it = flow_starts.find(event.id);
+    if (it == flow_starts.end()) {
+      return set_error("flow finish without a matching start");
+    }
+    if (event.ts < it->second) {
+      return set_error("flow finish precedes its start");
+    }
+  }
   return true;
 }
 

@@ -1,29 +1,51 @@
-// dcfs::obs — span-based tracer.
+// dcfs::obs — span-based tracer with per-thread tracks and flow events.
 //
 // Records begin/end events against a pluggable Clock (src/common/clock.h),
 // so benches tracing virtual time are fully deterministic.  Exports Chrome
 // trace_event JSON (load in chrome://tracing or https://ui.perfetto.dev)
 // and a human-readable per-span-name summary.  When disabled (the default)
 // every begin() caller bails on a single branch.
+//
+// Concurrency model: every thread writes its own event track.  The driving
+// thread owns the main track (tid 1); par::WorkerPool workers register at
+// startup (register_thread) and get their own tid.  Tracks are merged at
+// export, so the hot path takes no lock.  Span/category names are interned
+// to stable ids at wiring time (the metric-registration pattern) — begin()
+// copies no strings.
+//
+// Flow events ('s' start / 'f' finish, sharing an id) connect spans across
+// tracks and across the simulated wire: the client starts a flow inside its
+// upload span, the record carries the id (proto::SyncRecord::trace_id), and
+// the server finishes it inside the matching apply span — turning the
+// per-track nesting stacks into a causal DAG the critical-path analyzer
+// (obs/critpath.h, tools/critpath) can walk.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "chk/lockdep.h"
 #include "common/clock.h"
 
 namespace dcfs::obs {
 
+/// Stable id of an interned span/category name (Tracer::intern).  0 names
+/// the empty string.
+using NameId = std::uint32_t;
+
 struct TraceEvent {
   std::string name;
   std::string cat;
-  char phase = 'B';  ///< 'B' begin, 'E' end, 'i' instant
+  char phase = 'B';  ///< 'B' begin, 'E' end, 'i' instant, 's'/'f' flow
   TimePoint ts = 0;  ///< microseconds
   std::uint32_t pid = 1;
   std::uint32_t tid = 1;
+  std::uint64_t id = 0;  ///< flow-binding id ('s'/'f' events only)
 };
 
 /// Begin/end span recorder.  Spans on the same (pid, tid) must strictly
@@ -33,62 +55,124 @@ struct TraceEvent {
 class Tracer {
  public:
   /// Starts recording, timestamping events with `clock` (not owned; must
-  /// outlive the tracer or be cleared with disable()).
+  /// outlive the tracer or be cleared with disable()).  Call from the
+  /// driving thread while no worker is emitting.
   void enable(const Clock& clock) noexcept {
     clock_ = &clock;
-    enabled_ = true;
+    enabled_.store(true, std::memory_order_release);
   }
   void disable() noexcept {
-    enabled_ = false;
+    enabled_.store(false, std::memory_order_release);
     clock_ = nullptr;
   }
-  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
 
   /// Names a process track and directs subsequent events to `pid`.
   void set_process(std::uint32_t pid, std::string name);
 
-  void begin(std::string_view name, std::string_view cat = {});
-  /// Ends the innermost open span.  Safe to call after disable() — the
-  /// stack still unwinds (using the begin timestamp when no clock is set).
+  /// Interns a name, returning an id that stays valid (and stable) for the
+  /// tracer's lifetime — clear() keeps the table.  Thread-safe; intended
+  /// for wiring time, not the per-event path.
+  NameId intern(std::string_view name);
+
+  /// Gives the calling thread its own event track and tid; `name` labels
+  /// the track in the viewer.  Worker threads must register before their
+  /// first event — unregistered threads share the main track, which only
+  /// the driving thread may touch.
+  std::uint32_t register_thread(std::string name);
+
+  // Hot path (allocation-free apart from amortized buffer growth).
+  void begin(NameId name, NameId cat = 0);
+  /// Ends the innermost open span on this thread's track.  Safe to call
+  /// after disable() — the stack still unwinds (using the begin timestamp
+  /// when no clock is set).
   void end();
+  void instant(NameId name, NameId cat = 0);
+  /// Flow edge endpoints: 's' starts arrow `id`, 'f' finishes it (usually
+  /// on another track — the cross-wire causality edge).  Both bind to the
+  /// innermost open span on the calling thread's track; with no open span
+  /// the event would dangle and is dropped instead.
+  void flow_start(std::uint64_t id);
+  void flow_end(std::uint64_t id);
+
+  // Convenience overloads (intern per call) for tests and tools.
+  void begin(std::string_view name, std::string_view cat = {});
   void instant(std::string_view name, std::string_view cat = {});
 
-  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
-    return events_;
-  }
-  [[nodiscard]] std::size_t open_spans() const noexcept {
-    return stack_.size();
-  }
-  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  /// Merged copy of every track: main track first, then registered tracks
+  /// in tid order; events within a track keep emission order (so per-track
+  /// nesting is preserved in the merged sequence).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  /// Open spans on the calling thread's track.
+  [[nodiscard]] std::size_t open_spans() const noexcept;
+  /// Begins dropped at capacity, summed over all tracks.
+  [[nodiscard]] std::uint64_t dropped() const;
 
-  /// Chrome trace_event JSON: {"traceEvents": [...]} with process_name
-  /// metadata records first.
+  /// Chrome trace_event JSON: {"traceEvents": [...]} with process_name /
+  /// thread_name metadata records first.
   [[nodiscard]] std::string to_chrome_json() const;
 
   /// Per-name table: count, total/min/max duration in µs.
   [[nodiscard]] std::string summary() const;
 
+  /// Drops every recorded event (all tracks) but keeps interned names and
+  /// registered threads, so wiring-time ids stay valid across runs.
   void clear();
-  /// Caps stored events; begins past the cap are counted in dropped().
+  /// Caps stored events per track; begins past the cap count as dropped().
   void set_capacity(std::size_t max_events) noexcept {
     max_events_ = max_events;
   }
 
  private:
-  bool enabled_ = false;
+  /// Compact per-track record: interned name ids, no strings, tid implied
+  /// by the owning track.
+  struct Rec {
+    NameId name = 0;
+    NameId cat = 0;
+    char phase = 'B';
+    TimePoint ts = 0;
+    std::uint32_t pid = 1;
+    std::uint64_t id = 0;
+  };
+  struct Track {
+    std::uint32_t tid = 1;
+    std::uint32_t reg_pid = 1;  ///< pid current at registration
+    std::string name;
+    std::vector<Rec> recs;
+    std::vector<std::size_t> stack;  ///< indices of open 'B' recs
+    std::uint64_t dropped = 0;
+  };
+
+  [[nodiscard]] Track& track() noexcept;
+  void emit_flow(char phase, std::uint64_t id);
+  /// Appends a track's events to `out`, resolving interned names.  Caller
+  /// holds mu_.
+  void append_track(const Track& t, std::vector<TraceEvent>& out) const;
+
+  std::atomic<bool> enabled_{false};
   const Clock* clock_ = nullptr;
-  std::uint32_t pid_ = 1;
+  std::atomic<std::uint32_t> pid_{1};
   std::vector<std::pair<std::uint32_t, std::string>> process_names_;
-  std::vector<TraceEvent> events_;
-  std::vector<std::size_t> stack_;  ///< indices of open 'B' events
+  Track main_;
+  std::vector<std::unique_ptr<Track>> threads_;  ///< guarded by mu_
+  std::uint32_t next_tid_ = 2;                   ///< guarded by mu_
+  std::vector<std::string> names_;               ///< guarded by mu_
   std::size_t max_events_ = 4'000'000;
-  std::uint64_t dropped_ = 0;
+  mutable chk::Mutex mu_{"obs.tracer"};
 };
 
 /// RAII span: begins on construction, ends on destruction.  A null tracer
 /// or a disabled one makes both ends a no-op — the single-branch opt-out.
+/// This is the only sanctioned way to open a span outside src/obs (the
+/// dcfs_lint `naked-trace` rule enforces it).
 class Span {
  public:
+  Span(Tracer* tracer, NameId name, NameId cat = 0)
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr) {
+    if (tracer_ != nullptr) tracer_->begin(name, cat);
+  }
   Span(Tracer* tracer, std::string_view name, std::string_view cat = {})
       : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr) {
     if (tracer_ != nullptr) tracer_->begin(name, cat);
@@ -104,13 +188,27 @@ class Span {
 };
 
 /// True when every 'E' closes the innermost open 'B' of the same name on
-/// its (pid, tid) track and nothing is left open.
+/// its (pid, tid) track and nothing is left open.  Metadata, instants and
+/// flow events are ignored.
 bool well_nested(const std::vector<TraceEvent>& events);
 
+/// A trace file decoded back into events plus its process-name metadata.
+struct ParsedTrace {
+  std::vector<TraceEvent> events;  ///< non-metadata events, file order
+  std::vector<std::pair<std::uint32_t, std::string>> process_names;
+};
+
+/// Decodes exported Chrome trace JSON.  Returns false (with `error`) on
+/// malformed JSON or events missing required fields.
+bool parse_chrome_trace(std::string_view json, ParsedTrace& out,
+                        std::string* error = nullptr);
+
 /// Full validation of an exported trace: parses the JSON, checks the
-/// traceEvents structure, and verifies B/E nesting per track.  Used by
-/// tests and the `trace_check` CI tool.  `event_count`, when non-null,
-/// receives the number of non-metadata events.
+/// traceEvents structure, verifies B/E nesting per track, and checks flow
+/// bindings (every 's'/'f' encloses in an open span; every 'f' has a
+/// matching earlier 's').  Used by tests and the `trace_check` CI tool.
+/// `event_count`, when non-null, receives the number of non-metadata
+/// events.
 bool validate_chrome_trace(std::string_view json, std::string* error = nullptr,
                            std::size_t* event_count = nullptr);
 

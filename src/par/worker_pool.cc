@@ -1,6 +1,7 @@
 #include "par/worker_pool.h"
 
 #include <chrono>
+#include <cstdio>
 
 #include "par/claim.h"
 
@@ -23,6 +24,7 @@ struct WorkerPool::Batch {
 
 WorkerPool::WorkerPool(std::size_t parallelism, obs::Obs* obs) {
   if (obs != nullptr) {
+    tracer_ = &obs->tracer;
     tasks_ = &obs->registry.counter("par.tasks");
     steals_ = &obs->registry.counter("par.steals");
     batches_ = &obs->registry.counter("par.batches");
@@ -55,6 +57,13 @@ WorkerPool::~WorkerPool() {
 
 void WorkerPool::worker_loop(std::size_t worker_index) {
   Worker& self = *workers_[worker_index];
+  if (tracer_ != nullptr) {
+    // Own the thread's trace track so spans emitted from pool lanes land on
+    // a named per-thread timeline instead of racing on the main track.
+    char name[32];
+    std::snprintf(name, sizeof(name), "par.worker-%zu", worker_index);
+    tracer_->register_thread(name);
+  }
   while (true) {
     if (auto job = self.queue.pop()) {
       Batch* batch = *job;

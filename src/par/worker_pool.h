@@ -82,6 +82,7 @@ class WorkerPool {
   bool stopping_ = false;
 
   // Instruments; null when observability is disabled.
+  obs::Tracer* tracer_ = nullptr;     ///< workers register their own tracks
   obs::Counter* tasks_ = nullptr;     ///< ranges claimed and executed
   obs::Counter* steals_ = nullptr;    ///< ranges claimed from another lane
   obs::Counter* batches_ = nullptr;   ///< parallel_for invocations

@@ -130,6 +130,7 @@ void encode_into(const SyncRecord& record, Bytes& wire) {
   wire.push_back(record.txn_last ? 1 : 0);
   wire.push_back(record.base_deleted ? 1 : 0);
   wire.push_back(record.compressed ? 1 : 0);
+  put_u64(wire, record.trace_id);
 }
 
 Result<SyncRecord> decode_record(ByteSpan wire) {
@@ -154,13 +155,14 @@ Result<SyncRecord> decode_record(ByteSpan wire) {
       !get_version(wire, pos, record.new_version)) {
     return Status{Errc::corruption, "record versions truncated"};
   }
-  if (pos + 11 > wire.size()) {
+  if (pos + 19 > wire.size()) {
     return Status{Errc::corruption, "record tail truncated"};
   }
   record.txn_group = get_u64(wire, pos);
   record.txn_last = wire[pos + 8] != 0;
   record.base_deleted = wire[pos + 9] != 0;
   record.compressed = wire[pos + 10] != 0;
+  record.trace_id = get_u64(wire, pos + 11);
   return record;
 }
 
@@ -175,6 +177,7 @@ void encode_into(const Ack& ack, Bytes& wire) {
   wire.push_back(static_cast<std::uint8_t>(ack.result));
   put_version(wire, ack.server_version);
   put_string(wire, ack.conflict_path);
+  put_u64(wire, ack.trace_id);
 }
 
 Result<Ack> decode_ack(ByteSpan wire) {
@@ -190,6 +193,10 @@ Result<Ack> decode_ack(ByteSpan wire) {
   if (!get_string(wire, pos, ack.conflict_path)) {
     return Status{Errc::corruption, "ack path truncated"};
   }
+  if (pos + 8 > wire.size()) {
+    return Status{Errc::corruption, "ack trace id truncated"};
+  }
+  ack.trace_id = get_u64(wire, pos);
   return ack;
 }
 

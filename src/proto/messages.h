@@ -93,6 +93,10 @@ struct SyncRecord {
   bool base_deleted = false;
   /// Payload is LZ-compressed (optional, ClientConfig::compress_uploads).
   bool compressed = false;
+  /// Trace context minted by the client (0 = untraced).  Carries the flow
+  /// id across the wire so server-side apply spans join the originating
+  /// client op in the exported trace (obs/trace.h flow events).
+  std::uint64_t trace_id = 0;
 
   friend bool operator==(const SyncRecord&, const SyncRecord&) = default;
 };
@@ -103,9 +107,28 @@ struct Ack {
   Errc result = Errc::ok;           ///< ok | conflict | ...
   VersionId server_version;         ///< version now current on the cloud
   std::string conflict_path;        ///< where a conflict copy landed, if any
+  std::uint64_t trace_id = 0;       ///< echoed from the acked record
 
   friend bool operator==(const Ack&, const Ack&) = default;
 };
+
+/// Flow-id derivation from a record's trace context.  The base id binds the
+/// upload edge (client.upload → server.apply); the ack and forward edges
+/// reuse it with a high bit set so the three arrows of one transaction stay
+/// distinct in the viewer while remaining correlatable by masking.
+inline constexpr std::uint64_t kAckFlowBit = 1ull << 63;
+inline constexpr std::uint64_t kForwardFlowBit = 1ull << 62;
+
+constexpr std::uint64_t ack_flow_id(std::uint64_t trace_id) noexcept {
+  return trace_id | kAckFlowBit;
+}
+constexpr std::uint64_t forward_flow_id(std::uint64_t trace_id) noexcept {
+  return trace_id | kForwardFlowBit;
+}
+/// Strips the edge bits back to the minted trace id.
+constexpr std::uint64_t base_trace_id(std::uint64_t flow_id) noexcept {
+  return flow_id & ~(kAckFlowBit | kForwardFlowBit);
+}
 
 /// Payload of an OpKind::write record: the coalesced write segments of one
 /// Sync Queue write node (batched, per §III-B).

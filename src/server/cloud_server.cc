@@ -20,6 +20,14 @@ CloudServer::CloudServer(const CostProfile& profile, ServerConfig config,
   }
   if (obs != nullptr) {
     tracer_ = &obs->tracer;
+    stages_ = &obs->stages;
+    tn_.apply = tracer_->intern("server.apply");
+    tn_.apply_group = tracer_->intern("server.apply_group");
+    for (std::size_t k = static_cast<std::size_t>(proto::OpKind::create);
+         k <= static_cast<std::size_t>(proto::OpKind::record_bundle); ++k) {
+      tn_.kind[k] =
+          tracer_->intern(proto::to_string(static_cast<proto::OpKind>(k)));
+    }
     applied_counter_ = &obs->registry.counter("server.records_applied");
     conflict_counter_ = &obs->registry.counter("server.conflicts");
     txn_buffered_ = &obs->registry.counter("server.txn.buffered_records");
@@ -106,6 +114,7 @@ std::size_t CloudServer::pump_serial() {
         if (!members) {
           proto::Ack ack;
           ack.sequence = record->sequence;
+          ack.trace_id = record->trace_id;
           ack.result = Errc::corruption;
           send_ack(client_id, ack);
           continue;
@@ -140,6 +149,9 @@ std::size_t CloudServer::pump_parallel() {
     bool applied = false;
     proto::SyncRecord record;                      ///< Kind::single
     std::vector<proto::SyncRecord> group_records;  ///< Kind::group
+    /// Trace context of the record that produced this item's ack (for a
+    /// group: the closing txn_last record).
+    std::uint64_t trace_id = 0;
     proto::Ack ack;
     std::uint64_t pre_units = 0;    ///< intake charges (decompress)
     std::uint64_t apply_units = 0;  ///< shard-meter charges of the apply
@@ -160,10 +172,12 @@ std::size_t CloudServer::pump_parallel() {
     item.client = client_id;
     item.op = record.kind;
     item.applied = true;
+    item.trace_id = record.trace_id;
     const std::uint64_t units_before = meter_.units();
     if (record.kind == proto::OpKind::record_bundle) {
       // Nested bundle smuggled through intake: protocol violation.
       item.ack.sequence = record.sequence;
+      item.ack.trace_id = record.trace_id;
       item.ack.result = Errc::corruption;
       items.push_back(std::move(item));
       return;
@@ -174,6 +188,7 @@ std::size_t CloudServer::pump_parallel() {
       if (!plain) {
         item.pre_units = meter_.units() - units_before;
         item.ack.sequence = record.sequence;
+        item.ack.trace_id = record.trace_id;
         item.ack.result = Errc::corruption;
         items.push_back(std::move(item));
         return;
@@ -189,6 +204,7 @@ std::size_t CloudServer::pump_parallel() {
         obs::inc(txn_buffered_);
         item.pre_units = meter_.units() - units_before;
         item.ack.sequence = record.sequence;
+        item.ack.trace_id = record.trace_id;
         item.ack.result = Errc::ok;  // buffered; final verdict with the group
         items.push_back(std::move(item));
         return;
@@ -236,6 +252,7 @@ std::size_t CloudServer::pump_parallel() {
           PumpItem item;
           item.client = client_id;
           item.ack.sequence = record->sequence;
+          item.ack.trace_id = record->trace_id;
           item.ack.result = Errc::corruption;
           items.push_back(std::move(item));
           continue;
@@ -354,7 +371,7 @@ std::size_t CloudServer::pump_parallel() {
         for (const std::size_t idx : units[ui].item_indices) {
           PumpItem& item = items[idx];
           ApplyCtx ctx{shard.files, shard.tombstones, shard.dirs, shard.meter,
-                       /*tracer=*/nullptr};
+                       tracer_};
           const std::uint64_t units_before = shard.meter.units();
           if (item.kind == PumpItem::Kind::single) {
             item.ack = apply_one(item.client, item.record, shard.files,
@@ -391,9 +408,12 @@ std::size_t CloudServer::pump_parallel() {
       send_ack(item.client, item.ack);
       continue;
     }
-    obs::Span span(tracer_, "server.apply", proto::to_string(item.op));
+    obs::Span span(tracer_, tn_.apply, kind_cat(item.op));
+    if (item.trace_id != 0 && tracer_ != nullptr) {
+      tracer_->flow_end(item.trace_id);
+    }
     if (item.kind == PumpItem::Kind::group) {
-      obs::Span group_span(tracer_, "server.apply_group");
+      obs::Span group_span(tracer_, tn_.apply_group);
     }
     conflicts_seen_ += item.conflicts;
     if (item.conflicts > 0) obs::inc(conflict_counter_, item.conflicts);
@@ -405,11 +425,13 @@ std::size_t CloudServer::pump_parallel() {
     for (const proto::SyncRecord& record : item.forwards) {
       forward(item.client, record);
     }
-    if (apply_latency_us_ != nullptr) {
-      const std::uint64_t delta_units =
-          item.pre_units + item.apply_units + meter_.units() - forward_before;
-      apply_latency_us_->observe(delta_units * 10'000 /
-                                 meter_.profile().units_per_tick);
+    const std::uint64_t apply_us =
+        (item.pre_units + item.apply_units + meter_.units() - forward_before) *
+        10'000 / meter_.profile().units_per_tick;
+    if (apply_latency_us_ != nullptr) apply_latency_us_->observe(apply_us);
+    if (stages_ != nullptr) stages_->record(obs::Stage::apply, apply_us);
+    if (item.trace_id != 0 && tracer_ != nullptr) {
+      tracer_->flow_start(proto::ack_flow_id(item.trace_id));
     }
     send_ack(item.client, item.ack);
   }
@@ -418,20 +440,25 @@ std::size_t CloudServer::pump_parallel() {
 
 proto::Ack CloudServer::apply_record(std::uint32_t from_client,
                                      const proto::SyncRecord& raw_record) {
-  obs::Span span(tracer_, "server.apply", proto::to_string(raw_record.kind));
+  obs::Span span(tracer_, tn_.apply, kind_cat(raw_record.kind));
+  if (raw_record.trace_id != 0 && tracer_ != nullptr) {
+    tracer_->flow_end(raw_record.trace_id);
+  }
   obs::inc(applied_counter_);
   const std::uint64_t units_before = meter_.units();
   const std::uint64_t conflicts_before = conflicts_seen_;
   proto::Ack ack = apply_record_impl(from_client, raw_record);
   // Modeled apply latency: the cost-model units this record consumed,
   // converted at 10 ms-per-tick — deterministic in virtual time.
-  if (apply_latency_us_ != nullptr) {
-    const std::uint64_t delta_units = meter_.units() - units_before;
-    apply_latency_us_->observe(delta_units * 10'000 /
-                               meter_.profile().units_per_tick);
-  }
+  const std::uint64_t apply_us = (meter_.units() - units_before) * 10'000 /
+                                 meter_.profile().units_per_tick;
+  if (apply_latency_us_ != nullptr) apply_latency_us_->observe(apply_us);
+  if (stages_ != nullptr) stages_->record(obs::Stage::apply, apply_us);
   if (conflicts_seen_ > conflicts_before) {
     obs::inc(conflict_counter_, conflicts_seen_ - conflicts_before);
+  }
+  if (raw_record.trace_id != 0 && tracer_ != nullptr) {
+    tracer_->flow_start(proto::ack_flow_id(raw_record.trace_id));
   }
   return ack;
 }
@@ -445,6 +472,7 @@ proto::Ack CloudServer::apply_record_impl(std::uint32_t from_client,
     // (or nested in another bundle) is a protocol violation.
     proto::Ack ack;
     ack.sequence = record.sequence;
+    ack.trace_id = record.trace_id;
     ack.result = Errc::corruption;
     return ack;
   }
@@ -454,6 +482,7 @@ proto::Ack CloudServer::apply_record_impl(std::uint32_t from_client,
     if (!plain) {
       proto::Ack ack;
       ack.sequence = record.sequence;
+      ack.trace_id = record.trace_id;
       ack.result = Errc::corruption;
       return ack;
     }
@@ -469,6 +498,7 @@ proto::Ack CloudServer::apply_record_impl(std::uint32_t from_client,
       obs::inc(txn_buffered_);
       proto::Ack ack;
       ack.sequence = record.sequence;
+      ack.trace_id = record.trace_id;
       ack.result = Errc::ok;  // buffered; final verdict with the group
       return ack;
     }
@@ -476,7 +506,7 @@ proto::Ack CloudServer::apply_record_impl(std::uint32_t from_client,
     groups_.erase(key);
     ++txn_groups_applied_;
     obs::inc(txn_groups_counter_);
-    obs::Span span(tracer_, "server.apply_group");
+    obs::Span span(tracer_, tn_.apply_group);
     ApplyCtx ctx{files_, tombstones_, dirs_, meter_, tracer_};
     std::vector<proto::SyncRecord> forwards;
     std::vector<proto::Ack> acks =
@@ -567,6 +597,7 @@ proto::Ack CloudServer::apply_one(std::uint32_t from_client,
                                   ApplyCtx& ctx) {
   proto::Ack ack;
   ack.sequence = record.sequence;
+  ack.trace_id = record.trace_id;
   ack.result = Errc::ok;
 
   const bool staged = snapshot != nullptr;
@@ -955,6 +986,11 @@ void CloudServer::send_ack(std::uint32_t client_id, const proto::Ack& ack) {
 void CloudServer::forward(std::uint32_t from_client,
                           const proto::SyncRecord& record) {
   if (clients_.size() < 2) return;
+  // One start per forwarded record; every receiving peer finishes it (flow
+  // fan-out).  Callers hold a server.apply span, which the edge binds to.
+  if (record.trace_id != 0 && tracer_ != nullptr) {
+    tracer_->flow_start(proto::forward_flow_id(record.trace_id));
+  }
   // §III-D: "besides storing the data it also forwards the data to other
   // shared clients" — no recomputation, the same record goes out.
   Bytes frame = wire_ != nullptr

@@ -8,6 +8,12 @@ InterceptingFs::InterceptingFs(FileSystem& inner, OpSink& sink, obs::Obs* obs)
     : inner_(inner), sink_(sink) {
   if (obs == nullptr) return;
   tracer_ = &obs->tracer;
+  tn_.create = tracer_->intern("intercept.create");
+  tn_.close = tracer_->intern("intercept.close");
+  tn_.write = tracer_->intern("intercept.write");
+  tn_.truncate = tracer_->intern("intercept.truncate");
+  tn_.rename = tracer_->intern("intercept.rename");
+  tn_.unlink = tracer_->intern("intercept.unlink");
   // Eagerly registered so every op appears in the snapshot, even at zero.
   obs::Registry& reg = obs->registry;
   ops_.create = &reg.counter("vfs.ops.create");
@@ -25,7 +31,7 @@ InterceptingFs::InterceptingFs(FileSystem& inner, OpSink& sink, obs::Obs* obs)
 }
 
 Result<FileHandle> InterceptingFs::create(std::string_view raw_path) {
-  obs::Span span(tracer_, "intercept.create");
+  obs::Span span(tracer_, tn_.create);
   const std::string normalized = path::normalize(raw_path);
   // The relation table must see the create *before* it happens so it can
   // trigger delta encoding against a preserved old version; but triggering
@@ -50,7 +56,7 @@ Result<FileHandle> InterceptingFs::open(std::string_view raw_path) {
 }
 
 Status InterceptingFs::close(FileHandle handle) {
-  obs::Span span(tracer_, "intercept.close");
+  obs::Span span(tracer_, tn_.close);
   const auto it = handles_.find(handle);
   const Status status = inner_.close(handle);
   if (it != handles_.end()) {
@@ -78,7 +84,7 @@ Result<Bytes> InterceptingFs::read(FileHandle handle, std::uint64_t offset,
 
 Status InterceptingFs::write(FileHandle handle, std::uint64_t offset,
                              ByteSpan data) {
-  obs::Span span(tracer_, "intercept.write");
+  obs::Span span(tracer_, tn_.write);
   const auto it = handles_.find(handle);
   if (it == handles_.end()) return Status{Errc::bad_handle};
 
@@ -102,7 +108,7 @@ Status InterceptingFs::write(FileHandle handle, std::uint64_t offset,
 
 Status InterceptingFs::truncate(std::string_view raw_path,
                                 std::uint64_t size) {
-  obs::Span span(tracer_, "intercept.truncate");
+  obs::Span span(tracer_, tn_.truncate);
   const std::string normalized = path::normalize(raw_path);
   Result<FileStat> before = inner_.stat(normalized);
   const std::uint64_t old_size = before ? before->size : 0;
@@ -128,7 +134,7 @@ Status InterceptingFs::truncate(std::string_view raw_path,
 
 Status InterceptingFs::rename(std::string_view raw_from,
                               std::string_view raw_to) {
-  obs::Span span(tracer_, "intercept.rename");
+  obs::Span span(tracer_, tn_.rename);
   const std::string from = path::normalize(raw_from);
   const std::string to = path::normalize(raw_to);
   const bool dst_existed = inner_.exists(to);
@@ -154,7 +160,7 @@ Status InterceptingFs::link(std::string_view raw_from,
 }
 
 Status InterceptingFs::unlink(std::string_view raw_path) {
-  obs::Span span(tracer_, "intercept.unlink");
+  obs::Span span(tracer_, tn_.unlink);
   const std::string normalized = path::normalize(raw_path);
   if (!inner_.exists(normalized)) return Status{Errc::not_found};
 

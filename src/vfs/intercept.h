@@ -118,6 +118,16 @@ class InterceptingFs final : public FileSystem {
   std::unordered_map<FileHandle, HandleInfo> handles_;
 
   obs::Tracer* tracer_ = nullptr;
+  /// Span names interned once at construction so the per-op hot path never
+  /// touches the tracer's name table (allocation-free tracing).
+  struct TraceNames {
+    obs::NameId create = 0;
+    obs::NameId close = 0;
+    obs::NameId write = 0;
+    obs::NameId truncate = 0;
+    obs::NameId rename = 0;
+    obs::NameId unlink = 0;
+  } tn_;
   /// Per-op success counters (vfs.ops.<op>); all null when obs is off.
   struct OpCounters {
     obs::Counter* create = nullptr;

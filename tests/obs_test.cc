@@ -2,6 +2,10 @@
 // small JSON parser backing trace validation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <map>
 #include <thread>
 #include <vector>
 
@@ -9,6 +13,8 @@
 #include "obs/json.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/quantile.h"
+#include "obs/stage_ledger.h"
 #include "obs/trace.h"
 
 namespace dcfs::obs {
@@ -387,6 +393,192 @@ TEST(JsonTest, ParsesStringEscapes) {
   EXPECT_EQ(array[0].as_string(), "a\"b");
   EXPECT_EQ(array[1].as_string(), "tab\there");
   EXPECT_EQ(array[2].as_string(), "A\n");
+}
+
+// ---------------------------------------------------------------- quantile
+
+TEST(QuantileTest, SmallValuesAreExact) {
+  QuantileSketch sketch;
+  for (std::uint64_t v = 0; v < 8; ++v) sketch.record(v);
+  EXPECT_EQ(sketch.count(), 8u);
+  EXPECT_EQ(sketch.min(), 0u);
+  EXPECT_EQ(sketch.max(), 7u);
+  // Values below 8 get a dedicated bucket each — quantiles are exact.
+  EXPECT_EQ(sketch.quantile(0.0), 0u);
+  EXPECT_EQ(sketch.quantile(0.5), 3u);
+  EXPECT_EQ(sketch.quantile(1.0), 7u);
+}
+
+TEST(QuantileTest, RankErrorBoundHolds) {
+  // The log-bucketing promises every reported quantile is within 1/16
+  // relative error of the true value; check across magnitudes.
+  QuantileSketch sketch;
+  std::vector<std::uint64_t> values;
+  std::uint64_t v = 1;
+  for (int i = 0; i < 40; ++i) {
+    values.push_back(v);
+    sketch.record(v);
+    v = v * 3 / 2 + 1;  // spans ~1 .. ~10^7
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.99}) {
+    const auto rank = static_cast<std::size_t>(
+        std::max<std::int64_t>(
+            0, static_cast<std::int64_t>(
+                   std::ceil(q * static_cast<double>(values.size()))) -
+                   1));
+    const double truth = static_cast<double>(values[rank]);
+    const double reported = static_cast<double>(sketch.quantile(q));
+    EXPECT_NEAR(reported, truth, truth / 8.0 + 1.0) << "q=" << q;
+  }
+}
+
+TEST(QuantileTest, MergeIsAssociativeAndLossless) {
+  QuantileSketch a, b, c;
+  for (std::uint64_t v = 1; v < 500; v += 3) a.record(v * 17);
+  for (std::uint64_t v = 1; v < 500; v += 3) b.record(v * 5 + 2);
+  for (std::uint64_t v = 1; v < 100; ++v) c.record(v);
+
+  // (a ⊕ b) ⊕ c  ==  a ⊕ (b ⊕ c): fold left vs fold right.
+  QuantileSketch left = a;
+  left.merge(b);
+  left.merge(c);
+  QuantileSketch bc = b;
+  bc.merge(c);
+  QuantileSketch right = a;
+  right.merge(bc);
+
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_EQ(left.sum(), right.sum());
+  EXPECT_EQ(left.min(), right.min());
+  EXPECT_EQ(left.max(), right.max());
+  for (const double q : {0.01, 0.25, 0.5, 0.75, 0.95, 0.99}) {
+    EXPECT_EQ(left.quantile(q), right.quantile(q)) << "q=" << q;
+  }
+  // Merging preserves totals exactly (buckets are plain counters).
+  EXPECT_EQ(left.count(), a.count() + b.count() + c.count());
+  EXPECT_EQ(left.sum(), a.sum() + b.sum() + c.sum());
+}
+
+TEST(QuantileTest, BucketIndexAndRepresentativeAgree) {
+  // Every value's representative must live in the same bucket as the value
+  // (the round-trip property behind the relative-error bound).
+  for (std::uint64_t v : {0ull, 1ull, 7ull, 8ull, 9ull, 100ull, 1023ull,
+                          1024ull, 999'983ull, 1ull << 40}) {
+    const std::size_t index = QuantileSketch::bucket_index(v);
+    ASSERT_LT(index, QuantileSketch::kBuckets);
+    EXPECT_EQ(QuantileSketch::bucket_index(
+                  QuantileSketch::bucket_representative(index)),
+              index)
+        << "v=" << v;
+  }
+}
+
+TEST(StageLedgerTest, RecordsAndMergesPerStage) {
+  StageLedger a;
+  a.record(Stage::delta, 120);
+  a.record(Stage::delta, 480);
+  a.record(Stage::apply, 40);
+  StageLedger b;
+  b.record(Stage::delta, 240);
+  a.merge(b);
+  EXPECT_EQ(a.sketch(Stage::delta).count(), 3u);
+  EXPECT_EQ(a.sketch(Stage::delta).sum(), 840u);
+  EXPECT_EQ(a.sketch(Stage::apply).count(), 1u);
+  EXPECT_EQ(a.sketch(Stage::signature).count(), 0u);
+  const std::string table = a.to_string();
+  EXPECT_NE(table.find("delta"), std::string::npos);
+  EXPECT_NE(table.find("apply"), std::string::npos);
+  EXPECT_EQ(table.find("signature"), std::string::npos);  // empty rows hidden
+}
+
+// ------------------------------------------------- concurrent attribution
+
+TEST(TracerTest, ConcurrentSpansLandOnTheirOwnTracks) {
+  VirtualClock clock;
+  Tracer tracer;
+  tracer.enable(clock);
+  const NameId name = tracer.intern("worker.op");
+
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, name, t] {
+      tracer.register_thread("worker-" + std::to_string(t));
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        tracer.begin(name);
+        tracer.end();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // No interleaving corruption: every track balances, nothing was dropped,
+  // and each thread's spans are attributed to its own registered track.
+  const std::vector<TraceEvent> events = tracer.events();
+  EXPECT_EQ(events.size(),
+            static_cast<std::size_t>(kThreads) * kSpansPerThread * 2);
+  EXPECT_TRUE(well_nested(events));
+  EXPECT_EQ(tracer.dropped(), 0u);
+  std::map<std::uint32_t, std::size_t> per_tid;
+  for (const TraceEvent& event : events) ++per_tid[event.tid];
+  EXPECT_EQ(per_tid.size(), static_cast<std::size_t>(kThreads));
+  for (const auto& [tid, count] : per_tid) {
+    EXPECT_EQ(count, static_cast<std::size_t>(kSpansPerThread) * 2)
+        << "tid=" << tid;
+  }
+  std::string error;
+  EXPECT_TRUE(validate_chrome_trace(tracer.to_chrome_json(), &error))
+      << error;
+}
+
+// --------------------------------------------------- histogram consistency
+
+TEST(RegistryTest, HistogramSnapshotIsInternallyConsistent) {
+  // Writers hammer one histogram while readers snapshot: any snapshot that
+  // reports `consistent` must have counts/count/sum that agree (the seqlock
+  // retry in Histogram::read_consistent).  Run under TSan in CI.
+  Registry registry;
+  Histogram& histogram = registry.histogram("h", {10, 100, 1000});
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(3);
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&histogram, &stop, t] {
+      std::uint64_t v = static_cast<std::uint64_t>(t) + 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        histogram.observe(v);
+        v = (v * 7 + 3) % 2000;
+      }
+    });
+  }
+
+  for (int i = 0; i < 200; ++i) {
+    const Snapshot snap = registry.snapshot();
+    const HistogramSnapshot* h = snap.histogram("h");
+    ASSERT_NE(h, nullptr);
+    if (!h->consistent) continue;  // retry budget exhausted: no claim made
+    std::uint64_t bucket_total = 0;
+    for (const std::uint64_t c : h->counts) bucket_total += c;
+    EXPECT_EQ(bucket_total, h->count);
+    if (h->count > 0) {
+      EXPECT_GE(h->mean(), static_cast<double>(h->min));
+      EXPECT_LE(h->mean(), static_cast<double>(h->max));
+    }
+  }
+  stop.store(true);
+  for (std::thread& writer : writers) writer.join();
+
+  // Quiescent snapshot is always consistent and exact.
+  const Snapshot snap = registry.snapshot();
+  const HistogramSnapshot* h = snap.histogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_TRUE(h->consistent);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t c : h->counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, h->count);
 }
 
 TEST(JsonTest, RejectsMalformedInput) {

@@ -80,6 +80,34 @@ TEST(ProtoTest, AckTruncationFails) {
   EXPECT_FALSE(decode_ack(ByteSpan{wire.data(), 5}).is_ok());
 }
 
+TEST(ProtoTest, TraceIdRoundTripsOnRecordAndAck) {
+  SyncRecord record = sample_record();
+  record.trace_id = (7ull << 40) | 12345;
+  Result<SyncRecord> decoded = decode_record(encode(record));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded->trace_id, record.trace_id);
+  EXPECT_EQ(*decoded, record);
+
+  Ack ack;
+  ack.sequence = 9;
+  ack.trace_id = record.trace_id;
+  Result<Ack> back = decode_ack(encode(ack));
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back->trace_id, ack.trace_id);
+}
+
+TEST(ProtoTest, FlowIdHelpersAreInvolutive) {
+  const std::uint64_t id = (3ull << 40) | 99;
+  // The edge-tag bits must be distinct, strippable, and leave the base id
+  // untouched (the client's counter never reaches bit 62).
+  EXPECT_NE(ack_flow_id(id), id);
+  EXPECT_NE(forward_flow_id(id), id);
+  EXPECT_NE(ack_flow_id(id), forward_flow_id(id));
+  EXPECT_EQ(base_trace_id(ack_flow_id(id)), id);
+  EXPECT_EQ(base_trace_id(forward_flow_id(id)), id);
+  EXPECT_EQ(base_trace_id(id), id);
+}
+
 TEST(ProtoTest, SegmentsRoundTrip) {
   Rng rng(32);
   std::vector<Segment> segments;

@@ -1,8 +1,13 @@
 // Trace fidelity: the workload generators must reproduce the operation
-// patterns and the published statistics of §IV-A / Fig. 3.
+// patterns and the published statistics of §IV-A / Fig. 3 — and the
+// tracer's cross-wire export must stay structurally valid (balanced B/E,
+// bindable flow events) when a real sync pipeline runs under it.
 #include <gtest/gtest.h>
 
+#include "baselines/deltacfs_system.h"
 #include "common/rng.h"
+#include "obs/critpath.h"
+#include "obs/obs.h"
 #include "trace/workloads.h"
 #include "vfs/intercept.h"
 #include "vfs/memfs.h"
@@ -186,6 +191,86 @@ TEST(TraceFidelityTest, AppendGrowsMonotonically) {
   }
   EXPECT_EQ(fs.stat(params.path)->size,
             static_cast<std::uint64_t>(params.appends) * params.append_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-wire trace fidelity: a traced end-to-end sync must export a Chrome
+// trace whose begin/end pairs balance on every track and whose flow events
+// bind each server-side apply back to the originating client transaction —
+// across the threading matrix (delta workers × apply shards).
+
+TEST(TraceFidelityTest, TracedSyncValidatesAcrossThreadingMatrix) {
+  for (const std::size_t delta_threads : {1u, 4u}) {
+    for (const std::size_t apply_shards : {1u, 2u}) {
+      SCOPED_TRACE("delta_threads=" + std::to_string(delta_threads) +
+                   " apply_shards=" + std::to_string(apply_shards));
+      VirtualClock clock;
+      obs::Obs obs;
+      obs.tracer.enable(clock);
+      ClientConfig config;
+      config.delta_threads = delta_threads;
+      config.wire_compression = true;
+      ServerConfig server_config;
+      server_config.apply_shards = apply_shards;
+      server_config.wire_compression = true;
+      DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan(),
+                            config, CostProfile::pc(), &obs, server_config);
+      system.fs().mkdir("/sync");
+
+      // A small but multi-op workload: creates, overwrites, a rename — then
+      // enough virtual time for every upload and ack to complete.
+      for (int round = 0; round < 3; ++round) {
+        for (int file = 0; file < 4; ++file) {
+          const std::string path =
+              "/sync/f" + std::to_string(file) + ".txt";
+          const std::string body(1'500 + 700 * round + 31 * file,
+                                 static_cast<char>('a' + round));
+          ASSERT_TRUE(system.fs().write_file(path, to_bytes(body)).is_ok());
+        }
+        for (int i = 0; i < 15; ++i) {
+          clock.advance(milliseconds(200));
+          system.tick(clock.now());
+        }
+      }
+      system.fs().rename("/sync/f0.txt", "/sync/g0.txt");
+      system.finish(clock.now());
+      for (int i = 0; i < 50; ++i) {
+        clock.advance(milliseconds(200));
+        system.tick(clock.now());
+      }
+
+      // Balanced B/E on every track, and every flow event bindable.
+      EXPECT_TRUE(obs::well_nested(obs.tracer.events()));
+      EXPECT_EQ(obs.tracer.open_spans(), 0u);
+      const std::string json = obs.tracer.to_chrome_json();
+      std::string error;
+      std::size_t event_count = 0;
+      EXPECT_TRUE(obs::validate_chrome_trace(json, &error, &event_count))
+          << error;
+      EXPECT_GT(event_count, 0u);
+
+      // Every server apply reachable from its client txn: the critical-path
+      // analyzer sees only complete four-endpoint transactions.
+      obs::ParsedTrace parsed;
+      ASSERT_TRUE(obs::parse_chrome_trace(json, parsed, &error)) << error;
+      const obs::CritPathReport report = obs::analyze_critical_path(parsed);
+      EXPECT_GT(report.overall.txns, 0u);
+      EXPECT_EQ(report.overall.incomplete, 0u);
+
+      // The stage decomposition partitions traced wall time: per-stage sums
+      // must add up to the total (the CI acceptance bound is 5%).
+      const std::uint64_t stage_sum = report.overall.transport.sum() +
+                                      report.overall.apply.sum() +
+                                      report.overall.ack.sum();
+      const std::uint64_t total = report.overall.total.sum();
+      EXPECT_LE(stage_sum, total + total / 20);
+      EXPECT_GE(stage_sum + total / 20, total);
+
+      // The stage ledger saw the same pipeline.
+      EXPECT_GT(obs.stages.sketch(obs::Stage::apply).count(), 0u);
+      EXPECT_GT(obs.stages.sketch(obs::Stage::queue_wait).count(), 0u);
+    }
+  }
 }
 
 }  // namespace

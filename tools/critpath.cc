@@ -1,0 +1,49 @@
+// critpath: per-sync critical-path analytics over an exported Chrome trace.
+//
+// Reads a trace produced by the tracer (syncctl `trace <file>` or any bench
+// with --trace-out=), pairs up the cross-wire flow endpoints of every sync
+// transaction and prints where the traced wall time went — transport,
+// server apply, ack return — as p50/p95/p99 per pid (one pid per bench
+// run / NetProfile) plus an overall rollup.
+//
+//   $ ./critpath trace.json
+//
+// Exits 0 when the trace parses and contains at least one complete
+// transaction; 1 otherwise (diagnostic on stderr).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/critpath.h"
+#include "obs/trace.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <trace.json>\n", argv[0]);
+    return 1;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  std::string error;
+  dcfs::obs::ParsedTrace parsed;
+  if (!dcfs::obs::parse_chrome_trace(buffer.str(), parsed, &error)) {
+    std::fprintf(stderr, "%s: INVALID: %s\n", argv[1], error.c_str());
+    return 1;
+  }
+  const dcfs::obs::CritPathReport report =
+      dcfs::obs::analyze_critical_path(parsed);
+  std::printf("%s", report.to_string().c_str());
+  if (report.overall.txns == 0) {
+    std::fprintf(stderr, "%s: no complete sync transactions in trace\n",
+                 argv[1]);
+    return 1;
+  }
+  return 0;
+}

@@ -14,6 +14,10 @@ Checks (all on src/ unless noted):
   metric-name   String literals passed to .counter("...") / .gauge("...") /
                 .histogram("...") must match ^[a-z]+(\\.[a-z_]+)+$ — the
                 dotted subsystem.name scheme every exporter assumes.
+  naked-trace   tracer.begin()/tracer.end() outside src/obs.  Spans must be
+                opened through the RAII obs::Span helper so every begin is
+                paired with an end on all exit paths (exceptions included) —
+                an unbalanced track breaks the Chrome export's nesting.
   header-check  Every header under src/ must compile on its own
                 (g++ -fsyntax-only) — no hidden include-order dependencies.
 
@@ -44,6 +48,7 @@ RAW_MUTEX_RE = re.compile(
 )
 NAKED_NEW_RE = re.compile(r"\bnew\b\s*(?:\(|[A-Za-z_:<])")
 METRIC_CALL_RE = re.compile(r"\.(counter|gauge|histogram)\(\s*\"([^\"]*)\"")
+NAKED_TRACE_RE = re.compile(r"\btracer_?(?:\.|->)\s*(begin|end)\s*\(")
 METRIC_NAME_RE = re.compile(r"^[a-z]+(\.[a-z_]+)+$")
 ALLOW_RE = re.compile(r"dcfs-lint:\s*allow\(([a-z-]+)\)")
 
@@ -112,6 +117,7 @@ def allowed(check: str, lines: list[str], idx: int) -> bool:
 def lint_file(path: str) -> list[str]:
     rel = os.path.relpath(path, REPO)
     in_chk = rel.startswith(os.path.join("src", "chk") + os.sep)
+    in_obs = rel.startswith(os.path.join("src", "obs") + os.sep)
     try:
         with open(path, encoding="utf-8") as f:
             raw_lines = f.read().splitlines()
@@ -128,6 +134,13 @@ def lint_file(path: str) -> list[str]:
                 findings.append(
                     f"{rel}:{idx + 1}: [raw-mutex] use chk::Mutex / "
                     f"chk::LockGuard (std primitives live in src/chk only)"
+                )
+
+        if not in_obs and NAKED_TRACE_RE.search(code):
+            if not allowed("naked-trace", raw_lines, idx):
+                findings.append(
+                    f"{rel}:{idx + 1}: [naked-trace] open spans with the "
+                    f"RAII obs::Span helper, not tracer.begin()/end()"
                 )
 
         m = NAKED_NEW_RE.search(code)
