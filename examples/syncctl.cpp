@@ -43,6 +43,7 @@ void print_help() {
       "  stats                      meters, counters and metric registry\n"
       "  trace [file]               span summary, or Chrome JSON to <file>\n"
       "  critpath                   per-sync stage breakdown (p50/p95/p99)\n"
+      "  recon                      reconciliation session/round/byte stats\n"
       "  chk [file]                 lock-order graph as Graphviz DOT\n"
       "  help | quit\n");
 }
@@ -63,6 +64,10 @@ int main() {
   ClientConfig config;
   config.delta_threads = 2;  // exercise dcfs::par so par.* shows in `stats`
   config.wire_compression = true;  // dcfs::wire, so net.wire.* shows too
+  // Multi-round reconciliation for big renamed-in files; the threshold is
+  // lowered so `recon` has something to show in hand-driven sessions.
+  config.recon_mode = ReconMode::adaptive;
+  config.recon_min_bytes = 64 * 1024;
   ServerConfig server_config;
   server_config.apply_shards = 2;  // exercise the sharded apply pipeline
   server_config.wire_compression = true;  // must match the client's knob
@@ -239,6 +244,33 @@ int main() {
       }
       std::printf("--- stage ledger (CPU + queue, per record) ---\n%s",
                   obs.stages.to_string().c_str());
+    } else if (cmd == "recon") {
+      // Multi-round reconciliation: sessions negotiate which regions of a
+      // large renamed-in file actually changed before uploading a delta.
+      const DeltaCfsClient& client = system.client();
+      std::printf("mode       : %s (threshold %llu bytes)\n",
+                  config.recon_mode == ReconMode::off        ? "off"
+                  : config.recon_mode == ReconMode::classic  ? "classic"
+                  : config.recon_mode == ReconMode::recursive ? "recursive"
+                                                              : "adaptive",
+                  static_cast<unsigned long long>(config.recon_min_bytes));
+      std::printf("sessions   : %llu started, %llu in flight, %llu fell "
+                  "back to full upload\n",
+                  static_cast<unsigned long long>(
+                      client.recon_sessions_started()),
+                  static_cast<unsigned long long>(client.recon_in_flight()),
+                  static_cast<unsigned long long>(client.recon_fallbacks()));
+      std::printf("rounds     : %llu sent (%llu B up, %llu B down)\n",
+                  static_cast<unsigned long long>(client.recon_rounds_sent()),
+                  static_cast<unsigned long long>(client.recon_up_bytes()),
+                  static_cast<unsigned long long>(client.recon_down_bytes()));
+      std::printf("saved      : %llu signature bytes vs the classic "
+                  "whole-file exchange\n",
+                  static_cast<unsigned long long>(
+                      client.recon_sig_bytes_saved()));
+      std::printf("server     : %llu shingle/signature queries answered\n",
+                  static_cast<unsigned long long>(
+                      system.server().recon_queries()));
     } else if (cmd == "chk") {
       // The lock-order graph observed so far: every chk::Mutex class this
       // process acquired, with the nesting edges lockdep recorded.  Empty

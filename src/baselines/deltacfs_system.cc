@@ -28,6 +28,20 @@ void DeltaCfsSystem::finish(TimePoint now) {
   client_.flush(now);
   server_.pump();
   client_.tick(now);
+  // Reconciliation sessions progress one round per pump/tick pair and the
+  // queue stays paused while any is in flight; keep pumping until every
+  // session converged and its final delta (plus queued follow-ups) shipped.
+  // Bounded: sessions take at most max_rounds + 1 round trips each, but
+  // guard against a protocol bug wedging the loop.
+  for (int i = 0; i < 256; ++i) {
+    if (client_.recon_in_flight() == 0 && transport_.idle() &&
+        client_.queue().empty()) {
+      break;
+    }
+    client_.flush(now);
+    server_.pump();
+    client_.tick(now);
+  }
 }
 
 void DeltaCfsSystem::reset_meters() {

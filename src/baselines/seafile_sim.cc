@@ -88,6 +88,8 @@ void SeafileSim::sync_file(const std::string& path) {
   // strong-hashes chunks it has not seen (we model that by charging the
   // hash only for chunks absent from the previous manifest).
   client_meter_.charge(CostKind::disk_read, content->size());
+  // Boundary-only scan (chunk_file would hash every chunk, defeating the
+  // manifest reuse below); params are a preset. dcfs-lint: allow(chunk-cdc)
   std::vector<rsyncx::Chunk> chunks = rsyncx::chunk_boundaries(
       *content, config_.chunking, &client_meter_);
 

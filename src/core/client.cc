@@ -14,6 +14,17 @@ namespace {
 /// Server-to-client frame tags.
 constexpr std::uint8_t kFrameAck = 1;
 constexpr std::uint8_t kFrameRecord = 2;
+constexpr std::uint8_t kFrameRecon = 3;
+
+/// Wire size of the classic one-round exchange's signature download for a
+/// `base_size` file — the traffic reference recon savings are measured
+/// against (rsyncx::Signature::wire_size with strong digests).
+std::uint64_t classic_signature_bytes(std::uint64_t base_size,
+                                      std::uint32_t block_size) noexcept {
+  const std::uint64_t blocks =
+      block_size == 0 ? 0 : (base_size + block_size - 1) / block_size;
+  return 16 + blocks * 20;
+}
 
 }  // namespace
 
@@ -42,8 +53,9 @@ DeltaCfsClient::DeltaCfsClient(FileSystem& local, Transport& transport,
     tn_.wire_encode = tracer_->intern("client.wire_encode");
     tn_.apply_forward = tracer_->intern("client.apply_forward");
     tn_.ack = tracer_->intern("client.ack");
+    tn_.recon_round = tracer_->intern("client.recon_round");
     for (std::size_t k = static_cast<std::size_t>(proto::OpKind::create);
-         k <= static_cast<std::size_t>(proto::OpKind::record_bundle); ++k) {
+         k <= static_cast<std::size_t>(proto::OpKind::recon_query); ++k) {
       tn_.kind[k] =
           tracer_->intern(proto::to_string(static_cast<proto::OpKind>(k)));
     }
@@ -64,6 +76,10 @@ DeltaCfsClient::DeltaCfsClient(FileSystem& local, Transport& transport,
     stats_.sigcache_misses = &reg.counter("client.sigcache.misses");
     stats_.bundle_frames = &reg.counter("net.bundle.frames");
     stats_.bundle_records = &reg.counter("net.bundle.records");
+    stats_.recon_sessions = &reg.counter("net.recon.sessions");
+    stats_.recon_rounds = &reg.counter("net.recon.rounds");
+    stats_.recon_saved = &reg.counter("net.recon.sig_bytes_saved");
+    stats_.recon_fallbacks = &reg.counter("net.recon.fallbacks");
     stats_.record_bytes =
         &reg.histogram("client.upload.record_bytes", obs::default_bytes_bounds());
   }
@@ -796,17 +812,23 @@ void DeltaCfsClient::tick(TimePoint now) {
     preserved_versions_.erase(entry.dst);
   });
 
-  std::vector<SyncNode> ready = queue_.pop_ready(now);
-  if (!ready.empty()) {
-    obs::Span batch(tracer_, tn_.upload_batch);
-    for (SyncNode& node : ready) {
-      upload_node(std::move(node));
+  // While a reconciliation session is in flight the queue is not popped: a
+  // later node for the same path must not reach the server ahead of the
+  // session's final delta.
+  if (recon_sessions_.empty()) {
+    std::vector<SyncNode> ready = queue_.pop_ready(now);
+    if (!ready.empty()) {
+      obs::Span batch(tracer_, tn_.upload_batch);
+      for (SyncNode& node : ready) {
+        upload_node(std::move(node));
+      }
+      flush_bundle();
+      ship_outbox();
     }
-    flush_bundle();
-    ship_outbox();
   }
 
   while (auto frame = transport_.client_poll()) {
+    const std::uint64_t frame_bytes = frame->size();
     meter_.charge(CostKind::net_frame, frame->size());
     meter_.charge(CostKind::encrypt, frame->size());
     if (frame->empty()) continue;
@@ -833,6 +855,11 @@ void DeltaCfsClient::tick(TimePoint now) {
       if (Result<proto::SyncRecord> record = proto::decode_record(body)) {
         apply_forward(*record);
       }
+    } else if (tag == kFrameRecon) {
+      if (Result<proto::ReconResponse> response =
+              proto::decode_recon_response(body)) {
+        handle_recon_response(*response, frame_bytes);
+      }
     }
     if (wire_ != nullptr) wire_->recycle(std::move(inner));
   }
@@ -845,6 +872,7 @@ void DeltaCfsClient::flush(TimePoint now) {
     if (checksums_) checksums_->on_unlink(entry.dst);
     preserved_versions_.erase(entry.dst);
   });
+  if (!recon_sessions_.empty()) return;  // see tick(): no overtaking
   std::vector<SyncNode> ready = queue_.pop_ready(now, /*flush_all=*/true);
   if (!ready.empty()) {
     obs::Span batch(tracer_, tn_.upload_batch);
@@ -856,8 +884,13 @@ void DeltaCfsClient::flush(TimePoint now) {
   }
 }
 
-void DeltaCfsClient::upload_node(SyncNode node) {
+void DeltaCfsClient::upload_node(SyncNode node, bool allow_recon) {
   if (quarantine_.contains(node.path)) return;  // never upload damaged data
+
+  if (allow_recon && recon_eligible(node)) {
+    start_recon(std::move(node));
+    return;
+  }
 
   obs::Span span(tracer_, tn_.upload, kind_cat(node.kind));
   if (stages_ != nullptr) {
@@ -1015,6 +1048,244 @@ std::uint64_t DeltaCfsClient::next_trace_id() noexcept {
   return proto::base_trace_id(id);  // keep clear of the flow-edge tag bits
 }
 
+bool DeltaCfsClient::recon_eligible(const SyncNode& node) const {
+  // Only plain full-content uploads negotiate: deltas already narrowed
+  // themselves, writes ship segments, metadata is tiny.  Transactional
+  // members and pinned nodes keep their exact wire shape (group commit and
+  // link-copy semantics depend on it).
+  return config_.recon_mode != ReconMode::off &&
+         node.kind == proto::OpKind::full_file && node.txn_group == 0 &&
+         !node.pinned && node.payload.size() >= config_.recon_min_bytes;
+}
+
+rsyncx::recon::Planner::Mode DeltaCfsClient::recon_mode_for(
+    std::uint64_t size) const {
+  using Mode = rsyncx::recon::Planner::Mode;
+  if (config_.recon_mode == ReconMode::classic) return Mode::classic;
+  if (config_.recon_mode == ReconMode::recursive) return Mode::recursive;
+  // Adaptive: recursion saves the whole-base signature download but pays
+  // roughly one RTT per shingle level.  Choose recursive only when the
+  // signature it avoids costs clearly more wire time than the extra
+  // round trips on this link.
+  const NetProfile& profile = transport_.profile();
+  const Duration sig_time = profile.download_time(
+      classic_signature_bytes(size, config_.recon.block_size));
+  std::uint32_t levels = 1;
+  for (std::size_t average = config_.recon.coarse_average;
+       average > config_.recon.min_average &&
+       levels < config_.recon.max_rounds;
+       average /= std::max<std::size_t>(config_.recon.fanout, 2)) {
+    ++levels;
+  }
+  return sig_time > profile.rtt * levels ? Mode::recursive : Mode::classic;
+}
+
+void DeltaCfsClient::start_recon(SyncNode node) {
+  // Everything staged before this node (the tombstone or rename that
+  // created the base we negotiate against) must reach the server ahead of
+  // the first query: the server answers from its applied state.
+  flush_bundle();
+  ship_outbox();
+
+  if (stages_ != nullptr) {
+    stages_->record(obs::Stage::queue_wait,
+                    static_cast<std::uint64_t>(
+                        clock_.now() - node.enqueue_time));
+  }
+
+  const std::uint64_t id = ++recon_counter_;
+  ReconSession session;
+  session.id = id;
+  session.target = std::move(node.payload);
+  session.node = std::move(node);
+  // The planner spans session.target's heap buffer, which is stable under
+  // the moves below (Bytes moves steal the allocation).
+  session.planner = std::make_unique<rsyncx::recon::Planner>(
+      ByteSpan{session.target}, config_.recon, &meter_,
+      recon_mode_for(session.target.size()));
+  ++recon_sessions_started_;
+  obs::inc(stats_.recon_sessions);
+
+  ReconSession& live = recon_sessions_.emplace(id, std::move(session))
+                           .first->second;
+  const std::optional<rsyncx::recon::Planner::Query> query =
+      live.planner->next_query();
+  send_recon_query(live, *query);  // a fresh planner always has a round 0
+}
+
+void DeltaCfsClient::send_recon_query(
+    ReconSession& session, const rsyncx::recon::Planner::Query& query) {
+  proto::ReconRequest request;
+  request.session = session.id;
+  request.round = session.planner->rounds() - 1;  // rounds() counts this one
+  request.want = query.want_signatures
+                     ? proto::ReconRequest::Want::signatures
+                     : proto::ReconRequest::Want::shingles;
+  request.minimum = query.cdc.minimum;
+  request.average = query.cdc.average;
+  request.maximum = query.cdc.maximum;
+  request.block_size = query.block_size;
+  request.regions = query.regions;
+  session.awaiting_signatures = query.want_signatures;
+
+  proto::SyncRecord record;
+  record.sequence = session.node.seq;
+  record.kind = proto::OpKind::recon_query;
+  record.path = session.node.path;
+  // Round 0 resolves the path's current version; later rounds pin the
+  // exact base the first answer named.
+  record.base_version = session.base_known ? session.base : proto::VersionId{};
+  record.base_deleted = session.base_deleted;
+  record.payload = proto::encode(request);
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    record.trace_id = next_trace_id();
+  }
+
+  Bytes frame = frame_buffer(record.payload.size() + record.path.size() + 80);
+  proto::encode_into(record, frame);
+  ++recon_rounds_sent_;
+  obs::inc(stats_.recon_rounds);
+  if (record.trace_id != 0) tracer_->flow_start(record.trace_id);
+  session.round_sent = clock_.now();
+
+  // Queries ship immediately (never bundled, never staged): the round trip
+  // is the unit of progress, so there is nothing to batch against.
+  Duration wire_time = 0;
+  if (wire_ != nullptr) {
+    wire::EncodedFrame encoded = wire_->encode(std::move(frame));
+    if (encoded.attempted) {
+      meter_.charge(CostKind::compress, encoded.raw_size);
+    }
+    meter_.charge(CostKind::encrypt, encoded.wire.size());
+    meter_.charge(CostKind::net_frame, encoded.wire.size());
+    session.up_bytes += encoded.wire.size();
+    recon_up_bytes_ += encoded.wire.size();
+    wire_time = transport_.client_send(std::move(encoded.wire),
+                                       proto::MessageType::recon);
+  } else {
+    meter_.charge(CostKind::encrypt, frame.size());
+    meter_.charge(CostKind::net_frame, frame.size());
+    session.up_bytes += frame.size();
+    recon_up_bytes_ += frame.size();
+    wire_time =
+        transport_.client_send(std::move(frame), proto::MessageType::recon);
+  }
+  if (stages_ != nullptr) {
+    stages_->record(obs::Stage::transport,
+                    static_cast<std::uint64_t>(wire_time));
+  }
+}
+
+void DeltaCfsClient::handle_recon_response(const proto::ReconResponse& response,
+                                           std::uint64_t frame_bytes) {
+  const auto it = recon_sessions_.find(response.session);
+  if (it == recon_sessions_.end()) return;  // stale / duplicate answer
+  ReconSession& session = it->second;
+
+  obs::Span span(tracer_, tn_.recon_round);
+  if (response.trace_id != 0 && tracer_ != nullptr) {
+    tracer_->flow_end(proto::ack_flow_id(response.trace_id));
+  }
+  session.down_bytes += frame_bytes;
+  recon_down_bytes_ += frame_bytes;
+  if (stages_ != nullptr) {
+    stages_->record(obs::Stage::recon,
+                    static_cast<std::uint64_t>(
+                        clock_.now() - session.round_sent));
+  }
+
+  if (response.result != Errc::ok) {
+    // No usable base on the server (fresh path, or the pinned version was
+    // pruned from history mid-session): ship the full content.
+    recon_fallback(session);
+    recon_sessions_.erase(it);
+    return;
+  }
+
+  if (!session.base_known) {
+    session.base = response.base;
+    session.base_deleted = response.base_deleted;
+    session.base_size = response.base_size;
+    session.base_known = true;
+  }
+
+  if (session.awaiting_signatures) {
+    session.planner->on_signatures(response.signatures);
+  } else {
+    session.planner->on_shingles(response.base_size, response.shingles);
+  }
+
+  if (const auto query = session.planner->next_query()) {
+    send_recon_query(session, *query);
+    return;
+  }
+  finish_recon(session);
+  recon_sessions_.erase(it);
+}
+
+void DeltaCfsClient::finish_recon(ReconSession& session) {
+  rsyncx::Delta delta = session.planner->take_delta();
+
+  obs::Span span(tracer_, tn_.upload,
+                 kind_cat(proto::OpKind::file_delta));
+  proto::SyncRecord record;
+  record.sequence = session.node.seq;
+  record.kind = proto::OpKind::file_delta;
+  record.path = session.node.path;
+  record.base_version = session.base;
+  record.new_version = session.node.new_version;
+  record.base_deleted = session.base_deleted;
+  record.payload = rsyncx::encode_delta(delta);
+
+  if (config_.compress_uploads &&
+      record.payload.size() >= config_.compress_min_bytes) {
+    const std::uint64_t units_before = meter_.units();
+    meter_.charge(CostKind::compress, record.payload.size());
+    Bytes packed = lz::compress(record.payload);
+    if (packed.size() < record.payload.size()) {
+      record.payload = std::move(packed);
+      record.compressed = true;
+    }
+    if (stages_ != nullptr) {
+      stages_->record(obs::Stage::compress,
+                      obs::units_to_us(meter_.units() - units_before,
+                                       meter_.profile()));
+    }
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    record.trace_id = next_trace_id();
+  }
+
+  Bytes frame = frame_buffer(record.payload.size() + record.path.size() + 80);
+  proto::encode_into(record, frame);
+  obs::inc(stats_.uploads);
+  obs::observe(stats_.record_bytes, frame.size());
+  ++records_uploaded_;
+  if (record.trace_id != 0) tracer_->flow_start(record.trace_id);
+  if (stages_ != nullptr) inflight_sent_[record.sequence] = clock_.now();
+  send_record_frame(std::move(frame));
+  ship_outbox();
+
+  // Savings vs the classic reference: the whole-base signature download
+  // this session avoided, minus the negotiation bytes it spent instead.
+  const std::uint64_t classic = classic_signature_bytes(
+      session.base_size, config_.recon.block_size);
+  const std::uint64_t negotiated = session.up_bytes + session.down_bytes;
+  if (classic > negotiated) {
+    recon_sig_bytes_saved_ += classic - negotiated;
+    obs::inc(stats_.recon_saved, classic - negotiated);
+  }
+}
+
+void DeltaCfsClient::recon_fallback(ReconSession& session) {
+  ++recon_fallbacks_;
+  obs::inc(stats_.recon_fallbacks);
+  session.node.payload = std::move(session.target);
+  upload_node(std::move(session.node), /*allow_recon=*/false);
+  flush_bundle();
+  ship_outbox();
+}
+
 void DeltaCfsClient::process_ack(const proto::Ack& ack) {
   obs::Span span(tracer_, tn_.ack);
   if (ack.trace_id != 0 && tracer_ != nullptr) {
@@ -1135,6 +1406,9 @@ void DeltaCfsClient::apply_forward(const proto::SyncRecord& raw_record) {
       break;
     case proto::OpKind::record_bundle:
       // The server forwards individual member records, never bundles.
+      break;
+    case proto::OpKind::recon_query:
+      // Queries are client->server only and are never forwarded.
       break;
   }
 }

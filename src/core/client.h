@@ -35,10 +35,26 @@
 #include "obs/trace.h"
 #include "par/worker_pool.h"
 #include "proto/messages.h"
+#include "rsyncx/recon.h"
 #include "vfs/intercept.h"
 #include "wire/wire.h"
 
 namespace dcfs {
+
+/// How large whole-file uploads reach the cloud (rsyncx/recon.h).
+enum class ReconMode : std::uint8_t {
+  /// Ship the full content in one record (the pre-recon behavior).
+  off,
+  /// One-round exchange: download the whole base's block signature, upload
+  /// a delta.  The equivalence and traffic reference for `recursive`.
+  classic,
+  /// Multi-round recursive shingle narrowing; signature bytes proportional
+  /// to the changed region at one RTT per round.
+  recursive,
+  /// Pick classic or recursive per file from its size and the transport's
+  /// NetProfile (signature download time vs round-trip cost).
+  adaptive,
+};
 
 struct ClientConfig {
   std::uint32_t client_id = 1;
@@ -97,6 +113,19 @@ struct ClientConfig {
   /// Tuning for the wire codec (floor / probe), used when
   /// wire_compression is on.
   wire::CodecConfig wire_config = {};
+  /// Multi-round reconciliation for large whole-file uploads: instead of
+  /// shipping the full content, negotiate with the server which regions
+  /// actually changed (rsyncx/recon.h) and upload a delta against the
+  /// cloud's base version.  Off by default — existing traffic accounting
+  /// and the record stream are unchanged unless opted in.
+  ReconMode recon_mode = ReconMode::off;
+  /// Full-content nodes at least this large negotiate instead of
+  /// uploading; smaller ones ship as before (negotiation RTTs would
+  /// dominate).
+  std::uint64_t recon_min_bytes = 1ull << 20;
+  /// Shingle/recursion tuning shared by the client planner and (via the
+  /// wire) the server's scanners.
+  rsyncx::recon::ReconParams recon = {};
 };
 
 class DeltaCfsClient final : public OpSink {
@@ -205,6 +234,37 @@ class DeltaCfsClient final : public OpSink {
   [[nodiscard]] std::uint64_t bundle_records_sent() const noexcept {
     return bundle_records_sent_;
   }
+  /// Reconciliation sessions still awaiting a server answer.  While any is
+  /// in flight the Sync Queue is not popped (a later node for the same
+  /// path must not overtake the session's final delta), so drivers must
+  /// keep pumping server + client until this returns 0.
+  [[nodiscard]] std::size_t recon_in_flight() const noexcept {
+    return recon_sessions_.size();
+  }
+  [[nodiscard]] std::uint64_t recon_sessions_started() const noexcept {
+    return recon_sessions_started_;
+  }
+  [[nodiscard]] std::uint64_t recon_rounds_sent() const noexcept {
+    return recon_rounds_sent_;
+  }
+  /// Sessions the server refused (no usable base) that fell back to a
+  /// plain full-content upload.
+  [[nodiscard]] std::uint64_t recon_fallbacks() const noexcept {
+    return recon_fallbacks_;
+  }
+  /// Negotiation wire bytes (queries up, answers down), post wire codec —
+  /// what the transport actually carried, excluding the final delta.
+  [[nodiscard]] std::uint64_t recon_up_bytes() const noexcept {
+    return recon_up_bytes_;
+  }
+  [[nodiscard]] std::uint64_t recon_down_bytes() const noexcept {
+    return recon_down_bytes_;
+  }
+  /// Estimated signature bytes avoided vs the classic one-round exchange
+  /// (whole-base block signature download) for completed sessions.
+  [[nodiscard]] std::uint64_t recon_sig_bytes_saved() const noexcept {
+    return recon_sig_bytes_saved_;
+  }
 
  private:
   struct Stash {
@@ -263,7 +323,49 @@ class DeltaCfsClient final : public OpSink {
   /// In-place delta policy at pack time (§III-A "further extend").
   void maybe_inplace_delta(const std::string& path);
 
-  void upload_node(SyncNode node);
+  /// Ships one matured node.  `allow_recon` lets eligible full-content
+  /// nodes divert into a reconciliation session; the fallback path passes
+  /// false to force the plain upload.
+  void upload_node(SyncNode node, bool allow_recon = true);
+
+  // ---- Recursive reconciliation (rsyncx/recon.h) ----
+
+  /// A node negotiating its upload: owns the target bytes (spanned by the
+  /// planner) and the node's metadata for the final file_delta record.
+  struct ReconSession {
+    std::uint64_t id = 0;
+    SyncNode node;  ///< payload moved out into `target`
+    Bytes target;
+    std::unique_ptr<rsyncx::recon::Planner> planner;
+    /// Base pinned from the first server answer; later rounds query this
+    /// exact version so concurrent server-side updates cannot shear the
+    /// negotiation.
+    proto::VersionId base;
+    bool base_deleted = false;
+    bool base_known = false;
+    std::uint64_t base_size = 0;
+    bool awaiting_signatures = false;
+    std::uint64_t up_bytes = 0;    ///< query wire bytes (post codec)
+    std::uint64_t down_bytes = 0;  ///< answer wire bytes (post codec)
+    TimePoint round_sent = 0;
+  };
+
+  [[nodiscard]] bool recon_eligible(const SyncNode& node) const;
+  /// classic vs recursive for one file, per ClientConfig::recon_mode;
+  /// `adaptive` compares the whole-base signature download time against
+  /// the extra round trips recursion costs on this NetProfile.
+  [[nodiscard]] rsyncx::recon::Planner::Mode recon_mode_for(
+      std::uint64_t size) const;
+  void start_recon(SyncNode node);
+  void send_recon_query(ReconSession& session,
+                        const rsyncx::recon::Planner::Query& query);
+  void handle_recon_response(const proto::ReconResponse& response,
+                             std::uint64_t frame_bytes);
+  /// Session converged: encode the narrowed delta and ship it as a normal
+  /// file_delta record against the pinned base.
+  void finish_recon(ReconSession& session);
+  /// Server refused (or the answer was unusable): upload the full content.
+  void recon_fallback(ReconSession& session);
   /// Charges frame costs and ships one encoded record (or bundle) frame.
   /// With wire compression on, the frame is staged in the outbox instead
   /// and ships (batch-encoded) in ship_outbox().
@@ -307,8 +409,9 @@ class DeltaCfsClient final : public OpSink {
     obs::NameId wire_encode = 0;
     obs::NameId apply_forward = 0;
     obs::NameId ack = 0;
+    obs::NameId recon_round = 0;
     /// Category per OpKind (indexed by the enum's numeric value).
-    std::array<obs::NameId, 12> kind{};
+    std::array<obs::NameId, 13> kind{};
   } tn_;
   /// Bounds-safe kind category (forwarded kinds come off the network).
   [[nodiscard]] obs::NameId kind_cat(proto::OpKind kind) const noexcept {
@@ -336,6 +439,10 @@ class DeltaCfsClient final : public OpSink {
     obs::Counter* sigcache_misses = nullptr;
     obs::Counter* bundle_frames = nullptr;
     obs::Counter* bundle_records = nullptr;
+    obs::Counter* recon_sessions = nullptr;
+    obs::Counter* recon_rounds = nullptr;
+    obs::Counter* recon_saved = nullptr;
+    obs::Counter* recon_fallbacks = nullptr;
     obs::Histogram* record_bytes = nullptr;
   } stats_;
   ClientConfig config_;
@@ -388,6 +495,17 @@ class DeltaCfsClient final : public OpSink {
   std::uint64_t bundle_pending_bytes_ = 0;
   std::uint64_t bundle_frames_sent_ = 0;
   std::uint64_t bundle_records_sent_ = 0;
+
+  /// In-flight reconciliation sessions by id.  At most a handful exist at
+  /// once (queue pops pause while any is in flight).
+  std::map<std::uint64_t, ReconSession> recon_sessions_;
+  std::uint64_t recon_counter_ = 0;
+  std::uint64_t recon_sessions_started_ = 0;
+  std::uint64_t recon_rounds_sent_ = 0;
+  std::uint64_t recon_fallbacks_ = 0;
+  std::uint64_t recon_up_bytes_ = 0;
+  std::uint64_t recon_down_bytes_ = 0;
+  std::uint64_t recon_sig_bytes_saved_ = 0;
 
   std::uint64_t preserve_counter_ = 0;
   bool tmp_dir_ready_ = false;

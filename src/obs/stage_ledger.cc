@@ -20,6 +20,8 @@ std::string_view to_string(Stage stage) noexcept {
       return "apply";
     case Stage::ack:
       return "ack";
+    case Stage::recon:
+      return "recon";
     case Stage::kCount:
       break;
   }

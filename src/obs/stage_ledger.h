@@ -31,6 +31,7 @@ enum class Stage : std::uint8_t {
   queue_wait,  ///< sync-queue residency (enqueue -> upload)
   apply,       ///< server-side apply CPU
   ack,         ///< upload -> ack-processed round trip
+  recon,       ///< recursive-reconciliation rounds (query -> answer)
   kCount,
 };
 

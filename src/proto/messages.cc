@@ -1,5 +1,7 @@
 #include "proto/messages.h"
 
+#include <algorithm>
+
 namespace dcfs::proto {
 namespace {
 
@@ -103,6 +105,7 @@ std::string_view to_string(OpKind kind) {
     case OpKind::file_delta: return "file_delta";
     case OpKind::full_file: return "full_file";
     case OpKind::record_bundle: return "record_bundle";
+    case OpKind::recon_query: return "recon_query";
   }
   return "unknown";
 }
@@ -236,10 +239,182 @@ Result<std::vector<SyncRecord>> decode_bundle(ByteSpan wire) {
     if (record->kind == OpKind::record_bundle) {
       return Status{Errc::corruption, "nested bundle"};
     }
+    if (record->kind == OpKind::recon_query) {
+      return Status{Errc::corruption, "recon query inside bundle"};
+    }
     records.push_back(std::move(*record));
     pos += length;
   }
   return records;
+}
+
+// ---- Recon rounds -----------------------------------------------------
+
+Bytes encode(const ReconRequest& request) {
+  Bytes wire;
+  wire.reserve(64 + request.regions.size() * 16);
+  put_u64(wire, request.session);
+  put_u32(wire, request.round);
+  wire.push_back(static_cast<std::uint8_t>(request.want));
+  put_u64(wire, request.minimum);
+  put_u64(wire, request.average);
+  put_u64(wire, request.maximum);
+  put_u32(wire, request.block_size);
+  put_u32(wire, static_cast<std::uint32_t>(request.regions.size()));
+  for (const rsyncx::recon::Region& region : request.regions) {
+    put_u64(wire, region.offset);
+    put_u64(wire, region.length);
+  }
+  return wire;
+}
+
+Result<ReconRequest> decode_recon_request(ByteSpan wire) {
+  // Fixed head: 8+4+1+8+8+8+4+4 = 45 bytes.
+  if (wire.size() < 45) {
+    return Status{Errc::corruption, "recon request too short"};
+  }
+  ReconRequest request;
+  std::size_t pos = 0;
+  request.session = get_u64(wire, pos);
+  pos += 8;
+  request.round = get_u32(wire, pos);
+  pos += 4;
+  const std::uint8_t want = wire[pos++];
+  if (want > 1) return Status{Errc::corruption, "recon request bad want"};
+  request.want = static_cast<ReconRequest::Want>(want);
+  request.minimum = get_u64(wire, pos);
+  request.average = get_u64(wire, pos + 8);
+  request.maximum = get_u64(wire, pos + 16);
+  pos += 24;
+  request.block_size = get_u32(wire, pos);
+  pos += 4;
+  const std::uint32_t count = get_u32(wire, pos);
+  pos += 4;
+  // Each region is 16 bytes: larger counts cannot fit the frame.
+  if (count > (wire.size() - pos) / 16) {
+    return Status{Errc::corruption, "recon region count implausible"};
+  }
+  request.regions.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    rsyncx::recon::Region region;
+    region.offset = get_u64(wire, pos);
+    region.length = get_u64(wire, pos + 8);
+    pos += 16;
+    request.regions.push_back(region);
+  }
+  return request;
+}
+
+Bytes encode(const ReconResponse& response) {
+  Bytes wire;
+  encode_into(response, wire);
+  return wire;
+}
+
+void encode_into(const ReconResponse& response, Bytes& wire) {
+  wire.reserve(wire.size() + 64 + response.shingles.size() * 24);
+  put_u64(wire, response.session);
+  put_u32(wire, response.round);
+  wire.push_back(static_cast<std::uint8_t>(response.result));
+  put_version(wire, response.base);
+  wire.push_back(response.base_deleted ? 1 : 0);
+  put_u64(wire, response.base_size);
+  put_u64(wire, response.trace_id);
+  put_u32(wire, static_cast<std::uint32_t>(response.shingles.size()));
+  for (const rsyncx::recon::Shingle& shingle : response.shingles) {
+    put_u64(wire, shingle.offset);
+    put_u64(wire, shingle.length);
+    put_u64(wire, shingle.hash);
+  }
+  put_u32(wire, static_cast<std::uint32_t>(response.signatures.size()));
+  for (const rsyncx::recon::RegionSignature& sig : response.signatures) {
+    put_u64(wire, sig.region.offset);
+    put_u64(wire, sig.region.length);
+    put_u32(wire, sig.signature.block_size);
+    put_u64(wire, sig.signature.file_size);
+    put_u32(wire, static_cast<std::uint32_t>(sig.signature.weak.size()));
+    for (const std::uint32_t weak : sig.signature.weak) put_u32(wire, weak);
+    for (const Md5::Digest& strong : sig.signature.strong) {
+      append(wire, ByteSpan{strong.data(), strong.size()});
+    }
+  }
+}
+
+Result<ReconResponse> decode_recon_response(ByteSpan wire) {
+  // Fixed head: 8+4+1+12+1+8+8+4 = 46 bytes (second count follows later).
+  if (wire.size() < 46) {
+    return Status{Errc::corruption, "recon response too short"};
+  }
+  ReconResponse response;
+  std::size_t pos = 0;
+  response.session = get_u64(wire, pos);
+  pos += 8;
+  response.round = get_u32(wire, pos);
+  pos += 4;
+  response.result = static_cast<Errc>(wire[pos++]);
+  if (!get_version(wire, pos, response.base)) {
+    return Status{Errc::corruption, "recon response version truncated"};
+  }
+  response.base_deleted = wire[pos++] != 0;
+  response.base_size = get_u64(wire, pos);
+  response.trace_id = get_u64(wire, pos + 8);
+  pos += 16;
+  const std::uint32_t shingle_count = get_u32(wire, pos);
+  pos += 4;
+  // Each shingle is 24 bytes on the wire.
+  if (shingle_count > (wire.size() - pos) / 24) {
+    return Status{Errc::corruption, "recon shingle count implausible"};
+  }
+  response.shingles.reserve(shingle_count);
+  for (std::uint32_t i = 0; i < shingle_count; ++i) {
+    rsyncx::recon::Shingle shingle;
+    shingle.offset = get_u64(wire, pos);
+    shingle.length = get_u64(wire, pos + 8);
+    shingle.hash = get_u64(wire, pos + 16);
+    pos += 24;
+    response.shingles.push_back(shingle);
+  }
+  if (pos + 4 > wire.size()) {
+    return Status{Errc::corruption, "recon signature count truncated"};
+  }
+  const std::uint32_t sig_count = get_u32(wire, pos);
+  pos += 4;
+  // Each region signature carries a 32-byte header at minimum.
+  if (sig_count > (wire.size() - pos) / 32 + 1) {
+    return Status{Errc::corruption, "recon signature count implausible"};
+  }
+  response.signatures.reserve(sig_count);
+  for (std::uint32_t i = 0; i < sig_count; ++i) {
+    if (pos + 32 > wire.size()) {
+      return Status{Errc::corruption, "recon signature header truncated"};
+    }
+    rsyncx::recon::RegionSignature sig;
+    sig.region.offset = get_u64(wire, pos);
+    sig.region.length = get_u64(wire, pos + 8);
+    sig.signature.block_size = get_u32(wire, pos + 16);
+    sig.signature.file_size = get_u64(wire, pos + 20);
+    const std::uint32_t blocks = get_u32(wire, pos + 28);
+    pos += 32;
+    // Each block contributes 4 weak + 16 strong bytes.
+    if (blocks > (wire.size() - pos) / 20) {
+      return Status{Errc::corruption, "recon block count implausible"};
+    }
+    sig.signature.has_strong = true;
+    sig.signature.weak.reserve(blocks);
+    for (std::uint32_t b = 0; b < blocks; ++b) {
+      sig.signature.weak.push_back(get_u32(wire, pos));
+      pos += 4;
+    }
+    sig.signature.strong.reserve(blocks);
+    for (std::uint32_t b = 0; b < blocks; ++b) {
+      Md5::Digest digest;
+      std::copy_n(wire.data() + pos, digest.size(), digest.begin());
+      pos += digest.size();
+      sig.signature.strong.push_back(digest);
+    }
+    response.signatures.push_back(std::move(sig));
+  }
+  return response;
 }
 
 }  // namespace dcfs::proto

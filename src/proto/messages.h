@@ -14,6 +14,7 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "rsyncx/recon.h"
 
 namespace dcfs::proto {
 
@@ -23,10 +24,11 @@ enum class MessageType : std::uint8_t {
   sync_record = 0,  ///< client-to-cloud SyncRecord frame
   ack,              ///< cloud-to-client Ack frame
   forward,          ///< cloud-to-client forwarded record (multi-device)
+  recon,            ///< reconciliation round (query up, answer down)
   other,            ///< anything unclassified
 };
 
-inline constexpr std::size_t kMessageTypeCount = 4;
+inline constexpr std::size_t kMessageTypeCount = 5;
 
 constexpr std::string_view to_string(MessageType type) noexcept {
   switch (type) {
@@ -36,6 +38,8 @@ constexpr std::string_view to_string(MessageType type) noexcept {
       return "ack";
     case MessageType::forward:
       return "forward";
+    case MessageType::recon:
+      return "recon";
     case MessageType::other:
       return "other";
   }
@@ -70,6 +74,11 @@ enum class OpKind : std::uint8_t {
   /// per-frame overhead on chatty uploads of small records; the server
   /// unpacks and acks every member individually.  Bundles never nest.
   record_bundle,
+  /// Payload = encoded ReconRequest: one round of the recursive
+  /// reconciliation exchange (rsyncx/recon.h).  Not a mutation — the
+  /// server answers with a ReconResponse frame instead of an Ack, and
+  /// recon queries never ride inside bundles.
+  recon_query,
 };
 
 std::string_view to_string(OpKind kind);
@@ -162,5 +171,60 @@ void encode_into(const Ack& ack, Bytes& out);
 /// is acked individually) and their own compression flags.
 Bytes encode_bundle(const std::vector<SyncRecord>& records);
 Result<std::vector<SyncRecord>> decode_bundle(ByteSpan wire);
+
+// ---- Recursive reconciliation rounds (rsyncx/recon.h) -----------------
+//
+// A recon round travels as an OpKind::recon_query SyncRecord whose payload
+// is an encoded ReconRequest; `path`, `base_version`, `base_deleted` and
+// `trace_id` ride in the enclosing record.  The server answers with a
+// ReconResponse in a dedicated downstream frame (tag 0x03, see
+// docs/PROTOCOL.md) — never an Ack, so the one-shot record path is
+// untouched.
+
+/// One round's question: which regions of the base to scan, and how.
+struct ReconRequest {
+  std::uint64_t session = 0;  ///< client-chosen, echoed in the response
+  std::uint32_t round = 0;    ///< 0-based, echoed in the response
+  enum class Want : std::uint8_t { shingles = 0, signatures = 1 };
+  Want want = Want::shingles;
+  /// Shingle level (Want::shingles): CDC params for this round.
+  std::uint64_t minimum = 0;
+  std::uint64_t average = 0;
+  std::uint64_t maximum = 0;
+  /// Block size (Want::signatures).
+  std::uint32_t block_size = 0;
+  /// Base regions to scan, in order; empty = the whole file.
+  std::vector<rsyncx::recon::Region> regions;
+
+  friend bool operator==(const ReconRequest&, const ReconRequest&) = default;
+};
+
+/// One round's answer.  `shingles` (concatenated in region order, absolute
+/// offsets) or `signatures` (one per requested region, in order) — matching
+/// the request's Want.
+struct ReconResponse {
+  std::uint64_t session = 0;
+  std::uint32_t round = 0;
+  /// ok, or not_found when the requested base version is gone (client
+  /// falls back to a full upload).
+  Errc result = Errc::ok;
+  /// The base the server answered from: its version, whether it was
+  /// resolved from a tombstone (delete-then-recreate pattern), and its
+  /// total size.  The client pins `base` in follow-up rounds and stamps
+  /// both fields into the final file_delta record.
+  VersionId base;
+  bool base_deleted = false;
+  std::uint64_t base_size = 0;
+  std::uint64_t trace_id = 0;  ///< echoed from the query record
+  std::vector<rsyncx::recon::Shingle> shingles;
+  std::vector<rsyncx::recon::RegionSignature> signatures;
+};
+
+Bytes encode(const ReconRequest& request);
+Result<ReconRequest> decode_recon_request(ByteSpan wire);
+
+Bytes encode(const ReconResponse& response);
+void encode_into(const ReconResponse& response, Bytes& out);
+Result<ReconResponse> decode_recon_response(ByteSpan wire);
 
 }  // namespace dcfs::proto

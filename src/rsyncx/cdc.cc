@@ -17,12 +17,26 @@ std::uint64_t mask_for_average(std::size_t average) noexcept {
 
 }  // namespace
 
-std::vector<Chunk> chunk_boundaries(ByteSpan data, const CdcParams& params,
+std::uint64_t boundary_mask(std::size_t average) noexcept {
+  return mask_for_average(average);
+}
+
+CdcParams normalized(const CdcParams& raw) noexcept {
+  CdcParams p = raw;
+  if (p.minimum < 1) p.minimum = 1;
+  if (p.maximum < p.minimum) p.maximum = p.minimum;
+  if (p.average < p.minimum) p.average = p.minimum;
+  if (p.average > p.maximum) p.average = p.maximum;
+  return p;
+}
+
+std::vector<Chunk> chunk_boundaries(ByteSpan data, const CdcParams& raw,
                                     CostMeter* meter) {
   std::vector<Chunk> chunks;
   if (data.empty()) return chunks;
   if (meter != nullptr) meter->charge(CostKind::cdc_scan, data.size());
 
+  const CdcParams params = normalized(raw);
   const std::uint64_t mask = mask_for_average(params.average);
   std::size_t start = 0;
   std::uint64_t hash = 0;

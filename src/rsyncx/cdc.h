@@ -32,6 +32,28 @@ struct CdcParams {
   static CdcParams fine() noexcept { return {1024, 4096, 16384}; }
 };
 
+/// Clamps params into a shape the chunkers can honor:
+///   minimum >= 1, maximum >= minimum, minimum <= average <= maximum.
+/// Applied internally by chunk_boundaries/chunk_cdc, so arbitrary
+/// (e.g. recursively halved) parameter sets are safe to pass directly.
+[[nodiscard]] CdcParams normalized(const CdcParams& params) noexcept;
+
+// Boundary-cut invariants (hold for any input and any params after
+// normalization — the recursive reconciliation planner depends on them
+// to terminate):
+//   1. Exact tiling: chunks cover [0, data.size()) contiguously, in
+//      order, with no gaps or overlap; empty input yields no chunks.
+//   2. Every chunk length is in [1, maximum]; every chunk except
+//      possibly the last is >= minimum.  In particular an input shorter
+//      than `minimum` yields exactly one chunk (the whole input).
+//   3. Cuts are deterministic functions of content: the same bytes with
+//      the same params always produce the same boundaries.
+//   4. Degenerate content (e.g. all-zero pages, where the gear hash
+//      never satisfies the mask) still cuts: the `maximum` clamp forces
+//      a boundary every `maximum` bytes, so chunk count is always
+//      >= ceil(size / maximum) and the scan cannot produce an unbounded
+//      chunk.
+
 /// Splits `data` into content-defined chunks and hashes each.
 /// Charges cdc_scan per byte scanned and strong_hash per byte hashed.
 std::vector<Chunk> chunk_cdc(ByteSpan data, const CdcParams& params,
@@ -40,5 +62,11 @@ std::vector<Chunk> chunk_cdc(ByteSpan data, const CdcParams& params,
 /// Splits without hashing (boundary detection only).
 std::vector<Chunk> chunk_boundaries(ByteSpan data, const CdcParams& params,
                                     CostMeter* meter);
+
+/// The cut mask for a given (normalized) average: log2(average) low bits
+/// set; a boundary falls where (gear_hash & mask) == 0.  Exposed so
+/// streaming scanners (rsyncx/recon.h) cut at exactly the same places as
+/// chunk_boundaries.
+[[nodiscard]] std::uint64_t boundary_mask(std::size_t average) noexcept;
 
 }  // namespace dcfs::rsyncx

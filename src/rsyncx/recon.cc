@@ -1,0 +1,386 @@
+#include "rsyncx/recon.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "common/checksum.h"
+
+namespace dcfs::rsyncx::recon {
+namespace {
+
+/// Appends a command, merging it with the previous one when the two are
+/// contiguous (adjacent copies from adjacent base ranges, or back-to-back
+/// literals) — keeps the stitched delta's wire size honest.
+void push_command(Delta& delta, Command&& cmd) {
+  if (cmd.kind == Command::Kind::copy && cmd.length == 0) return;
+  if (cmd.kind == Command::Kind::literal && cmd.data.empty()) return;
+  if (!delta.commands.empty()) {
+    Command& prev = delta.commands.back();
+    if (prev.kind == Command::Kind::copy &&
+        cmd.kind == Command::Kind::copy &&
+        prev.src_offset + prev.length == cmd.src_offset) {
+      prev.length += cmd.length;
+      return;
+    }
+    if (prev.kind == Command::Kind::literal &&
+        cmd.kind == Command::Kind::literal) {
+      append(prev.data, cmd.data);
+      return;
+    }
+  }
+  delta.commands.push_back(std::move(cmd));
+}
+
+}  // namespace
+
+std::uint64_t shingle_hash(const Md5::Digest& digest) noexcept {
+  return get_u64(ByteSpan{digest.data(), digest.size()}, 0);
+}
+
+// ---- ShingleScanner ---------------------------------------------------
+
+ShingleScanner::ShingleScanner(std::uint64_t base_offset,
+                               const CdcParams& params, CostMeter* meter)
+    : params_(normalized(params)),
+      mask_(boundary_mask(params_.average)),
+      chunk_start_(base_offset),
+      meter_(meter) {}
+
+void ShingleScanner::feed(ByteSpan data) {
+  if (data.empty()) return;
+  if (meter_ != nullptr) {
+    meter_->charge(CostKind::cdc_scan, data.size());
+    meter_->charge(CostKind::strong_hash, data.size());
+  }
+  std::size_t segment = 0;  // start of the MD5-unhashed run in `data`
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    hash_ = gear_step(hash_, data[i]);
+    ++chunk_length_;
+    const bool at_boundary =
+        (chunk_length_ >= params_.minimum && (hash_ & mask_) == 0) ||
+        chunk_length_ >= params_.maximum;
+    if (at_boundary) {
+      md5_.update(data.subspan(segment, i + 1 - segment));
+      segment = i + 1;
+      cut();
+    }
+  }
+  if (segment < data.size()) md5_.update(data.subspan(segment));
+}
+
+void ShingleScanner::cut() {
+  const Md5::Digest digest = md5_.finalize();
+  shingles_.push_back({chunk_start_, chunk_length_, shingle_hash(digest)});
+  chunk_start_ += chunk_length_;
+  chunk_length_ = 0;
+  hash_ = 0;
+  md5_.reset();
+}
+
+std::vector<Shingle> ShingleScanner::finish() {
+  if (chunk_length_ > 0) cut();
+  return std::move(shingles_);
+}
+
+// ---- SignatureScanner -------------------------------------------------
+
+SignatureScanner::SignatureScanner(std::uint32_t block_size, CostMeter* meter)
+    : block_size_(block_size == 0 ? kDefaultBlockSize : block_size),
+      meter_(meter) {
+  signature_.block_size = block_size_;
+  signature_.file_size = 0;
+  signature_.has_strong = true;
+}
+
+void SignatureScanner::feed(ByteSpan data) {
+  if (data.empty()) return;
+  if (meter_ != nullptr) {
+    meter_->charge(CostKind::rolling_hash, data.size());
+    meter_->charge(CostKind::strong_hash, data.size());
+  }
+  signature_.file_size += data.size();
+  std::size_t segment = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    // Incremental append to the rsync weak checksum: a' = a + x, b' = b + a'.
+    weak_a_ += data[i];
+    weak_b_ += weak_a_;
+    if (++block_fill_ == block_size_) {
+      md5_.update(data.subspan(segment, i + 1 - segment));
+      segment = i + 1;
+      seal_block();
+    }
+  }
+  if (segment < data.size()) md5_.update(data.subspan(segment));
+}
+
+void SignatureScanner::seal_block() {
+  signature_.weak.push_back((weak_a_ & 0xFFFF) | ((weak_b_ & 0xFFFF) << 16));
+  signature_.strong.push_back(md5_.finalize());
+  weak_a_ = 0;
+  weak_b_ = 0;
+  block_fill_ = 0;
+  md5_.reset();
+}
+
+Signature SignatureScanner::finish() {
+  if (block_fill_ > 0) seal_block();
+  return std::move(signature_);
+}
+
+// ---- Planner ----------------------------------------------------------
+
+Planner::Planner(ByteSpan target, const ReconParams& params, CostMeter* meter,
+                 Mode mode)
+    : target_(target),
+      params_(params),
+      meter_(meter),
+      mode_(mode),
+      average_(std::max(params.coarse_average, params.min_average)) {
+  Piece root;
+  root.kind = mode_ == Mode::classic ? Piece::Kind::final : Piece::Kind::pending;
+  root.target_offset = 0;
+  root.target_length = target_.size();
+  root.base_offset = 0;
+  root.base_length = 0;  // unknown until the first answer
+  pieces_.push_back(std::move(root));
+}
+
+std::optional<Planner::Query> Planner::next_query() {
+  if (outstanding_ != Outstanding::none) return std::nullopt;
+
+  const bool any_pending = std::any_of(
+      pieces_.begin(), pieces_.end(),
+      [](const Piece& p) { return p.kind == Piece::Kind::pending; });
+  if (any_pending) {
+    Query q;
+    q.want_signatures = false;
+    q.cdc = params_.level(average_);
+    if (base_size_known_) {
+      for (const Piece& p : pieces_) {
+        if (p.kind == Piece::Kind::pending) {
+          q.regions.push_back({p.base_offset, p.base_length});
+        }
+      }
+    }
+    // else: empty region list = "the whole file" (round 0).
+    outstanding_ = Outstanding::shingles;
+    ++rounds_;
+    started_ = true;
+    return q;
+  }
+
+  const bool any_final = std::any_of(
+      pieces_.begin(), pieces_.end(),
+      [](const Piece& p) { return p.kind == Piece::Kind::final; });
+  if (any_final) {
+    Query q;
+    q.want_signatures = true;
+    q.block_size = params_.block_size;
+    if (base_size_known_ || started_) {
+      for (const Piece& p : pieces_) {
+        if (p.kind == Piece::Kind::final) {
+          q.regions.push_back({p.base_offset, p.base_length});
+        }
+      }
+    }
+    // else: classic round 0 — whole-file signature, base size unknown.
+    outstanding_ = Outstanding::signatures;
+    ++rounds_;
+    started_ = true;
+    return q;
+  }
+  return std::nullopt;
+}
+
+void Planner::on_shingles(std::uint64_t base_size,
+                          std::span<const Shingle> shingles) {
+  outstanding_ = Outstanding::none;
+  if (!base_size_known_) {
+    base_size_ = base_size;
+    base_size_known_ = true;
+    // Round 0: the root piece's base region is the whole file.
+    for (Piece& p : pieces_) {
+      if (p.kind == Piece::Kind::pending) p.base_length = base_size_;
+    }
+  }
+  const std::size_t next_average =
+      std::max(average_ / std::max<std::size_t>(params_.fanout, 2),
+               params_.min_average);
+
+  std::vector<Piece> next;
+  next.reserve(pieces_.size());
+  std::size_t cursor = 0;  // over `shingles`, concatenated in region order
+  for (Piece& piece : pieces_) {
+    if (piece.kind != Piece::Kind::pending) {
+      next.push_back(std::move(piece));
+      continue;
+    }
+    const std::uint64_t region_end = piece.base_offset + piece.base_length;
+    const std::size_t first = cursor;
+    while (cursor < shingles.size() &&
+           shingles[cursor].offset >= piece.base_offset &&
+           shingles[cursor].offset < region_end) {
+      ++cursor;
+    }
+    match_piece(piece, shingles.subspan(first, cursor - first), next_average,
+                next);
+  }
+  pieces_ = std::move(next);
+  average_ = next_average;
+}
+
+void Planner::match_piece(const Piece& piece, std::span<const Shingle> base,
+                          std::size_t next_average, std::vector<Piece>& out) {
+  // Shingle the target span with the same level the server just used.
+  ShingleScanner scanner(piece.target_offset, params_.level(average_), meter_);
+  scanner.feed(target_.subspan(piece.target_offset, piece.target_length));
+  const std::vector<Shingle> local = scanner.finish();
+
+  // hash -> base shingle indices, consumed monotonically.
+  std::unordered_map<std::uint64_t, std::deque<std::size_t>> index;
+  index.reserve(base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    index[base[i].hash].push_back(i);
+  }
+
+  std::uint64_t base_cursor = piece.base_offset;
+  std::uint64_t run_start = piece.target_offset;  // unmatched target run
+  for (const Shingle& ts : local) {
+    auto it = index.find(ts.hash);
+    if (it == index.end()) continue;
+    std::deque<std::size_t>& candidates = it->second;
+    while (!candidates.empty() &&
+           base[candidates.front()].offset < base_cursor) {
+      candidates.pop_front();
+    }
+    if (candidates.empty() ||
+        base[candidates.front()].length != ts.length) {
+      continue;  // hash collision or only out-of-order candidates left
+    }
+    const Shingle& bs = base[candidates.front()];
+    candidates.pop_front();
+
+    // Unmatched target run before this match pairs with the base gap.
+    classify_gap(run_start, ts.offset - run_start, base_cursor,
+                 bs.offset - base_cursor, next_average, out);
+
+    Piece copy;
+    copy.kind = Piece::Kind::copy;
+    copy.target_offset = ts.offset;
+    copy.target_length = ts.length;
+    copy.base_offset = bs.offset;
+    copy.base_length = bs.length;
+    out.push_back(std::move(copy));
+
+    base_cursor = bs.offset + bs.length;
+    run_start = ts.offset + ts.length;
+  }
+  const std::uint64_t target_end = piece.target_offset + piece.target_length;
+  const std::uint64_t base_end = piece.base_offset + piece.base_length;
+  classify_gap(run_start, target_end - run_start, base_cursor,
+               base_end > base_cursor ? base_end - base_cursor : 0,
+               next_average, out);
+}
+
+void Planner::classify_gap(std::uint64_t target_offset,
+                           std::uint64_t target_length,
+                           std::uint64_t base_offset,
+                           std::uint64_t base_length,
+                           std::size_t next_average, std::vector<Piece>& out) {
+  if (target_length == 0) return;  // base-only deletion: nothing to emit
+  Piece piece;
+  piece.target_offset = target_offset;
+  piece.target_length = target_length;
+  piece.base_offset = base_offset;
+  piece.base_length = base_length;
+  if (base_length == 0) {
+    piece.kind = Piece::Kind::literal;
+  } else {
+    // Refine while a finer shingle level exists, the depth cap allows it,
+    // and the gap is wide enough that another round actually narrows it.
+    const bool can_refine =
+        average_ > params_.min_average && rounds_ < params_.max_rounds;
+    const bool worth_refining =
+        base_length > static_cast<std::uint64_t>(next_average) * 4;
+    piece.kind = (can_refine && worth_refining) ? Piece::Kind::pending
+                                                : Piece::Kind::final;
+  }
+  out.push_back(std::move(piece));
+}
+
+void Planner::on_signatures(std::span<const RegionSignature> sigs) {
+  outstanding_ = Outstanding::none;
+  std::size_t next_sig = 0;
+  for (Piece& piece : pieces_) {
+    if (piece.kind != Piece::Kind::final) continue;
+    if (next_sig >= sigs.size()) break;  // short answer: leave unresolved
+    const RegionSignature& sig = sigs[next_sig++];
+    if (!base_size_known_) {
+      // Classic round 0: the whole-file signature tells us the base size.
+      base_size_ = sig.region.end();
+      base_size_known_ = true;
+    }
+    piece.base_offset = sig.region.offset;
+    piece.base_length = sig.region.length;
+    Delta local = compute_delta(
+        sig.signature,
+        target_.subspan(piece.target_offset, piece.target_length), meter_);
+    piece.commands = std::move(local.commands);
+    for (Command& cmd : piece.commands) {
+      if (cmd.kind == Command::Kind::copy) {
+        cmd.src_offset += sig.region.offset;  // region-local -> absolute
+      }
+    }
+    piece.kind = Piece::Kind::resolved;
+  }
+}
+
+bool Planner::done() const noexcept {
+  if (!started_ || outstanding_ != Outstanding::none) return false;
+  return std::none_of(pieces_.begin(), pieces_.end(), [](const Piece& p) {
+    return p.kind == Piece::Kind::pending || p.kind == Piece::Kind::final;
+  });
+}
+
+Delta Planner::take_delta() {
+  Delta delta;
+  delta.base_size = base_size_;
+  delta.target_size = target_.size();
+  for (Piece& piece : pieces_) {
+    switch (piece.kind) {
+      case Piece::Kind::copy: {
+        Command cmd;
+        cmd.kind = Command::Kind::copy;
+        cmd.src_offset = piece.base_offset;
+        cmd.length = piece.base_length;
+        push_command(delta, std::move(cmd));
+        break;
+      }
+      case Piece::Kind::literal: {
+        Command cmd;
+        cmd.kind = Command::Kind::literal;
+        const ByteSpan span =
+            target_.subspan(piece.target_offset, piece.target_length);
+        cmd.data.assign(span.begin(), span.end());
+        if (meter_ != nullptr) {
+          meter_->charge(CostKind::byte_copy, span.size());
+        }
+        push_command(delta, std::move(cmd));
+        break;
+      }
+      case Piece::Kind::resolved:
+        for (Command& cmd : piece.commands) {
+          push_command(delta, std::move(cmd));
+        }
+        piece.commands.clear();
+        break;
+      case Piece::Kind::pending:
+      case Piece::Kind::final:
+        break;  // take_delta before done(): span dropped, caller's bug
+    }
+  }
+  return delta;
+}
+
+}  // namespace dcfs::rsyncx::recon

@@ -1,12 +1,14 @@
 #include "server/block_store.h"
 
+#include <algorithm>
+
 namespace dcfs {
 
 BlockHandle BlockStore::put(ByteSpan content) {
   // Boundary scan + chunk hashing are the expensive part; keep them out of
   // the critical section so parallel apply units overlap their CPU work.
   const std::vector<rsyncx::Chunk> chunks =
-      rsyncx::chunk_cdc(content, chunking_, nullptr);
+      rsyncx::chunk_file(content, chunking_, nullptr);
 
   BlockHandle handle;
   handle.size = content.size();
@@ -52,6 +54,33 @@ Result<Bytes> BlockStore::get(const BlockHandle& handle) const {
     return Status{Errc::corruption, "object size mismatch"};
   }
   return out;
+}
+
+Status BlockStore::visit_range(
+    const BlockHandle& handle, std::uint64_t offset, std::uint64_t length,
+    const std::function<void(ByteSpan)>& sink) const {
+  if (offset >= handle.size || length == 0) return Status::ok();
+  const std::uint64_t end =
+      offset + std::min(length, handle.size - offset);  // clamped, no overflow
+
+  const chk::SharedLock lock(mu_);
+  std::uint64_t chunk_start = 0;
+  for (const Md5::Digest& id : handle.chunks) {
+    const auto it = chunks_.find(id);
+    if (it == chunks_.end()) {
+      return Status{Errc::corruption, "missing chunk"};
+    }
+    const Bytes& data = it->second.data;
+    const std::uint64_t chunk_end = chunk_start + data.size();
+    if (chunk_end > offset && chunk_start < end) {
+      const std::uint64_t from = std::max(chunk_start, offset) - chunk_start;
+      const std::uint64_t to = std::min(chunk_end, end) - chunk_start;
+      sink(ByteSpan{data.data() + from, to - from});
+    }
+    chunk_start = chunk_end;
+    if (chunk_start >= end) break;
+  }
+  return Status::ok();
 }
 
 void BlockStore::release(const BlockHandle& handle) {

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -34,7 +35,7 @@
 #include "common/bytes.h"
 #include "common/md5.h"
 #include "common/status.h"
-#include "rsyncx/cdc.h"
+#include "rsyncx/recon.h"
 
 namespace dcfs {
 
@@ -64,6 +65,16 @@ class BlockStore {
   /// Reassembles an object.  Fails with corruption if a chunk is missing
   /// (a release/GC bug or an invalid handle).
   [[nodiscard]] Result<Bytes> get(const BlockHandle& handle) const;
+
+  /// Streams the bytes of `handle` overlapping [offset, offset + length)
+  /// through `sink`, in order, one stored chunk (or chunk suffix/prefix) at
+  /// a time — the object is never materialized, so visiting a narrow
+  /// region of a huge version costs O(chunk size) memory.  Recon queries
+  /// answer from history through this.  Fails with corruption if a chunk
+  /// is missing; a range beyond the object's size is clamped.
+  [[nodiscard]] Status visit_range(
+      const BlockHandle& handle, std::uint64_t offset, std::uint64_t length,
+      const std::function<void(ByteSpan)>& sink) const;
 
   /// Releases one reference on each of the handle's chunks; chunks that
   /// reach zero references are reclaimed.

@@ -23,13 +23,15 @@ CloudServer::CloudServer(const CostProfile& profile, ServerConfig config,
     stages_ = &obs->stages;
     tn_.apply = tracer_->intern("server.apply");
     tn_.apply_group = tracer_->intern("server.apply_group");
+    tn_.recon = tracer_->intern("server.recon");
     for (std::size_t k = static_cast<std::size_t>(proto::OpKind::create);
-         k <= static_cast<std::size_t>(proto::OpKind::record_bundle); ++k) {
+         k <= static_cast<std::size_t>(proto::OpKind::recon_query); ++k) {
       tn_.kind[k] =
           tracer_->intern(proto::to_string(static_cast<proto::OpKind>(k)));
     }
     applied_counter_ = &obs->registry.counter("server.records_applied");
     conflict_counter_ = &obs->registry.counter("server.conflicts");
+    recon_counter_ = &obs->registry.counter("server.recon.queries");
     txn_buffered_ = &obs->registry.counter("server.txn.buffered_records");
     txn_groups_counter_ = &obs->registry.counter("server.txn.groups_applied");
     apply_latency_us_ = &obs->registry.histogram("server.apply_latency_us");
@@ -107,6 +109,13 @@ std::size_t CloudServer::pump_serial() {
         proto::Ack ack;
         ack.result = Errc::corruption;
         send_ack(client_id, ack);
+        continue;
+      }
+      if (record->kind == proto::OpKind::recon_query) {
+        // Pure read against the applied state; answered with a recon
+        // frame, never an ack, and not counted as an applied record.
+        answer_recon(client_id, *record);
+        ++processed;
         continue;
       }
       if (record->kind == proto::OpKind::record_bundle) {
@@ -225,47 +234,13 @@ std::size_t CloudServer::pump_parallel() {
     items.push_back(std::move(item));
   };
 
-  for (auto& [client_id, transport] : clients_) {
-    while (auto frame = transport->server_poll()) {
-      meter_.charge(CostKind::net_frame, frame->size());
-      meter_.charge(CostKind::encrypt, frame->size());
-      Result<Bytes> inner = unwire(std::move(*frame));
-      if (!inner) {
-        PumpItem item;
-        item.client = client_id;
-        item.ack.result = Errc::corruption;
-        items.push_back(std::move(item));
-        continue;
-      }
-      Result<proto::SyncRecord> record = proto::decode_record(*inner);
-      if (wire_ != nullptr) wire_->recycle(std::move(*inner));
-      if (!record) {
-        PumpItem item;
-        item.client = client_id;
-        item.ack.result = Errc::corruption;
-        items.push_back(std::move(item));
-        continue;
-      }
-      if (record->kind == proto::OpKind::record_bundle) {
-        Result<std::vector<proto::SyncRecord>> members = unpack_bundle(*record);
-        if (!members) {
-          PumpItem item;
-          item.client = client_id;
-          item.ack.sequence = record->sequence;
-          item.ack.trace_id = record->trace_id;
-          item.ack.result = Errc::corruption;
-          items.push_back(std::move(item));
-          continue;
-        }
-        for (proto::SyncRecord& member : *members) {
-          intake(client_id, std::move(member));
-        }
-        continue;
-      }
-      intake(client_id, std::move(*record));
-    }
-  }
-
+  // ---- Phases B-E, bundled so the drain loop can run them per
+  // sub-batch: a recon query must observe every earlier arrival applied
+  // (exactly like the serial pump), so it cuts the batch — everything
+  // collected so far is partitioned/applied/emitted first, then the query
+  // is answered serially against the merged state.
+  auto run_batch = [&]() {
+  if (items.empty()) return;
   // ---- Phase B: partition into independent units by touched-path sets.
   // The closure of paths one record can read or write is {path, path2,
   // conflict_name(path, from_client)}; a transactional group is the union
@@ -435,6 +410,56 @@ std::size_t CloudServer::pump_parallel() {
     }
     send_ack(item.client, item.ack);
   }
+  items.clear();
+  };  // run_batch
+
+  for (auto& [client_id, transport] : clients_) {
+    while (auto frame = transport->server_poll()) {
+      meter_.charge(CostKind::net_frame, frame->size());
+      meter_.charge(CostKind::encrypt, frame->size());
+      Result<Bytes> inner = unwire(std::move(*frame));
+      if (!inner) {
+        PumpItem item;
+        item.client = client_id;
+        item.ack.result = Errc::corruption;
+        items.push_back(std::move(item));
+        continue;
+      }
+      Result<proto::SyncRecord> record = proto::decode_record(*inner);
+      if (wire_ != nullptr) wire_->recycle(std::move(*inner));
+      if (!record) {
+        PumpItem item;
+        item.client = client_id;
+        item.ack.result = Errc::corruption;
+        items.push_back(std::move(item));
+        continue;
+      }
+      if (record->kind == proto::OpKind::recon_query) {
+        run_batch();  // the query reads state earlier arrivals produce
+        answer_recon(client_id, *record);
+        ++processed;
+        continue;
+      }
+      if (record->kind == proto::OpKind::record_bundle) {
+        Result<std::vector<proto::SyncRecord>> members = unpack_bundle(*record);
+        if (!members) {
+          PumpItem item;
+          item.client = client_id;
+          item.ack.sequence = record->sequence;
+          item.ack.trace_id = record->trace_id;
+          item.ack.result = Errc::corruption;
+          items.push_back(std::move(item));
+          continue;
+        }
+        for (proto::SyncRecord& member : *members) {
+          intake(client_id, std::move(member));
+        }
+        continue;
+      }
+      intake(client_id, std::move(*record));
+    }
+  }
+  run_batch();
   return processed;
 }
 
@@ -605,6 +630,12 @@ proto::Ack CloudServer::apply_one(std::uint32_t from_client,
   switch (record.kind) {
     case proto::OpKind::record_bundle:
       ack.result = Errc::corruption;  // bundles never reach the apply layer
+      break;
+
+    case proto::OpKind::recon_query:
+      // Queries are intercepted in the pumps (answered, never applied); one
+      // reaching here bypassed framing — reject it.
+      ack.result = Errc::corruption;
       break;
 
     case proto::OpKind::mkdir:
@@ -960,6 +991,166 @@ void CloudServer::push_history(FileEntry& entry) {
 
 void CloudServer::record_arrival(const std::string& path) {
   if (arrived_.insert(path).second) arrival_order_.push_back(path);
+}
+
+void CloudServer::answer_recon(std::uint32_t client_id,
+                               const proto::SyncRecord& record) {
+  obs::Span span(tracer_, tn_.recon);
+  if (record.trace_id != 0 && tracer_ != nullptr) {
+    tracer_->flow_end(record.trace_id);
+  }
+  ++recon_queries_;
+  obs::inc(recon_counter_);
+
+  proto::ReconResponse response;
+  response.trace_id = record.trace_id;
+
+  ByteSpan payload{record.payload};
+  Bytes plain;
+  if (record.compressed) {
+    meter_.charge(CostKind::decompress, record.payload.size());
+    Result<Bytes> decompressed = lz::decompress(record.payload);
+    if (!decompressed) {
+      response.result = Errc::corruption;
+      send_recon(client_id, response);
+      return;
+    }
+    plain = std::move(*decompressed);
+    payload = ByteSpan{plain};
+  }
+  const Result<proto::ReconRequest> request =
+      proto::decode_recon_request(payload);
+  if (!request) {
+    response.result = Errc::corruption;
+    send_recon(client_id, response);
+    return;
+  }
+  response.session = request->session;
+  response.round = request->round;
+
+  // Resolve the base the client negotiates against.  Round 0 (null base
+  // version) names the path's current state — live entry or tombstone;
+  // later rounds pin the exact version round 0 answered with, so a
+  // concurrent update (or unlink) between rounds cannot shear the
+  // negotiation: the pinned version is still in the entry's history.
+  const Bytes* inline_content = nullptr;
+  const BlockHandle* blocks = nullptr;
+  const auto locate = [&](const EntryMap& map, bool deleted) {
+    const auto it = map.find(record.path);
+    if (it == map.end()) return false;
+    const FileEntry& entry = it->second;
+    if (record.base_version.is_null() ||
+        entry.version == record.base_version) {
+      inline_content = &entry.content;
+      response.base = entry.version;
+      response.base_deleted = deleted;
+      response.base_size = entry.content.size();
+      return true;
+    }
+    for (const FileVersion& version : entry.history) {
+      if (!(version.version == record.base_version)) continue;
+      if (version.blocks != nullptr) {
+        blocks = version.blocks.get();
+        response.base_size = version.blocks->size;
+      } else {
+        inline_content = &version.content;
+        response.base_size = version.content.size();
+      }
+      response.base = version.version;
+      response.base_deleted = deleted;
+      return true;
+    }
+    return false;
+  };
+  if (!locate(files_, /*deleted=*/false) &&
+      !locate(tombstones_, /*deleted=*/true)) {
+    // Fresh path (initial upload) or the pinned version aged out of
+    // history: the client falls back to a full-content upload.
+    response.result = Errc::not_found;
+    send_recon(client_id, response);
+    return;
+  }
+
+  // Streams the clamped base region into `sink`, chunk by chunk for
+  // block-backed versions — a narrow region of a huge version never
+  // materializes the whole object.
+  const auto stream_region = [&](std::uint64_t offset, std::uint64_t length,
+                                 const std::function<void(ByteSpan)>& sink) {
+    if (blocks != nullptr) {
+      return store_.visit_range(*blocks, offset, length, sink).is_ok();
+    }
+    const std::uint64_t size = inline_content->size();
+    if (offset >= size || length == 0) return true;
+    sink(ByteSpan{inline_content->data() + offset,
+                  std::min<std::uint64_t>(length, size - offset)});
+    return true;
+  };
+
+  std::vector<rsyncx::recon::Region> regions = request->regions;
+  if (regions.empty()) regions.push_back({0, response.base_size});
+
+  bool ok = true;
+  for (const rsyncx::recon::Region& raw : regions) {
+    const std::uint64_t offset = std::min(raw.offset, response.base_size);
+    const std::uint64_t length =
+        std::min(raw.length, response.base_size - offset);
+    if (request->want == proto::ReconRequest::Want::shingles) {
+      rsyncx::recon::ShingleScanner scanner(
+          offset,
+          {static_cast<std::size_t>(request->minimum),
+           static_cast<std::size_t>(request->average),
+           static_cast<std::size_t>(request->maximum)},
+          &meter_);
+      ok = stream_region(offset, length,
+                         [&](ByteSpan data) { scanner.feed(data); });
+      if (!ok) break;
+      std::vector<rsyncx::recon::Shingle> shingles = scanner.finish();
+      response.shingles.insert(response.shingles.end(), shingles.begin(),
+                               shingles.end());
+    } else {
+      rsyncx::recon::SignatureScanner scanner(request->block_size, &meter_);
+      ok = stream_region(offset, length,
+                         [&](ByteSpan data) { scanner.feed(data); });
+      if (!ok) break;
+      response.signatures.push_back({{offset, length}, scanner.finish()});
+    }
+  }
+  if (!ok) {
+    // A missing store chunk is a refcount bug; surface it like any other
+    // damaged read so the client falls back instead of wedging.
+    response.result = Errc::corruption;
+    response.shingles.clear();
+    response.signatures.clear();
+  }
+  send_recon(client_id, response);
+}
+
+void CloudServer::send_recon(std::uint32_t client_id,
+                             const proto::ReconResponse& response) {
+  const auto it = clients_.find(client_id);
+  if (it == clients_.end()) return;
+  // The client's round-trip flow edge: the query's flow ended above, the
+  // answer starts the ack-tagged edge the client finishes.
+  if (response.trace_id != 0 && tracer_ != nullptr) {
+    tracer_->flow_start(proto::ack_flow_id(response.trace_id));
+  }
+  Bytes frame = wire_ != nullptr
+                    ? wire_->buffer(64 + response.shingles.size() * 24)
+                    : Bytes{};
+  frame.push_back(3);  // server-to-client tag: recon answer
+  proto::encode_into(response, frame);
+  if (wire_ != nullptr) {
+    wire::EncodedFrame encoded = wire_->encode(std::move(frame));
+    if (encoded.attempted) {
+      meter_.charge(CostKind::compress, encoded.raw_size);
+    }
+    meter_.charge(CostKind::net_frame, encoded.wire.size());
+    it->second->server_send(std::move(encoded.wire),
+                            proto::MessageType::recon);
+    return;
+  }
+  meter_.charge(CostKind::net_frame, frame.size());
+  it->second->server_send(std::move(frame), proto::MessageType::recon);
 }
 
 void CloudServer::send_ack(std::uint32_t client_id, const proto::Ack& ack) {

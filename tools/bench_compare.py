@@ -58,6 +58,17 @@ SPECS = {
             "logical_bytes": ("exact", 0.0),
         },
     },
+    "BENCH_recon.json": {
+        "key": ("profile", "size_mb", "edits"),
+        "metrics": {
+            "classic_bytes": ("exact", 0.0),
+            "recursive_bytes": ("exact", 0.0),
+            "reduction": ("exact", 0.0),
+            "rounds_classic": ("exact", 0.0),
+            "rounds_recursive": ("exact", 0.0),
+            "mb_per_sec": ("floor", 0.50),
+        },
+    },
     "BENCH_wire.json": {
         "key": ("trace", "profile"),
         "metrics": {

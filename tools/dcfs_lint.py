@@ -14,6 +14,12 @@ Checks (all on src/ unless noted):
   metric-name   String literals passed to .counter("...") / .gauge("...") /
                 .histogram("...") must match ^[a-z]+(\\.[a-z_]+)+$ — the
                 dotted subsystem.name scheme every exporter assumes.
+  chunk-cdc     chunk_cdc()/chunk_boundaries() calls outside src/rsyncx.
+                Every chunking decision must flow through the sanctioned
+                rsyncx::chunk_file wrapper, which normalizes the CdcParams
+                first — direct calls with unnormalized (e.g. recursively
+                derived) params can violate the boundary-cut invariants the
+                reconciliation planner's termination depends on.
   naked-trace   tracer.begin()/tracer.end() outside src/obs.  Spans must be
                 opened through the RAII obs::Span helper so every begin is
                 paired with an end on all exit paths (exceptions included) —
@@ -49,6 +55,7 @@ RAW_MUTEX_RE = re.compile(
 NAKED_NEW_RE = re.compile(r"\bnew\b\s*(?:\(|[A-Za-z_:<])")
 METRIC_CALL_RE = re.compile(r"\.(counter|gauge|histogram)\(\s*\"([^\"]*)\"")
 NAKED_TRACE_RE = re.compile(r"\btracer_?(?:\.|->)\s*(begin|end)\s*\(")
+CHUNK_CDC_RE = re.compile(r"\b(chunk_cdc|chunk_boundaries)\s*\(")
 METRIC_NAME_RE = re.compile(r"^[a-z]+(\.[a-z_]+)+$")
 ALLOW_RE = re.compile(r"dcfs-lint:\s*allow\(([a-z-]+)\)")
 
@@ -118,6 +125,7 @@ def lint_file(path: str) -> list[str]:
     rel = os.path.relpath(path, REPO)
     in_chk = rel.startswith(os.path.join("src", "chk") + os.sep)
     in_obs = rel.startswith(os.path.join("src", "obs") + os.sep)
+    in_rsyncx = rel.startswith(os.path.join("src", "rsyncx") + os.sep)
     try:
         with open(path, encoding="utf-8") as f:
             raw_lines = f.read().splitlines()
@@ -141,6 +149,14 @@ def lint_file(path: str) -> list[str]:
                 findings.append(
                     f"{rel}:{idx + 1}: [naked-trace] open spans with the "
                     f"RAII obs::Span helper, not tracer.begin()/end()"
+                )
+
+        if not in_rsyncx and CHUNK_CDC_RE.search(code):
+            if not allowed("chunk-cdc", raw_lines, idx):
+                findings.append(
+                    f"{rel}:{idx + 1}: [chunk-cdc] call rsyncx::chunk_file "
+                    f"(normalizes params) — chunk_cdc/chunk_boundaries live "
+                    f"in src/rsyncx only"
                 )
 
         m = NAKED_NEW_RE.search(code)
