@@ -1,0 +1,309 @@
+// Bounded-window chunk streaming: memory bound and aggregate throughput.
+//
+// Part 1 — window sweep (pc_wan): a file 64x the stream window moves into
+// the sync folder and uploads as a chunk stream.  For every window size
+// the run repeats with streaming off (the serial one-record reference);
+// the server's final content must be byte-identical (a mismatch aborts
+// the bench), and the client's tracked-buffer high-water mark must stay
+// within 4x the window — the O(window) guarantee, measured instead of
+// trusted.
+//
+// Part 2 — concurrency (pc_wan + mobile_wan): N independent client/server
+// pairs each sync a streamed workload.  The same tasks run two ways via
+// dcfs::rt::Driver: serially (sum of per-task virtual time — the
+// pre-reactor model, one connection at a time) and reactor-multiplexed
+// (makespan).  Aggregate records/sec is reported for both; with 8
+// concurrent clients on pc_wan the reactor must reach at least 1.5x the
+// serial pump.
+//
+// Emits BENCH_stream.json (array of {row, profile, window_kb, clients,
+// ...}; window rows carry highwater/stalls/up_bytes, client rows carry
+// serial_ms/reactor_ms/speedup/records_per_sec) for the bench_compare
+// gate.
+//
+// Usage: stream_scale [--paper] [--out FILE]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "harness.h"
+#include "rt/driver.h"
+
+namespace {
+
+using namespace dcfs;
+
+[[noreturn]] void die(const char* what) {
+  std::fprintf(stderr, "stream_scale: %s\n", what);
+  std::exit(1);
+}
+
+void drain(DeltaCfsSystem& system, VirtualClock& clock) {
+  for (int i = 0; i < 150; ++i) {
+    clock.advance(milliseconds(200));
+    system.tick(clock.now());
+  }
+  system.finish(clock.now());
+  system.tick(clock.now());
+}
+
+ClientConfig stream_config(std::uint64_t window) {
+  ClientConfig config;
+  config.stream_window_bytes = window;
+  config.stream_chunk_bytes = window == 0 ? 64 * 1024 : window / 4;
+  config.stream_min_bytes = 256 * 1024;
+  return config;
+}
+
+struct WindowOutcome {
+  std::uint64_t content_hash = 0;
+  std::uint64_t records = 0;
+  std::uint64_t up_bytes = 0;
+  std::uint64_t highwater = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t streams = 0;
+};
+
+/// One move-into-scope upload of `content` with the given window (0 =
+/// streaming off, the reference).
+WindowOutcome window_replay(const Bytes& content, std::uint64_t window) {
+  VirtualClock clock;
+  DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::pc_wan(),
+                        stream_config(window));
+  FileSystem& fs = system.fs();
+  fs.mkdir("/sync");
+  fs.mkdir("/stash");
+  fs.write_file("/stash/next", content);
+  fs.rename("/stash/next", "/sync/big");
+  drain(system, clock);
+
+  WindowOutcome outcome;
+  const Result<Bytes> cloud = system.server().fetch("/sync/big");
+  if (!cloud.is_ok()) die("server is missing the uploaded file");
+  if (cloud->size() != content.size()) die("uploaded size differs");
+  outcome.content_hash = fnv1a(*cloud);
+  outcome.records = system.server().records_applied();
+  outcome.up_bytes = system.transport().meter().up_bytes();
+  outcome.highwater = system.client().stream_mem_highwater();
+  outcome.stalls = system.client().stream_stalls();
+  outcome.streams = system.client().streams_started();
+  if (system.client().streams_in_flight() != 0) die("stream leaked");
+  if (system.client().errors_acked() != 0) die("client saw error acks");
+  return outcome;
+}
+
+/// One independent client/server pair on its own timeline: mkdir, move a
+/// large file into scope (streamed), sprinkle small files, drain.
+struct SyncTask {
+  VirtualClock clock;
+  std::unique_ptr<DeltaCfsSystem> system;
+  Bytes content;
+  int steps_done = 0;
+  int total_steps = 0;
+  bool started = false;
+
+  bool step() {
+    if (!started) {
+      FileSystem& fs = system->fs();
+      fs.mkdir("/sync");
+      fs.mkdir("/stash");
+      fs.write_file("/stash/next", content);
+      fs.rename("/stash/next", "/sync/big");
+      for (int i = 0; i < 4; ++i) {
+        fs.write_file("/sync/small" + std::to_string(i),
+                      Bytes(256 + 64 * static_cast<std::size_t>(i), 0x5a));
+      }
+      started = true;
+    }
+    clock.advance(milliseconds(200));
+    system->tick(clock.now());
+    if (++steps_done < total_steps) return true;
+    system->finish(clock.now());
+    system->tick(clock.now());
+    return false;
+  }
+};
+
+struct FleetOutcome {
+  std::uint64_t records = 0;
+  Duration elapsed = 0;  ///< virtual: serial sum or reactor makespan
+};
+
+std::vector<std::unique_ptr<SyncTask>> make_fleet(const NetProfile& net,
+                                                  const CostProfile& cost,
+                                                  std::size_t clients,
+                                                  std::uint64_t file_bytes,
+                                                  int steps) {
+  std::vector<std::unique_ptr<SyncTask>> fleet;
+  fleet.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    auto task = std::make_unique<SyncTask>();
+    Rng rng(4200 + c);
+    task->content = rng.bytes(file_bytes);
+    task->total_steps = steps;
+    task->system = std::make_unique<DeltaCfsSystem>(
+        task->clock, cost, net, stream_config(64 * 1024));
+    fleet.push_back(std::move(task));
+  }
+  return fleet;
+}
+
+FleetOutcome run_fleet(const NetProfile& net, const CostProfile& cost,
+                       std::size_t clients, std::uint64_t file_bytes,
+                       int steps, bool reactor) {
+  std::vector<std::unique_ptr<SyncTask>> fleet =
+      make_fleet(net, cost, clients, file_bytes, steps);
+  rt::Driver driver;
+  for (std::size_t c = 0; c < fleet.size(); ++c) {
+    SyncTask* task = fleet[c].get();
+    driver.add("client" + std::to_string(c), task->clock,
+               [task] { return task->step(); });
+  }
+  FleetOutcome outcome;
+  outcome.elapsed = reactor ? driver.run_reactor() : driver.run_serial();
+  for (const std::unique_ptr<SyncTask>& task : fleet) {
+    const Result<Bytes> cloud = task->system->server().fetch("/sync/big");
+    if (!cloud.is_ok()) die("a fleet server is missing the streamed file");
+    if (fnv1a(*cloud) != fnv1a(task->content)) die("fleet content diverged");
+    if (task->system->client().streams_started() == 0) {
+      die("fleet client did not stream");
+    }
+    if (task->system->client().errors_acked() != 0) {
+      die("fleet client saw error acks");
+    }
+    outcome.records += task->system->server().records_applied();
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool paper_scale = bench::paper_scale_requested(argc, argv);
+  std::string out = "BENCH_stream.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) out = argv[++i];
+  }
+  bench::print_scale_banner(paper_scale);
+
+  FILE* json = std::fopen(out.c_str(), "w");
+  if (json == nullptr) die("cannot open output file");
+  std::fprintf(json, "[\n");
+  bool first_row = true;
+
+  // ---- Part 1: window sweep, file = 64x window -------------------------
+  const std::vector<std::uint64_t> windows_kb =
+      paper_scale ? std::vector<std::uint64_t>{64, 128, 256}
+                  : std::vector<std::uint64_t>{16, 32, 64};
+  std::printf("%-8s %9s %9s %12s %10s %7s\n", "row", "window", "file",
+              "highwater", "ratio", "stalls");
+  for (const std::uint64_t window_kb : windows_kb) {
+    const std::uint64_t window = window_kb * 1024;
+    Rng rng(7000 + window_kb);
+    const Bytes content = rng.bytes(64 * window);
+
+    const WindowOutcome reference = window_replay(content, 0);
+    const WindowOutcome streamed = window_replay(content, window);
+    if (reference.content_hash != streamed.content_hash) {
+      die("streamed and serial server state diverged");
+    }
+    if (reference.records != streamed.records) {
+      die("streamed and serial applied-record counts diverged");
+    }
+    if (streamed.streams == 0) die("window run did not stream");
+    const double ratio = static_cast<double>(streamed.highwater) /
+                         static_cast<double>(window);
+    if (streamed.highwater > 4 * window) {
+      die("tracked-buffer high-water exceeded 4x the stream window");
+    }
+
+    std::printf("%-8s %7lluKB %7lluKB %12llu %9.2fx %7llu\n", "window",
+                static_cast<unsigned long long>(window_kb),
+                static_cast<unsigned long long>(64 * window_kb),
+                static_cast<unsigned long long>(streamed.highwater), ratio,
+                static_cast<unsigned long long>(streamed.stalls));
+    std::fprintf(
+        json,
+        "%s  {\"row\": \"window\", \"profile\": \"pc_wan\", "
+        "\"window_kb\": %llu, \"clients\": 1, \"file_kb\": %llu, "
+        "\"highwater\": %llu, \"highwater_ratio\": %.4f, \"stalls\": %llu, "
+        "\"records\": %llu, \"up_bytes\": %llu}",
+        first_row ? "" : ",\n",
+        static_cast<unsigned long long>(window_kb),
+        static_cast<unsigned long long>(64 * window_kb),
+        static_cast<unsigned long long>(streamed.highwater), ratio,
+        static_cast<unsigned long long>(streamed.stalls),
+        static_cast<unsigned long long>(streamed.records),
+        static_cast<unsigned long long>(streamed.up_bytes));
+    first_row = false;
+  }
+
+  // ---- Part 2: concurrent clients, serial pump vs reactor --------------
+  struct Profile {
+    const char* name;
+    NetProfile net;
+    CostProfile cost;
+  };
+  const Profile profiles[] = {
+      {"pc_wan", NetProfile::pc_wan(), CostProfile::pc()},
+      {"mobile_wan", NetProfile::mobile_wan(), CostProfile::mobile()},
+  };
+  const std::uint64_t file_bytes =
+      paper_scale ? (4ull << 20) : (1ull << 20);
+  const int steps = paper_scale ? 300 : 150;
+
+  std::printf("%-11s %7s %10s %11s %11s %8s %12s\n", "profile", "clients",
+              "records", "serial ms", "reactor ms", "speedup", "records/s");
+  double pc_wan_8_speedup = 0;
+  for (const Profile& profile : profiles) {
+    for (const std::size_t clients : {std::size_t{1}, std::size_t{8}}) {
+      const FleetOutcome serial = run_fleet(profile.net, profile.cost,
+                                            clients, file_bytes, steps,
+                                            /*reactor=*/false);
+      const FleetOutcome reactor = run_fleet(profile.net, profile.cost,
+                                             clients, file_bytes, steps,
+                                             /*reactor=*/true);
+      if (serial.records != reactor.records) {
+        die("serial and reactor applied-record counts diverged");
+      }
+      const double serial_s =
+          static_cast<double>(serial.elapsed) / 1'000'000.0;
+      const double reactor_s =
+          static_cast<double>(reactor.elapsed) / 1'000'000.0;
+      const double speedup = reactor_s > 0 ? serial_s / reactor_s : 0;
+      const double records_per_sec =
+          reactor_s > 0 ? static_cast<double>(reactor.records) / reactor_s
+                        : 0;
+      if (std::string_view(profile.name) == "pc_wan" && clients == 8) {
+        pc_wan_8_speedup = speedup;
+      }
+      std::printf("%-11s %7zu %10llu %11.1f %11.1f %7.2fx %12.2f\n",
+                  profile.name, clients,
+                  static_cast<unsigned long long>(reactor.records),
+                  serial_s * 1000, reactor_s * 1000, speedup,
+                  records_per_sec);
+      std::fprintf(
+          json,
+          "%s  {\"row\": \"clients\", \"profile\": \"%s\", "
+          "\"window_kb\": 64, \"clients\": %zu, \"records\": %llu, "
+          "\"serial_ms\": %.1f, \"reactor_ms\": %.1f, \"speedup\": %.4f, "
+          "\"records_per_sec\": %.2f}",
+          first_row ? "" : ",\n", profile.name, clients,
+          static_cast<unsigned long long>(reactor.records), serial_s * 1000,
+          reactor_s * 1000, speedup, records_per_sec);
+      first_row = false;
+    }
+  }
+  std::fprintf(json, "\n]\n");
+  std::fclose(json);
+  std::printf("wrote %s\n", out.c_str());
+
+  if (pc_wan_8_speedup < 1.5) {
+    die("pc_wan 8-client reactor speedup below the 1.5x gate");
+  }
+  return 0;
+}

@@ -15,6 +15,7 @@ namespace {
 constexpr std::uint8_t kFrameAck = 1;
 constexpr std::uint8_t kFrameRecord = 2;
 constexpr std::uint8_t kFrameRecon = 3;
+constexpr std::uint8_t kFrameCredit = 4;
 
 /// Wire size of the classic one-round exchange's signature download for a
 /// `base_size` file — the traffic reference recon savings are measured
@@ -40,7 +41,9 @@ DeltaCfsClient::DeltaCfsClient(FileSystem& local, Transport& transport,
       config_(std::move(config)),
       queue_(config_.upload_delay, config_.causality,
              config_.snapshot_interval),
-      relations_(config_.relation_timeout) {
+      relations_(config_.relation_timeout),
+      reactor_(clock.now(), obs) {
+  conn_ = reactor_.add_connection("cloud");
   config_.sync_root = path::normalize(config_.sync_root);
   config_.tmp_dir = path::normalize(config_.tmp_dir);
   if (obs != nullptr) {
@@ -55,7 +58,7 @@ DeltaCfsClient::DeltaCfsClient(FileSystem& local, Transport& transport,
     tn_.ack = tracer_->intern("client.ack");
     tn_.recon_round = tracer_->intern("client.recon_round");
     for (std::size_t k = static_cast<std::size_t>(proto::OpKind::create);
-         k <= static_cast<std::size_t>(proto::OpKind::recon_query); ++k) {
+         k <= static_cast<std::size_t>(proto::OpKind::stream_commit); ++k) {
       tn_.kind[k] =
           tracer_->intern(proto::to_string(static_cast<proto::OpKind>(k)));
     }
@@ -80,6 +83,8 @@ DeltaCfsClient::DeltaCfsClient(FileSystem& local, Transport& transport,
     stats_.recon_rounds = &reg.counter("net.recon.rounds");
     stats_.recon_saved = &reg.counter("net.recon.sig_bytes_saved");
     stats_.recon_fallbacks = &reg.counter("net.recon.fallbacks");
+    stats_.stream_stalls = &reg.counter("rt.backpressure.stalls");
+    ledger_.attach_gauge(&reg.gauge("rt.mem.highwater"));
     stats_.record_bytes =
         &reg.histogram("client.upload.record_bytes", obs::default_bytes_bounds());
   }
@@ -384,17 +389,20 @@ void DeltaCfsClient::note_rename(std::string_view raw_from,
   }
   if (!from_in && to_in) {
     // Moved into the sync folder: upload the full content.
-    Result<Bytes> content = local_.read_file(to);
-    if (content) {
+    SyncNode node;
+    node.kind = proto::OpKind::full_file;
+    node.path = to;
+    const Result<FileStat> st = local_.stat(to);
+    if (!(st && stream_eligible(node.kind, st->size) &&
+          spill_snapshot(node, to, st->size))) {
+      Result<Bytes> content = local_.read_file(to);
+      if (!content) return;
       meter_.charge(CostKind::disk_read, content->size());
-      SyncNode node;
-      node.kind = proto::OpKind::full_file;
-      node.path = to;
       node.payload = std::move(*content);
-      assign_versions(node, to);
-      queue_.enqueue(std::move(node), clock_.now());
-      recently_modified_.insert(to);
     }
+    assign_versions(node, to);
+    queue_.enqueue(std::move(node), clock_.now());
+    recently_modified_.insert(to);
     return;
   }
 
@@ -812,21 +820,12 @@ void DeltaCfsClient::tick(TimePoint now) {
     preserved_versions_.erase(entry.dst);
   });
 
-  // While a reconciliation session is in flight the queue is not popped: a
-  // later node for the same path must not reach the server ahead of the
-  // session's final delta.
-  if (recon_sessions_.empty()) {
-    std::vector<SyncNode> ready = queue_.pop_ready(now);
-    if (!ready.empty()) {
-      obs::Span batch(tracer_, tn_.upload_batch);
-      for (SyncNode& node : ready) {
-        upload_node(std::move(node));
-      }
-      flush_bundle();
-      ship_outbox();
-    }
-  }
+  upload_ready(now, /*flush_all=*/false);
 
+  // Downstream frames dispatch on the reactor's interactive lane (FIFO per
+  // lane, so per-frame order is exactly the pre-reactor loop's): metadata
+  // acks / forwards / recon answers preempt the bulk stream pumps that the
+  // credit handler re-arms below.
   while (auto frame = transport_.client_poll()) {
     const std::uint64_t frame_bytes = frame->size();
     meter_.charge(CostKind::net_frame, frame->size());
@@ -845,24 +844,37 @@ void DeltaCfsClient::tick(TimePoint now) {
       inner = std::move(*frame);
     }
     if (inner.empty()) continue;
-    const std::uint8_t tag = inner[0];
-    const ByteSpan body{inner.data() + 1, inner.size() - 1};
-    if (tag == kFrameAck) {
-      if (Result<proto::Ack> ack = proto::decode_ack(body)) {
-        process_ack(*ack);
-      }
-    } else if (tag == kFrameRecord) {
-      if (Result<proto::SyncRecord> record = proto::decode_record(body)) {
-        apply_forward(*record);
-      }
-    } else if (tag == kFrameRecon) {
-      if (Result<proto::ReconResponse> response =
-              proto::decode_recon_response(body)) {
-        handle_recon_response(*response, frame_bytes);
-      }
-    }
-    if (wire_ != nullptr) wire_->recycle(std::move(inner));
+    reactor_.make_ready(conn_, rt::TaskClass::interactive,
+                        [this, frame_bytes, body = std::move(inner)]() mutable {
+                          dispatch_frame(std::move(body), frame_bytes);
+                        });
   }
+  reactor_.poll(now);
+}
+
+void DeltaCfsClient::dispatch_frame(Bytes inner, std::uint64_t frame_bytes) {
+  const std::uint8_t tag = inner[0];
+  const ByteSpan body{inner.data() + 1, inner.size() - 1};
+  if (tag == kFrameAck) {
+    if (Result<proto::Ack> ack = proto::decode_ack(body)) {
+      process_ack(*ack);
+    }
+  } else if (tag == kFrameRecord) {
+    if (Result<proto::SyncRecord> record = proto::decode_record(body)) {
+      apply_forward(*record);
+    }
+  } else if (tag == kFrameRecon) {
+    if (Result<proto::ReconResponse> response =
+            proto::decode_recon_response(body)) {
+      handle_recon_response(*response, frame_bytes);
+    }
+  } else if (tag == kFrameCredit) {
+    if (Result<proto::StreamCredit> credit =
+            proto::decode_stream_credit(body)) {
+      handle_stream_credit(*credit);
+    }
+  }
+  if (wire_ != nullptr) wire_->recycle(std::move(inner));
 }
 
 void DeltaCfsClient::flush(TimePoint now) {
@@ -872,20 +884,88 @@ void DeltaCfsClient::flush(TimePoint now) {
     if (checksums_) checksums_->on_unlink(entry.dst);
     preserved_versions_.erase(entry.dst);
   });
-  if (!recon_sessions_.empty()) return;  // see tick(): no overtaking
-  std::vector<SyncNode> ready = queue_.pop_ready(now, /*flush_all=*/true);
-  if (!ready.empty()) {
-    obs::Span batch(tracer_, tn_.upload_batch);
-    for (SyncNode& node : ready) {
-      upload_node(std::move(node));
-    }
-    flush_bundle();
-    ship_outbox();
+  // Open streams drain to completion first, ignoring window credit (the
+  // experiment is over), so same-path deferred nodes can ship below.
+  finish_streams();
+  upload_ready(now, /*flush_all=*/true);
+  reactor_.poll(now);
+}
+
+void DeltaCfsClient::upload_ready(TimePoint now, bool flush_all) {
+  std::vector<SyncNode> ready = queue_.pop_ready(now, flush_all);
+  if (ready.empty() && deferred_.empty()) return;
+  if (!deferred_.empty()) {
+    // Parked nodes rejoin the batch; both lists are seq-sorted, so one
+    // merge restores global FIFO.
+    deferred_.insert(deferred_.end(), std::make_move_iterator(ready.begin()),
+                     std::make_move_iterator(ready.end()));
+    ready = std::move(deferred_);
+    deferred_.clear();
+    std::stable_sort(ready.begin(), ready.end(),
+                     [](const SyncNode& a, const SyncNode& b) {
+                       return a.seq < b.seq;
+                     });
   }
+
+  // Paths claimed by an in-flight recon session or open stream: a later
+  // node for the same path must not reach the server ahead of the
+  // session's final record.  Unrelated paths keep flowing — a recon or
+  // stream never pauses the whole queue.
+  std::set<std::string, std::less<>> blocked_paths;
+  std::set<std::uint64_t> blocked_groups;
+  for (const auto& [id, session] : recon_sessions_) {
+    blocked_paths.insert(session.node.path);
+    if (!session.node.path2.empty()) blocked_paths.insert(session.node.path2);
+  }
+  for (const auto& [id, stream] : out_streams_) {
+    blocked_paths.insert(stream.node.path);
+  }
+
+  obs::Span batch(tracer_, tn_.upload_batch);
+  for (SyncNode& node : ready) {
+    const bool blocked =
+        blocked_paths.contains(node.path) ||
+        (!node.path2.empty() && blocked_paths.contains(node.path2)) ||
+        (node.txn_group != 0 && blocked_groups.contains(node.txn_group));
+    if (blocked) {
+      // Everything behind this node on its path / txn group defers with
+      // it: per-path and per-group FIFO is preserved.
+      blocked_paths.insert(node.path);
+      if (!node.path2.empty()) blocked_paths.insert(node.path2);
+      if (node.txn_group != 0) blocked_groups.insert(node.txn_group);
+      deferred_.push_back(std::move(node));
+      continue;
+    }
+    const std::string path = node.path;
+    const std::string path2 = node.path2;
+    const std::uint64_t group = node.txn_group;
+    const std::size_t sessions_before =
+        recon_sessions_.size() + out_streams_.size();
+    upload_node(std::move(node));
+    if (recon_sessions_.size() + out_streams_.size() > sessions_before) {
+      // The upload opened a recon session or stream for this path: later
+      // same-batch nodes for it park behind it.
+      blocked_paths.insert(path);
+      if (!path2.empty()) blocked_paths.insert(path2);
+      if (group != 0) blocked_groups.insert(group);
+    }
+  }
+  flush_bundle();
+  ship_outbox();
 }
 
 void DeltaCfsClient::upload_node(SyncNode node, bool allow_recon) {
-  if (quarantine_.contains(node.path)) return;  // never upload damaged data
+  if (quarantine_.contains(node.path)) {  // never upload damaged data
+    if (!node.spill_path.empty()) local_.unlink(node.spill_path);
+    return;
+  }
+
+  if (node.spill_size > 0) {
+    // Spilled full-content node: ship it as a bounded-window chunk stream
+    // instead of materializing the payload in one record.
+    start_stream(std::move(node));
+    return;
+  }
 
   if (allow_recon && recon_eligible(node)) {
     start_recon(std::move(node));
@@ -1286,6 +1366,265 @@ void DeltaCfsClient::recon_fallback(ReconSession& session) {
   ship_outbox();
 }
 
+// ---------------------------------------------------------------------------
+// Bounded-window chunk streaming (dcfs::rt)
+// ---------------------------------------------------------------------------
+
+bool DeltaCfsClient::stream_eligible(proto::OpKind kind,
+                                     std::uint64_t size) const {
+  if (config_.stream_window_bytes == 0) return false;
+  if (kind != proto::OpKind::full_file) return false;
+  if (size < config_.stream_min_bytes) return false;
+  // Recon-bound nodes keep their in-memory payload: the negotiation spans
+  // the full target bytes, and recon already bounds what hits the wire.
+  if (config_.recon_mode != ReconMode::off &&
+      size >= config_.recon_min_bytes) {
+    return false;
+  }
+  return true;
+}
+
+bool DeltaCfsClient::spill_snapshot(SyncNode& node, const std::string& path,
+                                    std::uint64_t size) {
+  if (!tmp_dir_ready_) {
+    local_.mkdir(config_.tmp_dir);  // idempotent enough: EEXIST is fine
+    tmp_dir_ready_ = true;
+  }
+  Result<FileHandle> src = local_.open(path);
+  if (!src) return false;
+  const std::string spill =
+      config_.tmp_dir + "/s" + std::to_string(++stream_spill_counter_);
+  Result<FileHandle> dst = local_.create(spill);
+  if (!dst) {
+    local_.close(*src);
+    return false;
+  }
+  // Chunk-by-chunk copy: the queue never holds more than one chunk of the
+  // file in memory — the O(window) bound starts here, not at the wire, so
+  // the chunk is clamped to the window even if the knobs disagree.
+  const std::uint64_t chunk = stream_chunk_size();
+  std::uint64_t copied = 0;
+  bool ok = true;
+  while (copied < size) {
+    const std::uint64_t want = std::min(chunk, size - copied);
+    Result<Bytes> data = local_.read(*src, copied, want);
+    if (!data || data->size() != want) {  // shrank mid-copy: fall back
+      ok = false;
+      break;
+    }
+    meter_.charge(CostKind::disk_read, data->size());
+    ledger_.acquire(data->size());
+    const Status written = local_.write(*dst, copied, *data);
+    meter_.charge(CostKind::disk_write, data->size());
+    ledger_.release(data->size());
+    if (!written.is_ok()) {
+      ok = false;
+      break;
+    }
+    copied += want;
+  }
+  local_.close(*src);
+  local_.close(*dst);
+  if (!ok) {
+    local_.unlink(spill);
+    return false;
+  }
+  node.spill_path = spill;
+  node.spill_size = size;
+  return true;
+}
+
+void DeltaCfsClient::start_stream(SyncNode node) {
+  // Frames staged before this node must not be overtaken by its chunks:
+  // the server consumes frames in arrival order.
+  flush_bundle();
+  ship_outbox();
+
+  if (stages_ != nullptr) {
+    stages_->record(obs::Stage::queue_wait,
+                    static_cast<std::uint64_t>(
+                        clock_.now() - node.enqueue_time));
+  }
+
+  const std::uint64_t id = node.seq;
+  OutStream stream;
+  stream.id = id;
+  stream.total = node.spill_size;
+  stream.credit = rt::CreditGate(config_.stream_window_bytes);
+  stream.node = std::move(node);
+  ++streams_started_;
+
+  OutStream& live = out_streams_.emplace(id, std::move(stream)).first->second;
+  proto::SyncRecord open;
+  open.sequence = id;
+  open.kind = proto::OpKind::stream_open;
+  open.path = live.node.path;
+  open.base_version = live.node.base_version;
+  open.new_version = live.node.new_version;
+  open.base_deleted = live.node.base_deleted;
+  open.offset = config_.stream_window_bytes;  // advertised window
+  open.size = live.total;
+  send_stream_frame(open);
+
+  // The first window pumps on the reactor's bulk lane: interactive work
+  // already queued this tick dispatches first.
+  reactor_.make_ready(conn_, rt::TaskClass::bulk, [this, id] {
+    if (const auto it = out_streams_.find(id); it != out_streams_.end()) {
+      pump_stream(it->second, /*draining=*/false);
+    }
+  });
+}
+
+void DeltaCfsClient::pump_stream(OutStream& stream, bool draining) {
+  Result<FileHandle> fh = local_.open(stream.node.spill_path);
+  if (!fh) {
+    // The spill vanished (should not happen): abort the stream.  The
+    // server's staged bytes expire with the missing commit.
+    ledger_.release(stream.unacked);
+    out_streams_.erase(stream.id);
+    return;
+  }
+  bool starved = false;
+  while (stream.sent < stream.total) {
+    const std::uint64_t want =
+        std::min(stream_chunk_size(), stream.total - stream.sent);
+    const std::uint64_t granted =
+        draining ? want : stream.credit.consume(want);
+    if (granted == 0) {
+      starved = true;
+      break;
+    }
+    Result<Bytes> data = local_.read(*fh, stream.sent, granted);
+    if (!data || data->size() != granted) break;  // retry next pump
+    meter_.charge(CostKind::disk_read, data->size());
+    ledger_.acquire(data->size());
+    stream.unacked += data->size();
+
+    proto::SyncRecord chunk;
+    chunk.sequence = stream.id;
+    chunk.kind = proto::OpKind::stream_chunk;
+    chunk.path = stream.node.path;
+    chunk.offset = stream.sent;
+    chunk.size = stream.chunk_seq;  // ordinal, for reorder detection
+    chunk.payload = std::move(*data);
+    send_stream_frame(chunk);
+    stream.sent += granted;
+    ++stream.chunk_seq;
+    if (draining) {
+      // No credit comes back on the drain path: the frame left with the
+      // transport, release the tracked bytes right away.
+      ledger_.release(granted);
+      stream.unacked -= granted;
+    }
+  }
+  local_.close(*fh);
+  if (starved) {
+    if (!stream.stalled) {
+      stream.stalled = true;
+      stream.stall_start = clock_.now();
+      ++stream_stalls_;
+      obs::inc(stats_.stream_stalls);
+    }
+    return;
+  }
+  if (stream.sent >= stream.total) finish_stream(stream);
+}
+
+void DeltaCfsClient::finish_stream(OutStream& stream) {
+  obs::Span span(tracer_, tn_.upload, kind_cat(proto::OpKind::stream_commit));
+  proto::SyncRecord commit;
+  commit.sequence = stream.id;
+  commit.kind = proto::OpKind::stream_commit;
+  commit.path = stream.node.path;
+  commit.path2 = stream.node.path2;
+  commit.size = stream.total;
+  commit.base_version = stream.node.base_version;
+  commit.new_version = stream.node.new_version;
+  commit.txn_group = stream.node.txn_group;
+  commit.txn_last = stream.node.txn_last;
+  commit.base_deleted = stream.node.base_deleted;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    commit.trace_id = next_trace_id();
+  }
+  obs::inc(stats_.uploads);
+  ++records_uploaded_;
+  if (commit.trace_id != 0) tracer_->flow_start(commit.trace_id);
+  if (stages_ != nullptr) inflight_sent_[commit.sequence] = clock_.now();
+  send_stream_frame(commit);
+  local_.unlink(stream.node.spill_path);
+  ledger_.release(stream.unacked);
+  out_streams_.erase(stream.id);  // `stream` is dead past this line
+}
+
+void DeltaCfsClient::finish_streams() {
+  // Collect ids first: pump_stream erases the entry at commit.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(out_streams_.size());
+  for (const auto& [id, stream] : out_streams_) ids.push_back(id);
+  for (const std::uint64_t id : ids) {
+    if (const auto it = out_streams_.find(id); it != out_streams_.end()) {
+      pump_stream(it->second, /*draining=*/true);
+    }
+  }
+}
+
+void DeltaCfsClient::send_stream_frame(const proto::SyncRecord& record) {
+  Bytes frame = frame_buffer(record.payload.size() + record.path.size() +
+                             record.path2.size() + 80);
+  proto::encode_into(record, frame);
+  obs::observe(stats_.record_bytes, frame.size());
+  // Stream frames ship immediately (never bundled, never staged): pacing
+  // is the credit window's job, and the server consumes frames in arrival
+  // order.
+  Duration wire_time = 0;
+  if (wire_ != nullptr) {
+    wire::EncodedFrame encoded = wire_->encode(std::move(frame));
+    if (encoded.attempted) {
+      meter_.charge(CostKind::compress, encoded.raw_size);
+    }
+    meter_.charge(CostKind::encrypt, encoded.wire.size());
+    meter_.charge(CostKind::net_frame, encoded.wire.size());
+    wire_time = transport_.client_send(std::move(encoded.wire),
+                                       proto::MessageType::stream);
+  } else {
+    meter_.charge(CostKind::encrypt, frame.size());
+    meter_.charge(CostKind::net_frame, frame.size());
+    wire_time =
+        transport_.client_send(std::move(frame), proto::MessageType::stream);
+  }
+  if (stages_ != nullptr) {
+    stages_->record(obs::Stage::transport,
+                    static_cast<std::uint64_t>(wire_time));
+  }
+}
+
+void DeltaCfsClient::handle_stream_credit(const proto::StreamCredit& credit) {
+  const auto it = out_streams_.find(credit.stream_id);
+  if (it == out_streams_.end()) return;  // stale: the stream already drained
+  OutStream& stream = it->second;
+  stream.credit.grant(credit.bytes);
+  const std::uint64_t consumed =
+      std::min<std::uint64_t>(credit.bytes, stream.unacked);
+  ledger_.release(consumed);
+  stream.unacked -= consumed;
+  if (stream.stalled) {
+    if (stages_ != nullptr) {
+      stages_->record(obs::Stage::stream_wait,
+                      static_cast<std::uint64_t>(
+                          clock_.now() - stream.stall_start));
+    }
+    stream.stalled = false;
+  }
+  const std::uint64_t id = stream.id;
+  // Re-arm the pump on the bulk lane; the reactor runs it after the
+  // interactive frames still queued in this poll.
+  reactor_.make_ready(conn_, rt::TaskClass::bulk, [this, id] {
+    if (const auto live = out_streams_.find(id); live != out_streams_.end()) {
+      pump_stream(live->second, /*draining=*/false);
+    }
+  });
+}
+
 void DeltaCfsClient::process_ack(const proto::Ack& ack) {
   obs::Span span(tracer_, tn_.ack);
   if (ack.trace_id != 0 && tracer_ != nullptr) {
@@ -1410,6 +1749,12 @@ void DeltaCfsClient::apply_forward(const proto::SyncRecord& raw_record) {
     case proto::OpKind::recon_query:
       // Queries are client->server only and are never forwarded.
       break;
+    case proto::OpKind::stream_open:
+    case proto::OpKind::stream_chunk:
+    case proto::OpKind::stream_commit:
+      // Stream framing is client->server only; the server forwards the
+      // synthesized full_file record instead.
+      break;
   }
 }
 
@@ -1450,13 +1795,16 @@ std::size_t DeltaCfsClient::import_tree() {
         continue;
       }
       if (known_versions_.contains(full)) continue;  // already tracked
-      Result<Bytes> content = local_.read_file(full);
-      if (!content) continue;
-      meter_.charge(CostKind::disk_read, content->size());
       SyncNode node;
       node.kind = proto::OpKind::full_file;
       node.path = full;
-      node.payload = std::move(*content);
+      if (!(stream_eligible(node.kind, st->size) &&
+            spill_snapshot(node, full, st->size))) {
+        Result<Bytes> content = local_.read_file(full);
+        if (!content) continue;
+        meter_.charge(CostKind::disk_read, content->size());
+        node.payload = std::move(*content);
+      }
       assign_versions(node, full);
       queue_.enqueue(std::move(node), clock_.now());
       if (checksums_) checksums_->index_file(local_, full);

@@ -32,6 +32,7 @@ enum class Stage : std::uint8_t {
   apply,       ///< server-side apply CPU
   ack,         ///< upload -> ack-processed round trip
   recon,       ///< recursive-reconciliation rounds (query -> answer)
+  stream_wait, ///< chunk-stream stall waiting for window credit
   kCount,
 };
 

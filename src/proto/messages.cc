@@ -106,6 +106,9 @@ std::string_view to_string(OpKind kind) {
     case OpKind::full_file: return "full_file";
     case OpKind::record_bundle: return "record_bundle";
     case OpKind::recon_query: return "recon_query";
+    case OpKind::stream_open: return "stream_open";
+    case OpKind::stream_chunk: return "stream_chunk";
+    case OpKind::stream_commit: return "stream_commit";
   }
   return "unknown";
 }
@@ -242,10 +245,37 @@ Result<std::vector<SyncRecord>> decode_bundle(ByteSpan wire) {
     if (record->kind == OpKind::recon_query) {
       return Status{Errc::corruption, "recon query inside bundle"};
     }
+    if (record->kind == OpKind::stream_open ||
+        record->kind == OpKind::stream_chunk ||
+        record->kind == OpKind::stream_commit) {
+      return Status{Errc::corruption, "stream record inside bundle"};
+    }
     records.push_back(std::move(*record));
     pos += length;
   }
   return records;
+}
+
+Bytes encode(const StreamCredit& credit) {
+  Bytes wire;
+  encode_into(credit, wire);
+  return wire;
+}
+
+void encode_into(const StreamCredit& credit, Bytes& wire) {
+  wire.reserve(wire.size() + 16);
+  put_u64(wire, credit.stream_id);
+  put_u64(wire, credit.bytes);
+}
+
+Result<StreamCredit> decode_stream_credit(ByteSpan wire) {
+  if (wire.size() < 16) {
+    return Status{Errc::corruption, "stream credit too short"};
+  }
+  StreamCredit credit;
+  credit.stream_id = get_u64(wire, 0);
+  credit.bytes = get_u64(wire, 8);
+  return credit;
 }
 
 // ---- Recon rounds -----------------------------------------------------

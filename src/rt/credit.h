@@ -1,0 +1,76 @@
+// dcfs::rt — credit-based backpressure primitives.
+//
+// A chunk stream may only have `window` bytes in flight: the sender draws
+// from a CreditGate before shipping each chunk and the receiver grants
+// credit back as it consumes.  The MemLedger tracks the bytes a stream
+// (or the whole runtime) holds buffered, so benches and tests can assert
+// the O(window) memory bound instead of trusting it.
+//
+// Both are plain single-threaded value types — the runtime drives them
+// from the reactor thread in virtual time.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace dcfs::rt {
+
+/// Byte budget for one flow-controlled stream.
+class CreditGate {
+ public:
+  explicit CreditGate(std::uint64_t initial = 0) noexcept
+      : available_(initial) {}
+
+  [[nodiscard]] std::uint64_t available() const noexcept { return available_; }
+
+  /// Draws up to `want` bytes; returns what was actually granted.  A
+  /// fully-starved draw (`want` > 0, nothing granted) counts as a stall.
+  std::uint64_t consume(std::uint64_t want) noexcept {
+    const std::uint64_t granted = std::min(want, available_);
+    if (want > 0 && granted == 0) ++stalls_;
+    available_ -= granted;
+    return granted;
+  }
+
+  void grant(std::uint64_t bytes) noexcept { available_ += bytes; }
+
+  /// Times consume() came up empty-handed.
+  [[nodiscard]] std::uint64_t stalls() const noexcept { return stalls_; }
+
+ private:
+  std::uint64_t available_ = 0;
+  std::uint64_t stalls_ = 0;
+};
+
+/// Tracked-buffer accounting: the RSS proxy for the streaming runtime.
+class MemLedger {
+ public:
+  /// Optional gauge mirror (rt.mem.highwater); null = detached.
+  void attach_gauge(obs::Gauge* gauge) noexcept { gauge_ = gauge; }
+
+  void acquire(std::uint64_t bytes) noexcept {
+    current_ += bytes;
+    if (current_ > highwater_) {
+      highwater_ = current_;
+      if (gauge_ != nullptr) {
+        gauge_->set(static_cast<std::int64_t>(highwater_));
+      }
+    }
+  }
+
+  void release(std::uint64_t bytes) noexcept {
+    current_ -= std::min(bytes, current_);
+  }
+
+  [[nodiscard]] std::uint64_t current() const noexcept { return current_; }
+  [[nodiscard]] std::uint64_t highwater() const noexcept { return highwater_; }
+
+ private:
+  std::uint64_t current_ = 0;
+  std::uint64_t highwater_ = 0;
+  obs::Gauge* gauge_ = nullptr;
+};
+
+}  // namespace dcfs::rt

@@ -1,0 +1,55 @@
+#include "rt/driver.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dcfs::rt {
+
+void Driver::add(std::string name, VirtualClock& clock,
+                 std::function<bool()> step, TaskClass cls) {
+  tasks_.push_back(Task{std::move(name), &clock, std::move(step), cls});
+}
+
+Duration Driver::run_serial() {
+  Duration total = 0;
+  for (Task& task : tasks_) {
+    const TimePoint start = task.clock->now();
+    while (task.step()) {
+    }
+    total += task.clock->now() - start;
+  }
+  return total;
+}
+
+Duration Driver::run_reactor() {
+  if (tasks_.empty()) return 0;
+  TimePoint earliest = tasks_.front().clock->now();
+  std::vector<TimePoint> start(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    start[i] = tasks_[i].clock->now();
+    earliest = std::min(earliest, start[i]);
+  }
+  TimerWheel wheel(earliest);
+  std::function<void(std::size_t)> arm = [&](std::size_t i) {
+    wheel.schedule(tasks_[i].clock->now(), [&arm, &tasks = tasks_, i] {
+      if (tasks[i].step()) arm(i);
+    });
+  };
+  // Interactive tasks first: lower timer ids win equal-deadline ties.
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i].cls == TaskClass::interactive) arm(i);
+  }
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i].cls == TaskClass::bulk) arm(i);
+  }
+  while (const auto deadline = wheel.next_deadline()) {
+    wheel.advance_until(*deadline);
+  }
+  Duration makespan = 0;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    makespan = std::max(makespan, tasks_[i].clock->now() - start[i]);
+  }
+  return makespan;
+}
+
+}  // namespace dcfs::rt

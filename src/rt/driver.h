@@ -1,0 +1,64 @@
+// dcfs::rt — virtual-time task driver: serial reference vs reactor.
+//
+// A Task is one independent timeline (e.g. one client/server pair syncing
+// over its own Transport) advancing its own VirtualClock in step() quanta.
+// The driver runs a set of tasks two ways:
+//
+//   run_serial()   the pre-runtime model — each task runs to completion
+//                  before the next starts; total cost is the *sum* of the
+//                  per-task elapsed virtual time (one thread, one
+//                  connection at a time, a dedicated bottleneck).
+//
+//   run_reactor()  the event-driven model — the TimerWheel always resumes
+//                  whichever task's timeline is furthest behind, so the
+//                  connections progress concurrently the way a reactor
+//                  multiplexes sockets; total cost is the *makespan* (the
+//                  slowest timeline), the honest aggregate-throughput
+//                  number for N concurrent clients.
+//
+// Both orders are deterministic; neither changes any task's own virtual
+// timeline, byte counts, or meter totals — only how wall time is charged
+// for the aggregate.  A driver instance is single-shot per run: tasks run
+// to completion, so build fresh tasks for each measurement.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "rt/reactor.h"
+
+namespace dcfs::rt {
+
+class Driver {
+ public:
+  /// `step` advances the task's own `clock` by one quantum and returns
+  /// false when the task is finished.  Interactive tasks win equal-instant
+  /// scheduling ties against bulk ones.
+  void add(std::string name, VirtualClock& clock, std::function<bool()> step,
+           TaskClass cls = TaskClass::bulk);
+
+  [[nodiscard]] std::size_t tasks() const noexcept { return tasks_.size(); }
+
+  /// Runs every task to completion, one after another.  Returns the sum
+  /// of per-task elapsed virtual time.
+  Duration run_serial();
+
+  /// Runs every task to completion, interleaved in timeline order via a
+  /// TimerWheel.  Returns the makespan (max per-task elapsed time).
+  Duration run_reactor();
+
+ private:
+  struct Task {
+    std::string name;
+    VirtualClock* clock = nullptr;
+    std::function<bool()> step;
+    TaskClass cls = TaskClass::bulk;
+  };
+
+  std::vector<Task> tasks_;
+};
+
+}  // namespace dcfs::rt

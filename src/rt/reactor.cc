@@ -1,0 +1,84 @@
+#include "rt/reactor.h"
+
+#include <utility>
+
+namespace dcfs::rt {
+
+Reactor::Reactor(TimePoint start, obs::Obs* obs) : timers_(start) {
+  if (obs != nullptr) {
+    depth_gauge_ = &obs->registry.gauge("rt.queue.depth");
+  }
+}
+
+Reactor::ConnId Reactor::add_connection(std::string name) {
+  conns_.push_back(Conn{std::move(name), {}});
+  return conns_.size() - 1;
+}
+
+void Reactor::make_ready(ConnId conn, TaskClass cls,
+                         std::function<void()> fn) {
+  conns_[conn].queue[static_cast<std::size_t>(cls)].push_back(std::move(fn));
+  ++ready_;
+  update_gauge();
+}
+
+std::size_t Reactor::queue_depth(TaskClass cls) const noexcept {
+  std::size_t depth = 0;
+  for (const Conn& conn : conns_) {
+    depth += conn.queue[static_cast<std::size_t>(cls)].size();
+  }
+  return depth;
+}
+
+std::size_t Reactor::queue_depth(ConnId conn) const {
+  return conns_[conn].queue[0].size() + conns_[conn].queue[1].size();
+}
+
+const std::string& Reactor::connection_name(ConnId conn) const {
+  return conns_[conn].name;
+}
+
+bool Reactor::run_one(TaskClass cls, std::size_t& cursor) {
+  const std::size_t q = static_cast<std::size_t>(cls);
+  for (std::size_t probe = 0; probe < conns_.size(); ++probe) {
+    const std::size_t i = (cursor + probe) % conns_.size();
+    std::deque<std::function<void()>>& queue = conns_[i].queue[q];
+    if (queue.empty()) continue;
+    std::function<void()> fn = std::move(queue.front());
+    queue.pop_front();
+    --ready_;
+    cursor = i + 1;  // fairness: resume after the connection that ran
+    ++tasks_run_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Reactor::poll(TimePoint now) {
+  std::size_t ran = timers_.advance_until(now);
+  while (true) {
+    // Strict QoS: drain every ready interactive task, then at most one
+    // bulk task, then re-check — a burst of metadata ops enqueued by a
+    // bulk step never waits behind the rest of the bulk backlog.
+    if (run_one(TaskClass::interactive, rr_interactive_)) {
+      ++ran;
+      continue;
+    }
+    if (run_one(TaskClass::bulk, rr_bulk_)) {
+      ++ran;
+      continue;
+    }
+    break;
+  }
+  update_gauge();
+  return ran;
+}
+
+void Reactor::update_gauge() {
+  if (depth_gauge_ != nullptr) {
+    depth_gauge_->set(static_cast<std::int64_t>(ready_));
+  }
+}
+
+}  // namespace dcfs::rt

@@ -1,0 +1,85 @@
+// dcfs::rt — the event-driven reactor at the heart of the async runtime.
+//
+// One Reactor multiplexes any number of connections on the driving thread:
+// each connection owns two readiness queues (per-class QoS), and poll()
+// drains them with strict preemption — every ready *interactive* task
+// (metadata ops, acks, credit grants) runs before any *bulk* task (stream
+// chunk pumping), re-checked between bulk tasks, with round-robin fairness
+// across connections inside each class.  A TimerWheel rides along for
+// retry/RTT bookkeeping; poll(now) advances it first so due timers can
+// enqueue work into the same drain.
+//
+// Everything is single-threaded and virtual-time deterministic: given the
+// same enqueue order, poll() runs tasks in exactly the same order on every
+// machine — which is what lets the streaming runtime keep the serial
+// pump's byte-equivalence guarantees.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "obs/obs.h"
+#include "rt/timer_wheel.h"
+
+namespace dcfs::rt {
+
+/// QoS class: interactive preempts bulk at every scheduling point.
+enum class TaskClass : std::uint8_t { interactive = 0, bulk = 1 };
+
+/// Connection handle returned by Reactor::add_connection.
+using ConnId = std::size_t;
+
+class Reactor {
+ public:
+  using ConnId = rt::ConnId;
+
+  explicit Reactor(TimePoint start = 0, obs::Obs* obs = nullptr);
+
+  /// Registers a connection (a transport endpoint); returns its id.
+  ConnId add_connection(std::string name);
+
+  /// Marks work ready on `conn`.  FIFO within one (connection, class).
+  void make_ready(ConnId conn, TaskClass cls, std::function<void()> fn);
+
+  /// Advances the timer wheel to `now`, then drains every readiness queue
+  /// (tasks enqueued while draining run in the same call).  Returns the
+  /// number of tasks run (timer callbacks included).
+  std::size_t poll(TimePoint now);
+
+  [[nodiscard]] std::size_t queue_depth() const noexcept { return ready_; }
+  [[nodiscard]] std::size_t queue_depth(TaskClass cls) const noexcept;
+  /// Per-connection depth, for `syncctl rt` style dumps.
+  [[nodiscard]] std::size_t queue_depth(ConnId conn) const;
+  [[nodiscard]] const std::string& connection_name(ConnId conn) const;
+  [[nodiscard]] std::size_t connections() const noexcept {
+    return conns_.size();
+  }
+  [[nodiscard]] std::uint64_t tasks_run() const noexcept { return tasks_run_; }
+
+  [[nodiscard]] TimerWheel& timers() noexcept { return timers_; }
+  [[nodiscard]] const TimerWheel& timers() const noexcept { return timers_; }
+
+ private:
+  struct Conn {
+    std::string name;
+    std::deque<std::function<void()>> queue[2];  ///< indexed by TaskClass
+  };
+
+  /// Runs one ready task of `cls`, round-robin from `cursor`.
+  bool run_one(TaskClass cls, std::size_t& cursor);
+  void update_gauge();
+
+  std::vector<Conn> conns_;
+  TimerWheel timers_;
+  std::size_t ready_ = 0;
+  std::size_t rr_interactive_ = 0;  ///< round-robin cursors, per class
+  std::size_t rr_bulk_ = 0;
+  std::uint64_t tasks_run_ = 0;
+  obs::Gauge* depth_gauge_ = nullptr;
+};
+
+}  // namespace dcfs::rt

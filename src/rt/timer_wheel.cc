@@ -1,0 +1,103 @@
+#include "rt/timer_wheel.h"
+
+#include <algorithm>
+
+namespace dcfs::rt {
+
+TimerWheel::TimerWheel(TimePoint start, Duration tick, std::size_t slots)
+    : slots_(std::max<std::size_t>(slots, 1)),
+      now_(start),
+      tick_(std::max<Duration>(tick, 1)) {}
+
+std::size_t TimerWheel::slot_for(TimePoint deadline) const noexcept {
+  const TimePoint clamped = std::max(deadline, TimePoint{0});
+  return static_cast<std::size_t>((clamped / tick_) %
+                                  static_cast<Duration>(slots_.size()));
+}
+
+TimerWheel::TimerId TimerWheel::schedule(TimePoint deadline,
+                                         std::function<void()> fn) {
+  const TimerId id = next_id_++;
+  // Past-due deadlines park in the current slot so the next advance's
+  // boundary walk is guaranteed to visit them.
+  slots_[slot_for(std::max(deadline, now_))].push_back(
+      Entry{deadline, id, std::move(fn)});
+  ++pending_;
+  return id;
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  for (std::vector<Entry>& slot : slots_) {
+    for (auto it = slot.begin(); it != slot.end(); ++it) {
+      if (it->id == id) {
+        slot.erase(it);
+        --pending_;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::optional<TimePoint> TimerWheel::next_deadline() const {
+  std::optional<TimePoint> best;
+  for (const std::vector<Entry>& slot : slots_) {
+    for (const Entry& entry : slot) {
+      if (!best || entry.deadline < *best) best = entry.deadline;
+    }
+  }
+  return best;
+}
+
+void TimerWheel::collect_due(TimePoint now, std::vector<Entry>& due) {
+  // The elapsed window may span many revolutions; the per-slot deadline
+  // check makes a full sweep correct regardless, so sweep every slot when
+  // the window covers the wheel and only the touched range otherwise.
+  const auto sweep = [&](std::vector<Entry>& slot) {
+    for (std::size_t i = 0; i < slot.size();) {
+      if (slot[i].deadline <= now) {
+        due.push_back(std::move(slot[i]));
+        slot[i] = std::move(slot.back());
+        slot.pop_back();
+        --pending_;
+      } else {
+        ++i;
+      }
+    }
+  };
+  const Duration window = now - now_;
+  if (window >= static_cast<Duration>(slots_.size()) * tick_) {
+    for (std::vector<Entry>& slot : slots_) sweep(slot);
+    return;
+  }
+  const Duration first = now_ / tick_;
+  const Duration last = now / tick_;
+  for (Duration boundary = first; boundary <= last; ++boundary) {
+    sweep(slots_[static_cast<std::size_t>(
+        boundary % static_cast<Duration>(slots_.size()))]);
+  }
+}
+
+std::size_t TimerWheel::advance_until(TimePoint now) {
+  now = std::max(now, now_);
+  std::size_t fired = 0;
+  std::vector<Entry> due;
+  // Callbacks may arm timers due inside this same window: keep collecting
+  // until a pass finds nothing more.
+  while (true) {
+    due.clear();
+    collect_due(now, due);
+    if (due.empty()) break;
+    std::sort(due.begin(), due.end(), [](const Entry& a, const Entry& b) {
+      return a.deadline != b.deadline ? a.deadline < b.deadline : a.id < b.id;
+    });
+    for (Entry& entry : due) {
+      ++fired;
+      entry.fn();
+    }
+  }
+  now_ = now;
+  return fired;
+}
+
+}  // namespace dcfs::rt

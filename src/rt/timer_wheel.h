@@ -1,0 +1,70 @@
+// dcfs::rt — slotted timer wheel over the virtual clock.
+//
+// The reactor runtime keeps its retry/RTT/wakeup bookkeeping in one wheel
+// instead of a heap: schedule() hashes the deadline into a slot, and
+// advance_until() only visits the slots the elapsed window covers.  The
+// wheel is single-threaded (it lives on the reactor's driving thread, like
+// everything in virtual time) and fully deterministic: due timers always
+// fire in (deadline, id) order, where ids are handed out monotonically —
+// two timers for the same instant fire in the order they were scheduled.
+//
+// Deadlines farther out than one wheel revolution stay in their modulo
+// slot and are simply skipped (deadline check) until their revolution
+// comes around — the classic overflow treatment, O(1) per visit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace dcfs::rt {
+
+class TimerWheel {
+ public:
+  using TimerId = std::uint64_t;
+
+  /// `tick` is the slot granularity; `slots` the revolution length.
+  explicit TimerWheel(TimePoint start = 0, Duration tick = milliseconds(10),
+                      std::size_t slots = 256);
+
+  /// Arms a timer.  Deadlines at or before the wheel's current time fire
+  /// on the next advance_until() call (never synchronously).
+  TimerId schedule(TimePoint deadline, std::function<void()> fn);
+
+  /// Disarms a pending timer; false if it already fired or never existed.
+  bool cancel(TimerId id);
+
+  /// Earliest pending deadline, if any (drivers advance the clock to it).
+  [[nodiscard]] std::optional<TimePoint> next_deadline() const;
+
+  /// Fires every timer with deadline <= `now`, in (deadline, id) order,
+  /// and moves the wheel's time forward.  Callbacks may schedule new
+  /// timers; ones due within this window fire in the same call.  Returns
+  /// the number of timers fired.
+  std::size_t advance_until(TimePoint now);
+
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
+  [[nodiscard]] TimePoint now() const noexcept { return now_; }
+
+ private:
+  struct Entry {
+    TimePoint deadline = 0;
+    TimerId id = 0;
+    std::function<void()> fn;
+  };
+
+  [[nodiscard]] std::size_t slot_for(TimePoint deadline) const noexcept;
+  /// Pulls entries due at or before `now` out of the wheel into `due`.
+  void collect_due(TimePoint now, std::vector<Entry>& due);
+
+  std::vector<std::vector<Entry>> slots_;
+  TimePoint now_;
+  Duration tick_;
+  TimerId next_id_ = 1;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace dcfs::rt

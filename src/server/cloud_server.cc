@@ -25,7 +25,7 @@ CloudServer::CloudServer(const CostProfile& profile, ServerConfig config,
     tn_.apply_group = tracer_->intern("server.apply_group");
     tn_.recon = tracer_->intern("server.recon");
     for (std::size_t k = static_cast<std::size_t>(proto::OpKind::create);
-         k <= static_cast<std::size_t>(proto::OpKind::recon_query); ++k) {
+         k <= static_cast<std::size_t>(proto::OpKind::stream_commit); ++k) {
       tn_.kind[k] =
           tracer_->intern(proto::to_string(static_cast<proto::OpKind>(k)));
     }
@@ -116,6 +116,22 @@ std::size_t CloudServer::pump_serial() {
         // frame, never an ack, and not counted as an applied record.
         answer_recon(client_id, *record);
         ++processed;
+        continue;
+      }
+      if (record->kind == proto::OpKind::stream_open ||
+          record->kind == proto::OpKind::stream_chunk ||
+          record->kind == proto::OpKind::stream_commit) {
+        // Staged outside the apply path; only a commit's synthesized
+        // full_file record enters apply_record (exactly one applied record
+        // per streamed file, like the non-streamed upload).
+        ++processed;
+        StreamOutcome outcome = handle_stream(client_id, std::move(*record));
+        if (outcome.error) send_ack(client_id, *outcome.error);
+        if (outcome.record) {
+          const proto::Ack ack = apply_record(client_id, *outcome.record);
+          send_ack(client_id, ack);
+          ++processed;
+        }
         continue;
       }
       if (record->kind == proto::OpKind::record_bundle) {
@@ -440,6 +456,24 @@ std::size_t CloudServer::pump_parallel() {
         ++processed;
         continue;
       }
+      if (record->kind == proto::OpKind::stream_open ||
+          record->kind == proto::OpKind::stream_chunk ||
+          record->kind == proto::OpKind::stream_commit) {
+        // Staging touches only streams_, never applied state — no batch
+        // barrier needed; a commit's synthesized record joins the batch at
+        // its arrival position, and an error ack rides an emit item so ack
+        // ordering matches the serial pump.
+        ++processed;
+        StreamOutcome outcome = handle_stream(client_id, std::move(*record));
+        if (outcome.error) {
+          PumpItem item;
+          item.client = client_id;
+          item.ack = *outcome.error;
+          items.push_back(std::move(item));
+        }
+        if (outcome.record) intake(client_id, std::move(*outcome.record));
+        continue;
+      }
       if (record->kind == proto::OpKind::record_bundle) {
         Result<std::vector<proto::SyncRecord>> members = unpack_bundle(*record);
         if (!members) {
@@ -635,6 +669,15 @@ proto::Ack CloudServer::apply_one(std::uint32_t from_client,
     case proto::OpKind::recon_query:
       // Queries are intercepted in the pumps (answered, never applied); one
       // reaching here bypassed framing — reject it.
+      ack.result = Errc::corruption;
+      break;
+
+    case proto::OpKind::stream_open:
+    case proto::OpKind::stream_chunk:
+    case proto::OpKind::stream_commit:
+      // Stream records are staged in the pumps (handle_stream); only the
+      // commit-synthesized full_file enters the apply layer.  One reaching
+      // here bypassed framing — reject it.
       ack.result = Errc::corruption;
       break;
 
@@ -1151,6 +1194,118 @@ void CloudServer::send_recon(std::uint32_t client_id,
   }
   meter_.charge(CostKind::net_frame, frame.size());
   it->second->server_send(std::move(frame), proto::MessageType::recon);
+}
+
+CloudServer::StreamOutcome CloudServer::handle_stream(
+    std::uint32_t client_id, proto::SyncRecord record) {
+  StreamOutcome out;
+  const auto violation = [&] {
+    proto::Ack ack;
+    ack.sequence = record.sequence;
+    ack.trace_id = record.trace_id;
+    ack.result = Errc::corruption;
+    out.error = ack;
+  };
+  const std::pair<std::uint32_t, std::uint64_t> key{client_id,
+                                                    record.sequence};
+  switch (record.kind) {
+    case proto::OpKind::stream_open: {
+      if (streams_.contains(key)) {
+        // Duplicate open: the stream is unrecoverable — drop the stage so
+        // stray chunks fail fast instead of splicing into the wrong file.
+        streams_.erase(key);
+        violation();
+        return out;
+      }
+      StreamStage stage;
+      stage.window = record.offset;
+      stage.open = std::move(record);
+      streams_.emplace(key, std::move(stage));
+      ++streams_opened_;
+      return out;
+    }
+
+    case proto::OpKind::stream_chunk: {
+      const auto it = streams_.find(key);
+      if (it == streams_.end()) {
+        violation();
+        return out;
+      }
+      StreamStage& stage = it->second;
+      // Chunks are strictly ordered: ordinal (`size`) and byte offset must
+      // both line up, and the total may never overrun the opened size.
+      if (record.size != stage.chunks ||
+          record.offset != stage.data.size() ||
+          stage.data.size() + record.payload.size() > stage.open.size) {
+        streams_.erase(it);
+        violation();
+        return out;
+      }
+      meter_.charge(CostKind::byte_copy, record.payload.size());
+      append(stage.data, record.payload);
+      ++stage.chunks;
+      ++stream_chunks_;
+      // Credit-based backpressure: return window as chunks are consumed,
+      // batched to half a window so credits don't outnumber chunks.
+      stage.uncredited += record.payload.size();
+      if (stage.uncredited >= std::max<std::uint64_t>(stage.window / 2, 1)) {
+        send_credit(client_id, key.second, stage.uncredited);
+        stage.uncredited = 0;
+      }
+      return out;
+    }
+
+    case proto::OpKind::stream_commit: {
+      const auto it = streams_.find(key);
+      if (it == streams_.end()) {
+        violation();
+        return out;
+      }
+      StreamStage stage = std::move(it->second);
+      streams_.erase(it);
+      if (stage.data.size() != record.size ||
+          stage.open.path != record.path) {
+        violation();
+        return out;
+      }
+      // Synthesize the full_file record the non-streamed upload would have
+      // shipped: the commit carries all metadata, the stage the content.
+      proto::SyncRecord full = std::move(record);
+      full.kind = proto::OpKind::full_file;
+      full.offset = 0;
+      full.payload = std::move(stage.data);
+      out.record = std::move(full);
+      return out;
+    }
+
+    default:
+      violation();  // non-stream kind routed here: framing bug
+      return out;
+  }
+}
+
+void CloudServer::send_credit(std::uint32_t client_id, std::uint64_t stream_id,
+                              std::uint64_t bytes) {
+  const auto it = clients_.find(client_id);
+  if (it == clients_.end()) return;
+  proto::StreamCredit credit;
+  credit.stream_id = stream_id;
+  credit.bytes = bytes;
+  Bytes frame = wire_ != nullptr ? wire_->buffer(24) : Bytes{};
+  frame.push_back(4);  // server-to-client tag: stream credit
+  proto::encode_into(credit, frame);
+  if (wire_ != nullptr) {
+    wire::EncodedFrame encoded = wire_->encode(std::move(frame));
+    if (encoded.attempted) {
+      meter_.charge(CostKind::compress, encoded.raw_size);
+    }
+    meter_.charge(CostKind::net_frame, encoded.wire.size());
+    it->second->server_send(std::move(encoded.wire),
+                            proto::MessageType::stream);
+    return;
+  }
+  meter_.charge(CostKind::net_frame, frame.size());
+  it->second->server_send(std::move(frame), proto::MessageType::stream);
 }
 
 void CloudServer::send_ack(std::uint32_t client_id, const proto::Ack& ack) {

@@ -754,6 +754,57 @@ TEST(ReconE2e, UnknownBaseFallsBackToFullUpload) {
   EXPECT_EQ(system.client().recon_in_flight(), 0u);
 }
 
+TEST(ReconE2e, UnrelatedSmallOpsFlowWhileReconIsInFlight) {
+  // Regression: a recon session used to pause the whole sync queue until
+  // its last round resolved.  The pause is now scoped to the reconciling
+  // file's stream class — a small unrelated write shipped after the recon
+  // trigger must land on the server while the session is still in flight.
+  Rng rng(6400);
+  const Bytes base = rng.bytes(4 * 1024 * 1024);
+  Bytes edited = base;
+  for (std::size_t i = 0; i < 64; ++i) edited[i * 65'536] ^= 0x5a;
+
+  ClientConfig config = recon_config(ReconMode::recursive, false, 1);
+  config.recon.fanout = 2;           // deeper narrowing: more rounds,
+  config.recon.min_average = 4096;   // a wider in-flight window to observe
+  VirtualClock clock;
+  DeltaCfsSystem system(clock, CostProfile::pc(), NetProfile::mobile_wan(),
+                        config, CostProfile::pc(), nullptr,
+                        recon_server_config(false, 1));
+  FileSystem& fs = system.fs();
+  fs.mkdir("/sync");
+  fs.mkdir("/stash");
+  fs.write_file("/sync/big", base);
+  drain(system, clock);
+
+  fs.write_file("/stash/next", edited);
+  fs.rename("/stash/next", "/sync/big");   // recon trigger
+  fs.write_file("/sync/note.txt", to_bytes("meeting at noon"));
+
+  bool note_landed_during_recon = false;
+  std::uint64_t max_in_flight = 0;
+  for (int i = 0; i < 100; ++i) {
+    clock.advance(milliseconds(200));
+    system.tick(clock.now());
+    const std::uint64_t in_flight = system.client().recon_in_flight();
+    max_in_flight = std::max(max_in_flight, in_flight);
+    if (in_flight > 0 && system.server().fetch("/sync/note.txt").is_ok()) {
+      note_landed_during_recon = true;
+    }
+  }
+  system.finish(clock.now());
+  system.tick(clock.now());
+
+  EXPECT_GE(max_in_flight, 1u) << "scenario never started a recon session";
+  EXPECT_TRUE(note_landed_during_recon)
+      << "small unrelated op was held behind the recon session";
+  EXPECT_GE(system.client().recon_sessions_started(), 1u);
+  EXPECT_EQ(system.client().recon_in_flight(), 0u);
+  EXPECT_EQ(*system.server().fetch("/sync/big"), edited);
+  EXPECT_EQ(as_text(*system.server().fetch("/sync/note.txt")),
+            "meeting at noon");
+}
+
 TEST(ReconE2e, RandomOpsUnaffectedByReconMode) {
   // Reconciliation must not disturb ordinary small-file traffic: the same
   // random op sequence converges identically with recon on (files here are

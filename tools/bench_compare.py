@@ -69,6 +69,16 @@ SPECS = {
             "mb_per_sec": ("floor", 0.50),
         },
     },
+    "BENCH_stream.json": {
+        "key": ("row", "profile", "window_kb", "clients"),
+        "metrics": {
+            "highwater_ratio": ("exact", 0.0),
+            "records": ("exact", 0.0),
+            "up_bytes": ("exact", 0.0),
+            "speedup": ("floor", 0.15),
+            "records_per_sec": ("floor", 0.50),
+        },
+    },
     "BENCH_wire.json": {
         "key": ("trace", "profile"),
         "metrics": {

@@ -20,6 +20,16 @@ Checks (all on src/ unless noted):
                 first — direct calls with unnormalized (e.g. recursively
                 derived) params can violate the boundary-cut invariants the
                 reconciliation planner's termination depends on.
+  blocking-net  Direct Transport calls (client_send/server_send/client_poll/
+                server_poll) outside src/net, src/rt, and the two sanctioned
+                serial endpoints (src/core/client.cc, src/server/
+                cloud_server.cc).  Reactor callbacks must go through the
+                rt::Reactor ready queues and the endpoints' framed send
+                helpers — a blocking send from an arbitrary callback stalls
+                every stream behind it.  Inside src/rt the same check bans
+                read_file/read_all: the reactor schedules chunk reads on the
+                bounded window; a full-file read from a callback defeats the
+                O(window) memory guarantee.
   naked-trace   tracer.begin()/tracer.end() outside src/obs.  Spans must be
                 opened through the RAII obs::Span helper so every begin is
                 paired with an end on all exit paths (exceptions included) —
@@ -56,6 +66,15 @@ NAKED_NEW_RE = re.compile(r"\bnew\b\s*(?:\(|[A-Za-z_:<])")
 METRIC_CALL_RE = re.compile(r"\.(counter|gauge|histogram)\(\s*\"([^\"]*)\"")
 NAKED_TRACE_RE = re.compile(r"\btracer_?(?:\.|->)\s*(begin|end)\s*\(")
 CHUNK_CDC_RE = re.compile(r"\b(chunk_cdc|chunk_boundaries)\s*\(")
+BLOCKING_NET_RE = re.compile(
+    r"\b(client_send|server_send|client_poll|server_poll)\s*\("
+)
+FULL_READ_RE = re.compile(r"\b(read_file|read_all)\s*\(")
+# Serial endpoints that own a Transport end and pump it from tick()/pump().
+BLOCKING_NET_ENDPOINTS = (
+    os.path.join("src", "core", "client.cc"),
+    os.path.join("src", "server", "cloud_server.cc"),
+)
 METRIC_NAME_RE = re.compile(r"^[a-z]+(\.[a-z_]+)+$")
 ALLOW_RE = re.compile(r"dcfs-lint:\s*allow\(([a-z-]+)\)")
 
@@ -126,6 +145,9 @@ def lint_file(path: str) -> list[str]:
     in_chk = rel.startswith(os.path.join("src", "chk") + os.sep)
     in_obs = rel.startswith(os.path.join("src", "obs") + os.sep)
     in_rsyncx = rel.startswith(os.path.join("src", "rsyncx") + os.sep)
+    in_net = rel.startswith(os.path.join("src", "net") + os.sep)
+    in_rt = rel.startswith(os.path.join("src", "rt") + os.sep)
+    net_endpoint = rel in BLOCKING_NET_ENDPOINTS
     try:
         with open(path, encoding="utf-8") as f:
             raw_lines = f.read().splitlines()
@@ -157,6 +179,23 @@ def lint_file(path: str) -> list[str]:
                     f"{rel}:{idx + 1}: [chunk-cdc] call rsyncx::chunk_file "
                     f"(normalizes params) — chunk_cdc/chunk_boundaries live "
                     f"in src/rsyncx only"
+                )
+
+        if not (in_net or in_rt or net_endpoint) and \
+                BLOCKING_NET_RE.search(code):
+            if not allowed("blocking-net", raw_lines, idx):
+                findings.append(
+                    f"{rel}:{idx + 1}: [blocking-net] direct Transport "
+                    f"send/poll outside the serial endpoints — enqueue on "
+                    f"the rt::Reactor and let the endpoint's pump ship it"
+                )
+
+        if in_rt and FULL_READ_RE.search(code):
+            if not allowed("blocking-net", raw_lines, idx):
+                findings.append(
+                    f"{rel}:{idx + 1}: [blocking-net] full-file read inside "
+                    f"src/rt — reactor callbacks must read chunk-by-chunk "
+                    f"on the bounded stream window"
                 )
 
         m = NAKED_NEW_RE.search(code)
