@@ -1,0 +1,90 @@
+// dcfs::chk — Clang Thread Safety Analysis macros (the static half of the
+// correctness wall; the runtime half is lockdep.h).
+//
+// Every macro expands to the corresponding Clang capability attribute when
+// the compiler supports it and to nothing otherwise, so gcc builds see
+// plain C++.  The project's own primitives (chk::Mutex, chk::SharedMutex,
+// the scoped guards) are annotated as capabilities in lockdep.h; subsystem
+// headers then declare, next to each mutex-protected field, which lock
+// guards it:
+//
+//   chk::Mutex mu_{"kvstore.table"};
+//   std::map<K, V> table_ DCFS_GUARDED_BY(mu_);
+//
+//   void compact_locked() DCFS_REQUIRES(mu_);   // caller must hold mu_
+//   void compact() DCFS_EXCLUDES(mu_);          // caller must NOT hold mu_
+//
+// A clang build with -Wthread-safety (CI job `static-analysis`, or the
+// DCFS_THREAD_SAFETY cmake option) then rejects, at compile time: reads or
+// writes of a guarded field without its lock, calls to a *_locked helper
+// without the lock, double acquisition, release without acquisition, and
+// leaked acquisitions.  The negative-compile harness
+// (tests/annotations_compile_test.cmake) proves each class is actually
+// rejected.
+//
+// Use these macros — never a bare __attribute__((guarded_by(...))) — so
+// every annotation stays compiler-portable; dcfs_lint's `raw-annotation`
+// rule enforces this outside this header.
+//
+// Escape hatch: DCFS_NO_THREAD_SAFETY_ANALYSIS on a function disables the
+// analysis inside it.  Policy (docs/ANALYSIS.md): a suppression must carry
+// a comment naming the protocol that replaces the mutex (thread ownership,
+// quiescence, seqlock, ...), and the suppressed code must still be covered
+// by a TSan test.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define DCFS_TSA(x) __attribute__((x))
+#endif
+#endif
+#if !defined(DCFS_TSA)
+#define DCFS_TSA(x)  // non-Clang: annotations compile away
+#endif
+
+/// Marks a type as a capability ("mutex", "shared_mutex", ...).
+#define DCFS_CAPABILITY(name) DCFS_TSA(capability(name))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define DCFS_SCOPED_CAPABILITY DCFS_TSA(scoped_lockable)
+
+/// Field is protected by the given capability.
+#define DCFS_GUARDED_BY(x) DCFS_TSA(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the given capability.
+#define DCFS_PT_GUARDED_BY(x) DCFS_TSA(pt_guarded_by(x))
+
+/// Function acquires the capability (and requires it not held on entry).
+#define DCFS_ACQUIRE(...) DCFS_TSA(acquire_capability(__VA_ARGS__))
+#define DCFS_ACQUIRE_SHARED(...) DCFS_TSA(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (and requires it held on entry).
+/// Note: a scoped guard's destructor uses the generic DCFS_RELEASE even
+/// when the constructor acquired shared — clang treats the generic form
+/// as releasing whichever mode is held.
+#define DCFS_RELEASE(...) DCFS_TSA(release_capability(__VA_ARGS__))
+#define DCFS_RELEASE_SHARED(...) DCFS_TSA(release_shared_capability(__VA_ARGS__))
+
+/// Caller must hold the capability (exclusive / shared).
+#define DCFS_REQUIRES(...) DCFS_TSA(requires_capability(__VA_ARGS__))
+#define DCFS_REQUIRES_SHARED(...) DCFS_TSA(requires_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (guards against self-deadlock —
+/// the class of bug PR 5's runtime lockdep caught in KvStore).
+#define DCFS_EXCLUDES(...) DCFS_TSA(locks_excluded(__VA_ARGS__))
+
+/// Static acquisition-order declaration on a capability member.  The
+/// project-wide order lives in src/chk/lock_order.h; these are for local
+/// pairs within one class.
+#define DCFS_ACQUIRED_BEFORE(...) DCFS_TSA(acquired_before(__VA_ARGS__))
+#define DCFS_ACQUIRED_AFTER(...) DCFS_TSA(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define DCFS_RETURN_CAPABILITY(x) DCFS_TSA(lock_returned(x))
+
+/// Tells the analysis the capability is held without acquiring it (used
+/// after out-of-band synchronization the analysis cannot see).
+#define DCFS_ASSERT_CAPABILITY(x) DCFS_TSA(assert_capability(x))
+
+/// Disables the analysis for one function.  See suppression policy above.
+#define DCFS_NO_THREAD_SAFETY_ANALYSIS DCFS_TSA(no_thread_safety_analysis)

@@ -1,0 +1,110 @@
+#include "chk/lock_order.h"
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace dcfs::chk {
+namespace {
+
+constexpr const char* kClasses[] = {
+#define DCFS_X(name) name,
+    DCFS_LOCK_CLASSES(DCFS_X)
+#undef DCFS_X
+};
+
+constexpr LockOrderEdge kEdges[] = {
+#define DCFS_X(before, after) {before, after},
+    DCFS_LOCK_ORDER_EDGES(DCFS_X)
+#undef DCFS_X
+};
+
+using Graph = std::map<std::string_view, std::set<std::string_view>>;
+
+const Graph& adjacency() {
+  static const Graph graph = [] {
+    Graph g;
+    for (const LockOrderEdge& edge : kEdges) g[edge.before].insert(edge.after);
+    return g;
+  }();
+  return graph;
+}
+
+/// Nodes reachable from `from` along declared edges (excluding `from`
+/// itself unless a cycle returns to it).
+std::set<std::string_view> reachable(std::string_view from) {
+  std::set<std::string_view> seen;
+  std::vector<std::string_view> frontier{from};
+  const Graph& graph = adjacency();
+  while (!frontier.empty()) {
+    const std::string_view node = frontier.back();
+    frontier.pop_back();
+    const auto it = graph.find(node);
+    if (it == graph.end()) continue;
+    for (const std::string_view next : it->second) {
+      if (seen.insert(next).second) frontier.push_back(next);
+    }
+  }
+  return seen;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  out.append(s);  // class names are plain identifiers; no escaping needed
+  out.push_back('"');
+}
+
+}  // namespace
+
+const char* const* lock_order_classes(std::size_t& count) {
+  count = std::size(kClasses);
+  return kClasses;
+}
+
+const LockOrderEdge* lock_order_edges(std::size_t& count) {
+  count = std::size(kEdges);
+  return kEdges;
+}
+
+bool lock_order_acyclic() {
+  for (const char* cls : kClasses) {
+    if (reachable(cls).count(cls) != 0) return false;
+  }
+  return true;
+}
+
+bool lock_order_allows(std::string_view before, std::string_view after) {
+  const std::string_view prefix = lock_order_ignore_prefix();
+  if (before.substr(0, prefix.size()) == prefix ||
+      after.substr(0, prefix.size()) == prefix) {
+    return true;
+  }
+  return reachable(before).count(after) != 0;
+}
+
+std::string lock_order_json() {
+  std::string out = "{\n  \"classes\": [\n";
+  for (std::size_t i = 0; i < std::size(kClasses); ++i) {
+    out += "    ";
+    append_json_string(out, kClasses[i]);
+    if (i + 1 < std::size(kClasses)) out.push_back(',');
+    out.push_back('\n');
+  }
+  out += "  ],\n  \"edges\": [\n";
+  for (std::size_t i = 0; i < std::size(kEdges); ++i) {
+    out += "    [";
+    append_json_string(out, kEdges[i].before);
+    out += ", ";
+    append_json_string(out, kEdges[i].after);
+    out.push_back(']');
+    if (i + 1 < std::size(kEdges)) out.push_back(',');
+    out.push_back('\n');
+  }
+  out += "  ],\n  \"ignore_prefixes\": [\n    ";
+  append_json_string(out, lock_order_ignore_prefix());
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace dcfs::chk

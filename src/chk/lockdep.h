@@ -26,6 +26,8 @@
 #include <shared_mutex>
 #include <string>
 
+#include "chk/annotations.h"
+
 #if defined(DCFS_CHK_ENABLED)
 #include <cstdint>
 #include <functional>
@@ -99,20 +101,22 @@ void note_released(const void* instance) noexcept;
 }  // namespace detail
 
 /// Lockdep-tracked exclusive mutex.  Construct with a lock-class name;
-/// every instance of a class shares ordering constraints.
-class Mutex {
+/// every instance of a class shares ordering constraints.  Annotated as a
+/// Clang TSA capability so clang builds also check guarded fields and
+/// REQUIRES contracts statically (see annotations.h).
+class DCFS_CAPABILITY("mutex") Mutex {
  public:
   explicit Mutex(const char* lock_class)
       : cls_(detail::intern_class(lock_class)) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock(Site site = Site{}) {
+  void lock(Site site = Site{}) DCFS_ACQUIRE() {
     detail::check_acquire(cls_, this, site);
     mu_.lock();
     detail::note_acquired(cls_, this, site, /*shared=*/false);
   }
-  void unlock() {
+  void unlock() DCFS_RELEASE() {
     detail::note_released(this);
     mu_.unlock();
   }
@@ -129,28 +133,28 @@ class Mutex {
 /// Lockdep-tracked reader/writer mutex.  Shared acquisitions participate
 /// in ordering exactly like exclusive ones (a reader blocked behind a
 /// writer deadlocks the same way), so both feed the same graph.
-class SharedMutex {
+class DCFS_CAPABILITY("shared_mutex") SharedMutex {
  public:
   explicit SharedMutex(const char* lock_class)
       : cls_(detail::intern_class(lock_class)) {}
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void lock(Site site = Site{}) {
+  void lock(Site site = Site{}) DCFS_ACQUIRE() {
     detail::check_acquire(cls_, this, site);
     mu_.lock();
     detail::note_acquired(cls_, this, site, /*shared=*/false);
   }
-  void unlock() {
+  void unlock() DCFS_RELEASE() {
     detail::note_released(this);
     mu_.unlock();
   }
-  void lock_shared(Site site = Site{}) {
+  void lock_shared(Site site = Site{}) DCFS_ACQUIRE_SHARED() {
     detail::check_acquire(cls_, this, site);
     mu_.lock_shared();
     detail::note_acquired(cls_, this, site, /*shared=*/true);
   }
-  void unlock_shared() {
+  void unlock_shared() DCFS_RELEASE_SHARED() {
     detail::note_released(this);
     mu_.unlock_shared();
   }
@@ -165,14 +169,15 @@ class SharedMutex {
 /// Scoped exclusive lock over Mutex or SharedMutex; the drop-in
 /// replacement for std::lock_guard.
 template <typename MutexT>
-class LockGuard {
+class DCFS_SCOPED_CAPABILITY LockGuard {
  public:
   explicit LockGuard(MutexT& mutex,
                      std::source_location loc = std::source_location::current())
+      DCFS_ACQUIRE(mutex)
       : mutex_(mutex) {
     mutex_.lock(Site{loc.file_name(), static_cast<unsigned>(loc.line())});
   }
-  ~LockGuard() { mutex_.unlock(); }
+  ~LockGuard() DCFS_RELEASE() { mutex_.unlock(); }
   LockGuard(const LockGuard&) = delete;
   LockGuard& operator=(const LockGuard&) = delete;
 
@@ -181,14 +186,16 @@ class LockGuard {
 };
 
 /// Scoped shared (reader) lock over SharedMutex.
-class SharedLock {
+class DCFS_SCOPED_CAPABILITY SharedLock {
  public:
   explicit SharedLock(SharedMutex& mutex,
                       std::source_location loc = std::source_location::current())
+      DCFS_ACQUIRE_SHARED(mutex)
       : mutex_(mutex) {
     mutex_.lock_shared(Site{loc.file_name(), static_cast<unsigned>(loc.line())});
   }
-  ~SharedLock() { mutex_.unlock_shared(); }
+  // Generic RELEASE: clang releases whichever mode the ctor acquired.
+  ~SharedLock() DCFS_RELEASE() { mutex_.unlock_shared(); }
   SharedLock(const SharedLock&) = delete;
   SharedLock& operator=(const SharedLock&) = delete;
 
@@ -200,17 +207,18 @@ class SharedLock {
 /// wait on a std::condition_variable.  While wait() has the native mutex
 /// released the lockdep held-record conservatively stays in place — a
 /// waiting thread acquires nothing, so no false edges arise.
-class UniqueLock {
+class DCFS_SCOPED_CAPABILITY UniqueLock {
  public:
   explicit UniqueLock(Mutex& mutex,
                       std::source_location loc = std::source_location::current())
+      DCFS_ACQUIRE(mutex)
       : mutex_(&mutex) {
     const Site site{loc.file_name(), static_cast<unsigned>(loc.line())};
     detail::check_acquire(mutex.lock_class(), mutex_, site);
     lock_ = std::unique_lock<std::mutex>(mutex.native());
     detail::note_acquired(mutex.lock_class(), mutex_, site, /*shared=*/false);
   }
-  ~UniqueLock() {
+  ~UniqueLock() DCFS_RELEASE() {
     if (lock_.owns_lock()) detail::note_released(mutex_);
   }
   UniqueLock(const UniqueLock&) = delete;
@@ -224,42 +232,46 @@ class UniqueLock {
   std::unique_lock<std::mutex> lock_;
 };
 
-#else  // !DCFS_CHK_ENABLED — zero-overhead passthrough.
+#else  // !DCFS_CHK_ENABLED — zero-overhead passthrough.  The capability
+// annotations stay: static analysis works in both configurations (the
+// negative-compile harness deliberately compiles in this mode).
 
-class Mutex {
+class DCFS_CAPABILITY("mutex") Mutex {
  public:
   explicit Mutex(const char* /*lock_class*/) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() { mu_.lock(); }
-  void unlock() { mu_.unlock(); }
+  void lock() DCFS_ACQUIRE() { mu_.lock(); }
+  void unlock() DCFS_RELEASE() { mu_.unlock(); }
   [[nodiscard]] std::mutex& native() noexcept { return mu_; }
 
  private:
   std::mutex mu_;
 };
 
-class SharedMutex {
+class DCFS_CAPABILITY("shared_mutex") SharedMutex {
  public:
   explicit SharedMutex(const char* /*lock_class*/) {}
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void lock() { mu_.lock(); }
-  void unlock() { mu_.unlock(); }
-  void lock_shared() { mu_.lock_shared(); }
-  void unlock_shared() { mu_.unlock_shared(); }
+  void lock() DCFS_ACQUIRE() { mu_.lock(); }
+  void unlock() DCFS_RELEASE() { mu_.unlock(); }
+  void lock_shared() DCFS_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() DCFS_RELEASE_SHARED() { mu_.unlock_shared(); }
 
  private:
   std::shared_mutex mu_;
 };
 
 template <typename MutexT>
-class LockGuard {
+class DCFS_SCOPED_CAPABILITY LockGuard {
  public:
-  explicit LockGuard(MutexT& mutex) : mutex_(mutex) { mutex_.lock(); }
-  ~LockGuard() { mutex_.unlock(); }
+  explicit LockGuard(MutexT& mutex) DCFS_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~LockGuard() DCFS_RELEASE() { mutex_.unlock(); }
   LockGuard(const LockGuard&) = delete;
   LockGuard& operator=(const LockGuard&) = delete;
 
@@ -267,12 +279,13 @@ class LockGuard {
   MutexT& mutex_;
 };
 
-class SharedLock {
+class DCFS_SCOPED_CAPABILITY SharedLock {
  public:
-  explicit SharedLock(SharedMutex& mutex) : mutex_(mutex) {
+  explicit SharedLock(SharedMutex& mutex) DCFS_ACQUIRE_SHARED(mutex)
+      : mutex_(mutex) {
     mutex_.lock_shared();
   }
-  ~SharedLock() { mutex_.unlock_shared(); }
+  ~SharedLock() DCFS_RELEASE() { mutex_.unlock_shared(); }
   SharedLock(const SharedLock&) = delete;
   SharedLock& operator=(const SharedLock&) = delete;
 
@@ -280,9 +293,11 @@ class SharedLock {
   SharedMutex& mutex_;
 };
 
-class UniqueLock {
+class DCFS_SCOPED_CAPABILITY UniqueLock {
  public:
-  explicit UniqueLock(Mutex& mutex) : lock_(mutex.native()) {}
+  explicit UniqueLock(Mutex& mutex) DCFS_ACQUIRE(mutex)
+      : lock_(mutex.native()) {}
+  ~UniqueLock() DCFS_RELEASE() {}
   UniqueLock(const UniqueLock&) = delete;
   UniqueLock& operator=(const UniqueLock&) = delete;
 

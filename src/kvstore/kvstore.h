@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "chk/annotations.h"
 #include "chk/lockdep.h"
 #include "common/bytes.h"
 #include "common/status.h"
@@ -96,72 +97,77 @@ class KvStore {
   KvStore& operator=(const KvStore&) = delete;
 
   /// Inserts or overwrites.  The mutation is WAL-appended first.
-  void put(std::string_view key, ByteSpan value);
+  void put(std::string_view key, ByteSpan value) DCFS_EXCLUDES(mu_);
 
   /// Inserts or overwrites a batch in one WAL append: the frames are
   /// concatenated and hit the storage as a single write, and auto
   /// compaction is considered once at the end instead of per key.  Replay
   /// state is byte-identical to the equivalent sequence of put() calls.
-  void put_many(const std::vector<std::pair<std::string, Bytes>>& entries);
+  void put_many(const std::vector<std::pair<std::string, Bytes>>& entries)
+      DCFS_EXCLUDES(mu_);
 
   /// Point lookup.
-  [[nodiscard]] std::optional<Bytes> get(std::string_view key) const;
+  [[nodiscard]] std::optional<Bytes> get(std::string_view key) const
+      DCFS_EXCLUDES(mu_);
 
   /// Removes the key if present; returns whether it existed.
-  bool erase(std::string_view key);
+  bool erase(std::string_view key) DCFS_EXCLUDES(mu_);
 
   /// Durably flushes the WAL (maps to storage sync()).
-  void sync();
+  void sync() DCFS_EXCLUDES(mu_);
 
   /// Rewrites the WAL as a compact snapshot of the live table.
-  void compact();
+  void compact() DCFS_EXCLUDES(mu_);
 
   /// Enables automatic compaction: whenever the WAL grows beyond
   /// `factor` x the live snapshot size (and past `min_bytes`), the store
   /// compacts itself after the mutation that crossed the threshold.
-  void set_auto_compaction(double factor, std::size_t min_bytes = 64 * 1024);
+  void set_auto_compaction(double factor, std::size_t min_bytes = 64 * 1024)
+      DCFS_EXCLUDES(mu_);
 
   /// Approximate live snapshot size (keys + values + framing).
-  [[nodiscard]] std::size_t live_bytes() const;
+  [[nodiscard]] std::size_t live_bytes() const DCFS_EXCLUDES(mu_);
   /// Bytes currently occupying the WAL (live + garbage).
-  [[nodiscard]] std::size_t wal_bytes() const;
+  [[nodiscard]] std::size_t wal_bytes() const DCFS_EXCLUDES(mu_);
 
   /// Rebuilds the in-memory table by replaying the WAL.  Records with bad
   /// CRCs or a torn tail end the replay (LevelDB-style: the log is valid up
   /// to the first damaged record).  Returns the number of records replayed.
-  std::size_t recover();
+  std::size_t recover() DCFS_EXCLUDES(mu_);
 
   /// Iterates entries whose key starts with `prefix`, in key order.
   void scan_prefix(std::string_view prefix,
                    const std::function<void(std::string_view, ByteSpan)>& fn)
-      const;
+      const DCFS_EXCLUDES(mu_);
 
-  [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] std::uint64_t wal_bytes_written() const;
+  [[nodiscard]] std::size_t size() const DCFS_EXCLUDES(mu_);
+  [[nodiscard]] std::uint64_t wal_bytes_written() const DCFS_EXCLUDES(mu_);
 
  private:
   enum class RecordOp : std::uint8_t { put = 1, erase = 2 };
 
-  void append_record(RecordOp op, std::string_view key, ByteSpan value);
+  void append_record(RecordOp op, std::string_view key, ByteSpan value)
+      DCFS_REQUIRES(mu_);
   static Bytes encode_record(RecordOp op, std::string_view key,
                              ByteSpan value);
   /// compact() body; caller must hold mu_.  Mutations call this directly
   /// so auto-compaction never re-enters the lock.
-  void compact_locked();
-  void maybe_auto_compact_locked();
-  std::size_t recover_locked();
+  void compact_locked() DCFS_REQUIRES(mu_);
+  void maybe_auto_compact_locked() DCFS_REQUIRES(mu_);
+  std::size_t recover_locked() DCFS_REQUIRES(mu_);
   static std::size_t record_bytes(std::string_view key, ByteSpan value) {
     return 8 + 9 + key.size() + value.size();
   }
 
   mutable chk::Mutex mu_{"kvstore.table"};
-  std::shared_ptr<WalStorage> storage_;
-  std::map<std::string, Bytes, std::less<>> table_;
-  std::uint64_t wal_bytes_written_ = 0;
-  std::size_t wal_bytes_ = 0;
-  std::size_t live_bytes_ = 0;
-  double auto_compact_factor_ = 0.0;  ///< 0 = disabled
-  std::size_t auto_compact_min_bytes_ = 64 * 1024;
+  std::shared_ptr<WalStorage> storage_;  ///< set once in the ctor, immutable
+  std::map<std::string, Bytes, std::less<>> table_ DCFS_GUARDED_BY(mu_);
+  std::uint64_t wal_bytes_written_ DCFS_GUARDED_BY(mu_) = 0;
+  std::size_t wal_bytes_ DCFS_GUARDED_BY(mu_) = 0;
+  std::size_t live_bytes_ DCFS_GUARDED_BY(mu_) = 0;
+  /// 0 = disabled
+  double auto_compact_factor_ DCFS_GUARDED_BY(mu_) = 0.0;
+  std::size_t auto_compact_min_bytes_ DCFS_GUARDED_BY(mu_) = 64 * 1024;
 };
 
 }  // namespace dcfs

@@ -15,6 +15,7 @@
 #include <string_view>
 #include <type_traits>
 
+#include "chk/annotations.h"
 #include "chk/lockdep.h"
 
 namespace dcfs::obs {
@@ -68,18 +69,18 @@ class Logger {
   }
 
   /// Redirects formatted lines; null restores the default (stderr).
-  void set_sink(std::function<void(std::string_view)> sink);
+  void set_sink(std::function<void(std::string_view)> sink) DCFS_EXCLUDES(mu_);
 
   /// Formats and emits one line:  [level] component: message k=v k=v
   /// Values containing spaces, quotes or '=' are double-quoted.
   void log(LogLevel level, std::string_view component,
            std::string_view message,
-           std::initializer_list<LogField> fields = {});
+           std::initializer_list<LogField> fields = {}) DCFS_EXCLUDES(mu_);
 
  private:
   std::atomic<std::uint8_t> level_;
   chk::Mutex mu_{"obs.logger"};  ///< serializes sink access and line emission
-  std::function<void(std::string_view)> sink_;
+  std::function<void(std::string_view)> sink_ DCFS_GUARDED_BY(mu_);
 };
 
 }  // namespace dcfs::obs

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "chk/annotations.h"
 #include "chk/lockdep.h"
 #include "metrics/cost.h"
 #include "metrics/traffic.h"
@@ -150,19 +151,23 @@ struct Snapshot {
 /// registry's lifetime.
 class Registry {
  public:
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
+  Counter& counter(std::string_view name) DCFS_EXCLUDES(mu_);
+  Gauge& gauge(std::string_view name) DCFS_EXCLUDES(mu_);
   Histogram& histogram(
       std::string_view name,
-      const std::vector<std::uint64_t>& bounds = default_latency_bounds_us());
+      const std::vector<std::uint64_t>& bounds = default_latency_bounds_us())
+      DCFS_EXCLUDES(mu_);
 
-  [[nodiscard]] Snapshot snapshot() const;
+  [[nodiscard]] Snapshot snapshot() const DCFS_EXCLUDES(mu_);
 
  private:
   mutable chk::Mutex mu_{"obs.metrics_registry"};
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      DCFS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      DCFS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      DCFS_GUARDED_BY(mu_);
 };
 
 // Null-safe helpers: components store handle pointers that stay null when

@@ -95,9 +95,12 @@ Tracer::Track& Tracer::track() noexcept {
 }
 
 void Tracer::begin(NameId name, NameId cat) {
-  if (!enabled() || clock_ == nullptr) return;
+  // One load each: enable()/disable()/set_capacity() may race with worker
+  // emissions, and a reloaded pointer could have become null in between.
+  const Clock* clock = clock_.load(std::memory_order_acquire);
+  if (!enabled() || clock == nullptr) return;
   Track& t = track();
-  if (t.recs.size() >= max_events_) {
+  if (t.recs.size() >= max_events_.load(std::memory_order_relaxed)) {
     ++t.dropped;
     t.stack.push_back(kDroppedSpan);
     return;
@@ -106,7 +109,7 @@ void Tracer::begin(NameId name, NameId cat) {
   rec.name = name;
   rec.cat = cat;
   rec.phase = 'B';
-  rec.ts = clock_->now();
+  rec.ts = clock->now();
   rec.pid = pid_.load(std::memory_order_relaxed);
   t.stack.push_back(t.recs.size());
   t.recs.push_back(rec);
@@ -123,15 +126,17 @@ void Tracer::end() {
   rec.name = begin_rec.name;
   rec.cat = begin_rec.cat;
   rec.phase = 'E';
-  rec.ts = clock_ != nullptr ? clock_->now() : begin_rec.ts;
+  const Clock* clock = clock_.load(std::memory_order_acquire);
+  rec.ts = clock != nullptr ? clock->now() : begin_rec.ts;
   rec.pid = begin_rec.pid;
   t.recs.push_back(rec);
 }
 
 void Tracer::instant(NameId name, NameId cat) {
-  if (!enabled() || clock_ == nullptr) return;
+  const Clock* clock = clock_.load(std::memory_order_acquire);
+  if (!enabled() || clock == nullptr) return;
   Track& t = track();
-  if (t.recs.size() >= max_events_) {
+  if (t.recs.size() >= max_events_.load(std::memory_order_relaxed)) {
     ++t.dropped;
     return;
   }
@@ -139,18 +144,19 @@ void Tracer::instant(NameId name, NameId cat) {
   rec.name = name;
   rec.cat = cat;
   rec.phase = 'i';
-  rec.ts = clock_->now();
+  rec.ts = clock->now();
   rec.pid = pid_.load(std::memory_order_relaxed);
   t.recs.push_back(rec);
 }
 
 void Tracer::emit_flow(char phase, std::uint64_t id) {
-  if (!enabled() || clock_ == nullptr) return;
+  const Clock* clock = clock_.load(std::memory_order_acquire);
+  if (!enabled() || clock == nullptr) return;
   Track& t = track();
   // Flow events bind to the innermost enclosing slice; with no open span
   // (or a dropped one) the edge would dangle, so it is dropped instead.
   if (t.stack.empty() || t.stack.back() == kDroppedSpan) return;
-  if (t.recs.size() >= max_events_) {
+  if (t.recs.size() >= max_events_.load(std::memory_order_relaxed)) {
     ++t.dropped;
     return;
   }
@@ -158,7 +164,7 @@ void Tracer::emit_flow(char phase, std::uint64_t id) {
   rec.name = kFlowName;
   rec.cat = kFlowCat;
   rec.phase = phase;
-  rec.ts = clock_->now();
+  rec.ts = clock->now();
   rec.pid = pid_.load(std::memory_order_relaxed);
   rec.id = id;
   t.recs.push_back(rec);
@@ -169,12 +175,12 @@ void Tracer::flow_start(std::uint64_t id) { emit_flow('s', id); }
 void Tracer::flow_end(std::uint64_t id) { emit_flow('f', id); }
 
 void Tracer::begin(std::string_view name, std::string_view cat) {
-  if (!enabled() || clock_ == nullptr) return;
+  if (!enabled() || clock_.load(std::memory_order_acquire) == nullptr) return;
   begin(intern(name), cat.empty() ? NameId{0} : intern(cat));
 }
 
 void Tracer::instant(std::string_view name, std::string_view cat) {
-  if (!enabled() || clock_ == nullptr) return;
+  if (!enabled() || clock_.load(std::memory_order_acquire) == nullptr) return;
   instant(intern(name), cat.empty() ? NameId{0} : intern(cat));
 }
 

@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "chk/annotations.h"
 #include "chk/lockdep.h"
 #include "common/clock.h"
 
@@ -55,15 +56,18 @@ struct TraceEvent {
 class Tracer {
  public:
   /// Starts recording, timestamping events with `clock` (not owned; must
-  /// outlive the tracer or be cleared with disable()).  Call from the
-  /// driving thread while no worker is emitting.
+  /// outlive the tracer or be cleared with disable()).  clock_ is atomic —
+  /// worker threads may race a begin() against enable()/disable() from the
+  /// driving thread; they load the pointer once and either see the old
+  /// state or the new one, never a torn mix (the annotation sweep flagged
+  /// the previous plain pointer).
   void enable(const Clock& clock) noexcept {
-    clock_ = &clock;
+    clock_.store(&clock, std::memory_order_release);
     enabled_.store(true, std::memory_order_release);
   }
   void disable() noexcept {
     enabled_.store(false, std::memory_order_release);
-    clock_ = nullptr;
+    clock_.store(nullptr, std::memory_order_release);
   }
   [[nodiscard]] bool enabled() const noexcept {
     return enabled_.load(std::memory_order_relaxed);
@@ -121,8 +125,9 @@ class Tracer {
   /// registered threads, so wiring-time ids stay valid across runs.
   void clear();
   /// Caps stored events per track; begins past the cap count as dropped().
+  /// Atomic: callable while worker tracks are emitting.
   void set_capacity(std::size_t max_events) noexcept {
-    max_events_ = max_events;
+    max_events_.store(max_events, std::memory_order_relaxed);
   }
 
  private:
@@ -147,19 +152,23 @@ class Tracer {
 
   [[nodiscard]] Track& track() noexcept;
   void emit_flow(char phase, std::uint64_t id);
-  /// Appends a track's events to `out`, resolving interned names.  Caller
-  /// holds mu_.
-  void append_track(const Track& t, std::vector<TraceEvent>& out) const;
+  /// Appends a track's events to `out`, resolving interned names.
+  void append_track(const Track& t, std::vector<TraceEvent>& out) const
+      DCFS_REQUIRES(mu_);
 
   std::atomic<bool> enabled_{false};
-  const Clock* clock_ = nullptr;
+  std::atomic<const Clock*> clock_{nullptr};
   std::atomic<std::uint32_t> pid_{1};
-  std::vector<std::pair<std::uint32_t, std::string>> process_names_;
+  std::vector<std::pair<std::uint32_t, std::string>> process_names_
+      DCFS_GUARDED_BY(mu_);
+  /// The driving thread's track.  NOT mu_-guarded: tracks follow a
+  /// thread-ownership protocol (each thread writes only its own track via
+  /// track(); merges happen from the driving thread at quiescence).
   Track main_;
-  std::vector<std::unique_ptr<Track>> threads_;  ///< guarded by mu_
-  std::uint32_t next_tid_ = 2;                   ///< guarded by mu_
-  std::vector<std::string> names_;               ///< guarded by mu_
-  std::size_t max_events_ = 4'000'000;
+  std::vector<std::unique_ptr<Track>> threads_ DCFS_GUARDED_BY(mu_);
+  std::uint32_t next_tid_ DCFS_GUARDED_BY(mu_) = 2;
+  std::vector<std::string> names_ DCFS_GUARDED_BY(mu_);
+  std::atomic<std::size_t> max_events_{4'000'000};
   mutable chk::Mutex mu_{"obs.tracer"};
 };
 

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "chk/annotations.h"
 #include "chk/lockdep.h"
 #include "chk/sched.h"
 
@@ -86,10 +87,14 @@ class BatchAccounting {
  public:
   explicit BatchAccounting(std::size_t n = 0) : n_(n) {}
 
-  void reset(std::size_t n) {
+  void reset(std::size_t n) DCFS_EXCLUDES(error_mu_) {
     n_ = n;
     done_.store(0, std::memory_order_relaxed);
     failed_.store(false, std::memory_order_relaxed);
+    // Under error_mu_ like every other error_ access: a stale worker from a
+    // previous batch could still be in execute()'s catch when the caller
+    // recycles the accounting (the annotation sweep flagged the bare write).
+    const chk::LockGuard<chk::Mutex> lock(error_mu_);
     error_ = nullptr;
   }
 
@@ -121,16 +126,22 @@ class BatchAccounting {
   }
 
   /// Rethrows the first captured error, if any.  Call only after the batch
-  /// completed (the final acq_rel accounting publishes error_).
-  void rethrow_if_failed() {
-    if (error_ != nullptr) std::rethrow_exception(error_);
+  /// completed.  The pointer is copied out under error_mu_ (not just the
+  /// acq_rel accounting fence) and rethrown outside the lock.
+  void rethrow_if_failed() DCFS_EXCLUDES(error_mu_) {
+    std::exception_ptr error;
+    {
+      const chk::LockGuard<chk::Mutex> lock(error_mu_);
+      error = error_;
+    }
+    if (error != nullptr) std::rethrow_exception(error);
   }
 
  private:
-  std::size_t n_ = 0;
+  std::size_t n_ = 0;  ///< set before the batch is published, then read-only
   std::atomic<std::size_t> done_{0};
   std::atomic<bool> failed_{false};
-  std::exception_ptr error_;
+  std::exception_ptr error_ DCFS_GUARDED_BY(error_mu_);
   chk::Mutex error_mu_{"par.batch_error"};
 };
 

@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "chk/annotations.h"
 #include "chk/lockdep.h"
 #include "core/lockfree_queue.h"
 #include "obs/obs.h"
@@ -79,7 +80,7 @@ class WorkerPool {
   std::vector<std::unique_ptr<Worker>> workers_;
   chk::Mutex mu_{"par.pool"};   ///< parking lot for idle workers
   std::condition_variable cv_;
-  bool stopping_ = false;
+  bool stopping_ DCFS_GUARDED_BY(mu_) = false;
 
   // Instruments; null when observability is disabled.
   obs::Tracer* tracer_ = nullptr;     ///< workers register their own tracks

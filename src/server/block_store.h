@@ -31,6 +31,7 @@
 #include <memory>
 #include <vector>
 
+#include "chk/annotations.h"
 #include "chk/lockdep.h"
 #include "common/bytes.h"
 #include "common/md5.h"
@@ -54,7 +55,7 @@ class BlockStore {
 
   /// Stores `content`, deduplicating against everything already stored.
   /// Chunks shared with existing objects only gain a reference.
-  BlockHandle put(ByteSpan content);
+  BlockHandle put(ByteSpan content) DCFS_EXCLUDES(mu_);
 
   /// `put` wrapped so the store reference follows the handle's lifetime:
   /// the last copy of the returned pointer releases the chunks.  The store
@@ -64,7 +65,8 @@ class BlockStore {
 
   /// Reassembles an object.  Fails with corruption if a chunk is missing
   /// (a release/GC bug or an invalid handle).
-  [[nodiscard]] Result<Bytes> get(const BlockHandle& handle) const;
+  [[nodiscard]] Result<Bytes> get(const BlockHandle& handle) const
+      DCFS_EXCLUDES(mu_);
 
   /// Streams the bytes of `handle` overlapping [offset, offset + length)
   /// through `sink`, in order, one stored chunk (or chunk suffix/prefix) at
@@ -74,22 +76,22 @@ class BlockStore {
   /// is missing; a range beyond the object's size is clamped.
   [[nodiscard]] Status visit_range(
       const BlockHandle& handle, std::uint64_t offset, std::uint64_t length,
-      const std::function<void(ByteSpan)>& sink) const;
+      const std::function<void(ByteSpan)>& sink) const DCFS_EXCLUDES(mu_);
 
   /// Releases one reference on each of the handle's chunks; chunks that
   /// reach zero references are reclaimed.
-  void release(const BlockHandle& handle);
+  void release(const BlockHandle& handle) DCFS_EXCLUDES(mu_);
 
   // ---- accounting ----
 
   /// Bytes of unique chunk data currently held.
-  [[nodiscard]] std::uint64_t unique_bytes() const;
+  [[nodiscard]] std::uint64_t unique_bytes() const DCFS_EXCLUDES(mu_);
   /// Logical bytes across all live handles (sum of put sizes minus
   /// releases).
-  [[nodiscard]] std::uint64_t logical_bytes() const;
-  [[nodiscard]] std::size_t chunk_count() const;
+  [[nodiscard]] std::uint64_t logical_bytes() const DCFS_EXCLUDES(mu_);
+  [[nodiscard]] std::size_t chunk_count() const DCFS_EXCLUDES(mu_);
   /// logical / unique — 1.0 means no sharing, higher means dedup wins.
-  [[nodiscard]] double dedup_ratio() const;
+  [[nodiscard]] double dedup_ratio() const DCFS_EXCLUDES(mu_);
 
  private:
   struct Chunk {
@@ -102,9 +104,9 @@ class BlockStore {
   /// get() and the accounting getters share it, so parallel apply units
   /// can reassemble objects concurrently.
   mutable chk::SharedMutex mu_{"server.block_store"};
-  std::map<Md5::Digest, Chunk> chunks_;
-  std::uint64_t unique_bytes_ = 0;
-  std::uint64_t logical_bytes_ = 0;
+  std::map<Md5::Digest, Chunk> chunks_ DCFS_GUARDED_BY(mu_);
+  std::uint64_t unique_bytes_ DCFS_GUARDED_BY(mu_) = 0;
+  std::uint64_t logical_bytes_ DCFS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dcfs

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "chk/annotations.h"
 #include "chk/lockdep.h"
 #include "common/bytes.h"
 
@@ -44,11 +45,12 @@ class BufferPool {
   /// misses and never return to the pool.  `hit`, when non-null, reports
   /// which case this call was (so callers can attribute hits/misses to
   /// their own instruments without racing on the shared totals).
-  Bytes acquire(std::size_t min_capacity, bool* hit = nullptr);
+  Bytes acquire(std::size_t min_capacity, bool* hit = nullptr)
+      DCFS_EXCLUDES(mu_);
 
   /// Returns a buffer to the pool.  Buffers too small or too numerous for
   /// their class are dropped (freed) instead.
-  void release(Bytes&& buffer);
+  void release(Bytes&& buffer) DCFS_EXCLUDES(mu_);
 
   struct Stats {
     std::uint64_t hits = 0;      ///< acquires served from a free list
@@ -58,7 +60,7 @@ class BufferPool {
   [[nodiscard]] Stats stats() const noexcept;
 
   /// Buffers currently parked on free lists (tests / introspection).
-  [[nodiscard]] std::size_t idle_buffers() const;
+  [[nodiscard]] std::size_t idle_buffers() const DCFS_EXCLUDES(mu_);
 
   /// The process-wide pool.  Client and server codecs default to it, so
   /// in-process simulations recycle each other's frames.
@@ -72,7 +74,7 @@ class BufferPool {
   }
 
   mutable chk::Mutex mu_{"wire.buffer_pool"};
-  std::vector<Bytes> free_[kClasses];
+  std::vector<Bytes> free_[kClasses] DCFS_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> dropped_{0};

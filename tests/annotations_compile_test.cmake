@@ -1,0 +1,45 @@
+# Negative-compile driver for the Clang Thread Safety annotations
+# (src/chk/annotations.h).  Invoked per snippet by tests/CMakeLists.txt:
+#
+#   cmake -DCXX=<clang++> -DSNIPPET=<file.cc> -DSRC_DIR=<repo>/src
+#         -DEXPECT=PASS|FAIL -P annotations_compile_test.cmake
+#
+# FAIL snippets must be rejected *by the thread-safety analysis* — a
+# snippet that fails to compile for any other reason (syntax rot, missing
+# include) is reported as a harness bug, not a pass.  The snippets compile
+# in the DCFS_CHK=OFF passthrough configuration on purpose: the wrappers
+# must carry their capability annotations in both modes.
+
+foreach(var CXX SNIPPET SRC_DIR EXPECT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "annotations_compile_test: ${var} not set")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CXX} -std=c++20 -fsyntax-only
+          -Wthread-safety -Wthread-safety-beta -Werror
+          -I ${SRC_DIR} ${SNIPPET}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(EXPECT STREQUAL "PASS")
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "control snippet must compile cleanly but was rejected:\n${err}")
+  endif()
+elseif(EXPECT STREQUAL "FAIL")
+  if(rc EQUAL 0)
+    message(FATAL_ERROR
+      "snippet compiled cleanly but must be rejected by -Wthread-safety: "
+      "${SNIPPET}")
+  endif()
+  if(NOT err MATCHES "thread-safety")
+    message(FATAL_ERROR
+      "snippet was rejected, but not by the thread-safety analysis "
+      "(harness bug?):\n${err}")
+  endif()
+else()
+  message(FATAL_ERROR "EXPECT must be PASS or FAIL, got '${EXPECT}'")
+endif()

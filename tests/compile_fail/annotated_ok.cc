@@ -1,0 +1,70 @@
+// Control: the annotated idioms every subsystem uses, written correctly —
+// this must compile clean under -Wthread-safety -Wthread-safety-beta
+// -Werror, proving the harness rejects the violation snippets for their
+// violations and not for some environmental reason.
+#include "chk/annotations.h"
+#include "chk/lockdep.h"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(long amount) DCFS_EXCLUDES(mu_) {
+    const dcfs::chk::LockGuard<dcfs::chk::Mutex> lock(mu_);
+    add_locked(amount);
+  }
+
+  [[nodiscard]] long balance() const DCFS_EXCLUDES(mu_) {
+    const dcfs::chk::LockGuard<dcfs::chk::Mutex> lock(mu_);
+    return balance_;
+  }
+
+ private:
+  void add_locked(long amount) DCFS_REQUIRES(mu_) { balance_ += amount; }
+
+  mutable dcfs::chk::Mutex mu_{"test.account"};
+  long balance_ DCFS_GUARDED_BY(mu_) = 0;
+};
+
+class Registry {
+ public:
+  void rename(long id) DCFS_EXCLUDES(mu_) {
+    const dcfs::chk::LockGuard<dcfs::chk::SharedMutex> lock(mu_);
+    id_ = id;
+  }
+
+  [[nodiscard]] long id() const DCFS_EXCLUDES(mu_) {
+    const dcfs::chk::SharedLock lock(mu_);  // shared suffices for reads
+    return id_;
+  }
+
+ private:
+  mutable dcfs::chk::SharedMutex mu_{"test.registry"};
+  long id_ DCFS_GUARDED_BY(mu_) = 0;
+};
+
+class TwoLocks {
+ public:
+  void in_order() DCFS_EXCLUDES(a_, b_) {
+    const dcfs::chk::LockGuard<dcfs::chk::Mutex> first(a_);
+    const dcfs::chk::LockGuard<dcfs::chk::Mutex> second(b_);
+    ++n_;
+  }
+
+ private:
+  dcfs::chk::Mutex a_{"test.order_a"};
+  dcfs::chk::Mutex b_ DCFS_ACQUIRED_AFTER(a_){"test.order_b"};
+  long n_ DCFS_GUARDED_BY(b_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(5);
+  Registry registry;
+  registry.rename(7);
+  TwoLocks locks;
+  locks.in_order();
+  return account.balance() == 5 && registry.id() == 7 ? 0 : 1;
+}

@@ -1,0 +1,34 @@
+// Violation class: calling a DCFS_EXCLUDES(mu_) method while already
+// holding mu_ — the self-deadlock runtime lockdep caught in KvStore (PR 5),
+// now rejected statically.
+// Expected: error: cannot call function 'compact' while mutex 'mu_' is held
+#include "chk/annotations.h"
+#include "chk/lockdep.h"
+
+namespace {
+
+class Store {
+ public:
+  void compact() DCFS_EXCLUDES(mu_) {
+    const dcfs::chk::LockGuard<dcfs::chk::Mutex> lock(mu_);
+    ++generation_;
+  }
+
+  void mutate() {
+    const dcfs::chk::LockGuard<dcfs::chk::Mutex> lock(mu_);
+    ++generation_;
+    compact();  // BAD: re-enters mu_ — deadlock
+  }
+
+ private:
+  dcfs::chk::Mutex mu_{"test.store"};
+  long generation_ DCFS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Store store;
+  store.mutate();
+  return 0;
+}

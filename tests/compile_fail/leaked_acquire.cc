@@ -1,0 +1,23 @@
+// Violation class: a function exits still holding a lock it acquired
+// (missing unlock on some path — the RAII-guard bypass bug).
+// Expected: error: mutex 'mu' is still held at the end of function
+#include "chk/annotations.h"
+#include "chk/lockdep.h"
+
+namespace {
+
+long counter = 0;
+
+void bump(dcfs::chk::Mutex& mu) {
+  mu.lock();
+  ++counter;
+  // BAD: returns without mu.unlock()
+}
+
+}  // namespace
+
+int main() {
+  dcfs::chk::Mutex mu("test.leak");
+  bump(mu);
+  return counter == 1 ? 0 : 1;
+}

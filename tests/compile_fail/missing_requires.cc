@@ -1,0 +1,29 @@
+// Violation class: calling a DCFS_REQUIRES(mu_) helper without holding the
+// lock (the *_locked convention every subsystem uses).
+// Expected: error: calling function 'compact_locked' requires holding
+// mutex 'mu_' exclusively
+#include "chk/annotations.h"
+#include "chk/lockdep.h"
+
+namespace {
+
+class Store {
+ public:
+  void compact() {
+    compact_locked();  // BAD: public entry forgot to take mu_
+  }
+
+ private:
+  void compact_locked() DCFS_REQUIRES(mu_) { ++generation_; }
+
+  dcfs::chk::Mutex mu_{"test.store"};
+  long generation_ DCFS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Store store;
+  store.compact();
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Violation class: acquiring two locks against their declared order
+// (DCFS_ACQUIRED_AFTER — the static twin of a runtime lockdep cycle; the
+// project-wide order manifest is cross-checked by tools/lockdep_check.py,
+// whose --self-test proves the inverted-edge rejection out of process).
+// Expected: error/warning: mutex 'a_' must be acquired before 'b_'
+#include "chk/annotations.h"
+#include "chk/lockdep.h"
+
+namespace {
+
+class TwoLocks {
+ public:
+  void inverted() {
+    b_.lock();
+    a_.lock();  // BAD: a_ is declared acquired-before b_
+    a_.unlock();
+    b_.unlock();
+  }
+
+ private:
+  dcfs::chk::Mutex a_{"test.order_a"};
+  dcfs::chk::Mutex b_ DCFS_ACQUIRED_AFTER(a_){"test.order_b"};
+};
+
+}  // namespace
+
+int main() {
+  TwoLocks locks;
+  locks.inverted();
+  return 0;
+}

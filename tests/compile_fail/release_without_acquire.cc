@@ -1,0 +1,13 @@
+// Violation class: releasing a capability that is not held (the
+// double-release / wrong-branch-unlock bug).
+// Expected: error: releasing mutex 'mu' that was not held
+#include "chk/annotations.h"
+#include "chk/lockdep.h"
+
+int main() {
+  dcfs::chk::Mutex mu("test.release");
+  mu.lock();
+  mu.unlock();
+  mu.unlock();  // BAD: already released
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Violation class: reading a DCFS_GUARDED_BY field without its lock.
+// Expected: error: reading variable 'balance_' requires holding mutex 'mu_'
+#include "chk/annotations.h"
+#include "chk/lockdep.h"
+
+namespace {
+
+class Account {
+ public:
+  [[nodiscard]] long balance() const {
+    return balance_;  // BAD: mu_ not held
+  }
+
+ private:
+  mutable dcfs::chk::Mutex mu_{"test.account"};
+  long balance_ DCFS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  const Account account;
+  return account.balance() == 0 ? 0 : 1;
+}

@@ -1,0 +1,26 @@
+// Violation class: writing a DCFS_GUARDED_BY field without its lock.
+// Expected: error: writing variable 'balance_' requires holding mutex
+// 'mu_' exclusively
+#include "chk/annotations.h"
+#include "chk/lockdep.h"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(long amount) {
+    balance_ += amount;  // BAD: mu_ not held
+  }
+
+ private:
+  dcfs::chk::Mutex mu_{"test.account"};
+  long balance_ DCFS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  return 0;
+}

@@ -534,6 +534,50 @@ TEST(TracerTest, ConcurrentSpansLandOnTheirOwnTracks) {
       << error;
 }
 
+// Regression (annotation sweep): Tracer::clock_ and Tracer::max_events_ were
+// plain fields written by the driving thread (enable/disable/set_capacity)
+// while worker threads read them in begin()/instant()/emit_flow().  Both are
+// atomics now and the hot paths load them once per event.  This hammers
+// reconfiguration against concurrent emission — TSan (CI) would flag the old
+// plain-field races — and checks the tracks still balance.
+TEST(TracerTest, ReconfigurationRacesWithEmissionStayBalanced) {
+  VirtualClock clock;
+  Tracer tracer;
+  tracer.enable(clock);
+  const NameId name = tracer.intern("race.op");
+
+  std::atomic<bool> stop{false};
+  constexpr int kThreads = 3;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, &stop, name, t] {
+      tracer.register_thread("racer-" + std::to_string(t));
+      while (!stop.load(std::memory_order_acquire)) {
+        tracer.begin(name);
+        tracer.instant(name);
+        tracer.end();
+      }
+    });
+  }
+
+  // Flip capacity between tiny and huge and bounce enable/disable while the
+  // workers emit.  Every combination must stay crash-free and balanced.
+  for (int i = 0; i < 500; ++i) {
+    tracer.set_capacity(i % 2 == 0 ? 8 : 4'000'000);
+    if (i % 50 == 25) {
+      tracer.disable();
+      tracer.enable(clock);
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& thread : threads) thread.join();
+  tracer.disable();
+
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  EXPECT_TRUE(well_nested(tracer.events()));
+}
+
 // --------------------------------------------------- histogram consistency
 
 TEST(RegistryTest, HistogramSnapshotIsInternallyConsistent) {

@@ -5,9 +5,11 @@
 #include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "obs/obs.h"
+#include "par/claim.h"
 #include "par/worker_pool.h"
 
 namespace dcfs::par {
@@ -88,6 +90,46 @@ TEST(WorkerPoolTest, ExceptionPropagatesAndPoolSurvives) {
     items.fetch_add(hi - lo, std::memory_order_relaxed);
   });
   EXPECT_EQ(items.load(), 256u);
+}
+
+// Regression (annotation sweep): BatchAccounting::error_ was written under
+// error_mu_ by execute()'s catch but read bare by rethrow_if_failed() and
+// cleared bare by reset().  All three now serialize on error_mu_
+// (error_ is DCFS_GUARDED_BY(error_mu_)); this hammers concurrent failure
+// capture against the reset/rethrow cycle — TSan (CI) would flag the old
+// unlocked accesses.
+TEST(BatchAccountingTest, ErrorCaptureSerializesWithResetAndRethrow) {
+  BatchAccounting acct;
+  for (int round = 0; round < 50; ++round) {
+    acct.reset(8);
+    std::vector<std::thread> throwers;
+    for (int t = 0; t < 4; ++t) {
+      throwers.emplace_back([&acct, t] {
+        for (int i = 0; i < 2; ++i) {
+          const auto at = static_cast<std::size_t>(t * 2 + i);
+          acct.execute(at, at + 1, [](std::size_t, std::size_t) {
+            throw std::runtime_error("boom");
+          });
+        }
+      });
+    }
+    for (std::thread& thread : throwers) thread.join();
+    ASSERT_TRUE(acct.complete());
+    EXPECT_TRUE(acct.failed());
+    EXPECT_THROW(acct.rethrow_if_failed(), std::runtime_error);
+  }
+
+  // reset() clears the captured error: a fresh clean batch must not
+  // rethrow the stale exception from the failed rounds above.
+  acct.reset(4);
+  std::atomic<std::size_t> ran{0};
+  acct.execute(0, 4, [&](std::size_t begin, std::size_t end) {
+    ran.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  ASSERT_TRUE(acct.complete());
+  EXPECT_EQ(ran.load(), 4u);
+  EXPECT_FALSE(acct.failed());
+  EXPECT_NO_THROW(acct.rethrow_if_failed());
 }
 
 TEST(WorkerPoolTest, DestructionWithoutWorkJoinsCleanly) {

@@ -3,39 +3,51 @@
 
 Checks (all on src/ unless noted):
 
-  raw-mutex     std::mutex / std::shared_mutex / std::lock_guard /
-                std::scoped_lock / std::unique_lock / std::recursive_mutex
-                anywhere outside src/chk.  Long-lived locks must be the
-                lockdep-tracked chk::Mutex / chk::SharedMutex so their
-                acquisition order is verified at runtime (docs/ANALYSIS.md).
-  naked-new     `new` outside a smart-pointer factory.  Ownership must be
-                expressed with std::make_unique/std::make_shared or a
-                container; the rare intentional leak carries a suppression.
-  metric-name   String literals passed to .counter("...") / .gauge("...") /
-                .histogram("...") must match ^[a-z]+(\\.[a-z_]+)+$ — the
-                dotted subsystem.name scheme every exporter assumes.
-  chunk-cdc     chunk_cdc()/chunk_boundaries() calls outside src/rsyncx.
-                Every chunking decision must flow through the sanctioned
-                rsyncx::chunk_file wrapper, which normalizes the CdcParams
-                first — direct calls with unnormalized (e.g. recursively
-                derived) params can violate the boundary-cut invariants the
-                reconciliation planner's termination depends on.
-  blocking-net  Direct Transport calls (client_send/server_send/client_poll/
-                server_poll) outside src/net, src/rt, and the two sanctioned
-                serial endpoints (src/core/client.cc, src/server/
-                cloud_server.cc).  Reactor callbacks must go through the
-                rt::Reactor ready queues and the endpoints' framed send
-                helpers — a blocking send from an arbitrary callback stalls
-                every stream behind it.  Inside src/rt the same check bans
-                read_file/read_all: the reactor schedules chunk reads on the
-                bounded window; a full-file read from a callback defeats the
-                O(window) memory guarantee.
-  naked-trace   tracer.begin()/tracer.end() outside src/obs.  Spans must be
-                opened through the RAII obs::Span helper so every begin is
-                paired with an end on all exit paths (exceptions included) —
-                an unbalanced track breaks the Chrome export's nesting.
-  header-check  Every header under src/ must compile on its own
-                (g++ -fsyntax-only) — no hidden include-order dependencies.
+  raw-mutex       std::mutex / std::shared_mutex / std::lock_guard /
+                  std::scoped_lock / std::unique_lock / std::recursive_mutex
+                  anywhere outside src/chk.  Long-lived locks must be the
+                  lockdep-tracked chk::Mutex / chk::SharedMutex so their
+                  acquisition order is verified at runtime (docs/ANALYSIS.md).
+  raw-annotation  Bare Clang thread-safety attributes — __attribute__((
+                  guarded_by(...))) and friends, or their [[clang::...]]
+                  spellings — outside src/chk/annotations.h.  Annotations
+                  must go through the DCFS_* macros so they stay no-ops on
+                  non-Clang compilers and the vocabulary stays greppable.
+  naked-new       `new` outside a smart-pointer factory.  Ownership must be
+                  expressed with std::make_unique/std::make_shared or a
+                  container; the rare intentional leak carries a suppression.
+  metric-name     String literals passed to .counter("...") / .gauge("...") /
+                  .histogram("...") must match ^[a-z]+(\\.[a-z_]+)+$ — the
+                  dotted subsystem.name scheme every exporter assumes.
+  chunk-cdc       chunk_cdc()/chunk_boundaries() calls outside src/rsyncx.
+                  Every chunking decision must flow through the sanctioned
+                  rsyncx::chunk_file wrapper, which normalizes the CdcParams
+                  first — direct calls with unnormalized (e.g. recursively
+                  derived) params can violate the boundary-cut invariants the
+                  reconciliation planner's termination depends on.
+  blocking-net    Direct Transport calls (client_send/server_send/client_poll/
+                  server_poll) outside src/net, src/rt, and the two sanctioned
+                  serial endpoints (src/core/client.cc, src/server/
+                  cloud_server.cc).  Reactor callbacks must go through the
+                  rt::Reactor ready queues and the endpoints' framed send
+                  helpers — a blocking send from an arbitrary callback stalls
+                  every stream behind it.  Inside src/rt the same check bans
+                  read_file/read_all: the reactor schedules chunk reads on the
+                  bounded window; a full-file read from a callback defeats the
+                  O(window) memory guarantee.
+  naked-trace     tracer.begin()/tracer.end() outside src/obs.  Spans must be
+                  opened through the RAII obs::Span helper so every begin is
+                  paired with an end on all exit paths (exceptions included) —
+                  an unbalanced track breaks the Chrome export's nesting.
+  header-check    Every header under src/ must compile on its own
+                  (g++ -fsyntax-only) — no hidden include-order dependencies.
+
+Output formats (--format):
+
+  text    path:line: [check] message            (default, human-oriented)
+  json    [{"path": ..., "line": ..., "check": ..., "message": ...}, ...]
+  github  ::error file=...,line=...,title=dcfs-lint/<check>::message
+          (GitHub Actions workflow commands — findings become PR annotations)
 
 Suppress a finding by putting `dcfs-lint: allow(<check>)` in a comment on
 the offending line (or the line directly above it).
@@ -47,6 +59,7 @@ from __future__ import annotations
 
 import argparse
 import concurrent.futures
+import json
 import os
 import re
 import subprocess
@@ -62,6 +75,30 @@ RAW_MUTEX_RE = re.compile(
     r"\bstd::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
     r"lock_guard|scoped_lock|unique_lock|shared_lock)\b"
 )
+# Clang thread-safety attribute names, both the GNU __attribute__((...)) and
+# the C++11 [[clang::...]] spellings.  The DCFS_* macros in
+# src/chk/annotations.h are the only sanctioned way to emit these.
+TSA_ATTR_NAMES = (
+    "capability|shared_capability|scoped_lockable|lockable|"
+    "guarded_by|pt_guarded_by|guarded_var|pt_guarded_var|"
+    "acquired_before|acquired_after|"
+    "requires_capability|requires_shared_capability|"
+    "exclusive_locks_required|shared_locks_required|"
+    "acquire_capability|acquire_shared_capability|"
+    "exclusive_lock_function|shared_lock_function|"
+    "release_capability|release_shared_capability|"
+    "release_generic_capability|unlock_function|"
+    "try_acquire_capability|try_acquire_shared_capability|"
+    "exclusive_trylock_function|shared_trylock_function|"
+    "locks_excluded|lock_returned|"
+    "assert_capability|assert_shared_capability|"
+    "assert_exclusive_lock|assert_shared_lock|"
+    "no_thread_safety_analysis"
+)
+RAW_ANNOTATION_RE = re.compile(
+    r"(?:__attribute__\s*\(\(\s*(?:clang::)?(?:%(n)s)\b"
+    r"|\[\[\s*clang::(?:%(n)s)\b)" % {"n": TSA_ATTR_NAMES}
+)
 NAKED_NEW_RE = re.compile(r"\bnew\b\s*(?:\(|[A-Za-z_:<])")
 METRIC_CALL_RE = re.compile(r"\.(counter|gauge|histogram)\(\s*\"([^\"]*)\"")
 NAKED_TRACE_RE = re.compile(r"\btracer_?(?:\.|->)\s*(begin|end)\s*\(")
@@ -75,6 +112,8 @@ BLOCKING_NET_ENDPOINTS = (
     os.path.join("src", "core", "client.cc"),
     os.path.join("src", "server", "cloud_server.cc"),
 )
+# The single file allowed to spell raw thread-safety attributes.
+ANNOTATION_HOME = os.path.join("src", "chk", "annotations.h")
 METRIC_NAME_RE = re.compile(r"^[a-z]+(\.[a-z_]+)+$")
 ALLOW_RE = re.compile(r"dcfs-lint:\s*allow\(([a-z-]+)\)")
 
@@ -140,7 +179,11 @@ def allowed(check: str, lines: list[str], idx: int) -> bool:
     return False
 
 
-def lint_file(path: str) -> list[str]:
+def finding(path: str, line: int, check: str, message: str) -> dict:
+    return {"path": path, "line": line, "check": check, "message": message}
+
+
+def lint_file(path: str) -> list[dict]:
     rel = os.path.relpath(path, REPO)
     in_chk = rel.startswith(os.path.join("src", "chk") + os.sep)
     in_obs = rel.startswith(os.path.join("src", "obs") + os.sep)
@@ -148,11 +191,12 @@ def lint_file(path: str) -> list[str]:
     in_net = rel.startswith(os.path.join("src", "net") + os.sep)
     in_rt = rel.startswith(os.path.join("src", "rt") + os.sep)
     net_endpoint = rel in BLOCKING_NET_ENDPOINTS
+    annotation_home = rel == ANNOTATION_HOME
     try:
         with open(path, encoding="utf-8") as f:
             raw_lines = f.read().splitlines()
     except OSError as e:
-        return [f"{rel}: unreadable: {e}"]
+        return [finding(rel, 1, "io", f"unreadable: {e}")]
 
     findings = []
     in_block = False
@@ -161,49 +205,62 @@ def lint_file(path: str) -> list[str]:
 
         if not in_chk and RAW_MUTEX_RE.search(code):
             if not allowed("raw-mutex", raw_lines, idx):
-                findings.append(
-                    f"{rel}:{idx + 1}: [raw-mutex] use chk::Mutex / "
-                    f"chk::LockGuard (std primitives live in src/chk only)"
-                )
+                findings.append(finding(
+                    rel, idx + 1, "raw-mutex",
+                    "use chk::Mutex / chk::LockGuard "
+                    "(std primitives live in src/chk only)"
+                ))
+
+        if not annotation_home and RAW_ANNOTATION_RE.search(code):
+            if not allowed("raw-annotation", raw_lines, idx):
+                findings.append(finding(
+                    rel, idx + 1, "raw-annotation",
+                    "use the DCFS_* macros from chk/annotations.h — bare "
+                    "thread-safety attributes break non-Clang builds and "
+                    "bypass the greppable vocabulary"
+                ))
 
         if not in_obs and NAKED_TRACE_RE.search(code):
             if not allowed("naked-trace", raw_lines, idx):
-                findings.append(
-                    f"{rel}:{idx + 1}: [naked-trace] open spans with the "
-                    f"RAII obs::Span helper, not tracer.begin()/end()"
-                )
+                findings.append(finding(
+                    rel, idx + 1, "naked-trace",
+                    "open spans with the RAII obs::Span helper, "
+                    "not tracer.begin()/end()"
+                ))
 
         if not in_rsyncx and CHUNK_CDC_RE.search(code):
             if not allowed("chunk-cdc", raw_lines, idx):
-                findings.append(
-                    f"{rel}:{idx + 1}: [chunk-cdc] call rsyncx::chunk_file "
-                    f"(normalizes params) — chunk_cdc/chunk_boundaries live "
-                    f"in src/rsyncx only"
-                )
+                findings.append(finding(
+                    rel, idx + 1, "chunk-cdc",
+                    "call rsyncx::chunk_file (normalizes params) — "
+                    "chunk_cdc/chunk_boundaries live in src/rsyncx only"
+                ))
 
         if not (in_net or in_rt or net_endpoint) and \
                 BLOCKING_NET_RE.search(code):
             if not allowed("blocking-net", raw_lines, idx):
-                findings.append(
-                    f"{rel}:{idx + 1}: [blocking-net] direct Transport "
-                    f"send/poll outside the serial endpoints — enqueue on "
-                    f"the rt::Reactor and let the endpoint's pump ship it"
-                )
+                findings.append(finding(
+                    rel, idx + 1, "blocking-net",
+                    "direct Transport send/poll outside the serial "
+                    "endpoints — enqueue on the rt::Reactor and let the "
+                    "endpoint's pump ship it"
+                ))
 
         if in_rt and FULL_READ_RE.search(code):
             if not allowed("blocking-net", raw_lines, idx):
-                findings.append(
-                    f"{rel}:{idx + 1}: [blocking-net] full-file read inside "
-                    f"src/rt — reactor callbacks must read chunk-by-chunk "
-                    f"on the bounded stream window"
-                )
+                findings.append(finding(
+                    rel, idx + 1, "blocking-net",
+                    "full-file read inside src/rt — reactor callbacks must "
+                    "read chunk-by-chunk on the bounded stream window"
+                ))
 
         m = NAKED_NEW_RE.search(code)
         if m and not allowed("naked-new", raw_lines, idx):
-            findings.append(
-                f"{rel}:{idx + 1}: [naked-new] express ownership with "
-                f"std::make_unique/std::make_shared or a container"
-            )
+            findings.append(finding(
+                rel, idx + 1, "naked-new",
+                "express ownership with std::make_unique/std::make_shared "
+                "or a container"
+            ))
 
         # Metric names: literals only — computed names are the exporters'
         # business and already tested.
@@ -211,14 +268,15 @@ def lint_file(path: str) -> list[str]:
             name = m.group(2)
             if not METRIC_NAME_RE.match(name):
                 if not allowed("metric-name", raw_lines, idx):
-                    findings.append(
-                        f"{rel}:{idx + 1}: [metric-name] '{name}' does not "
-                        f"match ^[a-z]+(\\.[a-z_]+)+$ (subsystem.name scheme)"
-                    )
+                    findings.append(finding(
+                        rel, idx + 1, "metric-name",
+                        f"'{name}' does not match ^[a-z]+(\\.[a-z_]+)+$ "
+                        f"(subsystem.name scheme)"
+                    ))
     return findings
 
 
-def check_header(header: str, cxx: str) -> list[str]:
+def check_header(header: str, cxx: str) -> list[dict]:
     rel = os.path.relpath(header, SRC)
     with tempfile.NamedTemporaryFile(
         "w", suffix=".cc", prefix="dcfs_lint_", delete=False
@@ -242,12 +300,34 @@ def check_header(header: str, cxx: str) -> list[str]:
         if proc.returncode != 0:
             first = proc.stderr.strip().splitlines()
             detail = first[0] if first else "compiler error"
-            return [
-                f"src/{rel}: [header-check] not self-contained: {detail}"
-            ]
+            return [finding(
+                f"src/{rel}", 1, "header-check",
+                f"not self-contained: {detail}"
+            )]
         return []
     finally:
         os.unlink(tu_path)
+
+
+def render(findings: list[dict], fmt: str, n_files: int) -> None:
+    if fmt == "json":
+        print(json.dumps(findings, indent=2))
+        return
+    for f in findings:
+        if fmt == "github":
+            # GitHub Actions workflow command: surfaces as a PR annotation
+            # on the offending line.  Message must be single-line.
+            message = f["message"].replace("\n", " ")
+            print(
+                f"::error file={f['path']},line={f['line']},"
+                f"title=dcfs-lint/{f['check']}::{message}"
+            )
+        else:
+            print(f"{f['path']}:{f['line']}: [{f['check']}] {f['message']}")
+    if findings:
+        print(f"dcfs_lint: {len(findings)} finding(s)", file=sys.stderr)
+    elif fmt == "text":
+        print(f"dcfs_lint: clean ({n_files} files)")
 
 
 def main() -> int:
@@ -256,6 +336,13 @@ def main() -> int:
         "paths",
         nargs="*",
         help="files or directories to lint (default: src/)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="output format (default: text; github emits ::error workflow "
+        "commands for PR annotations)",
     )
     parser.add_argument(
         "--no-header-check",
@@ -287,7 +374,7 @@ def main() -> int:
             print(f"dcfs_lint: no such path: {root}", file=sys.stderr)
             return 2
 
-    findings: list[str] = []
+    findings: list[dict] = []
     for path in files:
         findings.extend(lint_file(path))
 
@@ -299,13 +386,9 @@ def main() -> int:
             ):
                 findings.extend(result)
 
-    for finding in sorted(findings):
-        print(finding)
-    if findings:
-        print(f"dcfs_lint: {len(findings)} finding(s)", file=sys.stderr)
-        return 1
-    print(f"dcfs_lint: clean ({len(files)} files)")
-    return 0
+    findings.sort(key=lambda f: (f["path"], f["line"], f["check"]))
+    render(findings, args.format, len(files))
+    return 1 if findings else 0
 
 
 if __name__ == "__main__":
